@@ -1,0 +1,90 @@
+// E8 (extension ablation) — bus portability: the same OCP, microcode and
+// driver on the AMBA2/AHB-class interconnect (the paper's Leon3 platform)
+// and on an AXI4-Lite-class interconnect (the paper's announced Zynq
+// port). Only the bus-specific interface FSM differs — which is exactly
+// the modularity claim of Fig. 3 — so the delta is pure protocol cost.
+#include <cstdio>
+
+#include "drv/session.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/dft.hpp"
+#include "rac/idct.hpp"
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ouessant;
+
+constexpr Addr kProg = 0x4000'0000;
+constexpr Addr kIn = 0x4001'0000;
+constexpr Addr kOut = 0x4002'0000;
+
+u64 run_idct(platform::BusKind bus) {
+  platform::SocConfig cfg;
+  cfg.bus = bus;
+  platform::Soc soc(cfg);
+  rac::IdctRac idct(soc.kernel(), "idct");
+  core::Ocp& ocp = soc.add_ocp(idct);
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = kProg, .in_base = kIn,
+                           .out_base = kOut, .in_words = 64,
+                           .out_words = 64});
+  session.install(core::build_stream_program(
+                      {.in_words = 64, .out_words = 64, .burst = 64}),
+                  /*timed_program=*/false);
+  util::Rng rng(5);
+  std::vector<u32> in(64);
+  for (auto& w : in) w = util::to_word(rng.range(-512, 511));
+  session.put_input(in);
+  return session.run_irq();
+}
+
+u64 run_dft(platform::BusKind bus) {
+  platform::SocConfig cfg;
+  cfg.bus = bus;
+  platform::Soc soc(cfg);
+  rac::DftRac dft(soc.kernel(), "dft", {.points = 256});
+  core::Ocp& ocp = soc.add_ocp(dft);
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = kProg, .in_base = kIn,
+                           .out_base = kOut, .in_words = 512,
+                           .out_words = 512});
+  session.install(core::figure4_program(), false);
+  util::Rng rng(6);
+  std::vector<u32> in(512);
+  for (auto& w : in) w = rng.next_u32() & 0x00FF'FFFF;
+  session.put_input(in);
+  return session.run_irq();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: bus portability — identical OCP + microcode + driver on "
+              "two interconnects\n\n");
+  std::printf("%-10s %14s %14s %14s %12s %12s\n", "workload", "AHB (Leon3)",
+              "AXI4 (Zynq)", "AXI-Lite", "AXI4/AHB", "Lite/AHB");
+  for (const bool dft : {false, true}) {
+    auto run = [&](platform::BusKind kind) {
+      return dft ? run_dft(kind) : run_idct(kind);
+    };
+    const u64 ahb = run(platform::BusKind::kAhb);
+    const u64 axi4 = run(platform::BusKind::kAxi4);
+    const u64 lite = run(platform::BusKind::kAxiLite);
+    std::printf("%-10s %14llu %14llu %14llu %12.2f %12.2f\n",
+                dft ? "DFT 256" : "IDCT 8x8",
+                static_cast<unsigned long long>(ahb),
+                static_cast<unsigned long long>(axi4),
+                static_cast<unsigned long long>(lite),
+                static_cast<double>(axi4) / static_cast<double>(ahb),
+                static_cast<double>(lite) / static_cast<double>(ahb));
+  }
+  std::printf("\nexpected shape: AXI-Lite pays one address handshake per "
+              "word (no bursts),\nso transfer-dominated workloads slow "
+              "down by roughly the per-word address cost;\ncompute-dominated "
+              "phases are untouched. Porting required zero changes to the\n"
+              "controller, microcode, or driver.\n");
+  return 0;
+}

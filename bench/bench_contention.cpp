@@ -1,0 +1,105 @@
+// E12 (scalability ablation) — how many coprocessors can one AHB carry?
+//
+// §II-B's MPSoC argument says Ouessant scales by instantiating more OCPs
+// on the bus (unlike per-CPU coupling). The shared single-layer bus is
+// then the ceiling. This bench launches 1..4 identical streaming OCPs
+// concurrently on independent buffers and reports the aggregate
+// throughput, per-OCP completion latency, and bus utilization — exposing
+// where the fabric saturates and what fixed-priority arbitration does to
+// the losers.
+#include <cstdio>
+
+#include <memory>
+
+#include "drv/session.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/report.hpp"
+#include "platform/soc.hpp"
+#include "rac/fir.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ouessant;
+
+constexpr u32 kWords = 512;
+
+struct Result {
+  u64 makespan = 0;            ///< all OCPs done
+  u64 slowest_latency = 0;     ///< worst single-OCP completion
+  double bus_util = 0.0;
+  double words_per_kcycle = 0.0;
+};
+
+Result run(u32 n_ocps) {
+  platform::Soc soc;
+  std::vector<std::unique_ptr<rac::FirRac>> racs;
+  std::vector<std::unique_ptr<drv::OcpSession>> sessions;
+  util::Rng rng(n_ocps);
+
+  for (u32 i = 0; i < n_ocps; ++i) {
+    racs.push_back(std::make_unique<rac::FirRac>(
+        soc.kernel(), "fir" + std::to_string(i),
+        std::vector<i32>{i32{1} << 16}, kWords));  // streaming identity
+    core::Ocp& ocp = soc.add_ocp(*racs.back());
+    const Addr base = 0x4010'0000 + i * 0x10'0000;
+    sessions.push_back(std::make_unique<drv::OcpSession>(
+        soc.cpu(), soc.sram(), ocp,
+        drv::SessionLayout{.prog_base = base,
+                           .in_base = base + 0x1'0000,
+                           .out_base = base + 0x2'0000,
+                           .in_words = kWords,
+                           .out_words = kWords}));
+    sessions.back()->install(
+        core::build_stream_program(
+            {.in_words = kWords, .out_words = kWords, .burst = 64}),
+        /*timed_program=*/false);
+    std::vector<u32> in(kWords);
+    for (auto& w : in) w = rng.next_u32();
+    sessions.back()->put_input(in);
+    sessions.back()->driver().enable_irq(true);
+  }
+
+  const Cycle t0 = soc.kernel().now();
+  for (auto& s : sessions) s->start_async();
+  Result r;
+  for (auto& s : sessions) {
+    s->driver().wait_done_irq(10'000'000);
+    r.slowest_latency = std::max(r.slowest_latency, soc.kernel().now() - t0);
+  }
+  r.makespan = soc.kernel().now() - t0;
+  const auto report = platform::make_report(soc);
+  // Utilization over the contended window only.
+  r.bus_util = static_cast<double>(soc.bus().busy_cycles()) /
+               static_cast<double>(soc.kernel().now());
+  r.words_per_kcycle = 1000.0 * 2.0 * kWords * n_ocps /
+                       static_cast<double>(r.makespan);
+  (void)report;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12: concurrent OCPs sharing one AHB (512-word streaming "
+              "jobs, fixed-priority)\n\n");
+  std::printf("%-6s %10s %14s %12s %16s\n", "OCPs", "makespan",
+              "slowest done", "bus util", "words/kcycle");
+  double single = 0;
+  for (u32 n = 1; n <= 4; ++n) {
+    const Result r = run(n);
+    if (n == 1) single = static_cast<double>(r.makespan);
+    std::printf("%-6u %10llu %14llu %11.1f%% %16.1f\n", n,
+                static_cast<unsigned long long>(r.makespan),
+                static_cast<unsigned long long>(r.slowest_latency),
+                100.0 * r.bus_util, r.words_per_kcycle);
+    if (n == 4) {
+      std::printf("\nscaling: 4 OCPs take %.2fx the single-OCP makespan "
+                  "(perfect sharing would be 4.00x\nonce the bus "
+                  "saturates; below that means the single job was not "
+                  "bus-bound).\n",
+                  static_cast<double>(r.makespan) / single);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the simulator substrate itself:
+// simulation throughput, FIFO conversion, encoding, assembly, and the
+// transform datapaths. These guard the usability of the library (a slow
+// simulator makes the experiment benches painful), not a paper result.
+#include <benchmark/benchmark.h>
+
+#include "drv/session.hpp"
+#include "fifo/width_fifo.hpp"
+#include "ouessant/assembler.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/passthrough.hpp"
+#include "util/rng.hpp"
+#include "util/transforms.hpp"
+
+namespace {
+
+using namespace ouessant;
+
+void BM_KernelTickThroughput(benchmark::State& state) {
+  platform::Soc soc;
+  rac::PassthroughRac rac(soc.kernel(), "pass", 64, 32);
+  soc.add_ocp(rac);
+  for (auto _ : state) {
+    soc.kernel().run(1000);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_KernelTickThroughput);
+
+void BM_FifoWidthConversion(benchmark::State& state) {
+  sim::Kernel kernel;
+  fifo::WidthFifo f(kernel, "f", {.wr_width = 32, .rd_width = 48,
+                                  .capacity_bits = 48 * 64});
+  u64 x = 1;
+  for (auto _ : state) {
+    f.write(x++);
+    kernel.tick();
+    if (!f.empty()) benchmark::DoNotOptimize(f.read());
+    kernel.tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoWidthConversion);
+
+void BM_IsaEncodeDecode(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    isa::Instruction ins{.op = isa::Opcode::kMvtc,
+                         .bank = static_cast<u8>(rng.below(8)),
+                         .offset = rng.below(1u << 14),
+                         .fifo = static_cast<u8>(rng.below(4)),
+                         .len = 1 + rng.below(256)};
+    benchmark::DoNotOptimize(isa::decode(isa::encode(ins)));
+  }
+}
+BENCHMARK(BM_IsaEncodeDecode);
+
+void BM_AssembleFigure4(benchmark::State& state) {
+  const std::string src = core::disassemble(core::figure4_program().image());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::assemble(src));
+  }
+}
+BENCHMARK(BM_AssembleFigure4);
+
+void BM_FixedFft256(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<i32> re(256), im(256);
+  for (u32 i = 0; i < 256; ++i) {
+    re[i] = rng.range(-100000, 100000);
+    im[i] = rng.range(-100000, 100000);
+  }
+  for (auto _ : state) {
+    auto r = re;
+    auto i2 = im;
+    util::fixed_fft(r, i2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FixedFft256);
+
+void BM_FixedIdct8x8(benchmark::State& state) {
+  util::Rng rng(8);
+  i32 coef[64];
+  for (auto& c : coef) c = rng.range(-1024, 1023);
+  i32 pix[64];
+  for (auto _ : state) {
+    util::fixed_idct8x8(coef, pix);
+    benchmark::DoNotOptimize(pix);
+  }
+}
+BENCHMARK(BM_FixedIdct8x8);
+
+void BM_EndToEndInvocation(benchmark::State& state) {
+  platform::Soc soc;
+  rac::PassthroughRac rac(soc.kernel(), "pass", 64, 32);
+  core::Ocp& ocp = soc.add_ocp(rac);
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = 0x4000'0000,
+                           .in_base = 0x4001'0000,
+                           .out_base = 0x4002'0000,
+                           .in_words = 64,
+                           .out_words = 64});
+  session.install(core::build_stream_program(
+                      {.in_words = 64, .out_words = 64, .burst = 64}),
+                  /*timed_program=*/false);
+  util::Rng rng(2);
+  std::vector<u32> in(64);
+  for (auto& w : in) w = rng.next_u32();
+  for (auto _ : state) {
+    session.put_input(in);
+    benchmark::DoNotOptimize(session.run_poll());
+  }
+}
+BENCHMARK(BM_EndToEndInvocation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// E2 — reproduces §V-B's resource evaluation: synthesize each accelerator
+// alone and with the OCP ("Keep Hierarchy" style), and check the paper's
+// claims: the OCP machinery (interface + controller + FIFO control) stays
+// under 1000 LUT / 750 FF, FIFO memory is inferred as BRAM, and the RAC
+// size is independent of Ouessant.
+#include <cstdio>
+
+#include "platform/soc.hpp"
+#include "rac/dft.hpp"
+#include "rac/fir.hpp"
+#include "rac/idct.hpp"
+
+namespace {
+
+using namespace ouessant;
+
+void print_row(const char* name, const res::ResourceEstimate& e) {
+  std::printf("%-28s %8u %8u %8u %8u\n", name, e.luts, e.ffs, e.bram36,
+              e.dsps);
+}
+
+/// OCP machinery = everything except FIFO storage (the paper counts the
+/// "FIFO control" but reports storage separately as BRAM).
+res::ResourceEstimate ocp_machinery(const core::Ocp& ocp) {
+  res::ResourceEstimate e;
+  for (const auto& child : ocp.resource_tree().children) {
+    e += child.self;
+    for (const auto& part : child.children) {
+      if (part.name == "storage") continue;
+      e += part.total();
+    }
+  }
+  return e;
+}
+
+res::ResourceEstimate fifo_storage(const core::Ocp& ocp) {
+  res::ResourceEstimate e;
+  for (const auto& child : ocp.resource_tree().children) {
+    for (const auto& part : child.children) {
+      if (part.name == "storage") e += part.total();
+    }
+  }
+  return e;
+}
+
+template <typename MakeRac>
+void report_config(const char* label, MakeRac make_rac) {
+  // Accelerator alone.
+  sim::Kernel lone_kernel;
+  auto lone = make_rac(lone_kernel);
+  const auto alone = lone->resource_tree().total();
+
+  // Accelerator + OCP.
+  platform::Soc soc;
+  auto rac = make_rac(soc.kernel());
+  core::Ocp& ocp = soc.add_ocp(*rac);
+  const auto wrapped = ocp.full_resource_tree().total();
+  const auto machinery = ocp_machinery(ocp);
+  const auto storage = fifo_storage(ocp);
+
+  std::printf("\n-- %s --\n", label);
+  print_row("accelerator alone", alone);
+  print_row("accelerator + OCP", wrapped);
+  print_row("  of which OCP machinery", machinery);
+  print_row("  of which FIFO storage", storage);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: resource footprint (Artix7-class estimates)\n");
+  std::printf("%-28s %8s %8s %8s %8s\n", "configuration", "LUT", "FF",
+              "BRAM", "DSP");
+
+  report_config("2D IDCT (JPEG)", [](sim::Kernel& k) {
+    return std::make_unique<rac::IdctRac>(k, "idct");
+  });
+  report_config("DFT 256 (Spiral-class)", [](sim::Kernel& k) {
+    return std::make_unique<rac::DftRac>(k, "dft",
+                                         rac::DftRacConfig{.points = 256});
+  });
+  report_config("FIR 16-tap", [](sim::Kernel& k) {
+    return std::make_unique<rac::FirRac>(
+        k, "fir", std::vector<i32>(16, 1 << 12), 256);
+  });
+
+  // Full Keep-Hierarchy report for the paper's headline configuration.
+  {
+    platform::Soc soc;
+    rac::DftRac dft(soc.kernel(), "dft256", {.points = 256});
+    core::Ocp& ocp = soc.add_ocp(dft);
+    std::printf("\n-- Keep-Hierarchy report: DFT 256 + OCP --\n%s",
+                res::render_report(ocp.full_resource_tree()).c_str());
+
+    const auto machinery = ocp_machinery(ocp);
+    std::printf("\npaper claim check: OCP machinery %u LUT (<1000), %u FF "
+                "(<750): %s\n",
+                machinery.luts, machinery.ffs,
+                (machinery.luts < 1000 && machinery.ffs < 750) ? "PASS"
+                                                               : "FAIL");
+  }
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Spectrum analyzer with the 256-point DFT coprocessor — the paper's
+// second application (the Spiral iterative DFT RAC).
+//
+// A multi-tone test signal is transformed three ways:
+//   * software double-precision DFT on the FPU-less GPP (the paper's SW
+//     baseline, ~600k cycles),
+//   * the OCP-wrapped DFT RAC under the baremetal driver,
+//   * the OCP under the Linux (mmap) driver — the paper's headline 85x.
+// The demo also exercises the paper's concurrency point: while the OCP
+// computes, the GPP processes another task.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cpu/sw_kernels.hpp"
+#include "drv/linux_env.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/dft.hpp"
+#include "util/fixed.hpp"
+#include "util/transforms.hpp"
+
+using namespace ouessant;
+
+namespace {
+
+constexpr u32 kN = 256;
+constexpr Addr kProg = 0x4000'0000;
+constexpr Addr kIn = 0x4001'0000;
+constexpr Addr kOut = 0x4002'0000;
+
+/// Tones at bins 17 and 63 plus a weak one at 150.
+std::vector<u32> make_signal() {
+  const util::Q q(util::kFftFrac);
+  std::vector<u32> words(2 * kN);
+  for (u32 i = 0; i < kN; ++i) {
+    const double t = static_cast<double>(i);
+    const double v = 0.30 * std::cos(2.0 * M_PI * 17.0 * t / kN) +
+                     0.20 * std::cos(2.0 * M_PI * 63.0 * t / kN) +
+                     0.05 * std::cos(2.0 * M_PI * 150.0 * t / kN);
+    words[2 * i] = util::to_word(q.from_double(v));
+    words[2 * i + 1] = util::to_word(q.from_double(0.0));
+  }
+  return words;
+}
+
+std::vector<double> magnitudes(const std::vector<u32>& out) {
+  const util::Q q(util::kFftFrac);
+  std::vector<double> mag(kN);
+  for (u32 k = 0; k < kN; ++k) {
+    mag[k] = std::hypot(q.to_double(util::from_word(out[2 * k])),
+                        q.to_double(util::from_word(out[2 * k + 1])));
+  }
+  return mag;
+}
+
+void print_peaks(const char* label, const std::vector<double>& mag) {
+  std::printf("%s peaks:", label);
+  for (u32 k = 1; k + 1 < kN / 2; ++k) {
+    if (mag[k] > 0.02 && mag[k] >= mag[k - 1] && mag[k] >= mag[k + 1]) {
+      std::printf("  bin %u (%.3f)", k, mag[k]);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("256-point spectrum analysis (tones at bins 17, 63, 150)\n\n");
+  const auto signal = make_signal();
+
+  // ---------------- software (soft-float double) -----------------------
+  u64 sw_cycles = 0;
+  std::vector<double> sw_mag;
+  {
+    platform::Soc soc;
+    soc.sram().load(kIn, signal);
+    sw_cycles = cpu::sw::sw_dft_softfloat(soc.cpu(), soc.sram(), kIn, kOut,
+                                          kN);
+    sw_mag = magnitudes(soc.sram().dump(kOut, 2 * kN));
+  }
+
+  // ---------------- OCP, baremetal and Linux ---------------------------
+  u64 hw_bm_cycles = 0;
+  u64 hw_lx_cycles = 0;
+  u64 overlap_total = 0;
+  std::vector<double> hw_mag;
+  {
+    platform::Soc soc;
+    rac::DftRac dft(soc.kernel(), "dft", {.points = kN});
+    core::Ocp& ocp = soc.add_ocp(dft);
+    drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                            {.prog_base = kProg, .in_base = kIn,
+                             .out_base = kOut, .in_words = 2 * kN,
+                             .out_words = 2 * kN});
+    session.install(core::figure4_program());
+    session.put_input(signal);
+    hw_bm_cycles = session.run_irq();
+    hw_mag = magnitudes(session.get_output());
+
+    drv::LinuxEnv linux_env;
+    session.put_input(signal);
+    hw_lx_cycles = linux_env.invoke(session, drv::XferMode::kMmap);
+
+    // Concurrency: launch, do 3000 cycles of unrelated CPU work, collect.
+    session.put_input(signal);
+    session.driver().enable_irq(true);
+    const Cycle t0 = soc.kernel().now();
+    session.start_async();
+    soc.cpu().spend(3000);  // the GPP "processes other tasks"
+    session.driver().wait_done_irq();
+    overlap_total = soc.kernel().now() - t0;
+  }
+
+  print_peaks("software", sw_mag);
+  print_peaks("OCP     ", hw_mag);
+
+  std::printf("\n%-36s %10s\n", "path", "cycles");
+  std::printf("%-36s %10llu\n", "software DFT (soft-float double)",
+              static_cast<unsigned long long>(sw_cycles));
+  std::printf("%-36s %10llu\n", "OCP, baremetal driver",
+              static_cast<unsigned long long>(hw_bm_cycles));
+  std::printf("%-36s %10llu\n", "OCP, Linux mmap driver",
+              static_cast<unsigned long long>(hw_lx_cycles));
+  std::printf("\ngain (Linux, the paper's metric): %.0fx  (paper: 85x)\n",
+              static_cast<double>(sw_cycles) /
+                  static_cast<double>(hw_lx_cycles));
+  std::printf("\nconcurrency: DFT + 3000 cycles of CPU work finished in "
+              "%llu cycles\n(sequential would be %llu) — the GPP really "
+              "runs in parallel with the OCP.\n",
+              static_cast<unsigned long long>(overlap_total),
+              static_cast<unsigned long long>(hw_bm_cycles + 3000));
+  return 0;
+}

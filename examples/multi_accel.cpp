@@ -1,0 +1,166 @@
+// Two coprocessors on one bus — the MPSoC scenario where the paper argues
+// Ouessant beats the Molen-style tight coupling ("it requires one
+// accelerator per processor, making it inefficient in MPSoC").
+//
+// The SoC carries two independent OCPs: a 16-tap low-pass FIR and a
+// 256-point DFT. The application filters a noisy signal on OCP0 and
+// transforms both the raw and the filtered signal on OCP1, launching the
+// coprocessors concurrently where the dataflow allows. One CPU, one bus,
+// two accelerators — no processor-port surgery required.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "drv/session.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/dft.hpp"
+#include "rac/fir.hpp"
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+#include "util/transforms.hpp"
+
+using namespace ouessant;
+
+namespace {
+
+constexpr u32 kN = 256;
+
+/// Windowed-sinc low-pass at ~0.15 of the sample rate, 16 taps, Q16.16.
+std::vector<i32> lowpass_taps() {
+  const util::Q q(16);
+  std::vector<i32> taps;
+  const int taps_n = 16;
+  const double fc = 0.15;
+  for (int n = 0; n < taps_n; ++n) {
+    const double m = n - (taps_n - 1) / 2.0;
+    const double sinc =
+        (std::abs(m) < 1e-9) ? 2.0 * fc
+                             : std::sin(2.0 * M_PI * fc * m) / (M_PI * m);
+    const double hamming =
+        0.54 - 0.46 * std::cos(2.0 * M_PI * n / (taps_n - 1));
+    taps.push_back(q.from_double(sinc * hamming));
+  }
+  return taps;
+}
+
+double band_energy(const std::vector<u32>& spectrum, u32 from, u32 to) {
+  const util::Q q(util::kFftFrac);
+  double e = 0;
+  for (u32 k = from; k < to; ++k) {
+    const double re = q.to_double(util::from_word(spectrum[2 * k]));
+    const double im = q.to_double(util::from_word(spectrum[2 * k + 1]));
+    e += re * re + im * im;
+  }
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("two OCPs on one AHB: FIR low-pass (ocp0) + 256-pt DFT "
+              "(ocp1)\n\n");
+
+  platform::Soc soc;
+  rac::FirRac fir(soc.kernel(), "fir16", lowpass_taps(), kN);
+  rac::DftRac dft(soc.kernel(), "dft256", {.points = kN});
+  core::Ocp& ocp_fir = soc.add_ocp(fir);
+  core::Ocp& ocp_dft = soc.add_ocp(dft);
+
+  // Memory layout: raw signal, filtered signal, two spectra.
+  constexpr Addr kRaw = 0x4001'0000;
+  constexpr Addr kFiltered = 0x4002'0000;
+  constexpr Addr kSpecRaw = 0x4003'0000;
+  constexpr Addr kSpecFiltered = 0x4004'0000;
+
+  // Signal: tone at bin 12 (in the passband) + heavy high-band noise.
+  const util::Q q(util::kFftFrac);
+  util::Rng rng(42);
+  std::vector<u32> raw(kN);
+  std::vector<u32> raw_cplx(2 * kN);
+  for (u32 i = 0; i < kN; ++i) {
+    const double t = static_cast<double>(i);
+    const double v = 0.30 * std::cos(2.0 * M_PI * 12.0 * t / kN) +
+                     0.20 * (rng.uniform() - 0.5) +
+                     0.15 * std::cos(2.0 * M_PI * 100.0 * t / kN);
+    raw[i] = util::to_word(q.from_double(v));
+  }
+
+  drv::OcpSession fir_session(soc.cpu(), soc.sram(), ocp_fir,
+                              {.prog_base = 0x4000'0000, .in_base = kRaw,
+                               .out_base = kFiltered, .in_words = kN,
+                               .out_words = kN});
+  fir_session.install(core::build_stream_program(
+      {.in_words = kN, .out_words = kN, .burst = 64, .overlap = true}));
+
+  drv::OcpSession dft_session(soc.cpu(), soc.sram(), ocp_dft,
+                              {.prog_base = 0x4000'1000, .in_base = kRaw,
+                               .out_base = kSpecRaw, .in_words = 2 * kN,
+                               .out_words = 2 * kN});
+  dft_session.install(core::build_stream_program(
+      {.in_words = 2 * kN, .out_words = 2 * kN, .burst = 64,
+       .overlap = true}));
+
+  soc.sram().load(kRaw, raw);
+
+  const Cycle t0 = soc.kernel().now();
+
+  // Phase 1 (concurrent): FIR filters the raw signal while the DFT
+  // transforms... the raw signal too. Both masters share the AHB.
+  // The DFT reads the complex staging buffer; build it first.
+  for (u32 i = 0; i < kN; ++i) {
+    raw_cplx[2 * i] = raw[i];
+    raw_cplx[2 * i + 1] = util::to_word(q.from_double(0.0));
+  }
+  soc.sram().load(kRaw, raw);  // FIR input: real words
+  // Stage the complex copy where the DFT session reads it. Reuse the
+  // filtered buffer area + offset? No: give the DFT its own input bank.
+  constexpr Addr kRawCplx = 0x4005'0000;
+  soc.sram().load(kRawCplx, raw_cplx);
+  dft_session.driver().set_bank(1, kRawCplx);
+
+  fir_session.driver().enable_irq(true);
+  dft_session.driver().enable_irq(true);
+  fir_session.start_async();
+  dft_session.start_async();
+  fir_session.driver().wait_done_irq();
+  dft_session.driver().wait_done_irq();
+  const Cycle t1 = soc.kernel().now();
+
+  // Phase 2: spectrum of the filtered signal.
+  std::vector<u32> filt_cplx(2 * kN);
+  const auto filtered = soc.sram().dump(kFiltered, kN);
+  for (u32 i = 0; i < kN; ++i) {
+    filt_cplx[2 * i] = filtered[i];
+    filt_cplx[2 * i + 1] = util::to_word(q.from_double(0.0));
+  }
+  soc.sram().load(kRawCplx, filt_cplx);
+  dft_session.driver().set_bank(2, kSpecFiltered);
+  dft_session.start_async();
+  dft_session.driver().wait_done_irq();
+  const Cycle t2 = soc.kernel().now();
+
+  const auto spec_raw = soc.sram().dump(kSpecRaw, 2 * kN);
+  const auto spec_filt = soc.sram().dump(kSpecFiltered, 2 * kN);
+
+  const double raw_low = band_energy(spec_raw, 1, 40);
+  const double raw_high = band_energy(spec_raw, 80, 128);
+  const double filt_low = band_energy(spec_filt, 1, 40);
+  const double filt_high = band_energy(spec_filt, 80, 128);
+
+  std::printf("band energy        %12s %12s\n", "low(1-40)", "high(80-128)");
+  std::printf("raw spectrum       %12.4f %12.4f\n", raw_low, raw_high);
+  std::printf("filtered spectrum  %12.4f %12.4f\n", filt_low, filt_high);
+  std::printf("\nhigh-band rejection: %.1f dB\n",
+              10.0 * std::log10(raw_high / (filt_high + 1e-12)));
+  std::printf("low band kept:       %.1f%%\n", 100.0 * filt_low / raw_low);
+
+  std::printf("\nphase 1 (FIR || DFT, shared bus): %llu cycles\n",
+              static_cast<unsigned long long>(t1 - t0));
+  std::printf("phase 2 (DFT of filtered):        %llu cycles\n",
+              static_cast<unsigned long long>(t2 - t1));
+  std::printf("\nboth coprocessors ran as ordinary bus peripherals — no "
+              "per-CPU\ncoupling, which is exactly the Ouessant-vs-Molen "
+              "argument.\n");
+  return 0;
+}

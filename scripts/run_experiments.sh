@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md: build, test, then run
+# each bench binary, teeing the transcripts next to the build tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p build/experiment-logs
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "==== $name ===="
+  "$b" | tee "build/experiment-logs/$name.txt"
+  echo
+done
+echo "transcripts in build/experiment-logs/"

@@ -1,0 +1,38 @@
+#include "baseline/coupled.hpp"
+
+namespace ouessant::baseline {
+
+CoupledAccel::CoupledAccel(cpu::Gpp& gpp, std::string name, u32 in_words,
+                           u32 out_words, u32 compute_cycles, Fn fn,
+                           u32 pipeline_overhead)
+    : gpp_(gpp),
+      name_(std::move(name)),
+      in_words_(in_words),
+      out_words_(out_words),
+      compute_cycles_(compute_cycles),
+      fn_(std::move(fn)),
+      pipeline_overhead_(pipeline_overhead) {
+  if (in_words_ == 0 || out_words_ == 0) {
+    throw ConfigError("CoupledAccel " + name_ + ": zero-sized block");
+  }
+}
+
+u64 CoupledAccel::invoke(Addr in, Addr out) {
+  const Cycle t0 = gpp_.now();
+  // SET/EXECUTE handoff.
+  gpp_.spend(pipeline_overhead_);
+  // The CCU streams operands through the processor's memory port (burst),
+  // computes, and streams results back. The CPU is stalled throughout —
+  // this IS the processor issuing the EXECUTE instruction.
+  const std::vector<u32> input = gpp_.read_burst(in, in_words_);
+  gpp_.spend(compute_cycles_);
+  std::vector<u32> output = fn_(input);
+  if (output.size() != out_words_) {
+    throw SimError("CoupledAccel " + name_ + ": core produced wrong size");
+  }
+  gpp_.write_burst(out, std::move(output));
+  ++invocations_;
+  return gpp_.now() - t0;
+}
+
+}  // namespace ouessant::baseline

@@ -1,0 +1,56 @@
+// Molen-style ISA-coupled accelerator baseline (paper §II-A/§II-B).
+//
+// "The Molen polymorphic processor is based on a small dedicated
+// instruction set ... The coprocessor is then integrated between the
+// processor and the bus, providing an extension to the instruction set of
+// the GPP. This approach is completely transparent and provides
+// acceleration with a very low time overhead. However, ... it prevents
+// parallelization between hardware and processor, it cannot be used in
+// hardcore processors such as the Zynq, and it requires one accelerator
+// per processor."
+//
+// CoupledAccel models exactly that trade: invocation costs only a few
+// pipeline-handoff cycles and the CCU moves data through the processor's
+// own memory port at full burst speed — but the CPU is architecturally
+// stalled for the whole SET/EXECUTE window (invoke() returns only when
+// the result is in memory and spends every cycle of it as CPU-blocked
+// time). Bench E10 quantifies the resulting latency-vs-concurrency trade
+// against the OCP.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cpu/gpp.hpp"
+
+namespace ouessant::baseline {
+
+class CoupledAccel {
+ public:
+  using Fn = std::function<std::vector<u32>(const std::vector<u32>&)>;
+
+  /// @p pipeline_overhead: cycles for the SET/EXECUTE instruction pair
+  /// and the register-file parameter exchange (the Molen XREGs).
+  CoupledAccel(cpu::Gpp& gpp, std::string name, u32 in_words, u32 out_words,
+               u32 compute_cycles, Fn fn, u32 pipeline_overhead = 6);
+
+  /// One blocking invocation: the CCU pulls @p in_words from memory
+  /// through the processor port, computes, and pushes the results back.
+  /// The CPU cannot retire anything else meanwhile. Returns cycles.
+  u64 invoke(Addr in, Addr out);
+
+  [[nodiscard]] u64 invocations() const { return invocations_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  cpu::Gpp& gpp_;
+  std::string name_;
+  u32 in_words_;
+  u32 out_words_;
+  u32 compute_cycles_;
+  Fn fn_;
+  u32 pipeline_overhead_;
+  u64 invocations_ = 0;
+};
+
+}  // namespace ouessant::baseline

@@ -1,0 +1,107 @@
+#include "baseline/dma.hpp"
+
+#include <algorithm>
+
+namespace ouessant::baseline {
+
+DmaEngine::DmaEngine(sim::Kernel& kernel, std::string name,
+                     bus::InterconnectModel& bus, Addr reg_base,
+                     int master_priority)
+    : sim::Component(kernel, std::move(name)), base_(reg_base) {
+  port_ = &bus.connect_master(this->name() + ".master", master_priority);
+  bus.connect_slave(*this, reg_base, kDmaSpanBytes);
+}
+
+bus::SlaveResponse DmaEngine::read_word(Addr addr) {
+  switch (addr - base_) {
+    case kDmaCtrl: {
+      u32 v = 0;
+      if (ie_) v |= kDmaIe;
+      if (done_) v |= kDmaDone;
+      if (busy()) v |= kDmaBusy;
+      return {.data = v, .wait_states = 0};
+    }
+    case kDmaSrc: return {.data = src_, .wait_states = 0};
+    case kDmaDst: return {.data = dst_, .wait_states = 0};
+    case kDmaLen: return {.data = len_, .wait_states = 0};
+    case kDmaBurst: return {.data = burst_, .wait_states = 0};
+    default:
+      throw SimError("DmaEngine " + name() + ": bad read offset");
+  }
+}
+
+u32 DmaEngine::write_word(Addr addr, u32 data) {
+  switch (addr - base_) {
+    case kDmaCtrl:
+      ie_ = (data & kDmaIe) != 0;
+      if ((data & kDmaDone) != 0) {  // W1C
+        done_ = false;
+        irq_.clear();
+      }
+      if ((data & kDmaGo) != 0 && !busy()) {
+        if (len_ == 0) throw SimError("DmaEngine " + name() + ": GO with LEN=0");
+        go_ = true;
+      }
+      break;
+    case kDmaSrc: src_ = data; break;
+    case kDmaDst: dst_ = data; break;
+    case kDmaLen: len_ = data; break;
+    case kDmaBurst:
+      if (data == 0 || data > 256) {
+        throw SimError("DmaEngine " + name() + ": BURST must be 1..256");
+      }
+      burst_ = data;
+      break;
+    default:
+      throw SimError("DmaEngine " + name() + ": bad write offset");
+  }
+  return 0;
+}
+
+void DmaEngine::tick_compute() {
+  switch (state_) {
+    case State::kIdle:
+      if (go_) {
+        go_ = false;
+        moved_ = 0;
+        chunk_ = std::min(burst_, len_);
+        port_->start_read(src_, chunk_);
+        state_ = State::kRead;
+      }
+      break;
+    case State::kRead:
+      if (!port_->busy()) {
+        buf_ = port_->rdata();
+        port_->start_write(dst_ + moved_ * 4, buf_);
+        state_ = State::kWrite;
+      }
+      break;
+    case State::kWrite:
+      if (!port_->busy()) {
+        moved_ += chunk_;
+        words_moved_ += chunk_;
+        if (moved_ >= len_) {
+          state_ = State::kIdle;
+          done_ = true;
+          if (ie_) irq_.raise();
+        } else {
+          chunk_ = std::min(burst_, len_ - moved_);
+          port_->start_read(src_ + moved_ * 4, chunk_);
+          state_ = State::kRead;
+        }
+      }
+      break;
+  }
+}
+
+res::ResourceNode DmaEngine::resource_tree() const {
+  res::ResourceEstimate e;
+  e += res::est_register(32 * 4 + 3);           // SRC/DST/LEN/BURST + flags
+  e += res::est_adder(32 * 2);                  // address counters
+  e += res::est_fsm(3, 10);
+  e += res::est_fifo_storage(256, 32);          // staging buffer
+  e += res::est_fifo_control(256, 32, 32);
+  return {.name = name(), .self = e, .children = {}};
+}
+
+}  // namespace ouessant::baseline

@@ -1,0 +1,59 @@
+#include "baseline/runners.hpp"
+
+namespace ouessant::baseline {
+
+namespace {
+
+void wait_slave_done(cpu::Gpp& gpp, SlaveAccel& accel, u64 poll_gap = 16) {
+  for (;;) {
+    const u32 status = gpp.read32(accel.base() + kSlaveCtrl);
+    if ((status & kSlaveDone) != 0) break;
+    gpp.spend(poll_gap);
+  }
+  gpp.write32(accel.base() + kSlaveCtrl, kSlaveDone);  // W1C acknowledge
+}
+
+}  // namespace
+
+u64 run_slave_pio(cpu::Gpp& gpp, SlaveAccel& accel, Addr in, Addr out,
+                  u32 in_words, u32 out_words) {
+  const Cycle t0 = gpp.now();
+  // Word-by-word copy-in: load from memory, store to the window, loop
+  // bookkeeping on the CPU.
+  for (u32 i = 0; i < in_words; ++i) {
+    const u32 w = gpp.read32(in + i * 4);
+    gpp.write32(accel.base() + kSlaveInWindow + (i % 1024) * 4, w);
+    gpp.spend(2);  // index + branch
+  }
+  gpp.write32(accel.base() + kSlaveCtrl, kSlaveGo);
+  wait_slave_done(gpp, accel);
+  for (u32 i = 0; i < out_words; ++i) {
+    const u32 w = gpp.read32(accel.base() + kSlaveOutWindow + (i % 1024) * 4);
+    gpp.write32(out + i * 4, w);
+    gpp.spend(2);
+  }
+  return gpp.now() - t0;
+}
+
+u64 run_slave_dma(cpu::Gpp& gpp, DmaEngine& dma, SlaveAccel& accel, Addr in,
+                  Addr out, u32 in_words, u32 out_words, u32 burst) {
+  const Cycle t0 = gpp.now();
+
+  auto dma_move = [&](Addr src, Addr dst, u32 words) {
+    gpp.write32(dma.reg_base() + kDmaSrc, src);
+    gpp.write32(dma.reg_base() + kDmaDst, dst);
+    gpp.write32(dma.reg_base() + kDmaLen, words);
+    gpp.write32(dma.reg_base() + kDmaBurst, burst);
+    gpp.write32(dma.reg_base() + kDmaCtrl, kDmaGo | kDmaIe);
+    gpp.wait_for_irq(dma.irq());
+    gpp.write32(dma.reg_base() + kDmaCtrl, kDmaDone | kDmaIe);  // ack
+  };
+
+  dma_move(in, accel.base() + kSlaveInWindow, in_words);
+  gpp.write32(accel.base() + kSlaveCtrl, kSlaveGo);
+  wait_slave_done(gpp, accel);
+  dma_move(accel.base() + kSlaveOutWindow, out, out_words);
+  return gpp.now() - t0;
+}
+
+}  // namespace ouessant::baseline

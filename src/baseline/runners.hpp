@@ -1,0 +1,26 @@
+// Integration-strategy runners: the three classic ways of §II-A to drive
+// a slave accelerator, measured under identical workloads by bench E5.
+#pragma once
+
+#include "baseline/dma.hpp"
+#include "baseline/slave_accel.hpp"
+#include "cpu/gpp.hpp"
+#include "mem/sram.hpp"
+
+namespace ouessant::baseline {
+
+/// Programmed I/O: the CPU itself moves every word (load from memory,
+/// store to the accelerator window; then load from the window, store to
+/// memory), launches the operation and polls for completion.
+/// Returns total cycles.
+u64 run_slave_pio(cpu::Gpp& gpp, SlaveAccel& accel, Addr in, Addr out,
+                  u32 in_words, u32 out_words);
+
+/// DMA-assisted: the CPU programs the DmaEngine for the input transfer,
+/// sleeps on its interrupt, launches the accelerator, sleeps again, then
+/// programs the output transfer — "the GPP is still responsible for
+/// scheduling transfers and launching operations". Returns total cycles.
+u64 run_slave_dma(cpu::Gpp& gpp, DmaEngine& dma, SlaveAccel& accel, Addr in,
+                  Addr out, u32 in_words, u32 out_words, u32 burst = 64);
+
+}  // namespace ouessant::baseline

@@ -1,0 +1,137 @@
+#include "baseline/slave_accel.hpp"
+
+#include "util/fixed.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant::baseline {
+
+SlaveAccel::SlaveAccel(sim::Kernel& kernel, std::string name, Addr base,
+                       u32 in_words, u32 out_words, u32 compute_cycles,
+                       Fn fn)
+    : sim::Component(kernel, std::move(name)),
+      base_(base),
+      in_words_(in_words),
+      out_words_(out_words),
+      compute_cycles_(compute_cycles),
+      fn_(std::move(fn)) {
+  if (in_words_ == 0 || out_words_ == 0) {
+    throw ConfigError("SlaveAccel " + this->name() + ": zero-sized block");
+  }
+  in_buf_.reserve(in_words_);
+}
+
+bus::SlaveResponse SlaveAccel::read_word(Addr addr) {
+  const Addr off = addr - base_;
+  if (off == kSlaveCtrl) {
+    u32 v = 0;
+    if (busy_) v |= kSlaveBusy;
+    if (done_) v |= kSlaveDone;
+    v |= static_cast<u32>(in_buf_.size()) << 16;
+    return {.data = v, .wait_states = 0};
+  }
+  if (off >= kSlaveOutWindow && off < kSlaveSpanBytes) {
+    if (out_buf_.empty()) {
+      throw SimError("SlaveAccel " + name() + ": read from empty output");
+    }
+    const u32 v = out_buf_.front();
+    out_buf_.pop_front();
+    return {.data = v, .wait_states = 0};
+  }
+  throw SimError("SlaveAccel " + name() + ": bad read offset");
+}
+
+u32 SlaveAccel::write_word(Addr addr, u32 data) {
+  const Addr off = addr - base_;
+  if (off == kSlaveCtrl) {
+    ie_ = (data & kSlaveIe) != 0;
+    if ((data & kSlaveDone) != 0) {  // W1C
+      done_ = false;
+      irq_.clear();
+    }
+    if ((data & kSlaveGo) != 0 && !busy_) {
+      if (in_buf_.size() != in_words_) {
+        throw SimError("SlaveAccel " + name() +
+                       ": GO with incomplete input buffer");
+      }
+      go_ = true;
+    }
+    return 0;
+  }
+  if (off >= kSlaveInWindow && off < kSlaveOutWindow) {
+    if (in_buf_.size() >= in_words_) {
+      throw SimError("SlaveAccel " + name() + ": input buffer overflow");
+    }
+    in_buf_.push_back(data);
+    return 0;
+  }
+  throw SimError("SlaveAccel " + name() + ": bad write offset");
+}
+
+void SlaveAccel::tick_compute() {
+  if (go_) {
+    go_ = false;
+    busy_ = true;
+    compute_left_ = compute_cycles_;
+  }
+  if (!busy_) return;
+  if (compute_left_ > 0) {
+    --compute_left_;
+    return;
+  }
+  const std::vector<u32> out = fn_(in_buf_);
+  if (out.size() != out_words_) {
+    throw SimError("SlaveAccel " + name() + ": core produced wrong size");
+  }
+  out_buf_.assign(out.begin(), out.end());
+  in_buf_.clear();
+  busy_ = false;
+  done_ = true;
+  ++completed_;
+  if (ie_) irq_.raise();
+}
+
+res::ResourceNode SlaveAccel::resource_tree() const {
+  // The slave wrapper: register decode, two buffer RAMs, status FSM.
+  res::ResourceNode n{.name = name() + " (slave wrapper)", .self = {}, .children = {}};
+  res::ResourceEstimate e;
+  e += res::est_fsm(4, 8);
+  e += res::est_fifo_storage(in_words_, 32);
+  e += res::est_fifo_storage(out_words_, 32);
+  e += res::est_fifo_control(in_words_, 32, 32);
+  e += res::est_fifo_control(out_words_, 32, 32);
+  e += res::est_register(34);
+  n.self = e;
+  return n;
+}
+
+SlaveAccel::Fn idct_fn() {
+  return [](const std::vector<u32>& in) {
+    i32 coef[64];
+    i32 pix[64];
+    for (u32 i = 0; i < 64; ++i) coef[i] = util::from_word(in[i]);
+    util::fixed_idct8x8(coef, pix);
+    std::vector<u32> out(64);
+    for (u32 i = 0; i < 64; ++i) out[i] = util::to_word(pix[i]);
+    return out;
+  };
+}
+
+SlaveAccel::Fn dft_fn(u32 points) {
+  return [points](const std::vector<u32>& in) {
+    std::vector<i32> re(points);
+    std::vector<i32> im(points);
+    for (u32 i = 0; i < points; ++i) {
+      re[i] = util::from_word(in[2 * i]);
+      im[i] = util::from_word(in[2 * i + 1]);
+    }
+    util::fixed_fft(re, im);
+    std::vector<u32> out(2 * points);
+    for (u32 i = 0; i < points; ++i) {
+      out[2 * i] = util::to_word(re[i]);
+      out[2 * i + 1] = util::to_word(im[i]);
+    }
+    return out;
+  };
+}
+
+}  // namespace ouessant::baseline

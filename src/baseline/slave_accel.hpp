@@ -1,0 +1,92 @@
+// Classic bus-slave accelerator integration (paper §II-A): "The typical
+// way is to connect coprocessors on a bus. They are usually seen as
+// slaves, with different registers for the configuration. Data access is
+// done either through common access to memory, or through integrated FIFO
+// communication devices."
+//
+// SlaveAccel wraps the same functional cores as the RACs behind a
+// register-file interface: a control/status register plus write-to-push /
+// read-to-pop FIFO windows. The CPU (or a DmaEngine) moves every data
+// word across the bus itself — this is the baseline the OCP's integrated
+// DMA instructions are measured against (bench E5).
+//
+// Register map (byte offsets from base):
+//   0x0000  CTRL/STATUS  write: GO (bit0), IE (bit1); read: BUSY (bit0),
+//                        DONE (bit1), input fill level (bits [31:16])
+//   0x1000+ IN window    any word write pushes into the input FIFO
+//   0x2000+ OUT window   any word read pops from the output FIFO
+// The windows are 4 KiB each (1024 words) so burst DMA with incrementing
+// addresses can stream into them.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bus/types.hpp"
+#include "cpu/irq.hpp"
+#include "res/estimate.hpp"
+#include "sim/kernel.hpp"
+
+namespace ouessant::baseline {
+
+inline constexpr Addr kSlaveCtrl = 0x0000;
+inline constexpr Addr kSlaveInWindow = 0x1000;
+inline constexpr Addr kSlaveOutWindow = 0x2000;
+inline constexpr u32 kSlaveSpanBytes = 0x3000;
+
+inline constexpr u32 kSlaveGo = 1u << 0;
+inline constexpr u32 kSlaveIe = 1u << 1;
+inline constexpr u32 kSlaveBusy = 1u << 0;
+inline constexpr u32 kSlaveDone = 1u << 1;
+
+class SlaveAccel : public sim::Component,
+                   public bus::BusSlave,
+                   public res::ResourceAware {
+ public:
+  using Fn = std::function<std::vector<u32>(const std::vector<u32>&)>;
+
+  /// @p fn consumes exactly @p in_words words and produces @p out_words.
+  /// @p compute_cycles elapse between GO (with a full input buffer) and
+  /// DONE.
+  SlaveAccel(sim::Kernel& kernel, std::string name, Addr base, u32 in_words,
+             u32 out_words, u32 compute_cycles, Fn fn);
+
+  // bus::BusSlave
+  bus::SlaveResponse read_word(Addr addr) override;
+  u32 write_word(Addr addr, u32 data) override;
+  [[nodiscard]] std::string slave_name() const override { return name(); }
+
+  // sim::Component
+  void tick_compute() override;
+
+  [[nodiscard]] cpu::IrqLine& irq() { return irq_; }
+  [[nodiscard]] Addr base() const { return base_; }
+  [[nodiscard]] u64 completed_ops() const { return completed_; }
+
+  [[nodiscard]] res::ResourceNode resource_tree() const override;
+
+ private:
+  Addr base_;
+  u32 in_words_;
+  u32 out_words_;
+  u32 compute_cycles_;
+  Fn fn_;
+
+  std::vector<u32> in_buf_;
+  std::deque<u32> out_buf_;
+  bool go_ = false;
+  bool busy_ = false;
+  bool done_ = false;
+  bool ie_ = false;
+  u32 compute_left_ = 0;
+  u64 completed_ = 0;
+  cpu::IrqLine irq_;
+};
+
+/// Functional cores matching the RAC datapaths word-for-word.
+SlaveAccel::Fn idct_fn();
+SlaveAccel::Fn dft_fn(u32 points);
+
+}  // namespace ouessant::baseline

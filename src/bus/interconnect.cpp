@@ -1,0 +1,201 @@
+#include "bus/interconnect.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ouessant::bus {
+
+InterconnectModel::InterconnectModel(sim::Kernel& kernel, std::string name,
+                                     BusTimingConfig cfg)
+    : sim::Component(kernel, std::move(name)), cfg_(cfg) {
+  if (cfg_.max_beats_per_grant == 0) {
+    throw ConfigError("InterconnectModel: max_beats_per_grant must be >= 1");
+  }
+}
+
+BusMasterPort& InterconnectModel::connect_master(const std::string& name,
+                                                 int priority) {
+  masters_.push_back(std::make_unique<BusMasterPort>(name, priority));
+  return *masters_.back();
+}
+
+void InterconnectModel::connect_slave(BusSlave& slave, Addr base, u32 size) {
+  if (size == 0 || base % 4 != 0) {
+    throw ConfigError("connect_slave(" + slave.slave_name() +
+                      "): bad base/size");
+  }
+  for (const auto& m : map_) {
+    const u64 a0 = base, a1 = static_cast<u64>(base) + size;
+    const u64 b0 = m.base, b1 = static_cast<u64>(m.base) + m.size;
+    if (a0 < b1 && b0 < a1) {
+      throw ConfigError("connect_slave(" + slave.slave_name() +
+                        "): overlaps " + m.slave->slave_name());
+    }
+  }
+  map_.push_back({base, size, &slave});
+}
+
+BusSlave& InterconnectModel::decode(Addr addr) const {
+  for (const auto& m : map_) {
+    if (addr >= m.base && addr - m.base < m.size) return *m.slave;
+  }
+  throw SimError(name() + ": bus error (no slave at 0x" +
+                 [addr] {
+                   char buf[16];
+                   std::snprintf(buf, sizeof buf, "%08X", addr);
+                   return std::string(buf);
+                 }() +
+                 ")");
+}
+
+bool InterconnectModel::is_mapped(Addr addr) const {
+  return std::any_of(map_.begin(), map_.end(), [addr](const Mapping& m) {
+    return addr >= m.base && addr - m.base < m.size;
+  });
+}
+
+BusMasterPort* InterconnectModel::select_master() {
+  if (masters_.empty()) return nullptr;
+  if (cfg_.arbitration == Arbitration::kRoundRobin) {
+    for (std::size_t i = 0; i < masters_.size(); ++i) {
+      const std::size_t idx = (rr_next_ + i) % masters_.size();
+      if (masters_[idx]->active_) {
+        rr_next_ = (idx + 1) % masters_.size();
+        return masters_[idx].get();
+      }
+    }
+    return nullptr;
+  }
+  BusMasterPort* best = nullptr;
+  for (const auto& m : masters_) {
+    if (m->active_ && (best == nullptr || m->priority() < best->priority())) {
+      best = m.get();
+    }
+  }
+  return best;
+}
+
+void InterconnectModel::tick_compute() {
+  if (granted_ == nullptr) {
+    granted_ = select_master();
+    if (granted_ == nullptr) {
+      ++idle_cycles_;
+      return;
+    }
+    grant_addr_cycles_left_ = cfg_.address_phase_cycles;
+    grant_beats_left_ = std::min(cfg_.max_beats_per_grant, granted_->beats_);
+    if (logging_ && open_.find(granted_) == open_.end()) {
+      // First grant for this transaction: open a log record.
+      open_[granted_] = TxnRecord{.start = kernel().now(),
+                                  .end = 0,
+                                  .master = granted_->name(),
+                                  .addr = granted_->addr_,
+                                  .write = granted_->write_,
+                                  .beats = granted_->beats_};
+    }
+  }
+  ++busy_cycles_;
+  BusMasterPort& m = *granted_;
+
+  if (grant_addr_cycles_left_ > 0) {
+    --grant_addr_cycles_left_;
+    ++m.stats_.grant_cycles;
+    return;
+  }
+
+  if (wait_left_ > 0) {
+    --wait_left_;
+    ++m.stats_.wait_cycles;
+    if (wait_left_ == 0 && beat_in_flight_) {
+      complete_beat(inflight_data_);
+    }
+    return;
+  }
+
+  // Issue the next data beat. A slave exception is the model's ERROR
+  // response: it terminates the transfer (so the master port is reusable)
+  // and propagates to the simulation driver.
+  try {
+    if (m.write_) {
+      u32 data = 0;
+      if (m.source_ != nullptr) {
+        if (!m.source_->beat_ready()) {
+          ++m.stats_.stall_cycles;
+          return;
+        }
+        data = m.source_->take_beat();
+      } else {
+        data = m.wdata_[m.wdata_index_];
+      }
+      const u32 ws = decode(m.addr_).write_word(m.addr_, data);
+      if (ws > 0) {
+        wait_left_ = ws;
+        beat_in_flight_ = true;
+        inflight_data_ = 0;
+      } else {
+        complete_beat(0);
+      }
+    } else {
+      if (m.sink_ != nullptr && !m.sink_->beat_space()) {
+        ++m.stats_.stall_cycles;
+        return;
+      }
+      const SlaveResponse resp = decode(m.addr_).read_word(m.addr_);
+      if (resp.wait_states > 0) {
+        wait_left_ = resp.wait_states;
+        beat_in_flight_ = true;
+        inflight_data_ = resp.data;
+      } else {
+        complete_beat(resp.data);
+      }
+    }
+  } catch (...) {
+    m.active_ = false;
+    granted_ = nullptr;
+    wait_left_ = 0;
+    beat_in_flight_ = false;
+    open_.erase(&m);
+    throw;
+  }
+}
+
+void InterconnectModel::complete_beat(u32 data) {
+  BusMasterPort& m = *granted_;
+  if (m.write_) {
+    for (const auto& snoop : snoopers_) snoop(m.addr_, m);
+  }
+  if (!m.write_) {
+    if (m.sink_ != nullptr) {
+      m.sink_->put_beat(data);
+    } else {
+      m.rdata_.push_back(data);
+    }
+  } else if (m.source_ == nullptr) {
+    ++m.wdata_index_;
+  }
+  ++m.stats_.beats;
+  m.addr_ += 4;
+  --m.beats_;
+  --grant_beats_left_;
+  wait_left_ = 0;
+  beat_in_flight_ = false;
+
+  if (m.beats_ == 0) {
+    m.active_ = false;
+    ++m.stats_.transactions;
+    if (logging_) {
+      auto it = open_.find(&m);
+      if (it != open_.end()) {
+        it->second.end = kernel().now();
+        log_.push_back(it->second);
+        open_.erase(it);
+      }
+    }
+    granted_ = nullptr;
+  } else if (grant_beats_left_ == 0) {
+    // Burst split / per-beat protocols: release and re-arbitrate.
+    granted_ = nullptr;
+  }
+}
+
+}  // namespace ouessant::bus

@@ -1,0 +1,159 @@
+// Shared interconnect engine. Concrete protocols (AHB, AXI-Lite) are thin
+// configurations of this model: they differ in how many data beats a grant
+// may carry, and in the per-grant overhead (arbitration + address phase).
+//
+// Timing model, per clock cycle the bus does exactly one of:
+//   * arbitration/address phase (start of a grant),
+//   * one data beat (slave access),
+//   * one slave wait state,
+//   * one master stall (streamed source empty / sink full).
+// This matches a single-layer AHB-class bus transferring at most one word
+// per cycle, which is what the paper's Leon3/AMBA2 platform provides.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace ouessant::bus {
+
+/// Arbitration policy between requesting masters.
+enum class Arbitration {
+  kFixedPriority,  ///< lower priority value wins (Leon3 AHB style)
+  kRoundRobin,     ///< rotating priority
+};
+
+struct BusTimingConfig {
+  u32 address_phase_cycles = 1;  ///< overhead per grant
+  u32 max_beats_per_grant = 256; ///< burst split threshold (1 => no bursts)
+  Arbitration arbitration = Arbitration::kFixedPriority;
+};
+
+/// One entry of the transaction log (used by tests and the monitor).
+struct TxnRecord {
+  Cycle start = 0;
+  Cycle end = 0;
+  std::string master;
+  Addr addr = 0;
+  bool write = false;
+  u32 beats = 0;
+};
+
+class InterconnectModel : public sim::Component {
+ public:
+  InterconnectModel(sim::Kernel& kernel, std::string name,
+                    BusTimingConfig cfg);
+
+  /// Create a master port. @p priority: smaller wins under fixed priority.
+  BusMasterPort& connect_master(const std::string& name, int priority = 0);
+
+  /// Map @p slave at [base, base+size). Ranges must not overlap.
+  void connect_slave(BusSlave& slave, Addr base, u32 size);
+
+  /// Address decode (throws SimError on a hole — models an AHB ERROR).
+  [[nodiscard]] BusSlave& decode(Addr addr) const;
+
+  /// True if some slave is mapped at @p addr.
+  [[nodiscard]] bool is_mapped(Addr addr) const;
+
+  // sim::Component
+  void tick_compute() override;
+
+  // Introspection.
+  [[nodiscard]] const BusTimingConfig& timing() const { return cfg_; }
+  [[nodiscard]] u64 busy_cycles() const { return busy_cycles_; }
+  [[nodiscard]] u64 idle_cycles() const { return idle_cycles_; }
+  /// True while some master holds the bus (instantaneous, for probes).
+  [[nodiscard]] bool granted_now() const { return granted_ != nullptr; }
+
+  /// Write snooping: @p fn is invoked for every completed write beat with
+  /// the beat address and the mastering port — the hook cache-coherency
+  /// logic uses to observe DMA traffic (§IV: "current systems implement
+  /// cache snooping").
+  using WriteSnooper = std::function<void(Addr, const BusMasterPort&)>;
+  void add_write_snooper(WriteSnooper fn) {
+    snoopers_.push_back(std::move(fn));
+  }
+
+  /// Enable/disable transaction logging (off by default).
+  void set_logging(bool on) { logging_ = on; }
+  [[nodiscard]] const std::vector<TxnRecord>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+ private:
+  struct Mapping {
+    Addr base;
+    u32 size;
+    BusSlave* slave;
+  };
+
+  BusMasterPort* select_master();
+  void complete_beat(u32 data);
+
+  BusTimingConfig cfg_;
+  std::vector<std::unique_ptr<BusMasterPort>> masters_;
+  std::vector<Mapping> map_;
+
+  // Grant state.
+  BusMasterPort* granted_ = nullptr;
+  u32 grant_addr_cycles_left_ = 0;
+  u32 grant_beats_left_ = 0;   // beats allowed in this grant
+  u32 wait_left_ = 0;
+  bool beat_in_flight_ = false;
+  u32 inflight_data_ = 0;      // read data waiting out wait states
+  Cycle txn_start_ = 0;
+  std::size_t rr_next_ = 0;    // round-robin pointer
+
+  std::vector<WriteSnooper> snoopers_;
+  bool logging_ = false;
+  std::map<BusMasterPort*, TxnRecord> open_;  // in-flight logged txns
+  std::vector<TxnRecord> log_;
+  u64 busy_cycles_ = 0;
+  u64 idle_cycles_ = 0;
+};
+
+/// AMBA2 AHB-class bus: bursts up to 256 beats per grant, one address
+/// phase per grant. This is the bus of the paper's Leon3 platform.
+class AhbBus : public InterconnectModel {
+ public:
+  AhbBus(sim::Kernel& kernel, std::string name,
+         Arbitration arb = Arbitration::kFixedPriority)
+      : InterconnectModel(kernel, std::move(name),
+                          BusTimingConfig{.address_phase_cycles = 1,
+                                          .max_beats_per_grant = 256,
+                                          .arbitration = arb}) {}
+};
+
+/// AXI4-Lite-class bus: no bursts — every word pays its own address
+/// handshake. This is the paper's "future work" Zynq integration target,
+/// included to demonstrate (and measure) the portability of the OCP's
+/// bus-independent interface.
+class AxiLiteBus : public InterconnectModel {
+ public:
+  AxiLiteBus(sim::Kernel& kernel, std::string name,
+             Arbitration arb = Arbitration::kRoundRobin)
+      : InterconnectModel(kernel, std::move(name),
+                          BusTimingConfig{.address_phase_cycles = 1,
+                                          .max_beats_per_grant = 1,
+                                          .arbitration = arb}) {}
+};
+
+/// Full AXI4-class bus: bursts up to 256 beats, but the AR/AW handshake
+/// costs two cycles per grant (valid/ready plus the slave's address
+/// acceptance) — the memory-mapped fabric of a Zynq PS/PL boundary.
+class Axi4Bus : public InterconnectModel {
+ public:
+  Axi4Bus(sim::Kernel& kernel, std::string name,
+          Arbitration arb = Arbitration::kRoundRobin)
+      : InterconnectModel(kernel, std::move(name),
+                          BusTimingConfig{.address_phase_cycles = 2,
+                                          .max_beats_per_grant = 256,
+                                          .arbitration = arb}) {}
+};
+
+}  // namespace ouessant::bus

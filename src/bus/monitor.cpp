@@ -1,0 +1,55 @@
+#include "bus/monitor.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace ouessant::bus {
+
+MonitorReport check_log(const std::vector<TxnRecord>& log,
+                        const BusTimingConfig& timing) {
+  MonitorReport r;
+  auto fail = [&r](const std::string& msg) {
+    r.ok = false;
+    r.violations.push_back(msg);
+  };
+
+  std::set<Cycle> completion_cycles;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const TxnRecord& t = log[i];
+    std::ostringstream id;
+    id << "txn#" << i << " (" << t.master << (t.write ? " W " : " R ")
+       << "0x" << std::hex << t.addr << std::dec << " x" << t.beats << ")";
+
+    if (t.addr % 4 != 0) fail(id.str() + ": unaligned address");
+    if (t.beats == 0) fail(id.str() + ": zero-length burst");
+    if (t.end < t.start) fail(id.str() + ": ends before it starts");
+
+    // Minimum cycles: one address phase per grant chunk + one per beat.
+    const u32 grants =
+        (t.beats + timing.max_beats_per_grant - 1) / timing.max_beats_per_grant;
+    const u64 min_cycles =
+        static_cast<u64>(grants) * timing.address_phase_cycles + t.beats;
+    // start is the cycle of the first grant; end is the cycle index after
+    // the final beat's commit, so duration = end - start + 1 >= min.
+    if (t.end - t.start + 1 < min_cycles) {
+      fail(id.str() + ": faster than protocol minimum");
+    }
+
+    if (!completion_cycles.insert(t.end).second) {
+      fail(id.str() + ": two transactions complete on the same cycle");
+    }
+  }
+  return r;
+}
+
+std::string render_log(const std::vector<TxnRecord>& log) {
+  std::ostringstream os;
+  for (const auto& t : log) {
+    os << '[' << t.start << ".." << t.end << "] " << t.master << ' '
+       << (t.write ? 'W' : 'R') << " 0x" << std::hex << t.addr << std::dec
+       << " x" << t.beats << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ouessant::bus

@@ -1,0 +1,29 @@
+// Protocol monitor: validates a recorded transaction log against the
+// single-layer bus invariants. Used by tests as an always-on assertion
+// layer (the simulation analogue of an AHB protocol checker IP).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bus/interconnect.hpp"
+
+namespace ouessant::bus {
+
+struct MonitorReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+};
+
+/// Check @p log for protocol violations:
+///  * word-aligned addresses and non-zero burst lengths,
+///  * each transaction's end cycle at/after its start cycle,
+///  * minimum duration (address phase + one cycle per beat),
+///  * no two transactions *complete* on the same cycle (one beat/cycle).
+MonitorReport check_log(const std::vector<TxnRecord>& log,
+                        const BusTimingConfig& timing);
+
+/// Render a transaction log as a human-readable listing.
+std::string render_log(const std::vector<TxnRecord>& log);
+
+}  // namespace ouessant::bus

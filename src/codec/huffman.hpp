@@ -1,0 +1,96 @@
+// Baseline-JPEG Huffman entropy coding (ITU-T T.81 Annex K tables).
+//
+// The codec's simple RLE+varint stage is enough for the pipeline
+// experiments; this module adds the real thing: canonical Huffman codes
+// built from the standard (BITS, HUFFVAL) specifications, DC coding of
+// size categories with difference prediction, AC coding of (run, size)
+// symbols with ZRL/EOB, and magnitude bits in JPEG's one's-complement
+// convention. Used by codec::encode/decode when EntropyKind::kHuffman is
+// selected.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ouessant::codec {
+
+// ------------------------------------------------------------ bitstream --
+
+class BitWriter {
+ public:
+  void put(u32 bits, unsigned count);  ///< MSB-first, count <= 24
+  [[nodiscard]] std::vector<u8> finish();  ///< pads with 1-bits (JPEG style)
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<u8> bytes_;
+  u32 acc_ = 0;
+  unsigned acc_bits_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<u8>& bytes) : bytes_(bytes) {}
+  [[nodiscard]] u32 get(unsigned count);  ///< MSB-first
+  [[nodiscard]] u32 get_bit();
+  [[nodiscard]] std::size_t bits_consumed() const { return pos_; }
+
+ private:
+  const std::vector<u8>& bytes_;
+  std::size_t pos_ = 0;  // bit position
+};
+
+// ------------------------------------------------------ canonical codes --
+
+/// A Huffman table built from the JPEG (BITS, HUFFVAL) specification:
+/// BITS[i] = number of codes of length i+1 (i = 0..15), HUFFVAL = the
+/// symbols in code order.
+class HuffTable {
+ public:
+  HuffTable(const std::array<u8, 16>& bits, const std::vector<u8>& values);
+
+  struct Code {
+    u16 code = 0;
+    u8 length = 0;
+  };
+
+  /// Code for @p symbol; throws SimError if the symbol is not coded.
+  [[nodiscard]] Code encode(u8 symbol) const;
+
+  /// Decode the next symbol from @p in (canonical sequential decode).
+  [[nodiscard]] u8 decode(BitReader& in) const;
+
+  [[nodiscard]] std::size_t symbol_count() const { return count_; }
+
+ private:
+  std::array<Code, 256> by_symbol_{};
+  std::array<bool, 256> coded_{};
+  // Canonical decode acceleration: for each length, the smallest code and
+  // the index of its first symbol.
+  std::array<i32, 17> min_code_{};
+  std::array<i32, 17> max_code_{};  // -1 when no codes of this length
+  std::array<u16, 17> val_index_{};
+  std::vector<u8> values_;
+  std::size_t count_ = 0;
+};
+
+/// The standard luminance tables (T.81 Tables K.3 / K.5).
+const HuffTable& dc_luminance_table();
+const HuffTable& ac_luminance_table();
+
+// ------------------------------------------------------- block coding --
+
+/// Encode one block of 64 quantized coefficients in zigzag-scan order.
+/// @p dc_pred is the running DC predictor (updated).
+void huff_encode_block(BitWriter& out, const i32 scan[64], i32& dc_pred);
+
+/// Decode one block into zigzag-scan order coefficients.
+void huff_decode_block(BitReader& in, i32 scan[64], i32& dc_pred);
+
+/// JPEG size category of a value (0..11 for baseline).
+[[nodiscard]] unsigned magnitude_category(i32 v);
+
+}  // namespace ouessant::codec

@@ -1,0 +1,88 @@
+// Minimal JPEG-style still-image codec — the paper's motivating workload
+// ("hardware video decoders ... flawless High-Definition video playback").
+//
+// This is a teaching-grade baseline codec, not a JFIF implementation: it
+// uses the standard JPEG luminance quantization table with the standard
+// quality scaling, zigzag ordering and a run-length + varint entropy
+// stage (in place of Huffman coding). The decoder's compute-heavy stage —
+// the 8x8 inverse DCT — is exactly the paper's first RAC, so the decode
+// pipeline can run its IDCTs either in annotated software on the GPP or
+// through an OCP (see examples/jpeg_pipeline and bench discussions).
+//
+// Grayscale, 8 bpp, dimensions multiple of 8.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "cpu/gpp.hpp"
+#include "util/types.hpp"
+
+namespace ouessant::codec {
+
+inline constexpr u32 kBlockDim = 8;
+inline constexpr u32 kBlockSize = 64;
+
+/// Zigzag scan order: zigzag_order()[i] = raster index of the i-th
+/// coefficient in scan order.
+const std::array<u8, kBlockSize>& zigzag_order();
+/// Inverse mapping: raster index -> scan position.
+const std::array<u8, kBlockSize>& zigzag_inverse();
+
+/// Standard JPEG luminance table scaled to @p quality (1..100, 50 = the
+/// table as published; the usual libjpeg scaling law).
+std::array<i32, kBlockSize> quant_table(u32 quality);
+
+/// Entropy stage selection: the simple RLE+varint coder, or baseline
+/// JPEG's canonical Huffman coding (Annex K tables, DC prediction,
+/// (run,size) AC symbols — see codec/huffman.hpp).
+enum class EntropyKind : u8 { kRle = 0, kHuffman = 1 };
+
+/// A compressed image.
+struct JpegImage {
+  u32 width = 0;
+  u32 height = 0;
+  u32 quality = 50;
+  EntropyKind entropy = EntropyKind::kRle;
+  std::vector<u8> payload;  ///< entropy-coded coefficient stream
+
+  [[nodiscard]] u32 blocks() const { return width / 8 * (height / 8); }
+  [[nodiscard]] double bits_per_pixel() const {
+    return 8.0 * static_cast<double>(payload.size()) /
+           (static_cast<double>(width) * height);
+  }
+};
+
+/// Grayscale image, one i32 sample per pixel, range [0, 255].
+struct Raster {
+  u32 width = 0;
+  u32 height = 0;
+  std::vector<i32> samples;  // row-major
+
+  [[nodiscard]] i32 at(u32 x, u32 y) const { return samples[y * width + x]; }
+};
+
+/// Host-side encoder (the "camera" side; not timing-annotated).
+JpegImage encode(const Raster& img, u32 quality,
+                 EntropyKind entropy = EntropyKind::kRle);
+
+/// Decoded, dequantized DCT coefficient blocks in raster-block order.
+/// This is the front half of the decoder (entropy decode + dequantize);
+/// when @p gpp is non-null the work is charged to the CPU via the cost
+/// model (entropy decoding always runs in software, as it does on the
+/// paper's platform).
+std::vector<std::array<i32, kBlockSize>> decode_coefficients(
+    const JpegImage& img, cpu::Gpp* gpp = nullptr);
+
+/// Assemble IDCT output blocks (raster-block order) back into a Raster,
+/// re-centering to [0, 255] with clamping.
+Raster assemble(const std::vector<std::array<i32, kBlockSize>>& blocks,
+                u32 width, u32 height);
+
+/// Peak signal-to-noise ratio between two rasters (dB).
+double psnr(const Raster& a, const Raster& b);
+
+/// Deterministic synthetic test image (gradients + texture + edges).
+Raster test_image(u32 width, u32 height, u64 seed = 1);
+
+}  // namespace ouessant::codec

@@ -1,0 +1,61 @@
+#include "cpu/dcache.hpp"
+
+namespace ouessant::cpu {
+
+DCache::DCache(DCacheConfig cfg, bus::InterconnectModel& bus,
+               const bus::BusMasterPort& own_port)
+    : cfg_(cfg), own_port_(own_port) {
+  if (!is_pow2(cfg_.line_words) || !is_pow2(cfg_.lines)) {
+    throw ConfigError("DCache: line_words and lines must be powers of two");
+  }
+  lines_.resize(cfg_.lines);
+  for (auto& l : lines_) l.words.assign(cfg_.line_words, 0);
+  if (cfg_.snooping) {
+    bus.add_write_snooper(
+        [this](Addr addr, const bus::BusMasterPort& m) { snoop(addr, m); });
+  }
+}
+
+bool DCache::lookup(Addr addr, u32& out) {
+  Line& l = lines_[index_of(addr)];
+  if (l.valid && l.tag == line_base(addr)) {
+    ++stats_.hits;
+    out = l.words[(addr - l.tag) / 4];
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+void DCache::fill(Addr base, const std::vector<u32>& words) {
+  if (words.size() != cfg_.line_words || base != line_base(base)) {
+    throw SimError("DCache::fill: bad line");
+  }
+  Line& l = lines_[index_of(base)];
+  l.valid = true;
+  l.tag = base;
+  l.words = words;
+}
+
+void DCache::update(Addr addr, u32 data) {
+  ++stats_.writes_through;
+  Line& l = lines_[index_of(addr)];
+  if (l.valid && l.tag == line_base(addr)) {
+    l.words[(addr - l.tag) / 4] = data;
+  }
+}
+
+void DCache::snoop(Addr addr, const bus::BusMasterPort& master) {
+  if (&master == &own_port_) return;  // own write-throughs already update
+  Line& l = lines_[index_of(addr)];
+  if (l.valid && l.tag == line_base(addr)) {
+    l.valid = false;
+    ++stats_.snoop_invalidations;
+  }
+}
+
+void DCache::invalidate_all() {
+  for (auto& l : lines_) l.valid = false;
+}
+
+}  // namespace ouessant::cpu

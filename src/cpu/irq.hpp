@@ -1,0 +1,18 @@
+// Level-sensitive interrupt line. Peripherals raise it; the GPP (or the
+// simulated OS) observes and clears it. A plain shared object rather than
+// a Component: the line itself has no clocked state.
+#pragma once
+
+namespace ouessant::cpu {
+
+class IrqLine {
+ public:
+  void raise() { level_ = true; }
+  void clear() { level_ = false; }
+  [[nodiscard]] bool raised() const { return level_; }
+
+ private:
+  bool level_ = false;
+};
+
+}  // namespace ouessant::cpu

@@ -1,0 +1,62 @@
+#include "cpu/irq_controller.hpp"
+
+namespace ouessant::cpu {
+
+IrqController::IrqController(sim::Kernel& kernel, std::string name,
+                             Addr base)
+    : sim::Component(kernel, std::move(name)), base_(base) {}
+
+u32 IrqController::attach(const IrqLine& line) {
+  if (sources_.size() >= kIrqCtlMaxSources) {
+    throw ConfigError("IrqController " + name() + ": too many sources");
+  }
+  sources_.push_back(&line);
+  return static_cast<u32>(sources_.size() - 1);
+}
+
+void IrqController::tick_compute() {
+  u32 p = 0;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i]->raised()) p |= 1u << i;
+  }
+  pending_ = p;
+  if ((pending_ & mask_) != 0) {
+    cpu_line_.raise();
+  } else {
+    cpu_line_.clear();
+  }
+}
+
+bus::SlaveResponse IrqController::read_word(Addr addr) {
+  switch (addr - base_) {
+    case kIrqCtlPending: return {.data = pending_, .wait_states = 0};
+    case kIrqCtlMask: return {.data = mask_, .wait_states = 0};
+    case kIrqCtlActive: return {.data = pending_ & mask_, .wait_states = 0};
+    default:
+      throw SimError("IrqController " + name() + ": bad read offset");
+  }
+}
+
+u32 IrqController::write_word(Addr addr, u32 data) {
+  switch (addr - base_) {
+    case kIrqCtlMask:
+      mask_ = data;
+      break;
+    case kIrqCtlPending:
+    case kIrqCtlActive:
+      throw SimError("IrqController " + name() + ": register is read-only");
+    default:
+      throw SimError("IrqController " + name() + ": bad write offset");
+  }
+  return 0;
+}
+
+res::ResourceNode IrqController::resource_tree() const {
+  res::ResourceEstimate e;
+  e += res::est_register(kIrqCtlMaxSources * 2);  // pending + mask
+  e += res::est_mux(3, 32);                       // readback mux
+  e += res::est_comparator(kIrqCtlMaxSources);    // any-active reduce
+  return {.name = name(), .self = e, .children = {}};
+}
+
+}  // namespace ouessant::cpu

@@ -1,0 +1,44 @@
+#include "drv/linux_env.hpp"
+
+namespace ouessant::drv {
+
+u64 LinuxEnv::invoke(OcpSession& session, XferMode mode, Addr user_in,
+                     Addr user_out) {
+  cpu::Gpp& gpp = session.driver().gpp();
+  mem::Sram& mem = session.memory();
+  const SessionLayout& lay = session.layout();
+  const Cycle t0 = gpp.now();
+
+  // User space -> kernel: syscall + driver dispatch.
+  gpp.spend(costs_.user_lib + costs_.syscall_entry + costs_.driver_dispatch);
+
+  if (mode == XferMode::kCopyUser) {
+    // copy_from_user into the DMA buffer.
+    for (u32 i = 0; i < lay.in_words; ++i) {
+      mem.poke(lay.in_base + i * 4, mem.peek(user_in + i * 4));
+    }
+    gpp.spend(static_cast<u64>(costs_.copy_user_per_word) * lay.in_words);
+  }
+
+  // The driver starts the OCP with interrupts enabled and the task sleeps.
+  session.driver().enable_irq(true);
+  session.driver().start();
+  gpp.wait_for_irq(session.ocp().irq());
+
+  // IRQ -> driver ISR -> wakeup -> back in the syscall.
+  gpp.spend(costs_.irq_entry + costs_.irq_handler + costs_.wakeup_schedule);
+  session.driver().clear_done();
+
+  if (mode == XferMode::kCopyUser) {
+    // copy_to_user from the DMA buffer.
+    for (u32 i = 0; i < lay.out_words; ++i) {
+      mem.poke(user_out + i * 4, mem.peek(lay.out_base + i * 4));
+    }
+    gpp.spend(static_cast<u64>(costs_.copy_user_per_word) * lay.out_words);
+  }
+
+  gpp.spend(costs_.syscall_exit);
+  return gpp.now() - t0;
+}
+
+}  // namespace ouessant::drv

@@ -1,0 +1,79 @@
+#include "drv/ocp_driver.hpp"
+
+namespace ouessant::drv {
+
+using core::kCtrlDone;
+using core::kCtrlErr;
+using core::kCtrlIe;
+using core::kCtrlStart;
+
+OcpDriver::OcpDriver(cpu::Gpp& gpp, Addr reg_base, cpu::IrqLine& irq)
+    : gpp_(gpp), base_(reg_base), irq_(irq) {}
+
+void OcpDriver::set_bank(u32 n, Addr phys) {
+  if (n >= core::kNumBankRegs) {
+    throw SimError("OcpDriver: bank index out of range");
+  }
+  gpp_.write32(base_ + core::bank_reg(n), phys);
+}
+
+void OcpDriver::install_program(Addr prog_base, const core::Program& prog) {
+  const auto image = prog.image();
+  gpp_.write_burst(prog_base, image);
+  set_bank(core::kProgramBank, prog_base);
+  gpp_.write32(base_ + core::kRegProgSize, static_cast<u32>(image.size()));
+}
+
+void OcpDriver::install_program_backdoor(mem::Sram& mem, Addr prog_base,
+                                         const core::Program& prog) {
+  mem.load(prog_base, prog.image());
+  set_bank(core::kProgramBank, prog_base);
+  gpp_.write32(base_ + core::kRegProgSize, static_cast<u32>(prog.size()));
+}
+
+void OcpDriver::enable_irq(bool on) {
+  ie_ = on;
+  gpp_.write32(base_ + core::kRegCtrl, on ? kCtrlIe : 0);
+}
+
+void OcpDriver::start() {
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlStart | (ie_ ? kCtrlIe : 0));
+}
+
+u32 OcpDriver::read_ctrl() { return gpp_.read32(base_ + core::kRegCtrl); }
+
+bool OcpDriver::done_bit_set() { return (read_ctrl() & kCtrlDone) != 0; }
+
+void OcpDriver::clear_done() {
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlDone | (ie_ ? kCtrlIe : 0));
+}
+
+u32 OcpDriver::wait_done_poll(u64 poll_gap, u64 timeout) {
+  const Cycle t0 = gpp_.now();
+  u32 polls = 0;
+  for (;;) {
+    const u32 ctrl = read_ctrl();
+    ++polls;
+    if ((ctrl & kCtrlErr) != 0) {
+      throw SimError("OcpDriver: OCP signalled a microcode fault");
+    }
+    if ((ctrl & kCtrlDone) != 0) break;
+    if (gpp_.now() - t0 >= timeout) {
+      throw SimError("OcpDriver::wait_done_poll: timeout");
+    }
+    gpp_.spend(poll_gap);
+  }
+  clear_done();
+  return polls;
+}
+
+void OcpDriver::wait_done_irq(u64 timeout) {
+  gpp_.wait_for_irq(irq_, timeout);
+  const u32 ctrl = read_ctrl();
+  if ((ctrl & kCtrlErr) != 0) {
+    throw SimError("OcpDriver: OCP signalled a microcode fault");
+  }
+  clear_done();
+}
+
+}  // namespace ouessant::drv

@@ -1,0 +1,62 @@
+// Baremetal OCP driver (paper §IV): the register-level programming
+// sequence a baremetal application (or the kernel half of the Linux
+// driver) performs. Every access here is a real, timed bus transaction
+// issued by the Gpp.
+#pragma once
+
+#include "cpu/gpp.hpp"
+#include "cpu/irq.hpp"
+#include "mem/sram.hpp"
+#include "ouessant/program.hpp"
+#include "ouessant/regs.hpp"
+
+namespace ouessant::drv {
+
+class OcpDriver {
+ public:
+  /// @p reg_base: where the OCP's 10 registers are mapped.
+  OcpDriver(cpu::Gpp& gpp, Addr reg_base, cpu::IrqLine& irq);
+
+  // -- configuration -----------------------------------------------------
+  /// Program bank register @p n with physical base @p phys.
+  void set_bank(u32 n, Addr phys);
+
+  /// Write @p prog into memory at @p prog_base (word by word over the
+  /// bus), point bank 0 at it and set the program-size register.
+  void install_program(Addr prog_base, const core::Program& prog);
+
+  /// Same, but through the memory backdoor (untimed) — models a program
+  /// image already resident, e.g. loaded at boot.
+  void install_program_backdoor(mem::Sram& mem, Addr prog_base,
+                                const core::Program& prog);
+
+  void enable_irq(bool on);
+
+  // -- execution -----------------------------------------------------------
+  /// Set the S bit (preserving IE).
+  void start();
+
+  [[nodiscard]] u32 read_ctrl();
+  [[nodiscard]] bool done_bit_set();
+
+  /// Acknowledge completion: clear D (and the interrupt line with it).
+  void clear_done();
+
+  /// Busy-wait on the D bit with MMIO reads every @p poll_gap cycles.
+  /// Throws SimError if ERR is observed. Returns polls performed.
+  u32 wait_done_poll(u64 poll_gap = 16, u64 timeout = 10'000'000);
+
+  /// Sleep until the OCP interrupt fires, then acknowledge.
+  void wait_done_irq(u64 timeout = 10'000'000);
+
+  [[nodiscard]] cpu::Gpp& gpp() { return gpp_; }
+  [[nodiscard]] Addr reg_base() const { return base_; }
+
+ private:
+  cpu::Gpp& gpp_;
+  Addr base_;
+  cpu::IrqLine& irq_;
+  bool ie_ = false;
+};
+
+}  // namespace ouessant::drv

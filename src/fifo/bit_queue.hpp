@@ -1,0 +1,34 @@
+// Bit-granular FIFO storage used by the width-adapting FIFOs (paper
+// Fig. 2). Values are serialized LSB-first: pushing a 96-bit word and
+// popping three 32-bit words yields bits [31:0], [63:32], [95:64] in that
+// order, which matches the word order a little-endian bus master would
+// write into a wide accelerator register.
+#pragma once
+
+#include <deque>
+
+#include "util/types.hpp"
+
+namespace ouessant::fifo {
+
+class BitQueue {
+ public:
+  /// Append the low @p width bits of @p value (1..64).
+  void push(u64 value, unsigned width);
+
+  /// Remove and return the next @p width bits (1..64). Requires
+  /// size_bits() >= width.
+  u64 pop(unsigned width);
+
+  /// Return the next @p width bits without removing them.
+  [[nodiscard]] u64 peek(unsigned width) const;
+
+  [[nodiscard]] std::size_t size_bits() const { return bits_.size(); }
+  [[nodiscard]] bool empty() const { return bits_.empty(); }
+  void clear() { bits_.clear(); }
+
+ private:
+  std::deque<u8> bits_;  // one entry per bit, front = oldest
+};
+
+}  // namespace ouessant::fifo

@@ -1,0 +1,99 @@
+#include "fifo/width_fifo.hpp"
+
+namespace ouessant::fifo {
+
+WidthFifo::WidthFifo(sim::Kernel& kernel, std::string name,
+                     WidthFifoConfig cfg)
+    : sim::Component(kernel, std::move(name)), cfg_(cfg) {
+  if (cfg_.wr_width == 0 || cfg_.wr_width > 64 || cfg_.rd_width == 0 ||
+      cfg_.rd_width > 64) {
+    throw ConfigError("WidthFifo " + this->name() +
+                      ": port widths must be 1..64 bits");
+  }
+  if (cfg_.capacity_bits == 0) {
+    cfg_.capacity_bits = 512 * std::max(cfg_.wr_width, cfg_.rd_width);
+  }
+  if (cfg_.capacity_bits < cfg_.wr_width ||
+      cfg_.capacity_bits < cfg_.rd_width) {
+    throw ConfigError("WidthFifo " + this->name() +
+                      ": capacity smaller than one chunk");
+  }
+}
+
+bool WidthFifo::full() const {
+  return level_ + cfg_.wr_width > cfg_.capacity_bits;
+}
+
+void WidthFifo::write(u64 value) {
+  if (wrote_this_cycle_) {
+    throw SimError("WidthFifo " + name() + ": two writes in one cycle");
+  }
+  if (full()) {
+    throw SimError("WidthFifo " + name() + ": write while full");
+  }
+  wrote_this_cycle_ = true;
+  has_pending_write_ = true;
+  pending_write_ = value;
+}
+
+bool WidthFifo::empty() const { return level_ < cfg_.rd_width; }
+
+u64 WidthFifo::peek() const {
+  if (empty()) {
+    throw SimError("WidthFifo " + name() + ": peek while empty");
+  }
+  return storage_.peek(cfg_.rd_width);
+}
+
+u64 WidthFifo::read() {
+  if (read_this_cycle_) {
+    throw SimError("WidthFifo " + name() + ": two reads in one cycle");
+  }
+  const u64 v = peek();  // checks empty
+  read_this_cycle_ = true;
+  pending_pop_ = true;
+  return v;
+}
+
+void WidthFifo::flush() {
+  storage_.clear();
+  level_ = 0;
+  wrote_this_cycle_ = false;
+  read_this_cycle_ = false;
+  has_pending_write_ = false;
+  pending_pop_ = false;
+}
+
+void WidthFifo::tick_commit() {
+  if (pending_pop_) {
+    storage_.pop(cfg_.rd_width);
+    ++reads_;
+    pending_pop_ = false;
+  }
+  if (has_pending_write_) {
+    storage_.push(pending_write_, cfg_.wr_width);
+    ++writes_;
+    has_pending_write_ = false;
+  }
+  level_ = static_cast<u32>(storage_.size_bits());
+  max_level_ = std::max(max_level_, level_);
+  wrote_this_cycle_ = false;
+  read_this_cycle_ = false;
+}
+
+res::ResourceNode WidthFifo::resource_tree() const {
+  const u32 entry = std::max(cfg_.wr_width, cfg_.rd_width);
+  const u32 depth = cfg_.capacity_bits / entry;
+  res::ResourceNode n;
+  n.name = name();
+  n.children.push_back(
+      {.name = "control",
+       .self = res::est_fifo_control(depth, cfg_.wr_width, cfg_.rd_width),
+       .children = {}});
+  n.children.push_back({.name = "storage",
+                        .self = res::est_fifo_storage(depth, entry),
+                        .children = {}});
+  return n;
+}
+
+}  // namespace ouessant::fifo

@@ -1,0 +1,50 @@
+// Two-pass assembler for the L3 ISA.
+//
+// Syntax (case-insensitive mnemonics, registers r0..r15, comments with
+// ';', '#' or '//', labels suffixed with ':'):
+//
+//     ; poll the OCP done bit
+//     li   r1, 0x80000000       ; pseudo: lui + ori (always 2 words)
+//     poll:
+//       lw   r2, 0(r1)          ; uncached: a real bus read
+//       andi r2, r2, 4          ; D bit
+//       beq  r2, r0, poll
+//       halt
+//
+// Pseudo-instructions: li rd,imm32 (2 words) — mv rd,rs — j label —
+// call label (jal r15) — ret (jr r15). `.word N` emits literal data.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "l3/isa.hpp"
+
+namespace ouessant::l3 {
+
+class AsmError : public SimError {
+ public:
+  AsmError(unsigned line, const std::string& msg)
+      : SimError("l3 line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  [[nodiscard]] unsigned line() const { return line_; }
+
+ private:
+  unsigned line_;
+};
+
+struct Assembly {
+  std::vector<u32> words;              ///< image, one word per entry
+  std::map<std::string, u32> labels;   ///< label -> word index
+};
+
+/// Assemble @p source. @p base is the byte address the image will be
+/// loaded at (labels resolve against it for li-of-label; branches are
+/// relative and ignore it).
+[[nodiscard]] Assembly assemble(const std::string& source, Addr base = 0);
+
+/// Disassemble an image (data words render as .word).
+[[nodiscard]] std::string disassemble(const std::vector<u32>& words);
+
+}  // namespace ouessant::l3

@@ -1,0 +1,89 @@
+// The L3 core: an in-order scalar interpreter of the L3 ISA, clocked as a
+// simulation component.
+//
+// Memory model (matching how a cached Leon3 behaves on the paper's SoC):
+//  * instruction fetches and data accesses inside the cached SRAM region
+//    are serviced at fixed cache-hit costs (the backdoor carries the
+//    data; no bus beats — a cached CPU's hits are invisible on the AHB);
+//  * accesses OUTSIDE the cached region (MMIO: OCP registers, DMA engine,
+//    interrupt controller...) are real, uncached bus transactions through
+//    the core's own master port — so an L3 program polling the OCP's
+//    control register produces exactly the bus traffic the real driver
+//    would.
+//
+// Logical immediates (andi/ori/xori) zero-extend; arithmetic ones
+// sign-extend. Writes to r0 are discarded. `halt` stops the core.
+#pragma once
+
+#include <array>
+
+#include "bus/interconnect.hpp"
+#include "cpu/irq.hpp"
+#include "l3/isa.hpp"
+#include "mem/sram.hpp"
+#include "sim/kernel.hpp"
+
+namespace ouessant::l3 {
+
+struct CpuConfig {
+  Addr reset_pc = 0;       ///< byte address of the first instruction
+  L3Costs costs{};
+  int bus_priority = 0;    ///< MMIO port arbitration priority
+};
+
+struct CpuStats {
+  u64 instructions = 0;
+  u64 cycles_busy = 0;     ///< cycles spent executing (incl. stalls)
+  u64 bus_accesses = 0;    ///< uncached loads/stores
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 branches_taken = 0;
+  u64 wfi_cycles = 0;      ///< cycles slept on the interrupt line
+};
+
+class Cpu : public sim::Component {
+ public:
+  /// @p sram is both instruction and cached data memory; @p bus carries
+  /// uncached (MMIO) accesses.
+  Cpu(sim::Kernel& kernel, std::string name, mem::Sram& sram,
+      bus::InterconnectModel& bus, CpuConfig cfg = {});
+
+  // sim::Component
+  void tick_compute() override;
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] u32 reg(u32 n) const { return regs_.at(n); }
+  void set_reg(u32 n, u32 v);
+  [[nodiscard]] Addr pc() const { return pc_; }
+  void set_pc(Addr pc);
+  /// Restart a halted core at @p pc.
+  void restart(Addr pc);
+
+  [[nodiscard]] const CpuStats& stats() const { return stats_; }
+
+  /// Attach the level-sensitive interrupt input the `wfi` instruction
+  /// sleeps on (e.g. an OCP's line, or an IrqController's cpu_line).
+  void set_irq_line(const cpu::IrqLine* line) { irq_ = line; }
+
+ private:
+  [[nodiscard]] bool is_cached(Addr addr) const;
+  void execute(const Instr& ins);
+  void fault(const std::string& why);
+
+  mem::Sram& sram_;
+  CpuConfig cfg_;
+  bus::BusMasterPort* port_ = nullptr;
+
+  std::array<u32, kNumRegs> regs_{};
+  Addr pc_ = 0;
+  bool halted_ = true;
+  bool wfi_ = false;       ///< sleeping on the interrupt line
+  const cpu::IrqLine* irq_ = nullptr;
+  u32 stall_ = 0;          ///< remaining cycles of the current instruction
+  bool bus_wait_ = false;  ///< MMIO transaction in flight
+  u8 bus_rd_ = 0;          ///< destination register of a pending MMIO load
+  bool bus_is_load_ = false;
+  CpuStats stats_;
+};
+
+}  // namespace ouessant::l3

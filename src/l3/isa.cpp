@@ -1,0 +1,183 @@
+#include "l3/isa.hpp"
+
+#include <sstream>
+
+namespace ouessant::l3 {
+
+namespace {
+
+enum class Fmt { kRrr, kRri, kMem, kBranch, kJal, kJr, kLui, kNone };
+
+Fmt format_of(Op op) {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr:
+    case Op::kXor: case Op::kSll: case Op::kSrl: case Op::kSra:
+    case Op::kMul: case Op::kDiv: case Op::kSltu:
+      return Fmt::kRrr;
+    case Op::kAddi: case Op::kAndi: case Op::kOri: case Op::kXori:
+    case Op::kSlli: case Op::kSrli: case Op::kSrai:
+      return Fmt::kRri;
+    case Op::kLui:
+      return Fmt::kLui;
+    case Op::kLw: case Op::kSw:
+      return Fmt::kMem;
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      return Fmt::kBranch;
+    case Op::kJal:
+      return Fmt::kJal;
+    case Op::kJr:
+      return Fmt::kJr;
+    case Op::kNop: case Op::kHalt: case Op::kWfi:
+      return Fmt::kNone;
+  }
+  return Fmt::kNone;
+}
+
+constexpr i32 kImmMin = -(1 << 13);
+constexpr i32 kImmMax = (1 << 13) - 1;
+
+}  // namespace
+
+bool op_valid(u8 raw) {
+  switch (static_cast<Op>(raw)) {
+    case Op::kAdd: case Op::kSub: case Op::kAnd: case Op::kOr:
+    case Op::kXor: case Op::kSll: case Op::kSrl: case Op::kSra:
+    case Op::kMul: case Op::kDiv: case Op::kSltu:
+    case Op::kAddi: case Op::kAndi: case Op::kOri: case Op::kXori:
+    case Op::kSlli: case Op::kSrli: case Op::kSrai: case Op::kLui:
+    case Op::kLw: case Op::kSw:
+    case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+    case Op::kJal: case Op::kJr:
+    case Op::kNop: case Op::kHalt: case Op::kWfi:
+      return true;
+  }
+  return false;
+}
+
+std::string mnemonic(Op op) {
+  switch (op) {
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kSll: return "sll";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kSltu: return "sltu";
+    case Op::kAddi: return "addi";
+    case Op::kAndi: return "andi";
+    case Op::kOri: return "ori";
+    case Op::kXori: return "xori";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kSrai: return "srai";
+    case Op::kLui: return "lui";
+    case Op::kLw: return "lw";
+    case Op::kSw: return "sw";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kJal: return "jal";
+    case Op::kJr: return "jr";
+    case Op::kNop: return "nop";
+    case Op::kHalt: return "halt";
+    case Op::kWfi: return "wfi";
+  }
+  return "???";
+}
+
+u32 encode(const Instr& ins) {
+  auto check_reg = [](const char* what, u8 r) {
+    if (r >= kNumRegs) {
+      throw SimError(std::string("l3::encode: register ") + what +
+                     " out of range");
+    }
+  };
+  check_reg("rd", ins.rd);
+  check_reg("rs1", ins.rs1);
+  check_reg("rs2", ins.rs2);
+
+  u32 w = static_cast<u32>(ins.op) << 26;
+  w |= static_cast<u32>(ins.rd) << 22;
+  w |= static_cast<u32>(ins.rs1) << 18;
+  w |= static_cast<u32>(ins.rs2) << 14;
+  if (format_of(ins.op) == Fmt::kLui) {
+    // imm18 occupies bits [17:0] of the word: imm[17:14] in the rs2
+    // field, imm[13:0] in the immediate field.
+    if (ins.imm < 0 || ins.imm >= (1 << 18)) {
+      throw SimError("l3::encode: lui immediate out of range");
+    }
+    return (static_cast<u32>(ins.op) << 26) |
+           (static_cast<u32>(ins.rd) << 22) |
+           (static_cast<u32>(ins.imm) & 0x3FFFFu);
+  }
+  if (ins.imm < kImmMin || ins.imm > kImmMax) {
+    throw SimError("l3::encode: immediate out of range for " +
+                   mnemonic(ins.op));
+  }
+  w |= static_cast<u32>(ins.imm) & 0x3FFFu;
+  return w;
+}
+
+std::optional<Instr> decode(u32 word) {
+  const u8 raw = static_cast<u8>(word >> 26);
+  if (!op_valid(raw)) return std::nullopt;
+  Instr ins;
+  ins.op = static_cast<Op>(raw);
+  ins.rd = static_cast<u8>((word >> 22) & 0xF);
+  ins.rs1 = static_cast<u8>((word >> 18) & 0xF);
+  ins.rs2 = static_cast<u8>((word >> 14) & 0xF);
+  if (format_of(ins.op) == Fmt::kLui) {
+    ins.imm = static_cast<i32>(((word >> 14) & 0xF) << 14 | (word & 0x3FFFu));
+    ins.rs1 = 0;
+    ins.rs2 = 0;
+    return ins;
+  }
+  // Sign-extend imm14.
+  u32 imm = word & 0x3FFFu;
+  if ((imm & 0x2000u) != 0) imm |= 0xFFFFC000u;
+  ins.imm = static_cast<i32>(imm);
+  return ins;
+}
+
+std::string to_string(const Instr& ins) {
+  std::ostringstream os;
+  os << mnemonic(ins.op);
+  auto r = [](u8 n) { return "r" + std::to_string(n); };
+  switch (format_of(ins.op)) {
+    case Fmt::kRrr:
+      os << ' ' << r(ins.rd) << ',' << r(ins.rs1) << ',' << r(ins.rs2);
+      break;
+    case Fmt::kRri:
+      os << ' ' << r(ins.rd) << ',' << r(ins.rs1) << ',' << ins.imm;
+      break;
+    case Fmt::kLui:
+      os << ' ' << r(ins.rd) << ',' << ins.imm;
+      break;
+    case Fmt::kMem:
+      if (ins.op == Op::kLw) {
+        os << ' ' << r(ins.rd) << ',' << ins.imm << '(' << r(ins.rs1) << ')';
+      } else {
+        os << ' ' << r(ins.rs2) << ',' << ins.imm << '(' << r(ins.rs1) << ')';
+      }
+      break;
+    case Fmt::kBranch:
+      os << ' ' << r(ins.rs1) << ',' << r(ins.rs2) << ',' << ins.imm;
+      break;
+    case Fmt::kJal:
+      os << ' ' << r(ins.rd) << ',' << ins.imm;
+      break;
+    case Fmt::kJr:
+      os << ' ' << r(ins.rs1);
+      break;
+    case Fmt::kNone:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ouessant::l3

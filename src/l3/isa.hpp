@@ -1,0 +1,82 @@
+// The L3 instruction set — a Leon3-lite 32-bit RISC used as the
+// platform's instruction-level CPU model.
+//
+// The paper's GPP is a Leon3 (SPARCv8). For the repository's experiments a
+// timing-annotated model (cpu::Gpp) is sufficient and calibrated; the L3
+// ISS complements it with *executed* software: a small in-order scalar
+// core with SPARC-class cycle costs that runs real machine code out of
+// the simulated SRAM — including the baremetal OCP driver written in
+// assembly (tests/test_l3.cpp) — and validates the cost model against
+// instruction-level execution.
+//
+// 16 registers (r0 hardwired to zero), fixed 32-bit instructions:
+//
+//   [31:26] opcode
+//   [25:22] rd      [21:18] rs1     [17:14] rs2
+//   [13:0]  imm14   (sign-extended where noted)
+//   branches/jal: [13:0] is a signed word displacement from pc+1
+//   lui: [21:4] imm18 placed in bits [31:14] of rd
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ouessant::l3 {
+
+inline constexpr u32 kNumRegs = 16;
+
+enum class Op : u8 {
+  // register-register ALU
+  kAdd = 0x00, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kMul, kDiv,
+  kSltu,                 ///< rd = (rs1 < rs2) unsigned
+  // immediate ALU
+  kAddi = 0x10, kAndi, kOri, kXori, kSlli, kSrli, kSrai,
+  kLui,                  ///< rd = imm18 << 14
+  // memory
+  kLw = 0x20,            ///< rd = mem[rs1 + simm]
+  kSw,                   ///< mem[rs1 + simm] = rs2
+  // control
+  kBeq = 0x28, kBne, kBlt, kBge,  ///< signed compares, pc-relative
+  kJal,                  ///< rd = pc+1; pc += simm
+  kJr,                   ///< pc = rs1 (word address)
+  // system
+  kNop = 0x30,
+  kHalt,                 ///< stop the core
+  kWfi,                  ///< wait for interrupt (sleep until the line is high)
+};
+
+[[nodiscard]] bool op_valid(u8 raw);
+[[nodiscard]] std::string mnemonic(Op op);
+
+struct Instr {
+  Op op = Op::kNop;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;  ///< simm14 (or imm18 for lui)
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+/// Encode; throws SimError on out-of-range fields.
+[[nodiscard]] u32 encode(const Instr& ins);
+/// Decode; nullopt on unassigned opcodes.
+[[nodiscard]] std::optional<Instr> decode(u32 word);
+/// Assembler-syntax rendering.
+[[nodiscard]] std::string to_string(const Instr& ins);
+
+/// Per-class cycle costs (Leon3-class, matching cpu::CpuCosts).
+struct L3Costs {
+  u32 alu = 1;
+  u32 mul = 5;
+  u32 div = 35;
+  u32 load = 2;    ///< cached SRAM access
+  u32 store = 2;
+  u32 branch_taken = 2;
+  u32 branch_not_taken = 1;
+  u32 jump = 2;
+};
+
+}  // namespace ouessant::l3

@@ -1,0 +1,41 @@
+// Hand-tuned L3 assembly kernels.
+//
+// These are the software routines the paper's SW column would actually
+// run on the platform CPU, written against the L3 ISA and *executed* on
+// the ISS — complementing the analytic cost model (cpu::sw) with a second,
+// independent derivation of the software baseline.
+//
+// The generators emit the source text (the unrolled inner loops make the
+// listings long; generating them keeps the addressing arithmetic
+// correct-by-construction). Data layout is fixed by the caller through
+// absolute addresses baked into `li` pseudo-instructions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ouessant::l3 {
+
+/// Memory layout for the IDCT kernel.
+struct IdctLayout {
+  Addr table = 0x4000'4000;    ///< 64-word Q14 basis table
+  Addr src = 0x4000'5000;      ///< 64 input coefficients
+  Addr tmp = 0x4000'5200;      ///< 64-word intermediate (rows done)
+  Addr dst = 0x4000'5400;      ///< 64 output samples
+  Addr colbuf = 0x4000'5600;   ///< 8-word column gather buffer
+  Addr colout = 0x4000'5640;   ///< 8-word column result buffer
+};
+
+/// Full 2D 8x8 IDCT program (row pass, column pass, halt). The datapath
+/// is identical to util::fixed_idct8x8 (same Q14 basis, same even/odd
+/// structure, same rounding); for inputs whose intermediate sums fit in
+/// 32 bits (|coef| < ~2^16, far beyond JPEG range) the results are
+/// bit-exact.
+[[nodiscard]] std::string idct8x8_source(const IdctLayout& layout);
+
+/// The Q14 basis table as a loadable word image (row-major [k][n]).
+[[nodiscard]] std::vector<u32> idct_basis_image();
+
+}  // namespace ouessant::l3

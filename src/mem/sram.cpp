@@ -1,0 +1,73 @@
+#include "mem/sram.hpp"
+
+namespace ouessant::mem {
+
+Sram::Sram(std::string name, Addr base, u32 size_bytes, u32 read_wait,
+           u32 write_wait)
+    : name_(std::move(name)),
+      base_(base),
+      data_(size_bytes / 4, 0),
+      read_wait_(read_wait),
+      write_wait_(write_wait) {
+  if (size_bytes == 0 || size_bytes % 4 != 0) {
+    throw ConfigError("Sram " + name_ + ": size must be a non-zero word multiple");
+  }
+  if (base % 4 != 0) {
+    throw ConfigError("Sram " + name_ + ": base must be word aligned");
+  }
+}
+
+u32 Sram::index_for(Addr addr, const char* what) const {
+  if (addr < base_ || (addr - base_) / 4 >= data_.size()) {
+    throw SimError("Sram " + name_ + ": " + what + " out of range");
+  }
+  if (addr % 4 != 0) {
+    throw SimError("Sram " + name_ + ": unaligned " + std::string(what));
+  }
+  return (addr - base_) / 4;
+}
+
+bus::SlaveResponse Sram::read_word(Addr addr) {
+  ++reads_;
+  return {.data = data_[index_for(addr, "read")], .wait_states = read_wait_};
+}
+
+u32 Sram::write_word(Addr addr, u32 data) {
+  ++writes_;
+  data_[index_for(addr, "write")] = data;
+  return write_wait_;
+}
+
+u32 Sram::peek(Addr addr) const { return data_[index_for(addr, "peek")]; }
+
+void Sram::poke(Addr addr, u32 data) { data_[index_for(addr, "poke")] = data; }
+
+void Sram::load(Addr addr, const std::vector<u32>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    poke(addr + static_cast<Addr>(i * 4), words[i]);
+  }
+}
+
+std::vector<u32> Sram::dump(Addr addr, u32 words) const {
+  std::vector<u32> out;
+  out.reserve(words);
+  for (u32 i = 0; i < words; ++i) out.push_back(peek(addr + i * 4));
+  return out;
+}
+
+void Sram::fill(u32 value) {
+  for (auto& w : data_) w = value;
+}
+
+Rom::Rom(std::string name, Addr base, std::vector<u32> contents, u32 read_wait)
+    : Sram(std::move(name), base, static_cast<u32>(contents.size() * 4),
+           read_wait, 0) {
+  data_ = std::move(contents);
+}
+
+u32 Rom::write_word(Addr addr, u32) {
+  throw SimError("Rom " + name_ + ": write to read-only memory at 0x" +
+                 std::to_string(addr));
+}
+
+}  // namespace ouessant::mem

@@ -1,0 +1,59 @@
+// Memory models. The paper's platform is a Nexys4 board with 16 MB SRAM
+// behind the AHB bus; Sram models it as a word-addressed array with
+// configurable wait states. Rom is the same with writes rejected.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bus/types.hpp"
+
+namespace ouessant::mem {
+
+class Sram : public bus::BusSlave {
+ public:
+  /// @p base is the bus base address; accesses arrive with absolute
+  /// addresses. @p read_wait / @p write_wait are per-beat wait states.
+  Sram(std::string name, Addr base, u32 size_bytes, u32 read_wait = 0,
+       u32 write_wait = 0);
+
+  // bus::BusSlave
+  bus::SlaveResponse read_word(Addr addr) override;
+  u32 write_word(Addr addr, u32 data) override;
+  [[nodiscard]] std::string slave_name() const override { return name_; }
+
+  // Host-side (testbench) backdoor access — no simulated time.
+  [[nodiscard]] u32 peek(Addr addr) const;
+  void poke(Addr addr, u32 data);
+  void load(Addr addr, const std::vector<u32>& words);
+  [[nodiscard]] std::vector<u32> dump(Addr addr, u32 words) const;
+  void fill(u32 value);
+
+  [[nodiscard]] Addr base() const { return base_; }
+  [[nodiscard]] u32 size_bytes() const {
+    return static_cast<u32>(data_.size() * 4);
+  }
+  [[nodiscard]] u64 reads() const { return reads_; }
+  [[nodiscard]] u64 writes() const { return writes_; }
+
+ protected:
+  [[nodiscard]] u32 index_for(Addr addr, const char* what) const;
+
+  std::string name_;
+  Addr base_;
+  std::vector<u32> data_;
+  u32 read_wait_;
+  u32 write_wait_;
+  u64 reads_ = 0;
+  u64 writes_ = 0;
+};
+
+class Rom : public Sram {
+ public:
+  Rom(std::string name, Addr base, std::vector<u32> contents,
+      u32 read_wait = 0);
+
+  u32 write_word(Addr addr, u32 data) override;
+};
+
+}  // namespace ouessant::mem

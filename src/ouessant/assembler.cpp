@@ -1,0 +1,209 @@
+#include "ouessant/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ouessant::core {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string strip_comment(const std::string& line) {
+  std::size_t cut = line.size();
+  const auto slashes = line.find("//");
+  if (slashes != std::string::npos) cut = std::min(cut, slashes);
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) cut = std::min(cut, hash);
+  const auto semi = line.find(';');
+  if (semi != std::string::npos) cut = std::min(cut, semi);
+  return line.substr(0, cut);
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// A logical source line: optional label, optional mnemonic + operands.
+struct Line {
+  unsigned number;  // 1-based
+  std::string label;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+std::vector<Line> split_lines(const std::string& source) {
+  std::vector<Line> out;
+  std::istringstream in(source);
+  std::string raw;
+  unsigned number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    std::string text = trim(strip_comment(raw));
+    if (text.empty()) continue;
+    Line line;
+    line.number = number;
+    const auto colon = text.find(':');
+    if (colon != std::string::npos) {
+      line.label = trim(text.substr(0, colon));
+      if (line.label.empty()) throw AsmError(number, "empty label");
+      text = trim(text.substr(colon + 1));
+    }
+    if (!text.empty()) {
+      const auto sp = text.find_first_of(" \t");
+      if (sp == std::string::npos) {
+        line.mnemonic = lower(text);
+      } else {
+        line.mnemonic = lower(trim(text.substr(0, sp)));
+        std::string rest = text.substr(sp + 1);
+        std::string tok;
+        std::istringstream ops(rest);
+        while (std::getline(ops, tok, ',')) {
+          tok = trim(tok);
+          if (tok.empty()) throw AsmError(number, "empty operand");
+          line.operands.push_back(tok);
+        }
+      }
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  if (s.size() > 2 && (s[0] == '0') && (s[1] == 'x' || s[1] == 'X')) {
+    return s.find_first_not_of("0123456789abcdefABCDEF", 2) == std::string::npos;
+  }
+  return s.find_first_not_of("0123456789") == std::string::npos;
+}
+
+u32 parse_number(const Line& line, const std::string& s) {
+  if (!is_number(s)) {
+    throw AsmError(line.number, "expected a number, got '" + s + "'");
+  }
+  return static_cast<u32>(std::stoul(s, nullptr, 0));
+}
+
+/// Parse "BANK3" / "DMA64" / "FIFO1" style operands, or a bare number.
+u32 parse_prefixed(const Line& line, const std::string& tok,
+                   const char* prefix) {
+  const std::string low = lower(tok);
+  const std::string pfx = lower(prefix);
+  if (low.rfind(pfx, 0) == 0) {
+    return parse_number(line, low.substr(pfx.size()));
+  }
+  return parse_number(line, tok);
+}
+
+void expect_operands(const Line& line, std::size_t n) {
+  if (line.operands.size() != n) {
+    throw AsmError(line.number, line.mnemonic + " expects " +
+                                    std::to_string(n) + " operand(s), got " +
+                                    std::to_string(line.operands.size()));
+  }
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  const std::vector<Line> lines = split_lines(source);
+
+  // Pass 1: label -> instruction index.
+  std::map<std::string, u32> labels;
+  u32 index = 0;
+  for (const Line& line : lines) {
+    if (!line.label.empty()) {
+      if (labels.count(lower(line.label)) != 0) {
+        throw AsmError(line.number, "duplicate label '" + line.label + "'");
+      }
+      labels[lower(line.label)] = index;
+    }
+    if (!line.mnemonic.empty()) ++index;
+  }
+
+  // Pass 2: encode.
+  Program prog;
+  for (const Line& line : lines) {
+    if (line.mnemonic.empty()) continue;
+    const std::string& m = line.mnemonic;
+    try {
+      if (m == "mvtc" || m == "mvfc") {
+        expect_operands(line, 4);
+        isa::Instruction ins;
+        ins.op = (m == "mvtc") ? isa::Opcode::kMvtc : isa::Opcode::kMvfc;
+        ins.bank = static_cast<u8>(parse_prefixed(line, line.operands[0], "bank"));
+        ins.offset = parse_number(line, line.operands[1]);
+        ins.len = parse_prefixed(line, line.operands[2], "dma");
+        ins.fifo = static_cast<u8>(parse_prefixed(line, line.operands[3], "fifo"));
+        prog.push(ins);
+      } else if (m == "exec") {
+        expect_operands(line, 0);
+        prog.exec();
+      } else if (m == "execs") {
+        expect_operands(line, 0);
+        prog.execs();
+      } else if (m == "eop") {
+        expect_operands(line, 0);
+        prog.eop();
+      } else if (m == "nop") {
+        expect_operands(line, 0);
+        prog.nop();
+      } else if (m == "wait") {
+        expect_operands(line, 0);
+        prog.wait();
+      } else if (m == "irq") {
+        expect_operands(line, 0);
+        prog.irq();
+      } else if (m == "loop") {
+        expect_operands(line, 2);
+        u32 target = 0;
+        const std::string tgt = lower(line.operands[0]);
+        if (is_number(tgt)) {
+          target = parse_number(line, tgt);
+        } else {
+          auto it = labels.find(tgt);
+          if (it == labels.end()) {
+            throw AsmError(line.number, "unknown label '" + line.operands[0] + "'");
+          }
+          target = it->second;
+        }
+        prog.loop(target, parse_number(line, line.operands[1]));
+      } else {
+        throw AsmError(line.number, "unknown mnemonic '" + m + "'");
+      }
+      // Validate field widths eagerly so errors carry line numbers.
+      (void)isa::encode(prog.code().back());
+    } catch (const AsmError&) {
+      throw;
+    } catch (const SimError& e) {
+      throw AsmError(line.number, e.what());
+    }
+  }
+  return prog;
+}
+
+std::string disassemble(const std::vector<u32>& image) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    const auto ins = isa::decode(image[i]);
+    if (!ins) {
+      os << i << ":\t.word 0x" << std::hex << image[i] << std::dec << '\n';
+      continue;
+    }
+    os << i << ":\t" << isa::to_string(*ins) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ouessant::core

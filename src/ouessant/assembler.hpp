@@ -1,0 +1,44 @@
+// Two-pass assembler for Ouessant microcode.
+//
+// The accepted syntax is the paper's (Fig. 4), extended with labels,
+// comments and the v2 instructions:
+//
+//     // transfer 64 words from offset 0 of bank 1 to coprocessor FIFO 0
+//     top:
+//         mvtc BANK1,0,DMA64,FIFO0
+//         execs
+//         mvfc BANK2,0,DMA64,FIFO0
+//         loop top,6          ; seven iterations in total
+//         eop
+//
+// Mnemonics and register-like operands are case-insensitive. Operands may
+// be written as BANKn/DMAn/FIFOn or as plain decimal/hex (0x...) numbers.
+// Comments start with "//", "#" or ";". A label on its own line (or
+// prefixing an instruction) names the next instruction's index.
+#pragma once
+
+#include <string>
+
+#include "ouessant/program.hpp"
+
+namespace ouessant::core {
+
+/// Assembly error with 1-based source line information.
+class AsmError : public SimError {
+ public:
+  AsmError(unsigned line, const std::string& msg)
+      : SimError("line " + std::to_string(line) + ": " + msg), line_(line) {}
+  [[nodiscard]] unsigned line() const { return line_; }
+
+ private:
+  unsigned line_;
+};
+
+/// Assemble source text into a Program. Throws AsmError on syntax errors.
+[[nodiscard]] Program assemble(const std::string& source);
+
+/// Disassemble a binary image into assembler syntax (round-trips through
+/// assemble()).
+[[nodiscard]] std::string disassemble(const std::vector<u32>& image);
+
+}  // namespace ouessant::core

@@ -1,0 +1,112 @@
+#include "ouessant/codegen.hpp"
+
+#include <algorithm>
+
+namespace ouessant::core {
+
+namespace {
+
+void check_divides(const char* what, u32 words, u32 burst) {
+  if (burst == 0 || burst > isa::kMaxBurst) {
+    throw ConfigError("build_stream_program: burst must be 1..256");
+  }
+  if (words % burst != 0) {
+    throw ConfigError(std::string("build_stream_program: ") + what +
+                      " word count is not a multiple of the burst length");
+  }
+}
+
+/// Emit the transfer ladder for one direction, unrolled or looped.
+void emit_transfers(Program& p, bool to_coprocessor, u8 bank, u32 offset,
+                    u32 words, u32 burst, u8 fifo, bool use_loop) {
+  const u32 blocks = words / burst;
+  if (blocks == 0) return;
+  auto emit_one = [&](u32 block_index) {
+    const u32 off = offset + block_index * burst;
+    if (to_coprocessor) {
+      p.mvtc(bank, off, burst, fifo);
+    } else {
+      p.mvfc(bank, off, burst, fifo);
+    }
+  };
+  if (use_loop && blocks > 1) {
+    // The LOOP count field is 8 bits, so long transfers chain several
+    // looped segments (each segment's first mvtc/mvfc carries the
+    // segment's base offset; later iterations auto-increment).
+    u32 done = 0;
+    while (done < blocks) {
+      const u32 group = std::min(blocks - done, isa::kMaxLoopCount + 1);
+      const u32 body = static_cast<u32>(p.size());
+      emit_one(done);
+      if (group > 1) p.loop(body, group - 1);
+      done += group;
+    }
+  } else {
+    for (u32 b = 0; b < blocks; ++b) emit_one(b);
+  }
+}
+
+}  // namespace
+
+Program build_stream_program(const StreamJob& job) {
+  check_divides("input", job.in_words, job.burst);
+  check_divides("output", job.out_words, job.burst);
+  if (job.in_words == 0 || job.out_words == 0) {
+    throw ConfigError("build_stream_program: zero-sized job");
+  }
+  Program p;
+  if (job.overlap) {
+    emit_transfers(p, true, job.in_bank, job.in_offset, job.in_words,
+                   job.burst, job.in_fifo, job.use_loop);
+    p.execs();
+    emit_transfers(p, false, job.out_bank, job.out_offset, job.out_words,
+                   job.burst, job.out_fifo, job.use_loop);
+  } else {
+    emit_transfers(p, true, job.in_bank, job.in_offset, job.in_words,
+                   job.burst, job.in_fifo, job.use_loop);
+    p.exec();
+    emit_transfers(p, false, job.out_bank, job.out_offset, job.out_words,
+                   job.burst, job.out_fifo, job.use_loop);
+  }
+  p.eop();
+  return p;
+}
+
+Program build_batch_program(const StreamJob& per_block, u32 batch) {
+  if (batch == 0 || batch > isa::kMaxLoopCount + 1) {
+    throw ConfigError("build_batch_program: batch must be 1..256");
+  }
+  if (per_block.in_words == 0 || per_block.in_words > isa::kMaxBurst ||
+      per_block.out_words == 0 || per_block.out_words > isa::kMaxBurst) {
+    throw ConfigError(
+        "build_batch_program: per-block word counts must fit one burst");
+  }
+  Program p;
+  const u32 body = 0;
+  // One block per iteration; the loop's post-increment addressing slides
+  // the mvtc/mvfc windows by exactly one block each pass.
+  p.mvtc(per_block.in_bank, per_block.in_offset, per_block.in_words,
+         per_block.in_fifo);
+  p.exec();
+  p.mvfc(per_block.out_bank, per_block.out_offset, per_block.out_words,
+         per_block.out_fifo);
+  if (batch > 1) p.loop(body, batch - 1);
+  p.eop();
+  return p;
+}
+
+Program figure4_program() {
+  return build_stream_program(StreamJob{.in_bank = 1,
+                                        .in_offset = 0,
+                                        .in_words = 512,
+                                        .out_bank = 2,
+                                        .out_offset = 0,
+                                        .out_words = 512,
+                                        .burst = 64,
+                                        .in_fifo = 0,
+                                        .out_fifo = 0,
+                                        .overlap = true,
+                                        .use_loop = false});
+}
+
+}  // namespace ouessant::core

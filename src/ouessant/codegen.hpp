@@ -1,0 +1,49 @@
+// Microcode generators for the common "stream a block through the RAC"
+// pattern (paper Fig. 4). Drivers, examples and benches all build their
+// programs through these helpers instead of hand-writing instruction
+// ladders.
+#pragma once
+
+#include "ouessant/program.hpp"
+
+namespace ouessant::core {
+
+struct StreamJob {
+  u8 in_bank = 1;       ///< bank holding the input block
+  u32 in_offset = 0;    ///< word offset of the input inside its bank
+  u32 in_words = 0;     ///< input words to move (mvtc total)
+  u8 out_bank = 2;      ///< bank receiving the result
+  u32 out_offset = 0;
+  u32 out_words = 0;    ///< output words to move back (mvfc total)
+  u32 burst = 64;       ///< words per mvtc/mvfc ("DMA64" in Fig. 4)
+  u8 in_fifo = 0;
+  u8 out_fifo = 0;
+  /// Fig. 4 style: launch with execs before draining the output, so the
+  /// transfer overlaps the RAC's own streaming. When false the program
+  /// moves all input, blocks on exec, then moves the output.
+  bool overlap = true;
+  /// Use the v2 LOOP instruction (post-increment streaming mode) instead
+  /// of unrolling the transfer ladder — needs IsaLevel::kV2.
+  bool use_loop = false;
+};
+
+/// Build the microcode for @p job. Throws ConfigError when word counts do
+/// not divide into bursts.
+[[nodiscard]] Program build_stream_program(const StreamJob& job);
+
+/// Batched microcode: process @p batch consecutive blocks per invocation
+/// with a single v2 loop around (mvtc, exec, mvfc) — post-increment
+/// addressing walks both banks block by block, so the OCP chews through
+/// an entire buffer of blocks with ONE start bit and ONE interrupt (the
+/// autonomy the paper's microcontroller approach is for). Requires
+/// IsaLevel::kV2 and block word counts within one burst (<= 256 words).
+[[nodiscard]] Program build_batch_program(const StreamJob& per_block,
+                                          u32 batch);
+
+/// The verbatim program of the paper's Fig. 4: a 256-point DFT with
+/// 512 input words in bank 1 and 512 output words to bank 2, moved as
+/// eight DMA64 bursts each way around an execs. (Equivalent to
+/// build_stream_program with in/out = 512, burst = 64, overlap = true.)
+[[nodiscard]] Program figure4_program();
+
+}  // namespace ouessant::core

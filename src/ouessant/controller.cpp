@@ -1,0 +1,207 @@
+#include "ouessant/controller.hpp"
+
+namespace ouessant::core {
+
+Controller::Controller(sim::Kernel& kernel, std::string name,
+                       BusInterface& iface, Rac& rac,
+                       std::vector<fifo::WidthFifo*> in_fifos,
+                       std::vector<fifo::WidthFifo*> out_fifos,
+                       IsaLevel isa_level)
+    : sim::Component(kernel, std::move(name)),
+      iface_(iface),
+      rac_(rac),
+      in_fifos_(std::move(in_fifos)),
+      out_fifos_(std::move(out_fifos)),
+      isa_level_(isa_level),
+      sink_(*this),
+      source_(*this) {
+  if (in_fifos_.size() > isa::kNumFifoIds ||
+      out_fifos_.size() > isa::kNumFifoIds) {
+    throw ConfigError("Controller " + this->name() +
+                      ": more FIFOs than the ISA can address");
+  }
+}
+
+void Controller::issue_fetch() {
+  iface_.master().start_read(iface_.translate(kProgramBank, pc_), 1);
+  state_ = State::kFetch;
+}
+
+void Controller::next_instruction() {
+  ++pc_;
+  if (pc_ >= iface_.prog_size()) {
+    fault("program ran off the end (missing eop)");
+    return;
+  }
+  issue_fetch();
+}
+
+void Controller::fault(const char* why) {
+  (void)why;  // surfaced through the ERR control bit; why aids debugging
+  ++stats_.faults;
+  iface_.signal_error();
+  iface_.set_running(false);
+  state_ = State::kIdle;
+}
+
+void Controller::decode_and_issue() {
+  ++stats_.decode_cycles;
+  const auto decoded = isa::decode(ir_);
+  if (!decoded) {
+    fault("unassigned opcode");
+    return;
+  }
+  cur_ = *decoded;
+  if (isa_level_ == IsaLevel::kV1 && !isa::is_v1_opcode(cur_.op)) {
+    fault("v2 instruction on a v1 controller");
+    return;
+  }
+  ++stats_.instructions;
+
+  switch (cur_.op) {
+    case isa::Opcode::kMvtc: {
+      if (cur_.fifo >= in_fifos_.size()) {
+        fault("mvtc: no such input FIFO");
+        return;
+      }
+      sink_.select(in_fifos_[cur_.fifo]);
+      iface_.master().start_read_stream(
+          iface_.translate(cur_.bank, cur_.offset + loop_iter_ * cur_.len),
+          cur_.len, sink_);
+      state_ = State::kXfer;
+      break;
+    }
+    case isa::Opcode::kMvfc: {
+      if (cur_.fifo >= out_fifos_.size()) {
+        fault("mvfc: no such output FIFO");
+        return;
+      }
+      source_.select(out_fifos_[cur_.fifo]);
+      iface_.master().start_write_stream(
+          iface_.translate(cur_.bank, cur_.offset + loop_iter_ * cur_.len),
+          cur_.len, source_);
+      state_ = State::kXfer;
+      break;
+    }
+    case isa::Opcode::kExec:
+      rac_.start();
+      state_ = State::kExecWait;
+      break;
+    case isa::Opcode::kExecs:
+      rac_.start();
+      next_instruction();
+      break;
+    case isa::Opcode::kWait:
+      state_ = State::kExecWait;
+      break;
+    case isa::Opcode::kNop:
+      next_instruction();
+      break;
+    case isa::Opcode::kIrq:
+      ++stats_.progress_irqs;
+      iface_.signal_progress();
+      next_instruction();
+      break;
+    case isa::Opcode::kLoop: {
+      if (cur_.target >= pc_) {
+        fault("loop: target must be backward");
+        return;
+      }
+      if (!loop_active_) {
+        loop_active_ = true;
+        loop_left_ = cur_.count;
+        loop_iter_ = 0;
+      }
+      if (loop_left_ > 0) {
+        --loop_left_;
+        ++loop_iter_;
+        pc_ = cur_.target;
+        issue_fetch();
+      } else {
+        loop_active_ = false;
+        loop_iter_ = 0;
+        next_instruction();
+      }
+      break;
+    }
+    case isa::Opcode::kEop:
+      ++stats_.runs;
+      iface_.signal_done();
+      iface_.set_running(false);
+      state_ = State::kIdle;
+      break;
+  }
+}
+
+void Controller::tick_compute() {
+  switch (state_) {
+    case State::kIdle:
+      if (iface_.start_pending()) {
+        iface_.ack_start();
+        iface_.set_running(true);
+        pc_ = 0;
+        loop_active_ = false;
+        loop_iter_ = 0;
+        if (iface_.prog_size() == 0) {
+          fault("program size is zero");
+          return;
+        }
+        issue_fetch();
+      } else {
+        ++stats_.idle_cycles;
+      }
+      break;
+    case State::kFetch:
+      if (!iface_.master().busy()) {
+        ir_ = iface_.master().rdata0();
+        state_ = State::kDecode;
+      } else {
+        ++stats_.fetch_cycles;
+      }
+      break;
+    case State::kDecode:
+      decode_and_issue();
+      break;
+    case State::kXfer:
+      if (!iface_.master().busy()) {
+        next_instruction();
+      } else {
+        ++stats_.xfer_cycles;
+      }
+      break;
+    case State::kExecWait:
+      if (!rac_.busy()) {
+        next_instruction();
+      } else {
+        ++stats_.exec_wait_cycles;
+      }
+      break;
+  }
+}
+
+res::ResourceNode Controller::resource_tree() const {
+  res::ResourceNode n{.name = name(), .self = {}, .children = {}};
+  res::ResourceEstimate seq;
+  seq += res::est_fsm(5, 18);                       // main FSM
+  seq += res::est_register(14);                     // PC
+  seq += res::est_register(32);                     // IR
+  seq += res::est_adder(14);                        // PC increment
+  res::ResourceEstimate dec;
+  dec += res::est_mux(8, 8);                        // opcode dispatch
+  dec += res::est_register(3 + 14 + 2 + 8);         // latched fields
+  dec += res::est_comparator(8);                    // burst-length checks
+  res::ResourceEstimate loop;
+  if (isa_level_ == IsaLevel::kV2) {
+    loop += res::est_register(14 + 8 + 1);          // loop target/count
+    loop += res::est_adder(8);
+    loop += res::est_comparator(8);
+  }
+  n.children.push_back({"sequencer", seq, {}});
+  n.children.push_back({"decoder", dec, {}});
+  if (isa_level_ == IsaLevel::kV2) {
+    n.children.push_back({"loop_unit", loop, {}});
+  }
+  return n;
+}
+
+}  // namespace ouessant::core

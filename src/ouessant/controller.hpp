@@ -1,0 +1,131 @@
+// The Ouessant controller (paper §III-D): an unpipelined
+// Fetch/Decode/Execute microcontroller that decodes the microcode program
+// and drives data transfers and accelerator execution.
+//
+// Timing: FETCH is a single-word bus read of the instruction from the
+// program bank (bank 0, see regs.hpp); DECODE takes one cycle and issues
+// the operation; EXECUTE lasts as long as the operation (a burst for
+// mvtc/mvfc, the RAC busy window for exec, one cycle for the rest).
+//
+// Faults (unassigned opcode, FIFO id beyond the RAC's ports, running off
+// the end of the program) stop execution and set the ERR control bit —
+// the hardware counterpart of the static Program verifier.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fifo/width_fifo.hpp"
+#include "ouessant/interface.hpp"
+#include "ouessant/isa.hpp"
+#include "ouessant/rac_if.hpp"
+#include "res/estimate.hpp"
+#include "sim/kernel.hpp"
+
+namespace ouessant::core {
+
+/// Which instruction subset the controller accepts. kV1 is the paper's
+/// 4-instruction controller; kV2 adds NOP/WAIT/LOOP (the paper's
+/// announced ISA evolution). Used by the E6 ablation.
+enum class IsaLevel { kV1, kV2 };
+
+struct ControllerStats {
+  u64 instructions = 0;
+  u64 fetch_cycles = 0;
+  u64 decode_cycles = 0;
+  u64 xfer_cycles = 0;
+  u64 exec_wait_cycles = 0;
+  u64 idle_cycles = 0;
+  u64 words_to_rac = 0;
+  u64 words_from_rac = 0;
+  u64 runs = 0;     ///< completed programs (EOP reached)
+  u64 faults = 0;
+  u64 progress_irqs = 0;  ///< v2 IRQ instructions executed
+};
+
+class Controller : public sim::Component, public res::ResourceAware {
+ public:
+  Controller(sim::Kernel& kernel, std::string name, BusInterface& iface,
+             Rac& rac, std::vector<fifo::WidthFifo*> in_fifos,
+             std::vector<fifo::WidthFifo*> out_fifos,
+             IsaLevel isa_level = IsaLevel::kV2);
+
+  // sim::Component
+  void tick_compute() override;
+
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] IsaLevel isa_level() const { return isa_level_; }
+  [[nodiscard]] bool running() const { return state_ != State::kIdle; }
+  [[nodiscard]] u32 pc() const { return pc_; }
+  /// Numeric FSM phase (0=idle 1=fetch 2=decode 3=xfer 4=exec-wait) for
+  /// waveform probes.
+  [[nodiscard]] u32 state_id() const { return static_cast<u32>(state_); }
+
+  // res::ResourceAware
+  [[nodiscard]] res::ResourceNode resource_tree() const override;
+
+ private:
+  enum class State { kIdle, kFetch, kDecode, kXfer, kExecWait };
+
+  /// BeatSink pushing arriving bus words into an input FIFO (mvtc).
+  class FifoSink : public bus::BeatSink {
+   public:
+    explicit FifoSink(Controller& c) : c_(c) {}
+    void select(fifo::WidthFifo* f) { f_ = f; }
+    [[nodiscard]] bool beat_space() const override { return !f_->full(); }
+    void put_beat(u32 data) override {
+      f_->write(data);
+      ++c_.stats_.words_to_rac;
+    }
+
+   private:
+    Controller& c_;
+    fifo::WidthFifo* f_ = nullptr;
+  };
+
+  /// BeatSource pulling outgoing bus words from an output FIFO (mvfc).
+  class FifoSource : public bus::BeatSource {
+   public:
+    explicit FifoSource(Controller& c) : c_(c) {}
+    void select(fifo::WidthFifo* f) { f_ = f; }
+    [[nodiscard]] bool beat_ready() const override { return !f_->empty(); }
+    u32 take_beat() override {
+      ++c_.stats_.words_from_rac;
+      return static_cast<u32>(f_->read());
+    }
+
+   private:
+    Controller& c_;
+    fifo::WidthFifo* f_ = nullptr;
+  };
+
+  void issue_fetch();
+  void next_instruction();
+  void decode_and_issue();
+  void fault(const char* why);
+
+  BusInterface& iface_;
+  Rac& rac_;
+  std::vector<fifo::WidthFifo*> in_fifos_;
+  std::vector<fifo::WidthFifo*> out_fifos_;
+  IsaLevel isa_level_;
+
+  State state_ = State::kIdle;
+  u32 pc_ = 0;
+  u32 ir_ = 0;
+  isa::Instruction cur_{};
+
+  // Single hardware loop register (v2 LOOP). While a loop is active,
+  // mvtc/mvfc offsets auto-increment by (iteration * burst length) —
+  // "post-increment streaming mode" — so one looped transfer instruction
+  // replaces an unrolled ladder of them (the E6 ablation).
+  bool loop_active_ = false;
+  u32 loop_left_ = 0;
+  u32 loop_iter_ = 0;  ///< completed iterations of the active loop
+
+  FifoSink sink_;
+  FifoSource source_;
+  ControllerStats stats_;
+};
+
+}  // namespace ouessant::core

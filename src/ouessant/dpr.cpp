@@ -1,0 +1,151 @@
+#include "ouessant/dpr.hpp"
+
+#include <algorithm>
+
+namespace ouessant::core {
+
+namespace {
+
+bool specs_equal(const std::vector<Rac::FifoSpec>& a,
+                 const std::vector<Rac::FifoSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].rac_width != b[i].rac_width ||
+        a[i].capacity_bits != b[i].capacity_bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void ReconfigSlot::check_specs_match(const std::vector<Rac*>& candidates) {
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (!specs_equal(candidates[0]->input_specs(),
+                     candidates[i]->input_specs()) ||
+        !specs_equal(candidates[0]->output_specs(),
+                     candidates[i]->output_specs())) {
+      throw ConfigError(
+          "ReconfigSlot: candidate '" + candidates[i]->name() +
+          "' does not match the slot's fixed FIFO interface (all partial "
+          "bitstreams must conform to the static region pins)");
+    }
+  }
+}
+
+ReconfigSlot::ReconfigSlot(sim::Kernel& kernel, std::string name,
+                           std::vector<Rac*> candidates, IcapConfig icap)
+    : Rac(kernel, std::move(name)),
+      candidates_(std::move(candidates)),
+      icap_(icap) {
+  if (candidates_.empty()) {
+    throw ConfigError("ReconfigSlot " + this->name() + ": no candidates");
+  }
+  if (icap_.bytes_per_cycle == 0) {
+    throw ConfigError("ReconfigSlot " + this->name() + ": zero ICAP rate");
+  }
+  check_specs_match(candidates_);
+}
+
+u32 ReconfigSlot::bitstream_bytes_for(const res::ResourceEstimate& e) {
+  // Frame-count model: each LUT/FF column contributes configuration
+  // frames; BRAM content dominates when present.
+  const u64 bytes = static_cast<u64>(e.luts) * 64 +
+                    static_cast<u64>(e.ffs) * 8 +
+                    static_cast<u64>(e.bram36) * (36 * 1024 / 8) +
+                    static_cast<u64>(e.dsps) * 512;
+  return static_cast<u32>(round_up(std::max<u64>(bytes, 1024), 256));
+}
+
+u32 ReconfigSlot::swap_cycles(std::size_t index) const {
+  const auto e = candidates_.at(index)->resource_tree().total();
+  return bitstream_bytes_for(e) / icap_.bytes_per_cycle +
+         icap_.swap_overhead_cycles;
+}
+
+void ReconfigSlot::request_swap(std::size_t index) {
+  if (index >= candidates_.size()) {
+    throw SimError("ReconfigSlot " + name() + ": no such candidate");
+  }
+  if (busy()) {
+    throw SimError("ReconfigSlot " + name() +
+                   ": swap requested while the region is active (quiesce "
+                   "the accelerator first)");
+  }
+  if (index == active_) return;  // already loaded
+  target_ = index;
+  reconfig_left_ = swap_cycles(index);
+  ++swaps_;
+}
+
+std::vector<Rac::FifoSpec> ReconfigSlot::input_specs() const {
+  return candidates_[0]->input_specs();
+}
+
+std::vector<Rac::FifoSpec> ReconfigSlot::output_specs() const {
+  return candidates_[0]->output_specs();
+}
+
+void ReconfigSlot::bind(std::vector<fifo::WidthFifo*> in,
+                        std::vector<fifo::WidthFifo*> out) {
+  // The static region pins are shared: every candidate is wired to the
+  // same FIFOs. Inactive candidates never touch them (they only act
+  // after start()).
+  for (Rac* c : candidates_) c->bind(in, out);
+}
+
+void ReconfigSlot::start() {
+  if (reconfiguring()) {
+    throw SimError("ReconfigSlot " + name() +
+                   ": start_op during reconfiguration");
+  }
+  candidates_[active_]->start();
+}
+
+bool ReconfigSlot::busy() const {
+  return reconfiguring() || candidates_[active_]->busy();
+}
+
+u64 ReconfigSlot::completed_ops() const {
+  u64 total = 0;
+  for (const Rac* c : candidates_) total += c->completed_ops();
+  return total;
+}
+
+void ReconfigSlot::tick_compute() {
+  if (reconfig_left_ > 0) {
+    --reconfig_left_;
+    ++reconfig_cycles_total_;
+    if (reconfig_left_ == 0) {
+      active_ = target_;
+    }
+  }
+}
+
+res::ResourceNode ReconfigSlot::resource_tree() const {
+  res::ResourceNode n{.name = name() + " (PR region)", .self = {},
+                      .children = {}};
+  // Region envelope: element-wise max over candidates.
+  res::ResourceEstimate region;
+  for (const Rac* c : candidates_) {
+    const auto e = c->resource_tree().total();
+    region.luts = std::max(region.luts, e.luts);
+    region.ffs = std::max(region.ffs, e.ffs);
+    region.bram36 = std::max(region.bram36, e.bram36);
+    region.dsps = std::max(region.dsps, e.dsps);
+  }
+  // Static decoupling logic on every region pin.
+  res::ResourceEstimate decouple;
+  for (const auto& spec : input_specs()) {
+    decouple += res::est_register(spec.rac_width + 2);
+  }
+  for (const auto& spec : output_specs()) {
+    decouple += res::est_register(spec.rac_width + 2);
+  }
+  n.children.push_back({"region_envelope", region, {}});
+  n.children.push_back({"decouple_logic", decouple, {}});
+  return n;
+}
+
+}  // namespace ouessant::core

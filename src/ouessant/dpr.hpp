@@ -1,0 +1,87 @@
+// Dynamic Partial Reconfiguration support — one of the paper's announced
+// work-in-progress features ("Current work in progress includes complete
+// Zynq (AXI4) integration, and Dynamic Partial Reconfiguration").
+//
+// ReconfigSlot models a reconfigurable region hosting one of several
+// pre-implemented RACs ("partial bitstreams"). The static side of the
+// region — the FIFO interface the OCP wires up — is fixed, so every
+// candidate must expose identical FIFO specs; swapping then only requires
+// streaming the new bitstream through the configuration port (ICAP),
+// which takes bitstream_bytes / icap_bytes_per_cycle cycles at the system
+// clock. During reconfiguration the slot reports busy and start_op is a
+// fault, exactly like real DPR flows gate the region.
+#pragma once
+
+#include <vector>
+
+#include "ouessant/rac_if.hpp"
+
+namespace ouessant::core {
+
+struct IcapConfig {
+  /// 7-series ICAP is 32 bits wide, one word per cycle.
+  u32 bytes_per_cycle = 4;
+  /// Extra cycles per swap: decouple logic, flush, reset sequence.
+  u32 swap_overhead_cycles = 64;
+};
+
+class ReconfigSlot : public Rac {
+ public:
+  /// @p candidates must all expose identical input/output FIFO specs
+  /// (the fixed static interface of the region). Candidate 0 is loaded
+  /// at construction ("initial configuration").
+  ReconfigSlot(sim::Kernel& kernel, std::string name,
+               std::vector<Rac*> candidates, IcapConfig icap = {});
+
+  // -- DPR control (host side; models the ICAP driver) -----------------
+  /// Begin loading candidate @p index. Throws SimError while the active
+  /// RAC is busy (a real flow must quiesce the region first).
+  void request_swap(std::size_t index);
+
+  [[nodiscard]] bool reconfiguring() const { return reconfig_left_ > 0; }
+  [[nodiscard]] std::size_t active_index() const { return active_; }
+  [[nodiscard]] std::size_t candidate_count() const {
+    return candidates_.size();
+  }
+  [[nodiscard]] u64 swaps() const { return swaps_; }
+  [[nodiscard]] u64 reconfig_cycles_total() const {
+    return reconfig_cycles_total_;
+  }
+
+  /// Cycles a swap to @p index takes (bitstream size / ICAP throughput
+  /// plus the fixed overhead).
+  [[nodiscard]] u32 swap_cycles(std::size_t index) const;
+
+  /// Partial-bitstream size model: configuration frames scale with the
+  /// logic/RAM content of the region (Artix7-class constants).
+  [[nodiscard]] static u32 bitstream_bytes_for(const res::ResourceEstimate& e);
+
+  // -- core::Rac (delegating to the active candidate) -------------------
+  [[nodiscard]] std::vector<FifoSpec> input_specs() const override;
+  [[nodiscard]] std::vector<FifoSpec> output_specs() const override;
+  void bind(std::vector<fifo::WidthFifo*> in,
+            std::vector<fifo::WidthFifo*> out) override;
+  void start() override;
+  [[nodiscard]] bool busy() const override;
+  [[nodiscard]] u64 completed_ops() const override;
+
+  // sim::Component
+  void tick_compute() override;
+
+  /// Region resources: the max over candidates (the region must fit the
+  /// largest bitstream) plus the static decoupling logic.
+  [[nodiscard]] res::ResourceNode resource_tree() const override;
+
+ private:
+  static void check_specs_match(const std::vector<Rac*>& candidates);
+
+  std::vector<Rac*> candidates_;
+  IcapConfig icap_;
+  std::size_t active_ = 0;
+  std::size_t target_ = 0;
+  u32 reconfig_left_ = 0;
+  u64 swaps_ = 0;
+  u64 reconfig_cycles_total_ = 0;
+};
+
+}  // namespace ouessant::core

@@ -1,0 +1,116 @@
+#include "ouessant/emulator.hpp"
+
+namespace ouessant::core {
+
+EmuResult emulate(const Program& prog, const EmuConfig& cfg,
+                  std::map<Addr, u32>& memory, const EmuRac& rac) {
+  EmuResult r;
+  auto fault = [&r](const std::string& why) {
+    r.ok = false;
+    r.fault = why;
+  };
+
+  std::vector<std::deque<u32>> in_fifos(cfg.num_in_fifos);
+  std::vector<std::deque<u32>> out_fifos(cfg.num_out_fifos);
+
+  u32 pc = 0;
+  bool loop_active = false;
+  u32 loop_left = 0;
+  u32 loop_iter = 0;
+  u64 fuel = cfg.max_steps;
+
+  while (fuel-- > 0) {
+    if (pc >= prog.size()) {
+      fault("ran off the end of the program");
+      return r;
+    }
+    const isa::Instruction& ins = prog.at(pc);
+    ++r.instructions;
+    switch (ins.op) {
+      case isa::Opcode::kMvtc: {
+        if (ins.fifo >= cfg.num_in_fifos) {
+          fault("mvtc: no such input FIFO");
+          return r;
+        }
+        const Addr base =
+            cfg.banks[ins.bank] + (ins.offset + loop_iter * ins.len) * 4;
+        for (u32 i = 0; i < ins.len; ++i) {
+          const auto it = memory.find(base + i * 4);
+          in_fifos[ins.fifo].push_back(it == memory.end() ? 0 : it->second);
+        }
+        r.words_to_rac += ins.len;
+        ++pc;
+        break;
+      }
+      case isa::Opcode::kMvfc: {
+        if (ins.fifo >= cfg.num_out_fifos) {
+          fault("mvfc: no such output FIFO");
+          return r;
+        }
+        if (out_fifos[ins.fifo].size() < ins.len) {
+          fault("mvfc: output FIFO underflow (program would deadlock)");
+          return r;
+        }
+        const Addr base =
+            cfg.banks[ins.bank] + (ins.offset + loop_iter * ins.len) * 4;
+        for (u32 i = 0; i < ins.len; ++i) {
+          memory[base + i * 4] = out_fifos[ins.fifo].front();
+          out_fifos[ins.fifo].pop_front();
+        }
+        r.words_from_rac += ins.len;
+        ++pc;
+        break;
+      }
+      case isa::Opcode::kExec:
+      case isa::Opcode::kExecs:
+        rac(in_fifos, out_fifos);
+        ++r.rac_ops;
+        ++pc;
+        break;
+      case isa::Opcode::kWait:
+      case isa::Opcode::kNop:
+        ++pc;
+        break;
+      case isa::Opcode::kIrq:
+        ++r.irqs;
+        ++pc;
+        break;
+      case isa::Opcode::kLoop:
+        if (ins.target >= pc) {
+          fault("loop: target must be backward");
+          return r;
+        }
+        if (!loop_active) {
+          loop_active = true;
+          loop_left = ins.count;
+          loop_iter = 0;
+        }
+        if (loop_left > 0) {
+          --loop_left;
+          ++loop_iter;
+          pc = ins.target;
+        } else {
+          loop_active = false;
+          loop_iter = 0;
+          ++pc;
+        }
+        break;
+      case isa::Opcode::kEop:
+        return r;
+    }
+  }
+  fault("out of fuel (runaway program)");
+  return r;
+}
+
+EmuRac passthrough_emu_rac() {
+  return [](std::vector<std::deque<u32>>& in_fifos,
+            std::vector<std::deque<u32>>& out_fifos) {
+    while (!in_fifos[0].empty()) {
+      out_fifos[0].push_back(in_fifos[0].front());
+      in_fifos[0].pop_front();
+    }
+  };
+}
+
+}  // namespace ouessant::core

@@ -1,0 +1,133 @@
+#include "ouessant/isa.hpp"
+
+#include <sstream>
+
+namespace ouessant::isa {
+
+bool is_v1_opcode(Opcode op) {
+  switch (op) {
+    case Opcode::kMvtc:
+    case Opcode::kMvfc:
+    case Opcode::kExec:
+    case Opcode::kExecs:
+    case Opcode::kEop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool opcode_valid(u8 raw) { return raw <= static_cast<u8>(Opcode::kIrq); }
+
+std::string mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kMvtc: return "mvtc";
+    case Opcode::kMvfc: return "mvfc";
+    case Opcode::kExec: return "exec";
+    case Opcode::kExecs: return "execs";
+    case Opcode::kEop: return "eop";
+    case Opcode::kWait: return "wait";
+    case Opcode::kLoop: return "loop";
+    case Opcode::kIrq: return "irq";
+  }
+  std::ostringstream os;
+  os << "op_0x" << std::hex << static_cast<unsigned>(op);
+  return os.str();
+}
+
+namespace {
+
+void check_range(const char* what, u64 value, u64 max) {
+  if (value > max) {
+    std::ostringstream os;
+    os << "isa::encode: " << what << " = " << value << " exceeds " << max;
+    throw SimError(os.str());
+  }
+}
+
+}  // namespace
+
+u32 encode(const Instruction& ins) {
+  u32 w = static_cast<u32>(ins.op) << 27;
+  switch (ins.op) {
+    case Opcode::kMvtc:
+    case Opcode::kMvfc: {
+      check_range("bank", ins.bank, kNumBanks - 1);
+      check_range("offset", ins.offset, kMaxOffset);
+      check_range("fifo", ins.fifo, kNumFifoIds - 1);
+      if (ins.len == 0 || ins.len > kMaxBurst) {
+        throw SimError("isa::encode: burst length must be 1..256");
+      }
+      w |= static_cast<u32>(ins.bank) << 24;
+      w |= ins.offset << 10;
+      w |= static_cast<u32>(ins.fifo) << 8;
+      w |= ins.len & 0xFFu;  // 256 encodes as 0
+      break;
+    }
+    case Opcode::kLoop: {
+      check_range("loop target", ins.target, kMaxLoopTarget);
+      check_range("loop count", ins.count, kMaxLoopCount);
+      w |= ins.target << 10;
+      w |= ins.count & 0xFFu;
+      break;
+    }
+    case Opcode::kNop:
+    case Opcode::kExec:
+    case Opcode::kExecs:
+    case Opcode::kEop:
+    case Opcode::kWait:
+    case Opcode::kIrq:
+      break;
+  }
+  return w;
+}
+
+std::optional<Instruction> decode(u32 word) {
+  const u8 raw_op = static_cast<u8>(word >> 27);
+  if (!opcode_valid(raw_op)) return std::nullopt;
+  Instruction ins;
+  ins.op = static_cast<Opcode>(raw_op);
+  switch (ins.op) {
+    case Opcode::kMvtc:
+    case Opcode::kMvfc:
+      ins.bank = static_cast<u8>((word >> 24) & 0x7u);
+      ins.offset = (word >> 10) & kMaxOffset;
+      ins.fifo = static_cast<u8>((word >> 8) & 0x3u);
+      ins.len = word & 0xFFu;
+      if (ins.len == 0) ins.len = kMaxBurst;
+      break;
+    case Opcode::kLoop:
+      ins.target = (word >> 10) & kMaxLoopTarget;
+      ins.count = word & 0xFFu;
+      break;
+    case Opcode::kNop:
+    case Opcode::kExec:
+    case Opcode::kExecs:
+    case Opcode::kEop:
+    case Opcode::kWait:
+    case Opcode::kIrq:
+      break;
+  }
+  return ins;
+}
+
+std::string to_string(const Instruction& ins) {
+  std::ostringstream os;
+  os << mnemonic(ins.op);
+  switch (ins.op) {
+    case Opcode::kMvtc:
+    case Opcode::kMvfc:
+      os << " BANK" << static_cast<unsigned>(ins.bank) << ',' << ins.offset
+         << ",DMA" << ins.len << ",FIFO" << static_cast<unsigned>(ins.fifo);
+      break;
+    case Opcode::kLoop:
+      os << ' ' << ins.target << ',' << ins.count;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ouessant::isa

@@ -1,0 +1,100 @@
+// The Ouessant instruction set.
+//
+// Instructions are 32-bit words with a 5-bit operation code (bits [31:27]),
+// "which allows up to 32 different instructions" (paper §III-D). The v1
+// set is the paper's four instructions; the paper announces a richer set
+// as future work ("the instruction set is also being worked on"), which we
+// implement as the v2 extension: NOP, WAIT (split exec/wait pairing with
+// EXECS) and LOOP (hardware loop register for compact transfer microcode —
+// evaluated by the E6 ablation bench).
+//
+// Field layout (data-transfer instructions, paper Fig. 3/4):
+//   [31:27] opcode
+//   [26:24] bank id            (8 banks, matching the 8 bank registers)
+//   [23:10] offset             (14-bit word offset inside the bank)
+//   [9:8]   FIFO id            (up to 4 FIFOs per direction)
+//   [7:0]   burst length       (words; 0 encodes 256 — "DMA256")
+//
+// LOOP layout:
+//   [31:27] opcode
+//   [23:10] target             (instruction index)
+//   [7:0]   count              (additional iterations; see Controller)
+//
+// IRQ raises the interrupt line (and the PROG status bit) without ending
+// the program — firmware can report per-stage progress, one of the
+// "increased autonomy" directions of §II-B.
+//
+// LOOP semantics: the body between `target` and the LOOP executes
+// count+1 times in total, using the single hardware loop register (no
+// nesting). While a loop is active, mvtc/mvfc offsets auto-increment by
+// iteration*len ("post-increment streaming mode"), so
+//     mvtc BANK1,0,DMA64,FIFO0 ; loop ...,6
+// walks the bank in 64-word steps exactly like Fig. 4's unrolled ladder.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ouessant::isa {
+
+enum class Opcode : u8 {
+  kNop = 0x00,    ///< v2: no operation
+  kMvtc = 0x01,   ///< move to coprocessor: memory -> FIFO
+  kMvfc = 0x02,   ///< move from coprocessor: FIFO -> memory
+  kExec = 0x03,   ///< start RAC and wait for end_op
+  kExecs = 0x04,  ///< start RAC, continue immediately (Fig. 4 "execs")
+  kEop = 0x05,    ///< end of program: set D, interrupt CPU if IE
+  kWait = 0x06,   ///< v2: wait for RAC end_op (pairs with EXECS)
+  kLoop = 0x07,   ///< v2: hardware loop
+  kIrq = 0x08,    ///< v2: signal the CPU mid-program (progress interrupt)
+};
+
+inline constexpr unsigned kOpcodeBits = 5;
+inline constexpr unsigned kBankBits = 3;
+inline constexpr unsigned kOffsetBits = 14;
+inline constexpr unsigned kFifoBits = 2;
+inline constexpr unsigned kLenBits = 8;
+
+inline constexpr u32 kNumBanks = 1u << kBankBits;
+inline constexpr u32 kMaxOffset = (1u << kOffsetBits) - 1;
+inline constexpr u32 kNumFifoIds = 1u << kFifoBits;
+inline constexpr u32 kMaxBurst = 1u << kLenBits;  // len field 0 => 256
+inline constexpr u32 kMaxLoopCount = (1u << kLenBits) - 1;
+inline constexpr u32 kMaxLoopTarget = (1u << kOffsetBits) - 1;
+
+/// Decoded instruction. Field validity depends on the opcode:
+/// MVTC/MVFC use bank/offset/fifo/len; LOOP uses target/count.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  u8 bank = 0;
+  u32 offset = 0;  ///< word offset inside the bank
+  u8 fifo = 0;
+  u32 len = 1;     ///< burst length in words, 1..256
+  u32 target = 0;  ///< LOOP jump target (instruction index)
+  u32 count = 0;   ///< LOOP extra iterations
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// True for opcodes the v1 controller implements (the paper's 4).
+[[nodiscard]] bool is_v1_opcode(Opcode op);
+
+/// True if the 5-bit code is an assigned opcode.
+[[nodiscard]] bool opcode_valid(u8 raw);
+
+/// Mnemonic ("mvtc", ...) or "op_0xNN" for unassigned codes.
+[[nodiscard]] std::string mnemonic(Opcode op);
+
+/// Encode to the 32-bit instruction word. Throws SimError if a field is
+/// out of range for its bit width.
+[[nodiscard]] u32 encode(const Instruction& ins);
+
+/// Decode a 32-bit word. Returns std::nullopt for unassigned opcodes.
+[[nodiscard]] std::optional<Instruction> decode(u32 word);
+
+/// Render one instruction in assembler syntax (see Assembler).
+[[nodiscard]] std::string to_string(const Instruction& ins);
+
+}  // namespace ouessant::isa

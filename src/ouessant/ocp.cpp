@@ -1,0 +1,66 @@
+#include "ouessant/ocp.hpp"
+
+namespace ouessant::core {
+
+Ocp::Ocp(sim::Kernel& kernel, std::string name, bus::InterconnectModel& bus,
+         Rac& rac, OcpConfig cfg)
+    : name_(std::move(name)), cfg_(cfg), rac_(rac) {
+  master_ = &bus.connect_master(name_ + ".master", cfg_.master_priority);
+  iface_ = std::make_unique<BusInterface>(name_ + ".iface", cfg_.reg_base,
+                                          *master_);
+  bus.connect_slave(*iface_, cfg_.reg_base, kRegSpanBytes);
+
+  const auto in_specs = rac_.input_specs();
+  const auto out_specs = rac_.output_specs();
+  if (in_specs.empty() || out_specs.empty()) {
+    throw ConfigError("Ocp " + name_ + ": RAC must expose at least one "
+                      "input and one output FIFO");
+  }
+  if (in_specs.size() > isa::kNumFifoIds ||
+      out_specs.size() > isa::kNumFifoIds) {
+    throw ConfigError("Ocp " + name_ + ": RAC asks for more FIFOs than the "
+                      "ISA can address");
+  }
+
+  std::vector<fifo::WidthFifo*> ins;
+  std::vector<fifo::WidthFifo*> outs;
+  for (std::size_t i = 0; i < in_specs.size(); ++i) {
+    in_fifos_.push_back(std::make_unique<fifo::WidthFifo>(
+        kernel, name_ + ".fifo_in" + std::to_string(i),
+        fifo::WidthFifoConfig{.wr_width = 32,
+                              .rd_width = in_specs[i].rac_width,
+                              .capacity_bits = in_specs[i].capacity_bits}));
+    ins.push_back(in_fifos_.back().get());
+  }
+  for (std::size_t i = 0; i < out_specs.size(); ++i) {
+    out_fifos_.push_back(std::make_unique<fifo::WidthFifo>(
+        kernel, name_ + ".fifo_out" + std::to_string(i),
+        fifo::WidthFifoConfig{.wr_width = out_specs[i].rac_width,
+                              .rd_width = 32,
+                              .capacity_bits = out_specs[i].capacity_bits}));
+    outs.push_back(out_fifos_.back().get());
+  }
+  rac_.bind(ins, outs);
+
+  controller_ = std::make_unique<Controller>(kernel, name_ + ".ctrl",
+                                             *iface_, rac_, ins, outs,
+                                             cfg_.isa_level);
+}
+
+res::ResourceNode Ocp::resource_tree() const {
+  res::ResourceNode n{.name = name_ + " (OCP)", .self = {}, .children = {}};
+  n.children.push_back(iface_->resource_tree());
+  n.children.push_back(controller_->resource_tree());
+  for (const auto& f : in_fifos_) n.children.push_back(f->resource_tree());
+  for (const auto& f : out_fifos_) n.children.push_back(f->resource_tree());
+  return n;
+}
+
+res::ResourceNode Ocp::full_resource_tree() const {
+  res::ResourceNode n{.name = name_ + " (OCP+RAC)", .self = {}, .children = {}};
+  n.children.push_back(resource_tree());
+  n.children.push_back(rac_.resource_tree());
+  return n;
+}
+
+}  // namespace ouessant::core

@@ -1,0 +1,148 @@
+#include "ouessant/program.hpp"
+
+#include <sstream>
+
+namespace ouessant::core {
+
+std::vector<u32> Program::image() const {
+  std::vector<u32> out;
+  out.reserve(code_.size());
+  for (const auto& ins : code_) out.push_back(isa::encode(ins));
+  return out;
+}
+
+Program Program::from_image(const std::vector<u32>& words) {
+  Program p;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    auto ins = isa::decode(words[i]);
+    if (!ins) {
+      throw SimError("Program::from_image: unassigned opcode at index " +
+                     std::to_string(i));
+    }
+    p.push(*ins);
+  }
+  return p;
+}
+
+std::string Program::listing() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    os << i << ":\t" << isa::to_string(code_[i]) << '\n';
+  }
+  return os.str();
+}
+
+Program& Program::mvtc(u8 bank, u32 offset, u32 len, u8 fifo) {
+  push({.op = isa::Opcode::kMvtc, .bank = bank, .offset = offset,
+        .fifo = fifo, .len = len});
+  return *this;
+}
+
+Program& Program::mvfc(u8 bank, u32 offset, u32 len, u8 fifo) {
+  push({.op = isa::Opcode::kMvfc, .bank = bank, .offset = offset,
+        .fifo = fifo, .len = len});
+  return *this;
+}
+
+Program& Program::exec() {
+  push({.op = isa::Opcode::kExec});
+  return *this;
+}
+
+Program& Program::execs() {
+  push({.op = isa::Opcode::kExecs});
+  return *this;
+}
+
+Program& Program::eop() {
+  push({.op = isa::Opcode::kEop});
+  return *this;
+}
+
+Program& Program::nop() {
+  push({.op = isa::Opcode::kNop});
+  return *this;
+}
+
+Program& Program::wait() {
+  push({.op = isa::Opcode::kWait});
+  return *this;
+}
+
+Program& Program::loop(u32 target, u32 count) {
+  push({.op = isa::Opcode::kLoop, .target = target, .count = count});
+  return *this;
+}
+
+Program& Program::irq() {
+  push({.op = isa::Opcode::kIrq});
+  return *this;
+}
+
+std::string VerifyResult::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : errors) {
+    os << "pc " << e.pc << ": " << e.message << '\n';
+  }
+  return os.str();
+}
+
+VerifyResult verify(const Program& prog, u32 num_in_fifos,
+                    u32 num_out_fifos) {
+  VerifyResult r;
+  auto fail = [&r](std::size_t pc, const std::string& msg) {
+    r.ok = false;
+    r.errors.push_back({pc, msg});
+  };
+
+  if (prog.empty()) {
+    fail(0, "empty program");
+    return r;
+  }
+  if (prog.size() > isa::kMaxLoopTarget + 1) {
+    fail(prog.size() - 1, "program exceeds the 14-bit PC range");
+  }
+
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    const isa::Instruction& ins = prog.at(pc);
+    try {
+      (void)isa::encode(ins);
+    } catch (const SimError& e) {
+      fail(pc, e.what());
+      continue;
+    }
+    switch (ins.op) {
+      case isa::Opcode::kMvtc:
+        if (ins.fifo >= num_in_fifos) {
+          fail(pc, "mvtc targets input FIFO " + std::to_string(ins.fifo) +
+                       " but the RAC has " + std::to_string(num_in_fifos));
+        }
+        break;
+      case isa::Opcode::kMvfc:
+        if (ins.fifo >= num_out_fifos) {
+          fail(pc, "mvfc reads output FIFO " + std::to_string(ins.fifo) +
+                       " but the RAC has " + std::to_string(num_out_fifos));
+        }
+        break;
+      case isa::Opcode::kLoop:
+        if (ins.target >= prog.size()) {
+          fail(pc, "loop target out of range");
+        } else if (ins.target >= pc) {
+          fail(pc, "loop target must be strictly backward");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Run-off-the-end check: scanning forward, execution past the last
+  // instruction is only safe if the final instruction is EOP (LOOP falls
+  // through once exhausted).
+  if (prog.at(prog.size() - 1).op != isa::Opcode::kEop) {
+    fail(prog.size() - 1, "last instruction must be eop");
+  }
+  return r;
+}
+
+}  // namespace ouessant::core

@@ -1,0 +1,81 @@
+// Microcode program container and static verifier.
+//
+// A Program is what the host CPU writes into the program memory bank and
+// what the controller fetches and executes. The verifier performs the
+// static checks the firmware author relies on (the paper stresses easy
+// firmware authoring: "Actual location of data is irrelevant when
+// designing the coprocessor or writing the firmware").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ouessant/isa.hpp"
+
+namespace ouessant::core {
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<isa::Instruction> code) : code_(std::move(code)) {}
+
+  void push(const isa::Instruction& ins) { code_.push_back(ins); }
+
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] bool empty() const { return code_.empty(); }
+  [[nodiscard]] const isa::Instruction& at(std::size_t i) const {
+    return code_.at(i);
+  }
+  [[nodiscard]] const std::vector<isa::Instruction>& code() const {
+    return code_;
+  }
+
+  /// Binary image (one 32-bit word per instruction), ready to be written
+  /// into the program bank.
+  [[nodiscard]] std::vector<u32> image() const;
+
+  /// Reconstruct a program from a binary image. Throws SimError on
+  /// unassigned opcodes.
+  static Program from_image(const std::vector<u32>& words);
+
+  /// Assembler-syntax listing (one instruction per line).
+  [[nodiscard]] std::string listing() const;
+
+  // -- convenience builders (the host-library API used by drivers) -------
+  Program& mvtc(u8 bank, u32 offset, u32 len, u8 fifo = 0);
+  Program& mvfc(u8 bank, u32 offset, u32 len, u8 fifo = 0);
+  Program& exec();
+  Program& execs();
+  Program& eop();
+  Program& nop();
+  Program& wait();
+  Program& loop(u32 target, u32 count);
+  Program& irq();
+
+ private:
+  std::vector<isa::Instruction> code_;
+};
+
+struct VerifyIssue {
+  std::size_t pc;       ///< instruction index the issue refers to
+  std::string message;
+};
+
+struct VerifyResult {
+  bool ok = true;
+  std::vector<VerifyIssue> errors;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Static program verification:
+///  * non-empty, and within the 14-bit PC range,
+///  * every field inside its architectural range (encode would succeed),
+///  * FIFO ids within the attached RAC's port counts (when provided),
+///  * LOOP targets in range and strictly backward (the single hardware
+///    loop register does not support forward jumps or nesting),
+///  * execution must not be able to run off the end: the last
+///    sequentially-reachable instruction must be EOP.
+VerifyResult verify(const Program& prog, u32 num_in_fifos = isa::kNumFifoIds,
+                    u32 num_out_fifos = isa::kNumFifoIds);
+
+}  // namespace ouessant::core

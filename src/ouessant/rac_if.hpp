@@ -1,0 +1,53 @@
+// The RAC (Reconfigurable Acceleration Coprocessor) integration contract.
+//
+// A RAC is the user-defined accelerator of Fig. 1/2: it communicates only
+// through width-adapting FIFOs plus a start_op/end_op handshake, and "can
+// be changed independently from other components of the OCP". Concrete
+// accelerators live in src/rac; this header is the boundary the core
+// library integrates against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fifo/width_fifo.hpp"
+#include "res/estimate.hpp"
+#include "sim/kernel.hpp"
+
+namespace ouessant::core {
+
+class Rac : public sim::Component, public res::ResourceAware {
+ public:
+  /// Describes one FIFO the OCP must instantiate for this RAC. The bus
+  /// side of every FIFO is 32 bits; the RAC side is `rac_width` bits
+  /// (serializing / deserializing FIFOs, paper Fig. 2: 32 <-> 96).
+  struct FifoSpec {
+    unsigned rac_width = 32;   ///< accelerator-port width in bits
+    u32 capacity_bits = 0;     ///< 0: WidthFifo default sizing
+  };
+
+  Rac(sim::Kernel& kernel, std::string name)
+      : sim::Component(kernel, std::move(name)) {}
+
+  /// FIFOs feeding the accelerator (mvtc targets).
+  [[nodiscard]] virtual std::vector<FifoSpec> input_specs() const = 0;
+  /// FIFOs drained by the OCP (mvfc sources).
+  [[nodiscard]] virtual std::vector<FifoSpec> output_specs() const = 0;
+
+  /// Called once by the OCP after FIFO construction. `in[i]` matches
+  /// input_specs()[i] (RAC reads its rd side); `out[i]` matches
+  /// output_specs()[i] (RAC writes its wr side).
+  virtual void bind(std::vector<fifo::WidthFifo*> in,
+                    std::vector<fifo::WidthFifo*> out) = 0;
+
+  /// start_op pulse from the controller (EXEC/EXECS).
+  virtual void start() = 0;
+
+  /// High from start_op until end_op.
+  [[nodiscard]] virtual bool busy() const = 0;
+
+  /// Number of completed operations (end_op count) — used by tests.
+  [[nodiscard]] virtual u64 completed_ops() const = 0;
+};
+
+}  // namespace ouessant::core

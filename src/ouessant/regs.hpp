@@ -1,0 +1,36 @@
+// The OCP configuration register map (paper Fig. 3).
+//
+// "Configuration is stored on 10 registers. The first register is a
+// control register [...] The second register is the number of
+// instructions in the program. The remaining registers are used to store
+// memory banks location in the system."
+#pragma once
+
+#include "util/types.hpp"
+
+namespace ouessant::core {
+
+inline constexpr Addr kRegCtrl = 0x00;      ///< control register
+inline constexpr Addr kRegProgSize = 0x04;  ///< program size (instructions)
+inline constexpr Addr kRegBank0 = 0x08;     ///< bank 0 base address
+inline constexpr u32 kNumBankRegs = 8;
+inline constexpr Addr kRegSpanBytes = 0x28;  ///< 10 registers * 4 bytes
+
+/// Byte offset of bank register @p n (n < 8). Bank 7 sits at 0x24.
+constexpr Addr bank_reg(u32 n) { return kRegBank0 + n * 4; }
+
+// Control register bits. S/IE/D are the paper's three; BUSY and ERR are
+// read-only status extensions of this implementation.
+inline constexpr u32 kCtrlStart = 1u << 0;  ///< S: start the coprocessor
+inline constexpr u32 kCtrlIe = 1u << 1;     ///< IE: enable interrupt
+inline constexpr u32 kCtrlDone = 1u << 2;   ///< D: processing finished (W1C)
+inline constexpr u32 kCtrlBusy = 1u << 3;   ///< controller running (RO)
+inline constexpr u32 kCtrlErr = 1u << 4;    ///< microcode fault (W1C)
+inline constexpr u32 kCtrlProg = 1u << 5;   ///< progress signal (irq, W1C)
+
+/// By convention the microcode program lives in bank 0 (Fig. 4 uses
+/// BANK1/BANK2 for data); the controller fetches instruction @c pc from
+/// bank0_base + 4*pc.
+inline constexpr u32 kProgramBank = 0;
+
+}  // namespace ouessant::core

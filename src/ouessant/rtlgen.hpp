@@ -1,0 +1,54 @@
+// VHDL interface generation — the paper's last future-work item:
+// "automatic generation of Ouessant interfaces for High-Level Synthesis
+// of accelerators is under study".
+//
+// Given a RAC's FIFO port specification (taken from a live Rac model or
+// written by hand), this module emits:
+//   * the VHDL entity declaration the accelerator (e.g. an HLS export)
+//     must implement — the exact pin contract of paper Fig. 2,
+//   * a structural VHDL wrapper instantiating the width-adapting FIFOs
+//     and wiring the accelerator between the Ouessant controller's
+//     stream ports and the RAC pins,
+//   * an instantiation template for the user's top level.
+// The generated text is deterministic, so golden tests pin the contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ouessant/rac_if.hpp"
+
+namespace ouessant::core::rtlgen {
+
+struct RacPortSpec {
+  std::string entity_name;
+  std::vector<Rac::FifoSpec> inputs;
+  std::vector<Rac::FifoSpec> outputs;
+};
+
+/// Introspect a live RAC model.
+[[nodiscard]] RacPortSpec spec_from_rac(const Rac& rac,
+                                        const std::string& entity_name);
+
+/// VHDL entity declaration of the accelerator shell (what HLS must
+/// export): clk/rst_n, start_op/end_op, and per-FIFO stream pins.
+[[nodiscard]] std::string generate_rac_entity(const RacPortSpec& spec);
+
+/// Structural wrapper: the accelerator + one width-adapting FIFO per
+/// port, exposing 32-bit controller-side stream pins.
+[[nodiscard]] std::string generate_ocp_wrapper(const RacPortSpec& spec);
+
+/// Component instantiation template for the user's top level.
+[[nodiscard]] std::string generate_instantiation(const RacPortSpec& spec);
+
+/// The synthesizable width-adapting FIFO the wrappers instantiate
+/// (entity work.ouessant_width_fifo): generic WR_WIDTH/RD_WIDTH/DEPTH,
+/// behavioural architecture with the same registered full/empty
+/// semantics as fifo::WidthFifo. Emitted once per project.
+[[nodiscard]] std::string generate_width_fifo_package();
+
+/// Basic structural sanity of generated VHDL: balanced entity/end pairs,
+/// no dangling "port (" etc. Used by tests; cheap by design.
+[[nodiscard]] bool looks_like_valid_vhdl(const std::string& text);
+
+}  // namespace ouessant::core::rtlgen

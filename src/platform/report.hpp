@@ -1,0 +1,47 @@
+// System-level observability: utilization reporting and waveform tracing
+// for a running SoC. Benches print the report; debugging sessions attach
+// the standard VCD probes ("the result was easy to simulate" — §V-B).
+#pragma once
+
+#include <string>
+
+#include "platform/soc.hpp"
+#include "sim/trace.hpp"
+
+namespace ouessant::platform {
+
+struct UtilizationReport {
+  u64 total_cycles = 0;
+  u64 bus_busy = 0;
+  u64 bus_idle = 0;
+  u64 cpu_compute = 0;
+  u64 cpu_bus = 0;
+  u64 cpu_idle = 0;
+
+  struct OcpRow {
+    std::string name;
+    u64 instructions = 0;
+    u64 words_moved = 0;
+    u64 runs = 0;
+    u64 exec_wait = 0;
+    u64 idle = 0;
+  };
+  std::vector<OcpRow> ocps;
+
+  [[nodiscard]] double bus_utilization() const {
+    const u64 t = bus_busy + bus_idle;
+    return t == 0 ? 0.0 : static_cast<double>(bus_busy) / static_cast<double>(t);
+  }
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// Snapshot the SoC's counters into a report.
+[[nodiscard]] UtilizationReport make_report(Soc& soc);
+
+/// Attach the standard probe set for one OCP to a VCD trace: bus
+/// occupancy, controller PC and phase, FIFO levels, RAC busy, IRQ.
+/// Call before the first kernel tick.
+void attach_standard_probes(sim::VcdTrace& trace, Soc& soc, core::Ocp& ocp);
+
+}  // namespace ouessant::platform

@@ -1,0 +1,36 @@
+#include "platform/soc.hpp"
+
+namespace ouessant::platform {
+
+Soc::Soc(SocConfig cfg) : cfg_(cfg) {
+  switch (cfg_.bus) {
+    case BusKind::kAhb:
+      bus_ = std::make_unique<bus::AhbBus>(kernel_, "ahb");
+      break;
+    case BusKind::kAxiLite:
+      bus_ = std::make_unique<bus::AxiLiteBus>(kernel_, "axi");
+      break;
+    case BusKind::kAxi4:
+      bus_ = std::make_unique<bus::Axi4Bus>(kernel_, "axi4");
+      break;
+  }
+  sram_ = std::make_unique<mem::Sram>("sram", cfg_.sram_base, cfg_.sram_bytes,
+                                      cfg_.sram_read_wait,
+                                      cfg_.sram_write_wait);
+  bus_->connect_slave(*sram_, cfg_.sram_base, cfg_.sram_bytes);
+  // The CPU gets the highest fixed priority, like the Leon3 on its AHB.
+  cpu_port_ = &bus_->connect_master("cpu", /*priority=*/0);
+  cpu_ = std::make_unique<cpu::Gpp>(kernel_, *cpu_port_, cfg_.cpu_costs);
+}
+
+core::Ocp& Soc::add_ocp(core::Rac& rac, core::IsaLevel isa) {
+  core::OcpConfig ocp_cfg;
+  ocp_cfg.reg_base = kOcpRegBase + static_cast<Addr>(ocps_.size()) * 0x100;
+  ocp_cfg.master_priority = 1 + static_cast<int>(ocps_.size());
+  ocp_cfg.isa_level = isa;
+  ocps_.push_back(std::make_unique<core::Ocp>(
+      kernel_, "ocp" + std::to_string(ocps_.size()), *bus_, rac, ocp_cfg));
+  return *ocps_.back();
+}
+
+}  // namespace ouessant::platform

@@ -1,0 +1,85 @@
+#include "rac/block_rac.hpp"
+
+namespace ouessant::rac {
+
+BlockRac::BlockRac(sim::Kernel& kernel, std::string name, Shape shape)
+    : core::Rac(kernel, std::move(name)), shape_(shape) {
+  if (shape_.in_chunks == 0 || shape_.out_chunks == 0) {
+    throw ConfigError("BlockRac " + this->name() + ": zero-sized block");
+  }
+  if (shape_.in_width == 0 || shape_.in_width > 64 || shape_.out_width == 0 ||
+      shape_.out_width > 64) {
+    throw ConfigError("BlockRac " + this->name() + ": chunk width 1..64");
+  }
+}
+
+std::vector<core::Rac::FifoSpec> BlockRac::input_specs() const {
+  return {{.rac_width = shape_.in_width,
+           .capacity_bits = shape_.in_capacity_bits}};
+}
+
+std::vector<core::Rac::FifoSpec> BlockRac::output_specs() const {
+  return {{.rac_width = shape_.out_width,
+           .capacity_bits = shape_.out_capacity_bits}};
+}
+
+void BlockRac::bind(std::vector<fifo::WidthFifo*> in,
+                    std::vector<fifo::WidthFifo*> out) {
+  if (in.size() != 1 || out.size() != 1) {
+    throw ConfigError("BlockRac " + name() + ": expects 1 in / 1 out FIFO");
+  }
+  in_ = in[0];
+  out_ = out[0];
+}
+
+void BlockRac::start() {
+  if (in_ == nullptr) {
+    throw SimError("BlockRac " + name() + ": start before bind");
+  }
+  if (busy_) {
+    throw SimError("BlockRac " + name() +
+                   ": start_op while busy (microcode bug: exec/execs "
+                   "issued before the previous operation ended)");
+  }
+  busy_ = true;
+  phase_ = Phase::kCollect;
+  in_buf_.clear();
+  out_buf_.clear();
+  emit_index_ = 0;
+}
+
+void BlockRac::tick_compute() {
+  switch (phase_) {
+    case Phase::kIdle:
+      break;
+    case Phase::kCollect:
+      if (!in_->empty()) {
+        in_buf_.push_back(in_->read());
+        if (in_buf_.size() == shape_.in_chunks) {
+          out_buf_ = compute(in_buf_);
+          if (out_buf_.size() != shape_.out_chunks) {
+            throw SimError("BlockRac " + name() +
+                           ": compute() produced wrong chunk count");
+          }
+          compute_left_ = shape_.compute_cycles;
+          phase_ = (compute_left_ == 0) ? Phase::kEmit : Phase::kCompute;
+        }
+      }
+      break;
+    case Phase::kCompute:
+      if (--compute_left_ == 0) phase_ = Phase::kEmit;
+      break;
+    case Phase::kEmit:
+      if (!out_->full()) {
+        out_->write(out_buf_[emit_index_++]);
+        if (emit_index_ == out_buf_.size()) {
+          phase_ = Phase::kIdle;
+          busy_ = false;  // end_op
+          ++completed_;
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace ouessant::rac

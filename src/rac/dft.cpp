@@ -1,0 +1,76 @@
+#include "rac/dft.hpp"
+
+#include "util/fixed.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant::rac {
+
+u32 DftRac::compute_cycles_for(u32 points) {
+  if (!is_pow2(points)) {
+    throw ConfigError("DftRac: points must be a power of two");
+  }
+  if (points == 256) {
+    // Calibrated to the paper: 512 (in) + compute + 512 (out) == 2485.
+    return kPaperLatency256 - 2u * 512u;  // 1461
+  }
+  // Iterative radix-2: one butterfly per cycle, plus a bit-reversal
+  // reorder pass and pipeline fill.
+  const u32 stages = log2_exact(points);
+  return points / 2 * stages + points / 2 + stages;
+}
+
+DftRac::DftRac(sim::Kernel& kernel, std::string name, DftRacConfig cfg)
+    : BlockRac(kernel, std::move(name),
+               Shape{.in_chunks = cfg.points * 2,
+                     .out_chunks = cfg.points * 2,
+                     .in_width = 32,
+                     .out_width = 32,
+                     .compute_cycles = cfg.compute_cycles != 0
+                                           ? cfg.compute_cycles
+                                           : compute_cycles_for(cfg.points),
+                     .in_capacity_bits = cfg.points * 2 * 32,
+                     .out_capacity_bits = cfg.points * 2 * 32}),
+      points_(cfg.points) {}
+
+u32 DftRac::datasheet_latency() const {
+  return shape().in_chunks + shape().compute_cycles + shape().out_chunks;
+}
+
+std::vector<u64> DftRac::compute(const std::vector<u64>& in) {
+  std::vector<i32> re(points_);
+  std::vector<i32> im(points_);
+  for (u32 i = 0; i < points_; ++i) {
+    re[i] = util::from_word(static_cast<u32>(in[2 * i]));
+    im[i] = util::from_word(static_cast<u32>(in[2 * i + 1]));
+  }
+  util::fixed_fft(re, im);
+  std::vector<u64> out(2 * points_);
+  for (u32 i = 0; i < points_; ++i) {
+    out[2 * i] = static_cast<u32>(util::to_word(re[i]));
+    out[2 * i + 1] = static_cast<u32>(util::to_word(im[i]));
+  }
+  return out;
+}
+
+res::ResourceNode DftRac::resource_tree() const {
+  // Iterative radix-2 core: one complex butterfly (4 multipliers), a
+  // working RAM of 2n words, a twiddle ROM of n/2 complex factors, and an
+  // AGU/sequencer.
+  res::ResourceNode n{.name = name(), .self = {}, .children = {}};
+  res::ResourceEstimate bfly;
+  for (int i = 0; i < 4; ++i) bfly += res::est_multiplier(18);
+  bfly += res::est_adder(32 * 6);
+  bfly += res::est_register(32 * 6);
+  res::ResourceEstimate mem = res::est_fifo_storage(points_ * 2, 32);
+  mem += res::est_fifo_storage(points_ / 2, 36);  // twiddle ROM
+  res::ResourceEstimate agu;
+  agu += res::est_register(2 * (log2_exact(points_) + 1) + 8);
+  agu += res::est_adder(2 * (log2_exact(points_) + 1));
+  agu += res::est_fsm(8, 12);
+  n.children.push_back({"butterfly", bfly, {}});
+  n.children.push_back({"memories", mem, {}});
+  n.children.push_back({"sequencer", agu, {}});
+  return n;
+}
+
+}  // namespace ouessant::rac

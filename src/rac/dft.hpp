@@ -1,0 +1,53 @@
+// The iterative DFT RAC — the paper's second accelerator ("the Spiral
+// iterative DFT. It can be configured to accept different DFT size").
+//
+// Interface: n complex points as 2n interleaved Q16.16 words (re, im) in,
+// same layout out. The output carries the overflow-free 1/n scaling of the
+// per-stage-halving datapath (util::fixed_fft), so results never saturate
+// regardless of input — matching the fixed-point Spiral cores.
+//
+// Timing: like the Spiral streaming cores, the block drains its input at
+// one word per cycle, computes, then streams the result out. For the
+// 256-point configuration the compute phase is calibrated so the full
+// start_op -> end_op latency (with data available) is the paper's 2485
+// cycles; other sizes use an iterative radix-2 model (one butterfly per
+// cycle plus reorder).
+#pragma once
+
+#include "rac/block_rac.hpp"
+
+namespace ouessant::rac {
+
+struct DftRacConfig {
+  u32 points = 256;        ///< DFT size (power of two)
+  u32 compute_cycles = 0;  ///< 0: use compute_cycles_for(points)
+};
+
+class DftRac : public BlockRac {
+ public:
+  /// Paper Table I: start->end latency of the 256-point core.
+  static constexpr u32 kPaperLatency256 = 2485;
+
+  /// Default compute-phase model for a size-n iterative radix-2 core.
+  /// For n == 256 this reproduces kPaperLatency256 once the 2n-in and
+  /// 2n-out streaming phases are added.
+  static u32 compute_cycles_for(u32 points);
+
+  DftRac(sim::Kernel& kernel, std::string name, DftRacConfig cfg = {});
+
+  [[nodiscard]] u32 points() const { return points_; }
+
+  /// Total datasheet latency (input + compute + output) with FIFO data
+  /// always available — the "Lat." column of Table I.
+  [[nodiscard]] u32 datasheet_latency() const;
+
+  [[nodiscard]] res::ResourceNode resource_tree() const override;
+
+ protected:
+  [[nodiscard]] std::vector<u64> compute(const std::vector<u64>& in) override;
+
+ private:
+  u32 points_;
+};
+
+}  // namespace ouessant::rac

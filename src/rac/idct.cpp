@@ -1,0 +1,51 @@
+#include "rac/idct.hpp"
+
+#include "util/fixed.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant::rac {
+
+IdctRac::IdctRac(sim::Kernel& kernel, std::string name, u32 compute_cycles)
+    : BlockRac(kernel, std::move(name),
+               Shape{.in_chunks = kBlockWords,
+                     .out_chunks = kBlockWords,
+                     .in_width = 32,
+                     .out_width = 32,
+                     .compute_cycles = compute_cycles,
+                     // One block each way is enough; JPEG decoding ships
+                     // block after block.
+                     .in_capacity_bits = 2 * kBlockWords * 32,
+                     .out_capacity_bits = 2 * kBlockWords * 32}) {}
+
+std::vector<u64> IdctRac::compute(const std::vector<u64>& in) {
+  i32 coef[kBlockWords];
+  i32 pix[kBlockWords];
+  for (u32 i = 0; i < kBlockWords; ++i) {
+    coef[i] = util::from_word(static_cast<u32>(in[i]));
+  }
+  util::fixed_idct8x8(coef, pix);
+  std::vector<u64> out(kBlockWords);
+  for (u32 i = 0; i < kBlockWords; ++i) {
+    out[i] = static_cast<u32>(util::to_word(pix[i]));
+  }
+  return out;
+}
+
+res::ResourceNode IdctRac::resource_tree() const {
+  // A parallel 2D IDCT at this latency needs an 8-MAC 1-D stage used for
+  // rows and columns, a transpose buffer, and coefficient ROMs.
+  res::ResourceNode n{.name = name(), .self = {}, .children = {}};
+  res::ResourceEstimate datapath;
+  for (int i = 0; i < 8; ++i) datapath += res::est_multiplier(16);
+  datapath += res::est_adder(24 * 8);
+  datapath += res::est_register(24 * 16);  // stage registers
+  res::ResourceEstimate transpose = res::est_fifo_storage(64, 24);
+  transpose += res::est_register(2 * 6 + 1);
+  res::ResourceEstimate control = res::est_fsm(6, 10);
+  n.children.push_back({"mac_array", datapath, {}});
+  n.children.push_back({"transpose_buffer", transpose, {}});
+  n.children.push_back({"control", control, {}});
+  return n;
+}
+
+}  // namespace ouessant::rac

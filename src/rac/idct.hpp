@@ -1,0 +1,28 @@
+// The 2D 8x8 IDCT RAC — the paper's first accelerator ("a locally
+// developed 2D Inverse Discrete Cosine Transform for JPEG decoding").
+//
+// Interface: 64 words of i32 DCT coefficients in, 64 words of i32 spatial
+// samples out; pipeline latency 18 cycles (the paper's Table I "Lat."
+// figure). The datapath is util::fixed_idct8x8, shared bit-for-bit with
+// the software baseline.
+#pragma once
+
+#include "rac/block_rac.hpp"
+
+namespace ouessant::rac {
+
+class IdctRac : public BlockRac {
+ public:
+  static constexpr u32 kBlockWords = 64;
+  static constexpr u32 kPaperLatency = 18;
+
+  IdctRac(sim::Kernel& kernel, std::string name,
+          u32 compute_cycles = kPaperLatency);
+
+  [[nodiscard]] res::ResourceNode resource_tree() const override;
+
+ protected:
+  [[nodiscard]] std::vector<u64> compute(const std::vector<u64>& in) override;
+};
+
+}  // namespace ouessant::rac

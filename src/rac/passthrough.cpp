@@ -1,0 +1,60 @@
+#include "rac/passthrough.hpp"
+
+namespace ouessant::rac {
+
+PassthroughRac::PassthroughRac(sim::Kernel& kernel, std::string name,
+                               u32 chunks, unsigned width,
+                               u32 compute_cycles)
+    : BlockRac(kernel, std::move(name),
+               Shape{.in_chunks = chunks,
+                     .out_chunks = chunks,
+                     .in_width = width,
+                     .out_width = width,
+                     .compute_cycles = compute_cycles,
+                     // Hold a full block each way so Fig. 4 style programs
+                     // (all mvtc before execs) never deadlock.
+                     .in_capacity_bits = chunks * width,
+                     .out_capacity_bits = chunks * width}) {}
+
+std::vector<u64> PassthroughRac::compute(const std::vector<u64>& in) {
+  return in;
+}
+
+res::ResourceNode PassthroughRac::resource_tree() const {
+  // A wire with a handshake FSM.
+  res::ResourceEstimate e = res::est_fsm(3, 4);
+  e += res::est_register(shape().in_width);
+  return {.name = name(), .self = e, .children = {}};
+}
+
+ScaleRac::ScaleRac(sim::Kernel& kernel, std::string name, u32 words,
+                   i32 gain_q16, u32 compute_cycles)
+    : BlockRac(kernel, std::move(name),
+               Shape{.in_chunks = words,
+                     .out_chunks = words,
+                     .in_width = 32,
+                     .out_width = 32,
+                     .compute_cycles = compute_cycles,
+                     .in_capacity_bits = words * 32,
+                     .out_capacity_bits = words * 32}),
+      gain_q16_(gain_q16) {}
+
+std::vector<u64> ScaleRac::compute(const std::vector<u64>& in) {
+  const util::Q q(16);
+  std::vector<u64> out;
+  out.reserve(in.size());
+  for (const u64 w : in) {
+    const i32 v = util::from_word(static_cast<u32>(w));
+    out.push_back(static_cast<u32>(util::to_word(q.mul(v, gain_q16_))));
+  }
+  return out;
+}
+
+res::ResourceNode ScaleRac::resource_tree() const {
+  res::ResourceEstimate e = res::est_fsm(3, 4);
+  e += res::est_multiplier(32);
+  e += res::est_register(64);
+  return {.name = name(), .self = e, .children = {}};
+}
+
+}  // namespace ouessant::rac

@@ -1,0 +1,109 @@
+#include "res/estimate.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ouessant::res {
+
+ResourceEstimate ResourceNode::total() const {
+  ResourceEstimate t = self;
+  for (const auto& c : children) t += c.total();
+  return t;
+}
+
+namespace {
+
+void render_node(std::ostringstream& os, const ResourceNode& n, int depth) {
+  const ResourceEstimate t = n.total();
+  std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  os << std::left << std::setw(36) << (indent + n.name) << std::right
+     << std::setw(8) << t.luts << std::setw(8) << t.ffs << std::setw(8)
+     << t.bram36 << std::setw(8) << t.dsps << '\n';
+  for (const auto& c : n.children) render_node(os, c, depth + 1);
+}
+
+}  // namespace
+
+std::string render_report(const ResourceNode& root) {
+  std::ostringstream os;
+  os << std::left << std::setw(36) << "entity" << std::right << std::setw(8)
+     << "LUT" << std::setw(8) << "FF" << std::setw(8) << "BRAM"
+     << std::setw(8) << "DSP" << '\n';
+  os << std::string(68, '-') << '\n';
+  render_node(os, root, 0);
+  return os.str();
+}
+
+ResourceEstimate est_register(u32 bits) { return {.luts = 0, .ffs = bits}; }
+
+ResourceEstimate est_adder(u32 bits) { return {.luts = bits, .ffs = 0}; }
+
+ResourceEstimate est_mux(u32 inputs, u32 bits) {
+  if (inputs <= 1) return {};
+  // A 6-LUT implements a 4:1 mux of one bit; tree it up.
+  u32 levels_luts = 0;
+  u32 n = inputs;
+  while (n > 1) {
+    const u32 groups = (n + 3) / 4;
+    levels_luts += groups;
+    n = groups;
+  }
+  return {.luts = levels_luts * bits};
+}
+
+ResourceEstimate est_multiplier(u32 bits) {
+  if (bits <= 8) {
+    return {.luts = bits * bits / 2};
+  }
+  // DSP48E1 handles 25x18; wider multipliers cascade.
+  const u32 dsps = ((bits + 24) / 25) * ((bits + 17) / 18);
+  return {.luts = 20, .dsps = dsps};
+}
+
+ResourceEstimate est_fsm(u32 states, u32 outputs) {
+  const u32 state_bits = std::max<u32>(1, ceil_log2(states));
+  // Next-state logic: ~4 LUTs per state bit, plus one LUT per Moore output.
+  return {.luts = state_bits * 4 + outputs, .ffs = state_bits + outputs / 2};
+}
+
+ResourceEstimate est_comparator(u32 bits) {
+  return {.luts = (bits + 1) / 2};
+}
+
+ResourceEstimate est_fifo_storage(u32 depth, u32 width) {
+  const u64 total_bits = static_cast<u64>(depth) * width;
+  if (total_bits <= 1024) {
+    // Distributed RAM: one LUT (as RAM64x1) per 64 bits, roughly.
+    return {.luts = static_cast<u32>((total_bits + 63) / 64)};
+  }
+  // BRAM36 = 36Kb. Width-limited packing: a BRAM36 port is at most 72 bits
+  // wide, so wide shallow FIFOs still consume whole BRAMs.
+  const u32 by_capacity = static_cast<u32>((total_bits + 36 * 1024 - 1) / (36 * 1024));
+  const u32 by_width = (width + 71) / 72;
+  return {.bram36 = std::max(by_capacity, by_width)};
+}
+
+ResourceEstimate est_fifo_control(u32 depth, u32 wr_width, u32 rd_width) {
+  const u32 ptr_bits = std::max<u32>(1, ceil_log2(depth));
+  ResourceEstimate e;
+  // Two pointers + level counter.
+  e += est_register(ptr_bits * 2 + ptr_bits + 1);
+  e += est_adder(ptr_bits * 3);
+  // Full/empty comparators.
+  e += est_comparator(ptr_bits);
+  e += est_comparator(ptr_bits);
+  // Width-conversion barrel network when widths differ (serialize /
+  // deserialize, paper Fig. 2: 32 <-> 96 bits).
+  if (wr_width != rd_width) {
+    const u32 wide = std::max(wr_width, rd_width);
+    const u32 narrow = std::min(wr_width, rd_width);
+    const u32 ratio = (wide + narrow - 1) / narrow;
+    e += est_register(wide);            // assembly/disassembly register
+    e += est_mux(ratio, narrow);        // lane select
+    e += est_register(std::max<u32>(1, ceil_log2(ratio)) + 1);  // lane counter
+  }
+  return e;
+}
+
+}  // namespace ouessant::res

@@ -1,0 +1,95 @@
+// FPGA resource estimation model.
+//
+// The paper reports post-synthesis resource usage on a Xilinx Artix7
+// (XC7A100T) obtained with XST and "Keep Hierarchy". We cannot run XST, so
+// this module provides an analytical per-component estimator calibrated
+// against the numbers the paper reports: the whole OCP machinery
+// (bus interface + controller + FIFO control) fits in <1000 LUTs and
+// <750 FFs, FIFO storage is inferred as BRAM, and RAC size is independent
+// of Ouessant. Components expose `resources()` so reports can be composed
+// hierarchically exactly like a Keep-Hierarchy synthesis run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ouessant::res {
+
+/// Resource usage of one hardware entity on a 7-series-class FPGA.
+struct ResourceEstimate {
+  u32 luts = 0;    ///< 6-input LUTs
+  u32 ffs = 0;     ///< flip-flops
+  u32 bram36 = 0;  ///< 36Kb block RAMs (two 18Kb halves count as one)
+  u32 dsps = 0;    ///< DSP48 slices
+
+  ResourceEstimate& operator+=(const ResourceEstimate& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    bram36 += o.bram36;
+    dsps += o.dsps;
+    return *this;
+  }
+  friend ResourceEstimate operator+(ResourceEstimate a,
+                                    const ResourceEstimate& b) {
+    a += b;
+    return a;
+  }
+  friend bool operator==(const ResourceEstimate&,
+                         const ResourceEstimate&) = default;
+};
+
+/// A named node in a Keep-Hierarchy style report tree.
+struct ResourceNode {
+  std::string name;
+  ResourceEstimate self;               ///< resources of this entity alone
+  std::vector<ResourceNode> children;  ///< sub-entities
+
+  /// Total including children.
+  [[nodiscard]] ResourceEstimate total() const;
+};
+
+/// Render a hierarchy as a synthesis-report-like table.
+std::string render_report(const ResourceNode& root);
+
+/// Interface implemented by hardware models that can report their
+/// footprint.
+class ResourceAware {
+ public:
+  virtual ~ResourceAware() = default;
+  [[nodiscard]] virtual ResourceNode resource_tree() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Calibrated primitive estimators (Artix7 / XST heuristics).
+// ---------------------------------------------------------------------------
+
+/// Registers for @p bits bits of state.
+ResourceEstimate est_register(u32 bits);
+
+/// A @p bits-bit adder/subtractor (carry chains: ~1 LUT per bit).
+ResourceEstimate est_adder(u32 bits);
+
+/// A @p bits-bit 2:1 multiplexer tree with @p inputs inputs.
+ResourceEstimate est_mux(u32 inputs, u32 bits);
+
+/// A @p bits x @p bits signed multiplier (maps to DSP48 above 8 bits).
+ResourceEstimate est_multiplier(u32 bits);
+
+/// An FSM with @p states states and roughly @p outputs control outputs.
+ResourceEstimate est_fsm(u32 states, u32 outputs);
+
+/// A comparator over @p bits bits.
+ResourceEstimate est_comparator(u32 bits);
+
+/// FIFO *storage*: @p depth entries of @p width bits. Small FIFOs go to
+/// distributed RAM (LUTs); larger ones are inferred as BRAM, as the paper
+/// observes ("FIFO memory is inferred as BRAM").
+ResourceEstimate est_fifo_storage(u32 depth, u32 width);
+
+/// FIFO *control* (pointers, level counter, full/empty flags, width
+/// conversion shift network between @p wr_width and @p rd_width bits).
+ResourceEstimate est_fifo_control(u32 depth, u32 wr_width, u32 rd_width);
+
+}  // namespace ouessant::res

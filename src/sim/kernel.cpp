@@ -1,0 +1,56 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+namespace ouessant::sim {
+
+Component::Component(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {
+  kernel_.add(this);
+}
+
+Component::~Component() { kernel_.remove(this); }
+
+void Kernel::add(Component* c) { components_.push_back(c); }
+
+void Kernel::remove(Component* c) {
+  components_.erase(std::remove(components_.begin(), components_.end(), c),
+                    components_.end());
+}
+
+void Kernel::tick() {
+  for (Component* c : components_) c->tick_compute();
+  for (Component* c : components_) c->tick_commit();
+  ++cycle_;
+  for (auto& [id, fn] : samplers_) fn(cycle_);
+}
+
+void Kernel::run(u64 n) {
+  for (u64 i = 0; i < n; ++i) tick();
+}
+
+void Kernel::run_until(const std::function<bool()>& done, u64 timeout) {
+  const Cycle start = cycle_;
+  while (!done()) {
+    if (cycle_ - start >= timeout) {
+      throw SimError("Kernel::run_until: timeout after " +
+                     std::to_string(timeout) + " cycles");
+    }
+    tick();
+  }
+}
+
+u64 Kernel::add_sampler(std::function<void(Cycle)> fn) {
+  const u64 id = next_sampler_id_++;
+  samplers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Kernel::remove_sampler(u64 id) {
+  samplers_.erase(
+      std::remove_if(samplers_.begin(), samplers_.end(),
+                     [id](const auto& p) { return p.first == id; }),
+      samplers_.end());
+}
+
+}  // namespace ouessant::sim

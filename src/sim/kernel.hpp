@@ -1,0 +1,94 @@
+// Cycle-driven simulation kernel.
+//
+// The whole SoC runs on one clock domain (the paper's system runs at a
+// single 50 MHz system clock). Every hardware block is a Component
+// registered with the Kernel; Kernel::tick() advances one clock cycle by
+// running the two tick phases over all components:
+//
+//   tickCompute(): combinational + sampling phase. Components read the
+//     *registered* (committed) state of other components and decide their
+//     next state. No externally visible state may change here.
+//   tickCommit(): the clock edge. Components update their registered
+//     outputs. After this phase all components see each other's new state.
+//
+// This two-phase scheme makes same-cycle interactions (e.g. one block
+// pushing into a FIFO while another pops) independent of registration
+// order, which keeps the model deterministic and order-insensitive.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "util/types.hpp"
+
+namespace ouessant::sim {
+
+class Kernel;
+
+/// Base class for every clocked hardware block in the simulation.
+class Component {
+ public:
+  Component(Kernel& kernel, std::string name);
+  virtual ~Component();
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Phase 1: compute next state from the committed state of the system.
+  virtual void tick_compute() {}
+  /// Phase 2: clock edge — commit the next state.
+  virtual void tick_commit() {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Kernel& kernel() const { return kernel_; }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+};
+
+/// The clock and component registry.
+class Kernel {
+ public:
+  Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Advance one clock cycle.
+  void tick();
+
+  /// Advance @p n clock cycles.
+  void run(u64 n);
+
+  /// Advance until @p done returns true, or throw SimError after
+  /// @p timeout cycles (deadlock guard for tests and drivers).
+  void run_until(const std::function<bool()>& done, u64 timeout = 10'000'000);
+
+  [[nodiscard]] Cycle now() const { return cycle_; }
+
+  [[nodiscard]] Stats& stats() { return stats_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Register a callback sampled after every commit phase (used by the
+  /// trace writer). Returns an id usable with remove_sampler().
+  u64 add_sampler(std::function<void(Cycle)> fn);
+  void remove_sampler(u64 id);
+
+  [[nodiscard]] std::size_t component_count() const { return components_.size(); }
+
+ private:
+  friend class Component;
+  void add(Component* c);
+  void remove(Component* c);
+
+  Cycle cycle_ = 0;
+  std::vector<Component*> components_;
+  std::vector<std::pair<u64, std::function<void(Cycle)>>> samplers_;
+  u64 next_sampler_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace ouessant::sim

@@ -1,0 +1,15 @@
+#include "sim/stats.hpp"
+
+#include <sstream>
+
+namespace ouessant::sim {
+
+std::string Stats::report() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) {
+    os << k << " = " << v << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ouessant::sim

@@ -1,0 +1,39 @@
+// Named statistics counters. Components record event counts (bus beats,
+// wait states, FIFO stalls, instructions retired...) which tests assert on
+// and benches report.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ouessant::sim {
+
+class Stats {
+ public:
+  void add(const std::string& key, u64 delta = 1) { counters_[key] += delta; }
+
+  void set(const std::string& key, u64 value) { counters_[key] = value; }
+
+  [[nodiscard]] u64 get(const std::string& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return counters_.count(key) != 0;
+  }
+
+  void clear() { counters_.clear(); }
+
+  [[nodiscard]] const std::map<std::string, u64>& all() const { return counters_; }
+
+  /// Render as "key = value" lines, sorted by key.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::map<std::string, u64> counters_;
+};
+
+}  // namespace ouessant::sim

@@ -1,0 +1,87 @@
+#include "sim/trace.hpp"
+
+namespace ouessant::sim {
+
+VcdTrace::VcdTrace(Kernel& kernel, const std::string& path,
+                   const std::string& top)
+    : kernel_(kernel), out_(path), top_(top) {
+  if (!out_) {
+    throw ConfigError("VcdTrace: cannot open " + path);
+  }
+  sampler_id_ = kernel_.add_sampler([this](Cycle c) { sample(c); });
+}
+
+VcdTrace::~VcdTrace() {
+  kernel_.remove_sampler(sampler_id_);
+  close();
+}
+
+void VcdTrace::close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+std::string VcdTrace::make_id(std::size_t index) {
+  // Printable VCD identifiers from '!' (33) to '~' (126).
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdTrace::add_signal(const std::string& name, unsigned width,
+                          std::function<u64()> fn) {
+  if (header_written_) {
+    throw ConfigError("VcdTrace: signals must be added before first tick");
+  }
+  Signal s;
+  s.name = name;
+  s.width = width;
+  s.fn = std::move(fn);
+  s.id = make_id(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+void VcdTrace::write_header() {
+  out_ << "$date simulated $end\n";
+  out_ << "$version ouessant-sim $end\n";
+  out_ << "$timescale 20ns $end\n";  // 50 MHz system clock
+  out_ << "$scope module " << top_ << " $end\n";
+  for (const auto& s : signals_) {
+    out_ << "$var wire " << s.width << ' ' << s.id << ' ' << s.name
+         << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdTrace::sample(Cycle cycle) {
+  if (!out_.is_open()) return;
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (auto& s : signals_) {
+    const u64 v = s.fn();
+    if (s.emitted && v == s.last) continue;
+    if (!stamped) {
+      out_ << '#' << cycle << '\n';
+      stamped = true;
+    }
+    if (s.width == 1) {
+      out_ << (v & 1) << s.id << '\n';
+    } else {
+      out_ << 'b';
+      for (int b = static_cast<int>(s.width) - 1; b >= 0; --b) {
+        out_ << ((v >> b) & 1);
+      }
+      out_ << ' ' << s.id << '\n';
+    }
+    s.last = v;
+    s.emitted = true;
+  }
+}
+
+}  // namespace ouessant::sim

@@ -1,0 +1,60 @@
+// Minimal VCD (Value Change Dump) trace writer. Components register named
+// scalar samplers; the writer samples them after every clock edge and emits
+// standard VCD that any waveform viewer (GTKWave etc.) can open. Used for
+// debugging microcode and bus protocol issues, mirroring the simulation
+// flow the paper describes for validating OCP integration.
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "util/types.hpp"
+
+namespace ouessant::sim {
+
+class VcdTrace {
+ public:
+  /// Opens @p path and hooks into @p kernel. Signals must all be
+  /// registered before the first kernel tick.
+  VcdTrace(Kernel& kernel, const std::string& path,
+           const std::string& top = "soc");
+  ~VcdTrace();
+
+  VcdTrace(const VcdTrace&) = delete;
+  VcdTrace& operator=(const VcdTrace&) = delete;
+
+  /// Register a signal of @p width bits whose value is produced by @p fn.
+  void add_signal(const std::string& name, unsigned width,
+                  std::function<u64()> fn);
+
+  /// Flush and close the file (also done by the destructor).
+  void close();
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    unsigned width;
+    std::function<u64()> fn;
+    std::string id;       // VCD short identifier
+    u64 last = ~u64{0};   // force first emission
+    bool emitted = false;
+  };
+
+  void write_header();
+  void sample(Cycle cycle);
+  static std::string make_id(std::size_t index);
+
+  Kernel& kernel_;
+  std::ofstream out_;
+  std::string top_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+  u64 sampler_id_ = 0;
+};
+
+}  // namespace ouessant::sim

@@ -1,0 +1,61 @@
+// Registered signal helper. A Wire<T> holds a committed value (what other
+// components see this cycle) and a pending next value (what they will see
+// after the next clock edge). Components set `next` during tick_compute()
+// and call commit() from tick_commit().
+#pragma once
+
+#include <utility>
+
+namespace ouessant::sim {
+
+template <typename T>
+class Wire {
+ public:
+  Wire() = default;
+  explicit Wire(T initial) : cur_(initial), next_(initial) {}
+
+  /// Value visible to the rest of the system this cycle.
+  [[nodiscard]] const T& get() const { return cur_; }
+
+  /// Schedule a new value for the next clock edge.
+  void set(T v) { next_ = std::move(v); }
+
+  /// Value already scheduled for the next edge (for read-modify-write in
+  /// the same compute phase).
+  [[nodiscard]] const T& pending() const { return next_; }
+
+  /// Clock edge.
+  void commit() { cur_ = next_; }
+
+  /// Force both current and next value (reset).
+  void reset(T v) {
+    cur_ = v;
+    next_ = v;
+  }
+
+ private:
+  T cur_{};
+  T next_{};
+};
+
+/// A single-cycle pulse: set() during compute makes the value visible for
+/// exactly one cycle after the next edge.
+class Pulse {
+ public:
+  [[nodiscard]] bool get() const { return cur_; }
+  void set() { next_ = true; }
+  void commit() {
+    cur_ = next_;
+    next_ = false;
+  }
+  void reset() {
+    cur_ = false;
+    next_ = false;
+  }
+
+ private:
+  bool cur_ = false;
+  bool next_ = false;
+};
+
+}  // namespace ouessant::sim

@@ -1,0 +1,60 @@
+// Fixed-point arithmetic helpers used by the RAC functional models and by
+// the fixed-point software baselines. All RAC datapaths use two's-complement
+// fixed point, as the paper's FPGA cores do.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace ouessant::util {
+
+/// Saturate a 64-bit value into the signed range of @p bits bits.
+constexpr i64 saturate(i64 v, unsigned bits) {
+  const i64 hi = (i64{1} << (bits - 1)) - 1;
+  const i64 lo = -(i64{1} << (bits - 1));
+  return std::clamp(v, lo, hi);
+}
+
+/// Q-format value: @p frac fractional bits stored in an i32.
+/// Conversions round to nearest (ties away from zero), matching the
+/// rounding used in the RAC datapath models.
+struct Q {
+  unsigned frac;
+
+  constexpr explicit Q(unsigned frac_bits) : frac(frac_bits) {}
+
+  [[nodiscard]] constexpr i32 from_double(double v) const {
+    const double scaled = v * static_cast<double>(i64{1} << frac);
+    const double rounded = scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+    return static_cast<i32>(saturate(static_cast<i64>(rounded), 32));
+  }
+
+  [[nodiscard]] constexpr double to_double(i32 v) const {
+    return static_cast<double>(v) / static_cast<double>(i64{1} << frac);
+  }
+
+  /// Full-precision multiply, then shift back with round-to-nearest.
+  [[nodiscard]] constexpr i32 mul(i32 a, i32 b) const {
+    i64 p = static_cast<i64>(a) * static_cast<i64>(b);
+    p += i64{1} << (frac - 1);  // round to nearest
+    return static_cast<i32>(saturate(p >> frac, 32));
+  }
+};
+
+/// Pack two signed 16-bit values into one 32-bit bus word (lo in bits
+/// [15:0], hi in bits [31:16]). Used by RACs carrying sample pairs.
+constexpr u32 pack16(i16 lo, i16 hi) {
+  return (static_cast<u32>(static_cast<u16>(hi)) << 16) | static_cast<u16>(lo);
+}
+
+constexpr i16 unpack16_lo(u32 w) { return static_cast<i16>(w & 0xFFFFu); }
+constexpr i16 unpack16_hi(u32 w) { return static_cast<i16>(w >> 16); }
+
+/// Reinterpret a signed 32-bit value as a bus word and back.
+constexpr u32 to_word(i32 v) { return static_cast<u32>(v); }
+constexpr i32 from_word(u32 w) { return static_cast<i32>(w); }
+
+}  // namespace ouessant::util

@@ -1,0 +1,141 @@
+#include "util/reference.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <iomanip>
+
+namespace ouessant::util {
+
+std::vector<cplx> reference_dft(const std::vector<cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += x[j] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<cplx> reference_idft(const std::vector<cplx>& x) {
+  const std::size_t n = x.size();
+  std::vector<cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = 2.0 * std::numbers::pi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      acc += x[j] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+u32 bit_reverse(u32 v, unsigned bits) {
+  u32 r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1u);
+  }
+  return r;
+}
+
+std::vector<cplx> reference_fft(std::vector<cplx> x) {
+  const std::size_t n = x.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw ConfigError("reference_fft: size must be a power of two");
+  }
+  const unsigned bits = log2_exact(n);
+  // Bit-reversal permutation.
+  for (u32 i = 0; i < n; ++i) {
+    const u32 j = bit_reverse(i, bits);
+    if (j > i) std::swap(x[i], x[j]);
+  }
+  // Iterative Cooley-Tukey, decimation in time.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const cplx wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const cplx u = x[i + j];
+        const cplx v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  return x;
+}
+
+namespace {
+
+// Orthonormal DCT-II basis coefficient c(k) * cos((2n+1)k*pi/16) for 8 pts.
+double dct_basis(int k, int n) {
+  const double ck = (k == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+  return ck * std::cos((2.0 * n + 1.0) * k * std::numbers::pi / 16.0);
+}
+
+}  // namespace
+
+void reference_dct8x8(const double in[64], double out[64]) {
+  double tmp[64];
+  // Rows.
+  for (int r = 0; r < 8; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      double acc = 0.0;
+      for (int n = 0; n < 8; ++n) acc += in[r * 8 + n] * dct_basis(k, n);
+      tmp[r * 8 + k] = acc;
+    }
+  }
+  // Columns.
+  for (int c = 0; c < 8; ++c) {
+    for (int k = 0; k < 8; ++k) {
+      double acc = 0.0;
+      for (int n = 0; n < 8; ++n) acc += tmp[n * 8 + c] * dct_basis(k, n);
+      out[k * 8 + c] = acc;
+    }
+  }
+}
+
+void reference_idct8x8(const double in[64], double out[64]) {
+  double tmp[64];
+  // Rows (inverse transform = sum over frequency index).
+  for (int r = 0; r < 8; ++r) {
+    for (int n = 0; n < 8; ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < 8; ++k) acc += in[r * 8 + k] * dct_basis(k, n);
+      tmp[r * 8 + n] = acc;
+    }
+  }
+  // Columns.
+  for (int c = 0; c < 8; ++c) {
+    for (int n = 0; n < 8; ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < 8; ++k) acc += tmp[k * 8 + c] * dct_basis(k, n);
+      out[n * 8 + c] = acc;
+    }
+  }
+}
+
+std::string hexdump(const std::vector<u32>& words, Addr base) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i % 8 == 0) {
+      if (i != 0) os << '\n';
+      os << std::hex << std::setw(8) << std::setfill('0')
+         << (base + i * 4) << ": ";
+    }
+    os << std::hex << std::setw(8) << std::setfill('0') << words[i] << ' ';
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace ouessant::util

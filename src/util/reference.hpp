@@ -1,0 +1,39 @@
+// Golden reference transforms (double precision) used to validate the RAC
+// functional models and the fixed-point software baselines. These are the
+// "mathematically true" answers; everything else in the repo is compared
+// against them.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ouessant::util {
+
+using cplx = std::complex<double>;
+
+/// Direct O(n^2) DFT: X[k] = sum_n x[n] * exp(-2*pi*i*k*n/n).
+std::vector<cplx> reference_dft(const std::vector<cplx>& x);
+
+/// Inverse DFT (with 1/N normalization).
+std::vector<cplx> reference_idft(const std::vector<cplx>& x);
+
+/// Radix-2 iterative FFT in double precision (n must be a power of two).
+/// Same algorithm shape as the Spiral iterative core and the fixed-point
+/// RAC model, so it is also used to cross-check their stage ordering.
+std::vector<cplx> reference_fft(std::vector<cplx> x);
+
+/// 8x8 forward DCT-II (orthonormal), row-major in/out.
+void reference_dct8x8(const double in[64], double out[64]);
+
+/// 8x8 inverse DCT (DCT-III, orthonormal), row-major in/out.
+void reference_idct8x8(const double in[64], double out[64]);
+
+/// Bit-reverse the low @p bits bits of @p v.
+u32 bit_reverse(u32 v, unsigned bits);
+
+/// Dump a word buffer as hex, 8 words per line (debugging aid).
+std::string hexdump(const std::vector<u32>& words, Addr base = 0);
+
+}  // namespace ouessant::util

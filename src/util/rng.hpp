@@ -1,0 +1,54 @@
+// Small deterministic PRNG (xoshiro128**) so tests and benches are
+// reproducible across platforms without dragging in <random> engine
+// implementation differences.
+#pragma once
+
+#include "util/types.hpp"
+
+namespace ouessant::util {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    u64 z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      u64 x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      s = static_cast<u32>((x ^ (x >> 31)) >> 16);
+    }
+  }
+
+  u32 next_u32() {
+    const u32 result = rotl(state_[1] * 5u, 7) * 9u;
+    const u32 t = state_[1] << 9;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 11);
+    return result;
+  }
+
+  /// Uniform in [0, bound) — bound must be non-zero.
+  u32 below(u32 bound) { return next_u32() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  i32 range(i32 lo, i32 hi) {
+    return lo + static_cast<i32>(below(static_cast<u32>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return next_u32() * (1.0 / 4294967296.0); }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr u32 rotl(u32 x, int k) { return (x << k) | (x >> (32 - k)); }
+  u32 state_[4]{};
+};
+
+}  // namespace ouessant::util

@@ -1,0 +1,128 @@
+#include "util/transforms.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "util/fixed.hpp"
+#include "util/reference.hpp"
+
+namespace ouessant::util {
+
+const std::array<std::array<i32, 8>, 8>& idct_basis_q14() {
+  static const auto table = [] {
+    std::array<std::array<i32, 8>, 8> t{};
+    const Q q(kIdctFrac);
+    for (int k = 0; k < 8; ++k) {
+      const double ck = (k == 0) ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int n = 0; n < 8; ++n) {
+        t[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)] =
+            q.from_double(ck * std::cos((2.0 * n + 1.0) * k *
+                                        std::numbers::pi / 16.0));
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+namespace {
+
+/// One even/odd symmetric 1-D 8-point IDCT pass in fixed point.
+/// in/out are integer sample values; the Q-format lives in the basis table.
+/// 32 multiplies + 32 adds, the structure the cost model charges for.
+void idct1d_fixed(const i32 in[8], i32 out[8]) {
+  const auto& b = idct_basis_q14();
+  const i64 round = i64{1} << (kIdctFrac - 1);
+  for (int n = 0; n < 4; ++n) {
+    i64 even = 0;
+    i64 odd = 0;
+    for (int k = 0; k < 8; k += 2) {
+      even += static_cast<i64>(in[k]) *
+              b[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)];
+    }
+    for (int k = 1; k < 8; k += 2) {
+      odd += static_cast<i64>(in[k]) *
+             b[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)];
+    }
+    out[n] = static_cast<i32>((even + odd + round) >> kIdctFrac);
+    out[7 - n] = static_cast<i32>((even - odd + round) >> kIdctFrac);
+  }
+}
+
+}  // namespace
+
+void fixed_idct8x8(const i32 in[64], i32 out[64]) {
+  i32 tmp[64];
+  // Rows.
+  for (int r = 0; r < 8; ++r) {
+    idct1d_fixed(&in[r * 8], &tmp[r * 8]);
+  }
+  // Columns.
+  for (int c = 0; c < 8; ++c) {
+    i32 col_in[8];
+    i32 col_out[8];
+    for (int r = 0; r < 8; ++r) col_in[r] = tmp[r * 8 + c];
+    idct1d_fixed(col_in, col_out);
+    for (int r = 0; r < 8; ++r) out[r * 8 + c] = col_out[r];
+  }
+}
+
+TwiddleTable make_twiddles(std::size_t n) {
+  TwiddleTable t;
+  const Q q(kFftFrac);
+  t.cos_q.reserve(n / 2);
+  t.msin_q.reserve(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    t.cos_q.push_back(q.from_double(std::cos(ang)));
+    t.msin_q.push_back(q.from_double(-std::sin(ang)));  // stores sin(|ang|)
+  }
+  return t;
+}
+
+void fixed_fft(std::vector<i32>& re, std::vector<i32>& im) {
+  const std::size_t n = re.size();
+  if (n != im.size()) throw ConfigError("fixed_fft: re/im size mismatch");
+  if (!is_pow2(n)) throw ConfigError("fixed_fft: size must be a power of two");
+  const unsigned bits = log2_exact(n);
+  const TwiddleTable tw = make_twiddles(n);
+
+  // Bit-reversal permutation.
+  for (u32 i = 0; i < n; ++i) {
+    const u32 j = bit_reverse(i, bits);
+    if (j > i) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+
+  const i64 round_mul = i64{1} << (kFftFrac - 1);
+  // Iterative DIT stages; every stage halves the magnitude ((x+y)/2) so
+  // the fixed-point range is never exceeded.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;  // twiddle index stride
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::size_t tj = j * stride;
+        const i64 wc = tw.cos_q[tj];
+        const i64 ws = -static_cast<i64>(tw.msin_q[tj]);  // = sin(-2pi k/n)
+        const std::size_t a = i + j;
+        const std::size_t b = a + len / 2;
+        // v = x[b] * w  (complex multiply, rounded back to Q(kFftFrac)).
+        const i64 vr = (re[b] * wc - im[b] * ws + round_mul) >> kFftFrac;
+        const i64 vi = (re[b] * ws + im[b] * wc + round_mul) >> kFftFrac;
+        // Butterfly with 1/2 scaling, round-to-nearest on the shift.
+        const i64 ur = re[a];
+        const i64 ui = im[a];
+        re[a] = static_cast<i32>((ur + vr + 1) >> 1);
+        im[a] = static_cast<i32>((ui + vi + 1) >> 1);
+        re[b] = static_cast<i32>((ur - vr + 1) >> 1);
+        im[b] = static_cast<i32>((ui - vi + 1) >> 1);
+      }
+    }
+  }
+}
+
+}  // namespace ouessant::util

@@ -1,0 +1,278 @@
+// Tests for the baseline integrations (bus-slave accelerator, DMA engine,
+// PIO/DMA runners) and their equivalence with the OCP data path.
+#include <gtest/gtest.h>
+
+#include "baseline/coupled.hpp"
+#include "baseline/runners.hpp"
+#include "drv/session.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/idct.hpp"
+#include "rac/passthrough.hpp"
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant {
+namespace {
+
+constexpr Addr kIn = 0x4001'0000;
+constexpr Addr kOut = 0x4002'0000;
+
+std::vector<u32> random_idct_block(u64 seed) {
+  util::Rng rng(seed);
+  std::vector<u32> v(64);
+  for (auto& w : v) w = util::to_word(rng.range(-1024, 1023));
+  return v;
+}
+
+std::vector<u32> expected_idct(const std::vector<u32>& in) {
+  i32 coef[64];
+  i32 pix[64];
+  for (u32 i = 0; i < 64; ++i) coef[i] = util::from_word(in[i]);
+  util::fixed_idct8x8(coef, pix);
+  std::vector<u32> out(64);
+  for (u32 i = 0; i < 64; ++i) out[i] = util::to_word(pix[i]);
+  return out;
+}
+
+TEST(SlaveAccel, PioRoundTrip) {
+  platform::Soc soc;
+  baseline::SlaveAccel accel(soc.kernel(), "slave_idct",
+                             platform::kSlaveAccelBase, 64, 64,
+                             rac::IdctRac::kPaperLatency,
+                             baseline::idct_fn());
+  soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
+                          baseline::kSlaveSpanBytes);
+  const auto in = random_idct_block(1);
+  soc.sram().load(kIn, in);
+  const u64 cycles = baseline::run_slave_pio(soc.cpu(), accel, kIn, kOut,
+                                             64, 64);
+  EXPECT_GT(cycles, 128u);
+  EXPECT_EQ(soc.sram().dump(kOut, 64), expected_idct(in));
+  EXPECT_EQ(accel.completed_ops(), 1u);
+}
+
+TEST(SlaveAccel, StatusRegisterProtocol) {
+  platform::Soc soc;
+  baseline::SlaveAccel accel(soc.kernel(), "slave",
+                             platform::kSlaveAccelBase, 4, 4, 2,
+                             [](const std::vector<u32>& v) { return v; });
+  soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
+                          baseline::kSlaveSpanBytes);
+  cpu::Gpp& cpu = soc.cpu();
+  const Addr base = platform::kSlaveAccelBase;
+  // Fill level readable in the status word.
+  cpu.write32(base + baseline::kSlaveInWindow, 1);
+  cpu.write32(base + baseline::kSlaveInWindow, 2);
+  u32 status = cpu.read32(base + baseline::kSlaveCtrl);
+  EXPECT_EQ(status >> 16, 2u);
+  cpu.write32(base + baseline::kSlaveInWindow, 3);
+  cpu.write32(base + baseline::kSlaveInWindow, 4);
+  cpu.write32(base + baseline::kSlaveCtrl, baseline::kSlaveGo);
+  soc.kernel().run(16);
+  status = cpu.read32(base + baseline::kSlaveCtrl);
+  EXPECT_NE(status & baseline::kSlaveDone, 0u);
+  // W1C.
+  cpu.write32(base + baseline::kSlaveCtrl, baseline::kSlaveDone);
+  status = cpu.read32(base + baseline::kSlaveCtrl);
+  EXPECT_EQ(status & baseline::kSlaveDone, 0u);
+}
+
+TEST(SlaveAccel, GoWithoutDataIsABugCheck) {
+  platform::Soc soc;
+  baseline::SlaveAccel accel(soc.kernel(), "slave",
+                             platform::kSlaveAccelBase, 4, 4, 0,
+                             [](const std::vector<u32>& v) { return v; });
+  soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
+                          baseline::kSlaveSpanBytes);
+  EXPECT_THROW(
+      soc.cpu().write32(platform::kSlaveAccelBase + baseline::kSlaveCtrl,
+                        baseline::kSlaveGo),
+      SimError);
+}
+
+TEST(DmaEngine, MemToMemCopy) {
+  platform::Soc soc;
+  baseline::DmaEngine dma(soc.kernel(), "dma", soc.bus(), platform::kDmaBase);
+  util::Rng rng(2);
+  std::vector<u32> data(256);
+  for (auto& w : data) w = rng.next_u32();
+  soc.sram().load(kIn, data);
+
+  cpu::Gpp& cpu = soc.cpu();
+  cpu.write32(platform::kDmaBase + baseline::kDmaSrc, kIn);
+  cpu.write32(platform::kDmaBase + baseline::kDmaDst, kOut);
+  cpu.write32(platform::kDmaBase + baseline::kDmaLen, 256);
+  cpu.write32(platform::kDmaBase + baseline::kDmaBurst, 64);
+  cpu.write32(platform::kDmaBase + baseline::kDmaCtrl,
+              baseline::kDmaGo | baseline::kDmaIe);
+  cpu.wait_for_irq(dma.irq());
+  EXPECT_EQ(soc.sram().dump(kOut, 256), data);
+  EXPECT_EQ(dma.words_moved(), 256u);
+}
+
+TEST(DmaEngine, CpuFreeDuringTransfer) {
+  platform::Soc soc;
+  baseline::DmaEngine dma(soc.kernel(), "dma", soc.bus(), platform::kDmaBase);
+  soc.sram().load(kIn, std::vector<u32>(512, 7));
+  cpu::Gpp& cpu = soc.cpu();
+  cpu.write32(platform::kDmaBase + baseline::kDmaSrc, kIn);
+  cpu.write32(platform::kDmaBase + baseline::kDmaDst, kOut);
+  cpu.write32(platform::kDmaBase + baseline::kDmaLen, 512);
+  cpu.write32(platform::kDmaBase + baseline::kDmaCtrl,
+              baseline::kDmaGo | baseline::kDmaIe);
+  // The CPU computes while the DMA works; both make progress.
+  cpu.spend(500);
+  EXPECT_GT(dma.words_moved(), 0u);
+  cpu.wait_for_irq(dma.irq());
+  EXPECT_EQ(soc.sram().peek(kOut + 511 * 4), 7u);
+}
+
+TEST(DmaEngine, RegisterValidation) {
+  platform::Soc soc;
+  baseline::DmaEngine dma(soc.kernel(), "dma", soc.bus(), platform::kDmaBase);
+  EXPECT_THROW(soc.cpu().write32(platform::kDmaBase + baseline::kDmaBurst, 0),
+               SimError);
+  EXPECT_THROW(soc.cpu().write32(platform::kDmaBase + baseline::kDmaCtrl,
+                                 baseline::kDmaGo),
+               SimError);  // LEN == 0
+  soc.cpu().write32(platform::kDmaBase + baseline::kDmaLen, 4);
+  EXPECT_EQ(soc.cpu().read32(platform::kDmaBase + baseline::kDmaLen), 4u);
+}
+
+TEST(DmaAssisted, RoundTripMatchesExpected) {
+  platform::Soc soc;
+  baseline::SlaveAccel accel(soc.kernel(), "slave_idct",
+                             platform::kSlaveAccelBase, 64, 64,
+                             rac::IdctRac::kPaperLatency,
+                             baseline::idct_fn());
+  soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
+                          baseline::kSlaveSpanBytes);
+  baseline::DmaEngine dma(soc.kernel(), "dma", soc.bus(), platform::kDmaBase);
+  const auto in = random_idct_block(3);
+  soc.sram().load(kIn, in);
+  const u64 cycles = baseline::run_slave_dma(soc.cpu(), dma, accel, kIn,
+                                             kOut, 64, 64);
+  EXPECT_GT(cycles, 64u);
+  EXPECT_EQ(soc.sram().dump(kOut, 64), expected_idct(in));
+}
+
+TEST(Integration, AllFourPathsAgreeOnIdct) {
+  // SW, OCP, PIO slave, DMA slave: four integration styles, one answer.
+  const auto in = random_idct_block(4);
+  const auto expected = expected_idct(in);
+
+  // OCP path.
+  std::vector<u32> ocp_out;
+  {
+    platform::Soc soc;
+    rac::IdctRac idct(soc.kernel(), "idct");
+    core::Ocp& ocp = soc.add_ocp(idct);
+    drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                            {.prog_base = 0x4000'0000, .in_base = kIn,
+                             .out_base = kOut, .in_words = 64,
+                             .out_words = 64});
+    session.install(core::build_stream_program(
+        {.in_words = 64, .out_words = 64, .burst = 64}));
+    session.put_input(in);
+    session.run_poll();
+    ocp_out = session.get_output();
+  }
+  EXPECT_EQ(ocp_out, expected);
+
+  // PIO path.
+  {
+    platform::Soc soc;
+    baseline::SlaveAccel accel(soc.kernel(), "slave",
+                               platform::kSlaveAccelBase, 64, 64, 18,
+                               baseline::idct_fn());
+    soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
+                            baseline::kSlaveSpanBytes);
+    soc.sram().load(kIn, in);
+    baseline::run_slave_pio(soc.cpu(), accel, kIn, kOut, 64, 64);
+    EXPECT_EQ(soc.sram().dump(kOut, 64), expected);
+  }
+}
+
+TEST(Coupled, MolenStyleInvocationIsCorrectAndBlocking) {
+  platform::Soc soc;
+  baseline::CoupledAccel ccu(soc.cpu(), "molen_idct", 64, 64, 18,
+                             baseline::idct_fn());
+  const auto in = random_idct_block(9);
+  soc.sram().load(kIn, in);
+  const u64 idle_before = soc.cpu().idle_cycles();
+  const u64 lat = ccu.invoke(kIn, kOut);
+  EXPECT_EQ(soc.sram().dump(kOut, 64), expected_idct(in));
+  EXPECT_GT(lat, 64u + 18u);       // transfers + compute
+  EXPECT_LT(lat, 400u);            // but with near-zero invocation overhead
+  // The CPU never slept: every cycle of the invocation was CPU-occupied.
+  EXPECT_EQ(soc.cpu().idle_cycles(), idle_before);
+  EXPECT_EQ(ccu.invocations(), 1u);
+}
+
+TEST(Coupled, WrongCoreSizeDetected) {
+  platform::Soc soc;
+  baseline::CoupledAccel ccu(soc.cpu(), "bad", 4, 8, 0,
+                             [](const std::vector<u32>& v) { return v; });
+  soc.sram().load(kIn, {1, 2, 3, 4});
+  EXPECT_THROW(ccu.invoke(kIn, kOut), SimError);
+}
+
+TEST(Integration, OcpBeatsPioAndDmaOnLargeBlocks) {
+  // The qualitative E5 result as an invariant: for a big block the OCP
+  // integration (single bus crossing, no CPU orchestration) is fastest,
+  // PIO slowest.
+  const u32 words = 512;
+  util::Rng rng(6);
+  std::vector<u32> in(words);
+  for (auto& w : in) w = rng.next_u32();
+
+  u64 ocp_cycles = 0;
+  {
+    platform::Soc soc;
+    rac::PassthroughRac rac(soc.kernel(), "pass", words, 32);
+    core::Ocp& ocp = soc.add_ocp(rac);
+    drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                            {.prog_base = 0x4000'0000, .in_base = kIn,
+                             .out_base = kOut, .in_words = words,
+                             .out_words = words});
+    session.install(core::build_stream_program(
+        {.in_words = words, .out_words = words, .burst = 64}));
+    session.put_input(in);
+    ocp_cycles = session.run_irq();
+  }
+
+  u64 pio_cycles = 0;
+  u64 dma_cycles = 0;
+  {
+    platform::Soc soc;
+    baseline::SlaveAccel accel(soc.kernel(), "slave",
+                               platform::kSlaveAccelBase, words, words, 0,
+                               [](const std::vector<u32>& v) { return v; });
+    soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
+                            baseline::kSlaveSpanBytes);
+    soc.sram().load(kIn, in);
+    pio_cycles = baseline::run_slave_pio(soc.cpu(), accel, kIn, kOut,
+                                         words, words);
+  }
+  {
+    platform::Soc soc;
+    baseline::SlaveAccel accel(soc.kernel(), "slave",
+                               platform::kSlaveAccelBase, words, words, 0,
+                               [](const std::vector<u32>& v) { return v; });
+    soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
+                            baseline::kSlaveSpanBytes);
+    baseline::DmaEngine dma(soc.kernel(), "dma", soc.bus(),
+                            platform::kDmaBase);
+    soc.sram().load(kIn, in);
+    dma_cycles = baseline::run_slave_dma(soc.cpu(), dma, accel, kIn, kOut,
+                                         words, words);
+  }
+
+  EXPECT_LT(ocp_cycles, dma_cycles);
+  EXPECT_LT(dma_cycles, pio_cycles);
+}
+
+}  // namespace
+}  // namespace ouessant

@@ -1,0 +1,146 @@
+// Tests for the JPEG-style codec substrate.
+#include <gtest/gtest.h>
+
+#include "codec/jpeg.hpp"
+#include "platform/soc.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant {
+namespace {
+
+TEST(Zigzag, IsAPermutation) {
+  const auto& zz = codec::zigzag_order();
+  std::array<bool, 64> seen{};
+  for (const u8 idx : zz) {
+    EXPECT_LT(idx, 64);
+    EXPECT_FALSE(seen[idx]) << "duplicate " << static_cast<int>(idx);
+    seen[idx] = true;
+  }
+}
+
+TEST(Zigzag, KnownPrefix) {
+  // The canonical JPEG zigzag starts 0, 1, 8, 16, 9, 2, 3, 10 ...
+  const auto& zz = codec::zigzag_order();
+  const u8 expected[] = {0, 1, 8, 16, 9, 2, 3, 10};
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(zz[i], expected[i]) << i;
+  EXPECT_EQ(zz[63], 63);
+}
+
+TEST(Zigzag, InverseInverts) {
+  const auto& zz = codec::zigzag_order();
+  const auto& inv = codec::zigzag_inverse();
+  for (u32 i = 0; i < 64; ++i) EXPECT_EQ(inv[zz[i]], i);
+}
+
+TEST(QuantTable, QualityScaling) {
+  const auto q50 = codec::quant_table(50);
+  EXPECT_EQ(q50[0], 16);  // quality 50 reproduces the Annex K table
+  const auto q10 = codec::quant_table(10);
+  const auto q90 = codec::quant_table(90);
+  for (u32 i = 0; i < 64; ++i) {
+    EXPECT_GE(q10[i], q50[i]) << i;   // coarser at low quality
+    EXPECT_LE(q90[i], q50[i]) << i;   // finer at high quality
+    EXPECT_GE(q90[i], 1);
+  }
+  EXPECT_THROW(codec::quant_table(0), ConfigError);
+  EXPECT_THROW(codec::quant_table(101), ConfigError);
+}
+
+TEST(Codec, RejectsBadDimensions) {
+  codec::Raster img;
+  img.width = 12;
+  img.height = 8;
+  img.samples.assign(96, 0);
+  EXPECT_THROW(codec::encode(img, 50), ConfigError);
+}
+
+TEST(Codec, FlatImageCompressesToAlmostNothing) {
+  codec::Raster img;
+  img.width = 64;
+  img.height = 64;
+  img.samples.assign(64 * 64, 128);
+  const auto jpg = codec::encode(img, 50);
+  // One EOB byte per block (DC of the level-shifted flat block is 0).
+  EXPECT_EQ(jpg.payload.size(), jpg.blocks());
+  const auto blocks = codec::decode_coefficients(jpg);
+  const auto back = codec::assemble(blocks, 64, 64);
+  EXPECT_EQ(back.samples, img.samples);
+}
+
+class QualitySweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(QualitySweep, RoundTripPsnrAndSizeBehave) {
+  const u32 quality = GetParam();
+  const auto img = codec::test_image(64, 64);
+  const auto jpg = codec::encode(img, quality);
+  EXPECT_GT(jpg.payload.size(), 0u);
+
+  auto coef_blocks = codec::decode_coefficients(jpg);
+  ASSERT_EQ(coef_blocks.size(), jpg.blocks());
+
+  // IDCT every block through the shared fixed-point datapath.
+  std::vector<std::array<i32, 64>> pix_blocks(coef_blocks.size());
+  for (std::size_t b = 0; b < coef_blocks.size(); ++b) {
+    util::fixed_idct8x8(coef_blocks[b].data(), pix_blocks[b].data());
+  }
+  const auto decoded = codec::assemble(pix_blocks, 64, 64);
+  const double db = codec::psnr(img, decoded);
+
+  // Reasonable JPEG behaviour for a synthetic photo.
+  if (quality >= 90) {
+    EXPECT_GT(db, 36.0);
+  }
+  if (quality >= 50) {
+    EXPECT_GT(db, 30.0);
+  }
+  if (quality >= 20) {
+    EXPECT_GT(db, 24.0);
+  }
+  EXPECT_LT(db, 99.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, QualitySweep,
+                         ::testing::Values(10, 20, 50, 75, 90, 95));
+
+TEST(Codec, HigherQualityNeverSmaller) {
+  const auto img = codec::test_image(64, 64);
+  std::size_t prev = 0;
+  for (const u32 q : {10u, 30u, 50u, 70u, 90u}) {
+    const auto jpg = codec::encode(img, q);
+    EXPECT_GE(jpg.payload.size(), prev) << "quality " << q;
+    prev = jpg.payload.size();
+  }
+}
+
+TEST(Codec, EntropyDecodeChargesCpuTime) {
+  platform::Soc soc;
+  const auto img = codec::test_image(64, 64);
+  const auto jpg = codec::encode(img, 50);
+  const Cycle t0 = soc.kernel().now();
+  const auto blocks = codec::decode_coefficients(jpg, &soc.cpu());
+  EXPECT_GT(soc.kernel().now(), t0);
+  EXPECT_EQ(blocks.size(), jpg.blocks());
+}
+
+TEST(Codec, TruncatedStreamDetected) {
+  const auto img = codec::test_image(16, 16);
+  auto jpg = codec::encode(img, 50);
+  jpg.payload.resize(jpg.payload.size() / 2);
+  EXPECT_THROW(codec::decode_coefficients(jpg), SimError);
+}
+
+TEST(Codec, PsnrIdentityIsHuge) {
+  const auto img = codec::test_image(32, 32);
+  EXPECT_DOUBLE_EQ(codec::psnr(img, img), 99.0);
+  codec::Raster other = img;
+  other.samples[0] ^= 0xFF;
+  EXPECT_LT(codec::psnr(img, other), 99.0);
+  codec::Raster wrong;
+  wrong.width = 8;
+  wrong.height = 8;
+  wrong.samples.assign(64, 0);
+  EXPECT_THROW(codec::psnr(img, wrong), ConfigError);
+}
+
+}  // namespace
+}  // namespace ouessant

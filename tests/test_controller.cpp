@@ -1,0 +1,397 @@
+// Tests for the Ouessant controller, bus interface, and OCP assembly:
+// instruction semantics, control-register protocol, faults, the v1/v2
+// ISA levels, and the loop auto-increment extension.
+#include <gtest/gtest.h>
+
+#include "drv/session.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/passthrough.hpp"
+#include "util/rng.hpp"
+
+namespace ouessant {
+namespace {
+
+constexpr Addr kProg = 0x4000'0000;
+constexpr Addr kIn = 0x4001'0000;
+constexpr Addr kOut = 0x4002'0000;
+
+struct Rig {
+  explicit Rig(u32 words = 16, core::IsaLevel isa = core::IsaLevel::kV2,
+               u32 chunk_width = 32)
+      : rac(soc.kernel(), "pass", words * 32 / chunk_width, chunk_width),
+        ocp(soc.add_ocp(rac, isa)),
+        session(soc.cpu(), soc.sram(), ocp,
+                {.prog_base = kProg,
+                 .in_base = kIn,
+                 .out_base = kOut,
+                 .in_words = words,
+                 .out_words = words}) {}
+
+  std::vector<u32> random_input(u32 words, u64 seed = 5) {
+    util::Rng rng(seed);
+    std::vector<u32> v(words);
+    for (auto& w : v) w = rng.next_u32();
+    return v;
+  }
+
+  platform::Soc soc;
+  rac::PassthroughRac rac;
+  core::Ocp& ocp;
+  drv::OcpSession session;
+};
+
+// ----------------------------------------------------- register protocol --
+
+TEST(Interface, RegisterReadback) {
+  Rig rig;
+  cpu::Gpp& cpu = rig.soc.cpu();
+  const Addr base = rig.ocp.config().reg_base;
+  cpu.write32(base + core::bank_reg(3), 0x4123'4000);
+  EXPECT_EQ(cpu.read32(base + core::bank_reg(3)), 0x4123'4000u);
+  cpu.write32(base + core::kRegProgSize, 12);
+  EXPECT_EQ(cpu.read32(base + core::kRegProgSize), 12u);
+  // IE sticks; S reads back as pending until consumed (prog size must be
+  // valid for the controller not to fault immediately).
+  cpu.write32(base + core::kRegCtrl, core::kCtrlIe);
+  EXPECT_EQ(cpu.read32(base + core::kRegCtrl) & core::kCtrlIe,
+            core::kCtrlIe);
+}
+
+TEST(Interface, BankAlignmentEnforced) {
+  Rig rig;
+  const Addr base = rig.ocp.config().reg_base;
+  rig.session.install(core::build_stream_program(
+      {.in_words = 16, .out_words = 16, .burst = 16}));
+  EXPECT_THROW(rig.soc.cpu().write32(base + core::bank_reg(1), 0x4001'0002),
+               SimError);
+}
+
+TEST(Interface, TranslationAddsWordOffset) {
+  Rig rig;
+  rig.session.install(core::build_stream_program(
+      {.in_words = 16, .out_words = 16, .burst = 16}));
+  EXPECT_EQ(rig.ocp.iface().translate(1, 4), kIn + 16);
+  EXPECT_EQ(rig.ocp.iface().translate(2, 0), kOut);
+  EXPECT_THROW((void)rig.ocp.iface().translate(9, 0), SimError);
+}
+
+TEST(Interface, DoneBitIsW1C) {
+  Rig rig;
+  rig.session.install(core::build_stream_program(
+      {.in_words = 16, .out_words = 16, .burst = 16}));
+  rig.session.put_input(rig.random_input(16));
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().done(); });
+  EXPECT_TRUE(rig.session.driver().done_bit_set());
+  rig.session.driver().clear_done();
+  EXPECT_FALSE(rig.session.driver().done_bit_set());
+}
+
+TEST(Interface, IrqOnlyWhenEnabled) {
+  Rig rig;
+  rig.session.install(core::build_stream_program(
+      {.in_words = 16, .out_words = 16, .burst = 16}));
+  rig.session.put_input(rig.random_input(16));
+  rig.session.driver().enable_irq(false);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().done(); });
+  EXPECT_FALSE(rig.ocp.irq().raised());
+
+  rig.session.driver().clear_done();
+  rig.session.put_input(rig.random_input(16));
+  rig.session.driver().enable_irq(true);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().done(); });
+  EXPECT_TRUE(rig.ocp.irq().raised());
+  rig.session.driver().clear_done();
+  EXPECT_FALSE(rig.ocp.irq().raised());
+}
+
+// ------------------------------------------------------------- semantics --
+
+TEST(Controller, MvtcDeliversWordsInOrder) {
+  Rig rig(16);
+  core::Program p;
+  p.mvtc(1, 0, 16).exec().mvfc(2, 0, 16).eop();
+  rig.session.install(p);
+  const auto in = rig.random_input(16);
+  rig.session.put_input(in);
+  rig.session.run_poll();
+  EXPECT_EQ(rig.session.get_output(), in);
+}
+
+TEST(Controller, OffsetsAddressSubBlocks) {
+  Rig rig(16);
+  core::Program p;
+  // Feed the RAC the SECOND half then the FIRST half of the input bank.
+  p.mvtc(1, 8, 8).mvtc(1, 0, 8).exec().mvfc(2, 0, 16).eop();
+  rig.session.install(p);
+  const auto in = rig.random_input(16);
+  rig.session.put_input(in);
+  rig.session.run_poll();
+  const auto out = rig.session.get_output();
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i], in[8 + i]);
+    EXPECT_EQ(out[8 + i], in[i]);
+  }
+}
+
+TEST(Controller, ExecsOverlapsOutputDrain) {
+  // Fig. 4 pattern must work even when the output FIFO is smaller than the
+  // block: mvfc drains while the RAC streams.
+  platform::Soc soc;
+  rac::PassthroughRac rac(soc.kernel(), "pass", 256, 32);
+  core::Ocp& ocp = soc.add_ocp(rac);
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = kProg, .in_base = kIn,
+                           .out_base = kOut, .in_words = 256,
+                           .out_words = 256});
+  session.install(core::build_stream_program(
+      {.in_words = 256, .out_words = 256, .burst = 64, .overlap = true}));
+  util::Rng rng(9);
+  std::vector<u32> in(256);
+  for (auto& w : in) w = rng.next_u32();
+  session.put_input(in);
+  session.run_poll();
+  EXPECT_EQ(session.get_output(), in);
+}
+
+TEST(Controller, WaitPairsWithExecs) {
+  Rig rig(16);
+  core::Program p;
+  p.mvtc(1, 0, 16).execs().wait().mvfc(2, 0, 16).eop();
+  rig.session.install(p);
+  const auto in = rig.random_input(16);
+  rig.session.put_input(in);
+  rig.session.run_poll();
+  EXPECT_EQ(rig.session.get_output(), in);
+  EXPECT_EQ(rig.rac.completed_ops(), 1u);
+}
+
+TEST(Controller, NopsAreHarmless) {
+  Rig rig(16);
+  core::Program p;
+  p.nop().mvtc(1, 0, 16).nop().exec().nop().mvfc(2, 0, 16).nop().eop();
+  rig.session.install(p);
+  const auto in = rig.random_input(16);
+  rig.session.put_input(in);
+  rig.session.run_poll();
+  EXPECT_EQ(rig.session.get_output(), in);
+  EXPECT_EQ(rig.ocp.controller().stats().instructions, 8u);
+}
+
+TEST(Controller, LoopAutoIncrementMatchesUnrolled) {
+  // The looped and unrolled encodings of the same job must move the same
+  // data (E6's correctness precondition).
+  for (const bool use_loop : {false, true}) {
+    platform::Soc soc;
+    rac::PassthroughRac rac(soc.kernel(), "pass", 128, 32);
+    core::Ocp& ocp = soc.add_ocp(rac);
+    drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                            {.prog_base = kProg, .in_base = kIn,
+                             .out_base = kOut, .in_words = 128,
+                             .out_words = 128});
+    session.install(core::build_stream_program(
+        {.in_words = 128, .out_words = 128, .burst = 16, .overlap = true,
+         .use_loop = use_loop}));
+    util::Rng rng(31);
+    std::vector<u32> in(128);
+    for (auto& w : in) w = rng.next_u32();
+    session.put_input(in);
+    session.run_poll();
+    EXPECT_EQ(session.get_output(), in) << "use_loop=" << use_loop;
+  }
+}
+
+TEST(Controller, LoopBodyCountIsExact) {
+  Rig rig(16);
+  core::Program p;
+  // Two nops looped 3 extra times: body (nop,nop) runs 4 times = 8 nops.
+  p.nop().nop().loop(0, 3).mvtc(1, 0, 16).exec().mvfc(2, 0, 16).eop();
+  rig.session.install(p);
+  rig.session.put_input(rig.random_input(16));
+  rig.session.run_poll();
+  // instructions = 8 nops + 4 loop + 3 others + eop
+  EXPECT_EQ(rig.ocp.controller().stats().instructions, 8u + 4u + 3u + 1u);
+}
+
+TEST(Controller, BackToBackRunsReuseProgram) {
+  Rig rig(16);
+  rig.session.install(core::build_stream_program(
+      {.in_words = 16, .out_words = 16, .burst = 16}));
+  for (int round = 0; round < 4; ++round) {
+    const auto in = rig.random_input(16, 100 + round);
+    rig.session.put_input(in);
+    rig.session.run_poll();
+    EXPECT_EQ(rig.session.get_output(), in) << round;
+  }
+  EXPECT_EQ(rig.ocp.controller().stats().runs, 4u);
+}
+
+TEST(Controller, CpuComputesWhileOcpRuns) {
+  // The paper's concurrency claim: start_async then spend CPU cycles; the
+  // whole job must not be serialized behind the CPU work.
+  Rig rig(64);
+  rig.session.install(core::build_stream_program(
+      {.in_words = 64, .out_words = 64, .burst = 64}));
+  rig.session.put_input(rig.random_input(64));
+  rig.session.driver().enable_irq(true);
+  const Cycle t0 = rig.soc.kernel().now();
+  rig.session.start_async();
+  rig.soc.cpu().spend(5000);  // overlapping CPU work
+  rig.session.driver().wait_done_irq();
+  const u64 total = rig.soc.kernel().now() - t0;
+  EXPECT_LT(total, 5000u + 500u);  // OCP finished inside the CPU's window
+  EXPECT_EQ(rig.session.get_output().size(), 64u);
+}
+
+TEST(Controller, StartWhileRunningIsIgnored) {
+  // Writing S while BUSY must not queue a second run (the paper's simple
+  // one-outstanding-program control model).
+  Rig rig(64);
+  rig.session.install(core::build_stream_program(
+      {.in_words = 64, .out_words = 64, .burst = 64}));
+  rig.session.put_input(rig.random_input(64));
+  rig.session.driver().start();
+  rig.soc.kernel().run(4);  // the controller has consumed S by now
+  EXPECT_TRUE(rig.ocp.iface().running());
+  rig.session.driver().start();  // ignored: still busy
+  rig.session.driver().wait_done_poll();
+  rig.soc.kernel().run(200);     // would re-run if the write had latched
+  EXPECT_EQ(rig.ocp.controller().stats().runs, 1u);
+  EXPECT_EQ(rig.rac.completed_ops(), 1u);
+}
+
+TEST(Controller, IrqInstructionSignalsProgress) {
+  // Per-stage progress interrupts (the v2 autonomy extension): the CPU
+  // observes PROG mid-program while the OCP keeps running.
+  Rig rig(16);
+  core::Program p;
+  p.mvtc(1, 0, 16).irq().exec().mvfc(2, 0, 16).eop();
+  rig.session.install(p);
+  rig.session.put_input(rig.random_input(16));
+  rig.session.driver().enable_irq(true);
+  rig.session.start_async();
+  // Wait for the progress interrupt: PROG set, D not yet set.
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().progress(); });
+  EXPECT_FALSE(rig.ocp.iface().done());
+  EXPECT_TRUE(rig.ocp.irq().raised());
+  // Acknowledge progress; the program continues to completion.
+  rig.soc.cpu().write32(rig.ocp.config().reg_base + core::kRegCtrl,
+                        core::kCtrlProg | core::kCtrlIe);
+  EXPECT_FALSE(rig.ocp.iface().progress());
+  rig.session.driver().wait_done_irq();
+  EXPECT_EQ(rig.ocp.controller().stats().runs, 1u);
+}
+
+TEST(Controller, IrqRejectedOnV1) {
+  Rig rig(16, core::IsaLevel::kV1);
+  core::Program p;
+  p.irq().eop();
+  rig.session.driver().install_program_backdoor(rig.soc.sram(), kProg, p);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().error(); });
+  EXPECT_TRUE(rig.ocp.iface().error());
+}
+
+// ---------------------------------------------------------------- faults --
+
+TEST(Controller, FaultOnMissingEop) {
+  Rig rig(16);
+  core::Program p;
+  p.mvtc(1, 0, 16);  // no eop
+  rig.session.driver().install_program_backdoor(rig.soc.sram(), kProg, p);
+  rig.session.driver().set_bank(1, kIn);
+  rig.session.driver().set_bank(2, kOut);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().error(); });
+  EXPECT_EQ(rig.ocp.controller().stats().faults, 1u);
+  EXPECT_THROW(rig.session.driver().wait_done_poll(), SimError);
+}
+
+TEST(Controller, FaultOnUnassignedOpcode) {
+  Rig rig(16);
+  rig.soc.sram().load(kProg, {0xF800'0000u});
+  rig.session.driver().set_bank(0, kProg);
+  rig.soc.cpu().write32(rig.ocp.config().reg_base + core::kRegProgSize, 1);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().error(); });
+  EXPECT_TRUE(rig.ocp.iface().error());
+}
+
+TEST(Controller, FaultOnBadFifoId) {
+  Rig rig(16);
+  core::Program p;
+  p.push({.op = isa::Opcode::kMvtc, .bank = 1, .offset = 0, .fifo = 3,
+          .len = 16});
+  p.eop();
+  rig.session.driver().install_program_backdoor(rig.soc.sram(), kProg, p);
+  rig.session.driver().set_bank(1, kIn);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().error(); });
+  EXPECT_TRUE(rig.ocp.iface().error());
+}
+
+TEST(Controller, FaultOnZeroProgramSize) {
+  Rig rig(16);
+  rig.session.driver().set_bank(0, kProg);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().error(); });
+  EXPECT_TRUE(rig.ocp.iface().error());
+}
+
+TEST(Controller, ErrBitIsW1C) {
+  Rig rig(16);
+  rig.session.driver().set_bank(0, kProg);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().error(); });
+  const Addr base = rig.ocp.config().reg_base;
+  EXPECT_NE(rig.soc.cpu().read32(base + core::kRegCtrl) & core::kCtrlErr, 0u);
+  rig.soc.cpu().write32(base + core::kRegCtrl, core::kCtrlErr);
+  EXPECT_EQ(rig.soc.cpu().read32(base + core::kRegCtrl) & core::kCtrlErr, 0u);
+}
+
+TEST(Controller, V1RejectsV2Instructions) {
+  Rig rig(16, core::IsaLevel::kV1);
+  core::Program p;
+  p.nop().eop();  // nop is v2-only
+  rig.session.driver().install_program_backdoor(rig.soc.sram(), kProg, p);
+  rig.session.driver().start();
+  rig.soc.kernel().run_until([&] { return rig.ocp.iface().error(); });
+  EXPECT_TRUE(rig.ocp.iface().error());
+}
+
+TEST(Controller, V1RunsThePaperProgram) {
+  platform::Soc soc;
+  rac::PassthroughRac rac(soc.kernel(), "pass", 512, 32);
+  core::Ocp& ocp = soc.add_ocp(rac, core::IsaLevel::kV1);
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = kProg, .in_base = kIn,
+                           .out_base = kOut, .in_words = 512,
+                           .out_words = 512});
+  session.install(core::figure4_program());
+  util::Rng rng(17);
+  std::vector<u32> in(512);
+  for (auto& w : in) w = rng.next_u32();
+  session.put_input(in);
+  session.run_irq();
+  EXPECT_EQ(session.get_output(), in);
+}
+
+TEST(Controller, StatsBreakdownAddsUp) {
+  Rig rig(16);
+  rig.session.install(core::build_stream_program(
+      {.in_words = 16, .out_words = 16, .burst = 16}));
+  rig.session.put_input(rig.random_input(16));
+  rig.session.run_poll();
+  const auto& s = rig.ocp.controller().stats();
+  EXPECT_EQ(s.instructions, 4u);  // mvtc, execs, mvfc, eop
+  EXPECT_EQ(s.words_to_rac, 16u);
+  EXPECT_EQ(s.words_from_rac, 16u);
+  EXPECT_GT(s.fetch_cycles, 0u);
+  EXPECT_GT(s.xfer_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace ouessant

@@ -1,0 +1,224 @@
+// Differential fuzzing: structured-random microcode programs executed on
+// BOTH the cycle-level SoC (bus + controller + FIFOs + RAC) and the
+// untimed functional emulator, then compared on final memory state and
+// executed-operation counts. Any divergence is a model bug.
+#include <gtest/gtest.h>
+
+#include "drv/session.hpp"
+#include "ouessant/emulator.hpp"
+#include "platform/soc.hpp"
+#include "rac/passthrough.hpp"
+#include "util/rng.hpp"
+
+namespace ouessant {
+namespace {
+
+constexpr Addr kProg = 0x4000'0000;
+constexpr Addr kBank1 = 0x4001'0000;
+constexpr Addr kBank2 = 0x4002'0000;
+constexpr u32 kBankWords = 4096;
+
+/// Functional RAC consuming exactly @p chunks words per operation —
+/// matching PassthroughRac's block envelope.
+core::EmuRac block_passthrough(u32 chunks) {
+  return [chunks](std::vector<std::deque<u32>>& in,
+                  std::vector<std::deque<u32>>& out) {
+    ASSERT_GE(in[0].size(), chunks) << "generator bug: underfed RAC";
+    for (u32 i = 0; i < chunks; ++i) {
+      out[0].push_back(in[0].front());
+      in[0].pop_front();
+    }
+  };
+}
+
+struct GeneratedCase {
+  core::Program program;
+  u32 block_words;   // RAC block size
+  u32 rounds;
+};
+
+/// Structured-random program: `rounds` rounds of
+///   [nops] mvtc-ladder(block_words) (exec | execs [wait]) mvfc-ladder
+/// with random segmentation, offsets, loops (contiguous auto-increment
+/// ladders) and optional nops; ends with eop.
+GeneratedCase generate(util::Rng& rng, bool allow_v2) {
+  GeneratedCase g;
+  // Block size: power-of-two words, 8..128.
+  g.block_words = 8u << rng.below(5);
+  g.rounds = 1 + rng.below(3);
+
+  auto random_burst_split = [&](u32 total) {
+    // Split `total` into bursts; each burst a power-of-two <= total.
+    std::vector<u32> bursts;
+    u32 left = total;
+    while (left > 0) {
+      u32 b = 1u << rng.below(9);  // 1..256
+      b = std::min({b, left, 256u});
+      // keep ladder lengths reasonable
+      if (b < 4 && left >= 4) b = 4;
+      bursts.push_back(b);
+      left -= b;
+    }
+    return bursts;
+  };
+
+  for (u32 round = 0; round < g.rounds; ++round) {
+    if (allow_v2 && rng.chance(0.3)) g.program.nop();
+    if (allow_v2 && rng.chance(0.25)) g.program.irq();
+
+    // Input ladder. Either a looped contiguous ladder (v2) or an
+    // unrolled ladder with random (possibly overlapping) source offsets.
+    const bool loop_in = allow_v2 && rng.chance(0.4) &&
+                         (g.block_words % 8 == 0);
+    if (loop_in) {
+      const u32 burst = std::min(8u << rng.below(3), g.block_words);
+      const u32 blocks = g.block_words / burst;
+      const u32 base = rng.below(kBankWords - g.block_words);
+      const u32 body = static_cast<u32>(g.program.size());
+      g.program.mvtc(1, base, burst, 0);
+      if (blocks > 1) g.program.loop(body, blocks - 1);
+    } else {
+      for (const u32 burst : random_burst_split(g.block_words)) {
+        const u32 off = rng.below(kBankWords - burst);
+        g.program.mvtc(1, off, burst, 0);
+      }
+    }
+
+    // Launch.
+    if (rng.chance(0.5)) {
+      g.program.exec();
+    } else {
+      g.program.execs();
+      if (allow_v2 && rng.chance(0.5)) g.program.wait();
+    }
+
+    // Output ladder into bank 2 (non-overlapping destinations per round
+    // so rounds do not clobber each other's results inconsistently).
+    const u32 round_base = round * (kBankWords / 4);
+    const bool loop_out = allow_v2 && rng.chance(0.4) &&
+                          (g.block_words % 8 == 0);
+    if (loop_out) {
+      const u32 burst = std::min(8u << rng.below(3), g.block_words);
+      const u32 blocks = g.block_words / burst;
+      const u32 body = static_cast<u32>(g.program.size());
+      g.program.mvfc(2, round_base, burst, 0);
+      if (blocks > 1) g.program.loop(body, blocks - 1);
+    } else {
+      u32 dst = round_base;
+      for (const u32 burst : random_burst_split(g.block_words)) {
+        g.program.mvfc(2, dst, burst, 0);
+        dst += burst;
+      }
+    }
+  }
+  g.program.eop();
+  return g;
+}
+
+class FuzzDifferential : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzDifferential, HardwareMatchesEmulator) {
+  util::Rng rng(GetParam());
+  const bool allow_v2 = (GetParam() % 2) == 0;
+  const GeneratedCase g = generate(rng, allow_v2);
+  ASSERT_TRUE(core::verify(g.program, 1, 1).ok) << g.program.listing();
+
+  // Shared random input bank contents.
+  std::vector<u32> bank1(kBankWords);
+  for (auto& w : bank1) w = rng.next_u32();
+
+  // ---------------- hardware run ---------------------------------------
+  platform::Soc soc;
+  rac::PassthroughRac rac(soc.kernel(), "pass", g.block_words, 32);
+  core::Ocp& ocp = soc.add_ocp(
+      rac, allow_v2 ? core::IsaLevel::kV2 : core::IsaLevel::kV1);
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = kProg, .in_base = kBank1,
+                           .out_base = kBank2, .in_words = kBankWords,
+                           .out_words = kBankWords});
+  session.install(g.program, /*timed_program=*/false);
+  soc.sram().load(kBank1, bank1);
+  soc.sram().fill(0);  // clear everything...
+  soc.sram().load(kBank1, bank1);  // ...but keep the input
+  session.driver().install_program_backdoor(soc.sram(), kProg, g.program);
+  session.run_poll(/*poll_gap=*/8);
+
+  // ---------------- emulator run ---------------------------------------
+  core::EmuConfig cfg;
+  cfg.banks = {kProg, kBank1, kBank2, 0, 0, 0, 0, 0};
+  std::map<Addr, u32> memory;
+  for (u32 i = 0; i < kBankWords; ++i) memory[kBank1 + i * 4] = bank1[i];
+  const core::EmuResult emu =
+      core::emulate(g.program, cfg, memory, block_passthrough(g.block_words));
+  ASSERT_TRUE(emu.ok) << emu.fault << "\n" << g.program.listing();
+
+  // ---------------- compare --------------------------------------------
+  // Every output-bank address the emulator wrote must match the SoC SRAM.
+  for (const auto& [addr, value] : memory) {
+    if (addr < kBank2 || addr >= kBank2 + kBankWords * 4) continue;
+    ASSERT_EQ(soc.sram().peek(addr), value)
+        << "addr 0x" << std::hex << addr << std::dec << "\n"
+        << g.program.listing();
+  }
+  const auto& stats = ocp.controller().stats();
+  EXPECT_EQ(stats.instructions, emu.instructions) << g.program.listing();
+  EXPECT_EQ(stats.words_to_rac, emu.words_to_rac);
+  EXPECT_EQ(stats.words_from_rac, emu.words_from_rac);
+  EXPECT_EQ(rac.completed_ops(), emu.rac_ops);
+  EXPECT_EQ(stats.progress_irqs, emu.irqs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
+                         ::testing::Range<u64>(1, 61));
+
+// ---------------------------------------------------------- unit checks --
+
+TEST(Emulator, PassthroughSmoke) {
+  core::Program p;
+  p.mvtc(1, 0, 4).exec().mvfc(2, 0, 4).eop();
+  core::EmuConfig cfg;
+  cfg.banks = {0, 0x100, 0x200, 0, 0, 0, 0, 0};
+  std::map<Addr, u32> mem{{0x100, 10}, {0x104, 11}, {0x108, 12}, {0x10C, 13}};
+  const auto r = core::emulate(p, cfg, mem, core::passthrough_emu_rac());
+  ASSERT_TRUE(r.ok) << r.fault;
+  EXPECT_EQ(mem[0x200], 10u);
+  EXPECT_EQ(mem[0x20C], 13u);
+  EXPECT_EQ(r.rac_ops, 1u);
+  EXPECT_EQ(r.instructions, 4u);
+}
+
+TEST(Emulator, DetectsDeadlockingPrograms) {
+  core::Program p;
+  p.mvfc(2, 0, 4).eop();  // drain before anything was produced
+  core::EmuConfig cfg;
+  std::map<Addr, u32> mem;
+  const auto r = core::emulate(p, cfg, mem, core::passthrough_emu_rac());
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.fault.find("underflow"), std::string::npos);
+}
+
+TEST(Emulator, DetectsRunaway) {
+  core::Program p;
+  p.nop().nop();  // no eop
+  core::EmuConfig cfg;
+  std::map<Addr, u32> mem;
+  const auto r = core::emulate(p, cfg, mem, core::passthrough_emu_rac());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Emulator, LoopAutoIncrementSemantics) {
+  core::Program p;
+  p.mvtc(1, 0, 2, 0).loop(0, 2).exec().mvfc(2, 0, 6, 0).eop();
+  core::EmuConfig cfg;
+  cfg.banks = {0, 0x100, 0x200, 0, 0, 0, 0, 0};
+  std::map<Addr, u32> mem;
+  for (u32 i = 0; i < 6; ++i) mem[0x100 + i * 4] = 100 + i;
+  const auto r = core::emulate(p, cfg, mem, core::passthrough_emu_rac());
+  ASSERT_TRUE(r.ok) << r.fault;
+  for (u32 i = 0; i < 6; ++i) {
+    EXPECT_EQ(mem[0x200 + i * 4], 100 + i) << i;  // contiguous walk
+  }
+}
+
+}  // namespace
+}  // namespace ouessant

@@ -1,0 +1,245 @@
+// Tests for the baseline-JPEG Huffman entropy stage: bitstream I/O,
+// canonical table construction, block coding, and the codec integration.
+#include <gtest/gtest.h>
+
+#include "codec/huffman.hpp"
+#include "codec/jpeg.hpp"
+#include "platform/soc.hpp"
+#include "util/rng.hpp"
+
+namespace ouessant {
+namespace {
+
+// ------------------------------------------------------------ bitstream --
+
+TEST(BitIo, RoundTrip) {
+  codec::BitWriter w;
+  w.put(0b101, 3);
+  w.put(0b1, 1);
+  w.put(0xABCD, 16);
+  w.put(0, 4);
+  const auto bytes = w.finish();
+  codec::BitReader r(bytes);
+  EXPECT_EQ(r.get(3), 0b101u);
+  EXPECT_EQ(r.get(1), 1u);
+  EXPECT_EQ(r.get(16), 0xABCDu);
+  EXPECT_EQ(r.get(4), 0u);
+}
+
+TEST(BitIo, PadsWithOnes) {
+  codec::BitWriter w;
+  w.put(0, 1);  // one 0-bit, then 7 pad bits of 1
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x7Fu);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  const std::vector<u8> empty;
+  codec::BitReader r(empty);
+  EXPECT_THROW((void)r.get_bit(), SimError);
+}
+
+TEST(BitIo, RandomStreamProperty) {
+  util::Rng rng(4);
+  std::vector<std::pair<u32, unsigned>> chunks;
+  codec::BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const unsigned n = 1 + rng.below(24);
+    const u32 v = rng.next_u32() & ((1u << n) - 1u);
+    chunks.emplace_back(v, n);
+    w.put(v, n);
+  }
+  const auto bytes = w.finish();
+  codec::BitReader r(bytes);
+  for (const auto& [v, n] : chunks) {
+    ASSERT_EQ(r.get(n), v);
+  }
+}
+
+// ----------------------------------------------------------- the tables --
+
+TEST(HuffTable, CanonicalDcCodes) {
+  // T.81 Table K.3: category 0 has a 2-bit code ("00"); lengths are
+  // non-decreasing through the canonical assignment.
+  const auto& dc = codec::dc_luminance_table();
+  EXPECT_EQ(dc.symbol_count(), 12u);
+  EXPECT_EQ(dc.encode(0).length, 2);
+  EXPECT_EQ(dc.encode(0).code, 0b00);
+  EXPECT_EQ(dc.encode(1).length, 3);
+  EXPECT_EQ(dc.encode(11).length, 9);
+  u8 prev = 0;
+  for (u8 s = 0; s <= 11; ++s) {
+    EXPECT_GE(dc.encode(s).length, prev);
+    prev = dc.encode(s).length;
+  }
+}
+
+TEST(HuffTable, AcTableShape) {
+  const auto& ac = codec::ac_luminance_table();
+  EXPECT_EQ(ac.symbol_count(), 162u);
+  EXPECT_EQ(ac.encode(0x00).length, 4);  // EOB is 1010 per K.5
+  EXPECT_EQ(ac.encode(0x00).code, 0b1010);
+  EXPECT_EQ(ac.encode(0x01).length, 2);  // (0,1) = 00
+  EXPECT_EQ(ac.encode(0xF0).length, 11); // ZRL
+}
+
+TEST(HuffTable, EncodeDecodeEverySymbol) {
+  const auto& ac = codec::ac_luminance_table();
+  const auto& dc = codec::dc_luminance_table();
+  for (const auto* table : {&dc, &ac}) {
+    codec::BitWriter w;
+    std::vector<u8> symbols;
+    for (u32 s = 0; s < 256; ++s) {
+      try {
+        const auto code = table->encode(static_cast<u8>(s));
+        w.put(code.code, code.length);
+        symbols.push_back(static_cast<u8>(s));
+      } catch (const SimError&) {
+        // not in this table
+      }
+    }
+    const auto bytes = w.finish();
+    codec::BitReader r(bytes);
+    for (const u8 expected : symbols) {
+      ASSERT_EQ(table->decode(r), expected);
+    }
+  }
+}
+
+TEST(HuffTable, RejectsUncodedSymbols) {
+  // (15,0) ZRL exists but e.g. 0x0F ("run 0, size 15") is not a baseline
+  // symbol.
+  EXPECT_THROW((void)codec::ac_luminance_table().encode(0x0F), SimError);
+  EXPECT_THROW((void)codec::dc_luminance_table().encode(200), SimError);
+}
+
+TEST(Magnitude, Categories) {
+  EXPECT_EQ(codec::magnitude_category(0), 0u);
+  EXPECT_EQ(codec::magnitude_category(1), 1u);
+  EXPECT_EQ(codec::magnitude_category(-1), 1u);
+  EXPECT_EQ(codec::magnitude_category(2), 2u);
+  EXPECT_EQ(codec::magnitude_category(-3), 2u);
+  EXPECT_EQ(codec::magnitude_category(255), 8u);
+  EXPECT_EQ(codec::magnitude_category(-1024), 11u);
+}
+
+// ---------------------------------------------------------- block coding --
+
+TEST(HuffBlock, RoundTripRandomBlocks) {
+  util::Rng rng(9);
+  codec::BitWriter w;
+  std::vector<std::array<i32, 64>> blocks(32);
+  i32 dc_pred_enc = 0;
+  for (auto& blk : blocks) {
+    blk.fill(0);
+    blk[0] = rng.range(-500, 500);  // DC
+    const u32 nonzeros = rng.below(20);
+    for (u32 i = 0; i < nonzeros; ++i) {
+      blk[1 + rng.below(63)] = rng.range(-255, 255);
+    }
+    codec::huff_encode_block(w, blk.data(), dc_pred_enc);
+  }
+  const auto bytes = w.finish();
+  codec::BitReader r(bytes);
+  i32 dc_pred_dec = 0;
+  for (const auto& blk : blocks) {
+    i32 scan[64];
+    codec::huff_decode_block(r, scan, dc_pred_dec);
+    for (u32 i = 0; i < 64; ++i) ASSERT_EQ(scan[i], blk[i]);
+  }
+}
+
+TEST(HuffBlock, LongZeroRunsUseZrl) {
+  // A single coefficient at scan position 40 forces two ZRLs.
+  codec::BitWriter w;
+  i32 blk[64] = {};
+  blk[40] = 7;
+  i32 pred = 0;
+  codec::huff_encode_block(w, blk, pred);
+  const auto bytes = w.finish();
+  codec::BitReader r(bytes);
+  i32 scan[64];
+  i32 pred2 = 0;
+  codec::huff_decode_block(r, scan, pred2);
+  EXPECT_EQ(scan[40], 7);
+  for (u32 i = 1; i < 64; ++i) {
+    if (i != 40) {
+      EXPECT_EQ(scan[i], 0) << i;
+    }
+  }
+}
+
+TEST(HuffBlock, DcPredictionCarriesAcrossBlocks) {
+  codec::BitWriter w;
+  i32 a[64] = {};
+  i32 b[64] = {};
+  a[0] = 100;
+  b[0] = 103;  // small diff: cheap to code
+  i32 pred = 0;
+  codec::huff_encode_block(w, a, pred);
+  codec::huff_encode_block(w, b, pred);
+  EXPECT_EQ(pred, 103);
+  const auto bytes = w.finish();
+  codec::BitReader r(bytes);
+  i32 scan[64];
+  i32 dpred = 0;
+  codec::huff_decode_block(r, scan, dpred);
+  EXPECT_EQ(scan[0], 100);
+  codec::huff_decode_block(r, scan, dpred);
+  EXPECT_EQ(scan[0], 103);
+}
+
+// ----------------------------------------------------- codec integration --
+
+TEST(HuffCodec, RoundTripMatchesRleCodecExactly) {
+  const auto img = codec::test_image(64, 64);
+  const auto rle = codec::encode(img, 50, codec::EntropyKind::kRle);
+  const auto huf = codec::encode(img, 50, codec::EntropyKind::kHuffman);
+  // Identical dequantized coefficients out of both entropy stages.
+  const auto rle_blocks = codec::decode_coefficients(rle);
+  const auto huf_blocks = codec::decode_coefficients(huf);
+  ASSERT_EQ(rle_blocks.size(), huf_blocks.size());
+  for (std::size_t b = 0; b < rle_blocks.size(); ++b) {
+    EXPECT_EQ(rle_blocks[b], huf_blocks[b]) << "block " << b;
+  }
+}
+
+TEST(HuffCodec, CompressesBetterThanRle) {
+  const auto img = codec::test_image(96, 96);
+  for (const u32 q : {25u, 50u, 75u}) {
+    const auto rle = codec::encode(img, q, codec::EntropyKind::kRle);
+    const auto huf = codec::encode(img, q, codec::EntropyKind::kHuffman);
+    EXPECT_LT(huf.payload.size(), rle.payload.size()) << "quality " << q;
+  }
+}
+
+TEST(HuffCodec, DecodeCostsMoreThanRle) {
+  // Serial Huffman decode is the classic CPU bottleneck; the cost model
+  // reflects it.
+  const auto img = codec::test_image(64, 64);
+  const auto rle = codec::encode(img, 75, codec::EntropyKind::kRle);
+  const auto huf = codec::encode(img, 75, codec::EntropyKind::kHuffman);
+
+  platform::Soc soc1;
+  const Cycle t0 = soc1.kernel().now();
+  (void)codec::decode_coefficients(rle, &soc1.cpu());
+  const u64 rle_cycles = soc1.kernel().now() - t0;
+
+  platform::Soc soc2;
+  const Cycle t1 = soc2.kernel().now();
+  (void)codec::decode_coefficients(huf, &soc2.cpu());
+  const u64 huf_cycles = soc2.kernel().now() - t1;
+
+  EXPECT_GT(huf_cycles, rle_cycles);
+}
+
+TEST(HuffCodec, TruncatedStreamDetected) {
+  const auto img = codec::test_image(16, 16);
+  auto jpg = codec::encode(img, 50, codec::EntropyKind::kHuffman);
+  jpg.payload.resize(jpg.payload.size() / 4);
+  EXPECT_THROW(codec::decode_coefficients(jpg), SimError);
+}
+
+}  // namespace
+}  // namespace ouessant

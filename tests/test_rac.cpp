@@ -1,0 +1,365 @@
+// Tests for the RAC implementations: functional correctness against the
+// golden transforms, handshake protocol, timing envelopes, and resource
+// independence from the OCP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "drv/session.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/dft.hpp"
+#include "rac/fir.hpp"
+#include "rac/idct.hpp"
+#include "rac/passthrough.hpp"
+#include "util/fixed.hpp"
+#include "util/reference.hpp"
+#include "util/rng.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant {
+namespace {
+
+constexpr Addr kProg = 0x4000'0000;
+constexpr Addr kIn = 0x4001'0000;
+constexpr Addr kOut = 0x4002'0000;
+
+/// Run one block through an OCP-wrapped RAC and return the output words.
+std::vector<u32> run_block(platform::Soc& soc, core::Ocp& ocp,
+                           const std::vector<u32>& input, u32 out_words,
+                           u32 burst = 64) {
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = kProg,
+                           .in_base = kIn,
+                           .out_base = kOut,
+                           .in_words = static_cast<u32>(input.size()),
+                           .out_words = out_words});
+  session.install(core::build_stream_program(
+      {.in_words = static_cast<u32>(input.size()),
+       .out_words = out_words,
+       .burst = burst,
+       .overlap = true}));
+  session.put_input(input);
+  session.run_poll();
+  return session.get_output();
+}
+
+// ------------------------------------------------------------------ IDCT --
+
+TEST(IdctRac, MatchesSharedDatapathExactly) {
+  platform::Soc soc;
+  rac::IdctRac idct(soc.kernel(), "idct");
+  core::Ocp& ocp = soc.add_ocp(idct);
+
+  util::Rng rng(3);
+  i32 coef[64];
+  std::vector<u32> in(64);
+  for (int i = 0; i < 64; ++i) {
+    coef[i] = rng.range(-1024, 1023);
+    in[static_cast<std::size_t>(i)] = util::to_word(coef[i]);
+  }
+  const auto out = run_block(soc, ocp, in, 64);
+
+  i32 expected[64];
+  util::fixed_idct8x8(coef, expected);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(util::from_word(out[static_cast<std::size_t>(i)]), expected[i])
+        << "sample " << i;
+  }
+  EXPECT_EQ(idct.completed_ops(), 1u);
+}
+
+TEST(IdctRac, LatencyEnvelope) {
+  // With the FIFO pre-filled, start->end_op is 64 in + 18 compute + 64
+  // out (one chunk per cycle), within a couple of handshake cycles.
+  sim::Kernel kernel;
+  rac::IdctRac idct(kernel, "idct");
+  fifo::WidthFifo fin(kernel, "fin", {.wr_width = 32, .rd_width = 32,
+                                      .capacity_bits = 128 * 32});
+  fifo::WidthFifo fout(kernel, "fout", {.wr_width = 32, .rd_width = 32,
+                                        .capacity_bits = 128 * 32});
+  idct.bind({&fin}, {&fout});
+  for (u32 i = 0; i < 64; ++i) {
+    fin.write(i);
+    kernel.tick();
+  }
+  idct.start();
+  EXPECT_TRUE(idct.busy());
+  const Cycle t0 = kernel.now();
+  kernel.run_until([&] { return !idct.busy(); });
+  const u64 latency = kernel.now() - t0;
+  EXPECT_GE(latency, 64u + rac::IdctRac::kPaperLatency + 64u);
+  EXPECT_LE(latency, 64u + rac::IdctRac::kPaperLatency + 64u + 4u);
+}
+
+TEST(IdctRac, StartWhileBusyIsAMicrocodeBug) {
+  sim::Kernel kernel;
+  rac::IdctRac idct(kernel, "idct");
+  fifo::WidthFifo fin(kernel, "fin", {.wr_width = 32, .rd_width = 32});
+  fifo::WidthFifo fout(kernel, "fout", {.wr_width = 32, .rd_width = 32});
+  idct.bind({&fin}, {&fout});
+  idct.start();
+  EXPECT_THROW(idct.start(), SimError);
+}
+
+TEST(IdctRac, StartBeforeBindRejected) {
+  sim::Kernel kernel;
+  rac::IdctRac idct(kernel, "idct");
+  EXPECT_THROW(idct.start(), SimError);
+}
+
+// ------------------------------------------------------------------- DFT --
+
+TEST(DftRac, MatchesScaledReferenceDft) {
+  platform::Soc soc;
+  rac::DftRac dft(soc.kernel(), "dft", {.points = 256});
+  core::Ocp& ocp = soc.add_ocp(dft);
+
+  const util::Q q(util::kFftFrac);
+  util::Rng rng(8);
+  std::vector<u32> in(512);
+  std::vector<util::cplx> x(256);
+  for (u32 i = 0; i < 256; ++i) {
+    const i32 re = q.from_double(rng.uniform() - 0.5);
+    const i32 im = q.from_double(rng.uniform() - 0.5);
+    in[2 * i] = util::to_word(re);
+    in[2 * i + 1] = util::to_word(im);
+    x[i] = {q.to_double(re), q.to_double(im)};
+  }
+  const auto out = run_block(soc, ocp, in, 512);
+
+  const auto X = util::reference_fft(x);
+  for (u32 i = 0; i < 256; ++i) {
+    EXPECT_NEAR(q.to_double(util::from_word(out[2 * i])),
+                X[i].real() / 256.0, 2e-3)
+        << "bin " << i;
+    EXPECT_NEAR(q.to_double(util::from_word(out[2 * i + 1])),
+                X[i].imag() / 256.0, 2e-3)
+        << "bin " << i;
+  }
+}
+
+TEST(DftRac, BitExactWithSoftwareFixedBaseline) {
+  // HW/SW equivalence: the DFT RAC and the fixed-point software baseline
+  // share the datapath, so outputs must be bit-identical.
+  platform::Soc soc;
+  rac::DftRac dft(soc.kernel(), "dft", {.points = 64});
+  core::Ocp& ocp = soc.add_ocp(dft);
+
+  util::Rng rng(12);
+  std::vector<u32> in(128);
+  std::vector<i32> re(64), im(64);
+  for (u32 i = 0; i < 64; ++i) {
+    re[i] = rng.range(-100000, 100000);
+    im[i] = rng.range(-100000, 100000);
+    in[2 * i] = util::to_word(re[i]);
+    in[2 * i + 1] = util::to_word(im[i]);
+  }
+  const auto out = run_block(soc, ocp, in, 128, 32);
+  util::fixed_fft(re, im);
+  for (u32 i = 0; i < 64; ++i) {
+    EXPECT_EQ(util::from_word(out[2 * i]), re[i]);
+    EXPECT_EQ(util::from_word(out[2 * i + 1]), im[i]);
+  }
+}
+
+TEST(DftRac, DatasheetLatencyMatchesPaper) {
+  sim::Kernel kernel;
+  rac::DftRac dft(kernel, "dft", {.points = 256});
+  EXPECT_EQ(dft.datasheet_latency(), rac::DftRac::kPaperLatency256);
+}
+
+TEST(DftRac, MeasuredLatencyMatchesDatasheet) {
+  sim::Kernel kernel;
+  rac::DftRac dft(kernel, "dft", {.points = 256});
+  fifo::WidthFifo fin(kernel, "fin", {.wr_width = 32, .rd_width = 32,
+                                      .capacity_bits = 512 * 32});
+  fifo::WidthFifo fout(kernel, "fout", {.wr_width = 32, .rd_width = 32,
+                                        .capacity_bits = 512 * 32});
+  dft.bind({&fin}, {&fout});
+  for (u32 i = 0; i < 512; ++i) {
+    fin.write(0);
+    kernel.tick();
+  }
+  dft.start();
+  const Cycle t0 = kernel.now();
+  kernel.run_until([&] { return !dft.busy(); });
+  const u64 measured = kernel.now() - t0;
+  EXPECT_GE(measured, u64{rac::DftRac::kPaperLatency256});
+  EXPECT_LE(measured, u64{rac::DftRac::kPaperLatency256} + 4u);
+}
+
+class DftSizes : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DftSizes, ConfigurableSizeWorksEndToEnd) {
+  // "It can be configured to accept different DFT size" — sweep sizes.
+  const u32 n = GetParam();
+  platform::Soc soc;
+  rac::DftRac dft(soc.kernel(), "dft", {.points = n});
+  core::Ocp& ocp = soc.add_ocp(dft);
+
+  const util::Q q(util::kFftFrac);
+  // Single tone at bin 1: spectrum peaks there.
+  std::vector<u32> in(2 * n);
+  for (u32 i = 0; i < n; ++i) {
+    const double a = 2.0 * M_PI * static_cast<double>(i) / n;
+    in[2 * i] = util::to_word(q.from_double(0.5 * std::cos(a)));
+    in[2 * i + 1] = util::to_word(q.from_double(0.5 * std::sin(a)));
+  }
+  const u32 burst = std::min(2 * n, 64u);
+  const auto out = run_block(soc, ocp, in, 2 * n, burst);
+  // Peak magnitude at bin 1 = 0.5 (after 1/n scaling), others near zero.
+  for (u32 k = 0; k < n; ++k) {
+    const double mag =
+        std::hypot(q.to_double(util::from_word(out[2 * k])),
+                   q.to_double(util::from_word(out[2 * k + 1])));
+    if (k == 1) {
+      EXPECT_NEAR(mag, 0.5, 1e-2) << "bin " << k;
+    } else {
+      EXPECT_LT(mag, 1e-2) << "bin " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DftSizes, ::testing::Values(16, 64, 256, 512));
+
+TEST(DftRac, RejectsNonPow2) {
+  sim::Kernel kernel;
+  EXPECT_THROW(rac::DftRac(kernel, "bad", {.points = 100}), ConfigError);
+}
+
+// ------------------------------------------------------------------- FIR --
+
+TEST(FirRac, MatchesReferenceFilter) {
+  platform::Soc soc;
+  const util::Q q(16);
+  const std::vector<i32> taps = {q.from_double(0.25), q.from_double(0.5),
+                                 q.from_double(0.25)};
+  rac::FirRac fir(soc.kernel(), "fir", taps, /*block_len=*/64);
+  core::Ocp& ocp = soc.add_ocp(fir);
+
+  util::Rng rng(4);
+  std::vector<i32> x(64);
+  std::vector<u32> in(64);
+  for (u32 i = 0; i < 64; ++i) {
+    x[i] = q.from_double(rng.uniform() * 2.0 - 1.0);
+    in[i] = util::to_word(x[i]);
+  }
+  const auto out = run_block(soc, ocp, in, 64);
+  const auto y = rac::FirRac::filter_reference(taps, x);
+  for (u32 i = 0; i < 64; ++i) {
+    EXPECT_EQ(util::from_word(out[i]), y[i]) << "sample " << i;
+  }
+}
+
+TEST(FirRac, ImpulseResponseIsTaps) {
+  platform::Soc soc;
+  const std::vector<i32> taps = {1 << 16, 2 << 16, 3 << 16};
+  rac::FirRac fir(soc.kernel(), "fir", taps, 8);
+  core::Ocp& ocp = soc.add_ocp(fir);
+  std::vector<u32> in(8, 0);
+  in[0] = util::to_word(1 << 16);  // unit impulse in Q16
+  const auto out = run_block(soc, ocp, in, 8, 8);
+  EXPECT_EQ(util::from_word(out[0]), 1 << 16);
+  EXPECT_EQ(util::from_word(out[1]), 2 << 16);
+  EXPECT_EQ(util::from_word(out[2]), 3 << 16);
+  for (u32 i = 3; i < 8; ++i) EXPECT_EQ(util::from_word(out[i]), 0);
+}
+
+TEST(FirRac, StateClearsBetweenOps) {
+  platform::Soc soc;
+  const std::vector<i32> taps = {1 << 16, 1 << 16};
+  rac::FirRac fir(soc.kernel(), "fir", taps, 4);
+  core::Ocp& ocp = soc.add_ocp(fir);
+  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
+                          {.prog_base = kProg, .in_base = kIn,
+                           .out_base = kOut, .in_words = 4, .out_words = 4});
+  session.install(core::build_stream_program(
+      {.in_words = 4, .out_words = 4, .burst = 4}));
+  // First block ends with a non-zero sample; second starts from silence.
+  session.put_input({0, 0, 0, static_cast<u32>(util::to_word(5 << 16))});
+  session.run_poll();
+  session.put_input({0, 0, 0, 0});
+  session.run_poll();
+  const auto out = session.get_output();
+  for (u32 i = 0; i < 4; ++i) {
+    EXPECT_EQ(util::from_word(out[i]), 0) << "leaked state at " << i;
+  }
+}
+
+TEST(FirRac, ConfigChecks) {
+  sim::Kernel kernel;
+  EXPECT_THROW(rac::FirRac(kernel, "bad", {}, 8), ConfigError);
+  EXPECT_THROW(rac::FirRac(kernel, "bad", {1}, 0), ConfigError);
+}
+
+// ----------------------------------------------------------- block logic --
+
+TEST(BlockRac, RejectsBadShapes) {
+  sim::Kernel kernel;
+  EXPECT_THROW(rac::PassthroughRac(kernel, "bad", 0, 32), ConfigError);
+  EXPECT_THROW(rac::PassthroughRac(kernel, "bad", 4, 65), ConfigError);
+}
+
+TEST(BlockRac, BindArityChecked) {
+  sim::Kernel kernel;
+  rac::PassthroughRac p(kernel, "p", 4, 32);
+  fifo::WidthFifo f(kernel, "f", {.wr_width = 32, .rd_width = 32});
+  EXPECT_THROW(p.bind({&f, &f}, {&f}), ConfigError);
+}
+
+TEST(ScaleRac, AppliesGain) {
+  platform::Soc soc;
+  const util::Q q(16);
+  rac::ScaleRac scale(soc.kernel(), "gain", 8, q.from_double(2.5));
+  core::Ocp& ocp = soc.add_ocp(scale);
+  std::vector<u32> in(8);
+  for (u32 i = 0; i < 8; ++i) in[i] = util::to_word(q.from_double(i));
+  const auto out = run_block(soc, ocp, in, 8, 8);
+  for (u32 i = 0; i < 8; ++i) {
+    EXPECT_NEAR(q.to_double(util::from_word(out[i])), 2.5 * i, 1e-3);
+  }
+}
+
+// ------------------------------------------------------------- resources --
+
+TEST(RacResources, IndependentOfOcp) {
+  // "the RAC (actual accelerator size) is independent from Ouessant":
+  // a RAC's resource tree must not change when wrapped.
+  sim::Kernel k1;
+  rac::IdctRac alone(k1, "idct");
+  const auto r_alone = alone.resource_tree().total();
+
+  platform::Soc soc;
+  rac::IdctRac wrapped(soc.kernel(), "idct");
+  soc.add_ocp(wrapped);
+  const auto r_wrapped = wrapped.resource_tree().total();
+  EXPECT_EQ(r_alone, r_wrapped);
+}
+
+TEST(RacResources, EveryRacReportsNonZero) {
+  sim::Kernel k;
+  rac::IdctRac idct(k, "idct");
+  rac::DftRac dft(k, "dft", {.points = 256});
+  rac::FirRac fir(k, "fir", {1 << 16, 1 << 15}, 64);
+  rac::PassthroughRac pass(k, "pass", 4);
+  for (const res::ResourceAware* r :
+       {static_cast<const res::ResourceAware*>(&idct),
+        static_cast<const res::ResourceAware*>(&dft),
+        static_cast<const res::ResourceAware*>(&fir),
+        static_cast<const res::ResourceAware*>(&pass)}) {
+    const auto t = r->resource_tree().total();
+    EXPECT_GT(t.luts + t.ffs + t.bram36 + t.dsps, 0u);
+  }
+}
+
+TEST(RacResources, DftUsesDspAndBram) {
+  sim::Kernel k;
+  rac::DftRac dft(k, "dft", {.points = 256});
+  const auto t = dft.resource_tree().total();
+  EXPECT_GE(t.dsps, 4u);   // complex butterfly
+  EXPECT_GE(t.bram36, 1u); // working RAM
+}
+
+}  // namespace
+}  // namespace ouessant

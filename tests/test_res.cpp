@@ -1,0 +1,157 @@
+// Tests for the resource model: primitive estimators, hierarchy math,
+// report rendering, and the paper's OCP footprint claims.
+#include <gtest/gtest.h>
+
+#include "ouessant/ocp.hpp"
+#include "platform/soc.hpp"
+#include "rac/dft.hpp"
+#include "rac/idct.hpp"
+#include "res/estimate.hpp"
+
+namespace ouessant {
+namespace {
+
+TEST(Estimators, RegisterIsFfsOnly) {
+  const auto e = res::est_register(48);
+  EXPECT_EQ(e.ffs, 48u);
+  EXPECT_EQ(e.luts, 0u);
+}
+
+TEST(Estimators, AdderScalesWithWidth) {
+  EXPECT_LT(res::est_adder(8).luts, res::est_adder(32).luts);
+  EXPECT_EQ(res::est_adder(32).luts, 32u);
+}
+
+TEST(Estimators, MuxGrowsWithInputsAndWidth) {
+  EXPECT_EQ(res::est_mux(1, 32).luts, 0u);
+  EXPECT_GT(res::est_mux(8, 32).luts, res::est_mux(4, 32).luts);
+  EXPECT_GT(res::est_mux(8, 32).luts, res::est_mux(8, 8).luts);
+}
+
+TEST(Estimators, MultiplierMapsToDsp) {
+  EXPECT_EQ(res::est_multiplier(8).dsps, 0u);
+  EXPECT_GE(res::est_multiplier(18).dsps, 1u);
+  EXPECT_GT(res::est_multiplier(32).dsps, res::est_multiplier(18).dsps);
+}
+
+TEST(Estimators, FsmHasStateBits) {
+  const auto e = res::est_fsm(5, 10);
+  EXPECT_GT(e.ffs, 0u);
+  EXPECT_GT(e.luts, 0u);
+  EXPECT_GT(res::est_fsm(16, 10).ffs, res::est_fsm(2, 10).ffs);
+}
+
+TEST(Estimators, FifoStorageThreshold) {
+  // Small -> distributed LUT RAM, large -> BRAM (paper: "FIFO memory is
+  // inferred as BRAM").
+  EXPECT_EQ(res::est_fifo_storage(16, 32).bram36, 0u);
+  EXPECT_GT(res::est_fifo_storage(16, 32).luts, 0u);
+  EXPECT_GE(res::est_fifo_storage(512, 32).bram36, 1u);
+  EXPECT_EQ(res::est_fifo_storage(512, 32).luts, 0u);
+}
+
+TEST(Estimators, WideShallowFifoIsWidthLimited) {
+  // A 64-deep 72+-bit FIFO needs BRAM for width even though capacity is
+  // small.
+  const auto e = res::est_fifo_storage(1024, 64);
+  EXPECT_GE(e.bram36, 2u);
+}
+
+TEST(Estimators, WidthConversionCostsMore) {
+  const auto same = res::est_fifo_control(64, 32, 32);
+  const auto conv = res::est_fifo_control(64, 32, 48);
+  EXPECT_GT(conv.luts + conv.ffs, same.luts + same.ffs);
+}
+
+TEST(Hierarchy, TotalsAddUp) {
+  res::ResourceNode root{.name = "top",
+                         .self = {.luts = 10, .ffs = 5},
+                         .children = {}};
+  root.children.push_back({.name = "a", .self = {.luts = 1, .ffs = 2,
+                                                 .bram36 = 1},
+                           .children = {}});
+  root.children.push_back({.name = "b", .self = {.luts = 4, .dsps = 2},
+                           .children = {}});
+  const auto t = root.total();
+  EXPECT_EQ(t.luts, 15u);
+  EXPECT_EQ(t.ffs, 7u);
+  EXPECT_EQ(t.bram36, 1u);
+  EXPECT_EQ(t.dsps, 2u);
+}
+
+TEST(Hierarchy, ReportContainsEntities) {
+  res::ResourceNode root{.name = "soc", .self = {}, .children = {}};
+  root.children.push_back({.name = "leaf", .self = {.luts = 3}, .children = {}});
+  const std::string rep = res::render_report(root);
+  EXPECT_NE(rep.find("soc"), std::string::npos);
+  EXPECT_NE(rep.find("leaf"), std::string::npos);
+  EXPECT_NE(rep.find("LUT"), std::string::npos);
+}
+
+TEST(OcpFootprint, WithinPapersBudget) {
+  // §V-B: "the actual OCP implementation consumes a reasonable amount of
+  // hardware resources (less than 1000 LUT and 750 FF). This is for all
+  // OCP related parts: interface, controller and FIFO control."
+  platform::Soc soc;
+  rac::IdctRac idct(soc.kernel(), "idct");
+  core::Ocp& ocp = soc.add_ocp(idct);
+
+  res::ResourceEstimate machinery;  // everything except FIFO *storage*
+  const auto tree = ocp.resource_tree();
+  for (const auto& child : tree.children) {
+    for (const auto& part : child.children) {
+      if (part.name == "storage") continue;
+      machinery += part.total();
+    }
+    machinery += child.self;
+  }
+  EXPECT_LT(machinery.luts, 1000u);
+  EXPECT_LT(machinery.ffs, 750u);
+  EXPECT_GT(machinery.luts, 200u);  // and it is not trivially empty
+  EXPECT_GT(machinery.ffs, 100u);
+}
+
+TEST(OcpFootprint, FifoStorageGoesToBram) {
+  platform::Soc soc;
+  rac::DftRac dft(soc.kernel(), "dft", {.points = 256});
+  core::Ocp& ocp = soc.add_ocp(dft);
+  const auto t = ocp.resource_tree().total();
+  EXPECT_GE(t.bram36, 1u);
+}
+
+TEST(OcpFootprint, RacDominatesFullCoprocessor) {
+  // The accelerator, not the integration machinery, is the big consumer —
+  // the property that makes the OCP overhead "reasonable".
+  platform::Soc soc;
+  rac::DftRac dft(soc.kernel(), "dft", {.points = 256});
+  core::Ocp& ocp = soc.add_ocp(dft);
+  const auto rac_total = dft.resource_tree().total();
+  const auto full = ocp.full_resource_tree().total();
+  EXPECT_GT(rac_total.dsps, full.dsps / 2);
+  EXPECT_GE(full.luts, rac_total.luts);
+}
+
+TEST(OcpFootprint, IndependentOfRacChoice) {
+  // OCP machinery size must not depend on which RAC is attached (only
+  // FIFO sizing differs).
+  platform::Soc soc1;
+  rac::IdctRac idct(soc1.kernel(), "idct");
+  const auto a = soc1.add_ocp(idct).resource_tree();
+
+  platform::Soc soc2;
+  rac::DftRac dft(soc2.kernel(), "dft", {.points = 256});
+  const auto b = soc2.add_ocp(dft).resource_tree();
+
+  auto machinery = [](const res::ResourceNode& n) {
+    res::ResourceEstimate e;
+    for (const auto& c : n.children) {
+      if (c.name.find("fifo") != std::string::npos) continue;
+      e += c.total();
+    }
+    return e;
+  };
+  EXPECT_EQ(machinery(a), machinery(b));
+}
+
+}  // namespace
+}  // namespace ouessant
