@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bus_portability.dir/bench_bus_portability.cpp.o"
+  "CMakeFiles/bench_bus_portability.dir/bench_bus_portability.cpp.o.d"
+  "bench_bus_portability"
+  "bench_bus_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coupled.dir/bench_coupled.cpp.o"
+  "CMakeFiles/bench_coupled.dir/bench_coupled.cpp.o.d"
+  "bench_coupled"
+  "bench_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dpr.dir/bench_dpr.cpp.o"
+  "CMakeFiles/bench_dpr.dir/bench_dpr.cpp.o.d"
+  "bench_dpr"
+  "bench_dpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

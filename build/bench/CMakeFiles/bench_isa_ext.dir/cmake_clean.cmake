@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isa_ext.dir/bench_isa_ext.cpp.o"
+  "CMakeFiles/bench_isa_ext.dir/bench_isa_ext.cpp.o.d"
+  "bench_isa_ext"
+  "bench_isa_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isa_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

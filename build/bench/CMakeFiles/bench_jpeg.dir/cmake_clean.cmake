@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_jpeg.dir/bench_jpeg.cpp.o"
+  "CMakeFiles/bench_jpeg.dir/bench_jpeg.cpp.o.d"
+  "bench_jpeg"
+  "bench_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

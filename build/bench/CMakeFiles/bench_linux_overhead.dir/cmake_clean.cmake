@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linux_overhead.dir/bench_linux_overhead.cpp.o"
+  "CMakeFiles/bench_linux_overhead.dir/bench_linux_overhead.cpp.o.d"
+  "bench_linux_overhead"
+  "bench_linux_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linux_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

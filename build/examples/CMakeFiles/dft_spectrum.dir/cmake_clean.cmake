@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dft_spectrum.dir/dft_spectrum.cpp.o"
+  "CMakeFiles/dft_spectrum.dir/dft_spectrum.cpp.o.d"
+  "dft_spectrum"
+  "dft_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dft_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

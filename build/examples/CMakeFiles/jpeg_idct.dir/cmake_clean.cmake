@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_idct.dir/jpeg_idct.cpp.o"
+  "CMakeFiles/jpeg_idct.dir/jpeg_idct.cpp.o.d"
+  "jpeg_idct"
+  "jpeg_idct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_idct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouasm.dir/ouasm.cpp.o"
+  "CMakeFiles/ouasm.dir/ouasm.cpp.o.d"
+  "ouasm"
+  "ouasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

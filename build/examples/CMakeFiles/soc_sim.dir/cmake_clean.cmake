@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_sim.dir/soc_sim.cpp.o"
+  "CMakeFiles/soc_sim.dir/soc_sim.cpp.o.d"
+  "soc_sim"
+  "soc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

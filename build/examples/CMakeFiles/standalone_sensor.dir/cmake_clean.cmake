@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standalone_sensor.dir/standalone_sensor.cpp.o"
+  "CMakeFiles/standalone_sensor.dir/standalone_sensor.cpp.o.d"
+  "standalone_sensor"
+  "standalone_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standalone_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

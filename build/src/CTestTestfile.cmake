@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("res")
+subdirs("fifo")
+subdirs("bus")
+subdirs("mem")
+subdirs("cpu")
+subdirs("l3")
+subdirs("ouessant")
+subdirs("rac")
+subdirs("drv")
+subdirs("baseline")
+subdirs("codec")
+subdirs("platform")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/coupled.cpp" "src/baseline/CMakeFiles/ouessant_baseline.dir/coupled.cpp.o" "gcc" "src/baseline/CMakeFiles/ouessant_baseline.dir/coupled.cpp.o.d"
+  "/root/repo/src/baseline/dma.cpp" "src/baseline/CMakeFiles/ouessant_baseline.dir/dma.cpp.o" "gcc" "src/baseline/CMakeFiles/ouessant_baseline.dir/dma.cpp.o.d"
+  "/root/repo/src/baseline/runners.cpp" "src/baseline/CMakeFiles/ouessant_baseline.dir/runners.cpp.o" "gcc" "src/baseline/CMakeFiles/ouessant_baseline.dir/runners.cpp.o.d"
+  "/root/repo/src/baseline/slave_accel.cpp" "src/baseline/CMakeFiles/ouessant_baseline.dir/slave_accel.cpp.o" "gcc" "src/baseline/CMakeFiles/ouessant_baseline.dir/slave_accel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/ouessant_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ouessant_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ouessant_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/res/CMakeFiles/ouessant_res.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_baseline.dir/coupled.cpp.o"
+  "CMakeFiles/ouessant_baseline.dir/coupled.cpp.o.d"
+  "CMakeFiles/ouessant_baseline.dir/dma.cpp.o"
+  "CMakeFiles/ouessant_baseline.dir/dma.cpp.o.d"
+  "CMakeFiles/ouessant_baseline.dir/runners.cpp.o"
+  "CMakeFiles/ouessant_baseline.dir/runners.cpp.o.d"
+  "CMakeFiles/ouessant_baseline.dir/slave_accel.cpp.o"
+  "CMakeFiles/ouessant_baseline.dir/slave_accel.cpp.o.d"
+  "libouessant_baseline.a"
+  "libouessant_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

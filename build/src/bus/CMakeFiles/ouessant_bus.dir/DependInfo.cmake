@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/interconnect.cpp" "src/bus/CMakeFiles/ouessant_bus.dir/interconnect.cpp.o" "gcc" "src/bus/CMakeFiles/ouessant_bus.dir/interconnect.cpp.o.d"
+  "/root/repo/src/bus/monitor.cpp" "src/bus/CMakeFiles/ouessant_bus.dir/monitor.cpp.o" "gcc" "src/bus/CMakeFiles/ouessant_bus.dir/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

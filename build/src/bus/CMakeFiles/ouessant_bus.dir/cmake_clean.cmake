@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_bus.dir/interconnect.cpp.o"
+  "CMakeFiles/ouessant_bus.dir/interconnect.cpp.o.d"
+  "CMakeFiles/ouessant_bus.dir/monitor.cpp.o"
+  "CMakeFiles/ouessant_bus.dir/monitor.cpp.o.d"
+  "libouessant_bus.a"
+  "libouessant_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

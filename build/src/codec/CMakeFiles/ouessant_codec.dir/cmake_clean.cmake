@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_codec.dir/huffman.cpp.o"
+  "CMakeFiles/ouessant_codec.dir/huffman.cpp.o.d"
+  "CMakeFiles/ouessant_codec.dir/jpeg.cpp.o"
+  "CMakeFiles/ouessant_codec.dir/jpeg.cpp.o.d"
+  "libouessant_codec.a"
+  "libouessant_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/dcache.cpp" "src/cpu/CMakeFiles/ouessant_cpu.dir/dcache.cpp.o" "gcc" "src/cpu/CMakeFiles/ouessant_cpu.dir/dcache.cpp.o.d"
+  "/root/repo/src/cpu/gpp.cpp" "src/cpu/CMakeFiles/ouessant_cpu.dir/gpp.cpp.o" "gcc" "src/cpu/CMakeFiles/ouessant_cpu.dir/gpp.cpp.o.d"
+  "/root/repo/src/cpu/irq_controller.cpp" "src/cpu/CMakeFiles/ouessant_cpu.dir/irq_controller.cpp.o" "gcc" "src/cpu/CMakeFiles/ouessant_cpu.dir/irq_controller.cpp.o.d"
+  "/root/repo/src/cpu/sw_kernels.cpp" "src/cpu/CMakeFiles/ouessant_cpu.dir/sw_kernels.cpp.o" "gcc" "src/cpu/CMakeFiles/ouessant_cpu.dir/sw_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/res/CMakeFiles/ouessant_res.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ouessant_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ouessant_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

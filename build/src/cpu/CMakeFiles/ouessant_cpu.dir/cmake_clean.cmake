@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_cpu.dir/dcache.cpp.o"
+  "CMakeFiles/ouessant_cpu.dir/dcache.cpp.o.d"
+  "CMakeFiles/ouessant_cpu.dir/gpp.cpp.o"
+  "CMakeFiles/ouessant_cpu.dir/gpp.cpp.o.d"
+  "CMakeFiles/ouessant_cpu.dir/irq_controller.cpp.o"
+  "CMakeFiles/ouessant_cpu.dir/irq_controller.cpp.o.d"
+  "CMakeFiles/ouessant_cpu.dir/sw_kernels.cpp.o"
+  "CMakeFiles/ouessant_cpu.dir/sw_kernels.cpp.o.d"
+  "libouessant_cpu.a"
+  "libouessant_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_drv.dir/linux_env.cpp.o"
+  "CMakeFiles/ouessant_drv.dir/linux_env.cpp.o.d"
+  "CMakeFiles/ouessant_drv.dir/ocp_driver.cpp.o"
+  "CMakeFiles/ouessant_drv.dir/ocp_driver.cpp.o.d"
+  "CMakeFiles/ouessant_drv.dir/session.cpp.o"
+  "CMakeFiles/ouessant_drv.dir/session.cpp.o.d"
+  "libouessant_drv.a"
+  "libouessant_drv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ouessant_drv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fifo/bit_queue.cpp" "src/fifo/CMakeFiles/ouessant_fifo.dir/bit_queue.cpp.o" "gcc" "src/fifo/CMakeFiles/ouessant_fifo.dir/bit_queue.cpp.o.d"
+  "/root/repo/src/fifo/width_fifo.cpp" "src/fifo/CMakeFiles/ouessant_fifo.dir/width_fifo.cpp.o" "gcc" "src/fifo/CMakeFiles/ouessant_fifo.dir/width_fifo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/res/CMakeFiles/ouessant_res.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_fifo.dir/bit_queue.cpp.o"
+  "CMakeFiles/ouessant_fifo.dir/bit_queue.cpp.o.d"
+  "CMakeFiles/ouessant_fifo.dir/width_fifo.cpp.o"
+  "CMakeFiles/ouessant_fifo.dir/width_fifo.cpp.o.d"
+  "libouessant_fifo.a"
+  "libouessant_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/l3/asm.cpp" "src/l3/CMakeFiles/ouessant_l3.dir/asm.cpp.o" "gcc" "src/l3/CMakeFiles/ouessant_l3.dir/asm.cpp.o.d"
+  "/root/repo/src/l3/core.cpp" "src/l3/CMakeFiles/ouessant_l3.dir/core.cpp.o" "gcc" "src/l3/CMakeFiles/ouessant_l3.dir/core.cpp.o.d"
+  "/root/repo/src/l3/isa.cpp" "src/l3/CMakeFiles/ouessant_l3.dir/isa.cpp.o" "gcc" "src/l3/CMakeFiles/ouessant_l3.dir/isa.cpp.o.d"
+  "/root/repo/src/l3/kernels.cpp" "src/l3/CMakeFiles/ouessant_l3.dir/kernels.cpp.o" "gcc" "src/l3/CMakeFiles/ouessant_l3.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ouessant_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ouessant_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

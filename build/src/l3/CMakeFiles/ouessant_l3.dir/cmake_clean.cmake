@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_l3.dir/asm.cpp.o"
+  "CMakeFiles/ouessant_l3.dir/asm.cpp.o.d"
+  "CMakeFiles/ouessant_l3.dir/core.cpp.o"
+  "CMakeFiles/ouessant_l3.dir/core.cpp.o.d"
+  "CMakeFiles/ouessant_l3.dir/isa.cpp.o"
+  "CMakeFiles/ouessant_l3.dir/isa.cpp.o.d"
+  "CMakeFiles/ouessant_l3.dir/kernels.cpp.o"
+  "CMakeFiles/ouessant_l3.dir/kernels.cpp.o.d"
+  "libouessant_l3.a"
+  "libouessant_l3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_l3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

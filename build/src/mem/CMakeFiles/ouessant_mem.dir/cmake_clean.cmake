@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_mem.dir/sram.cpp.o"
+  "CMakeFiles/ouessant_mem.dir/sram.cpp.o.d"
+  "libouessant_mem.a"
+  "libouessant_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ouessant/assembler.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/assembler.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/assembler.cpp.o.d"
+  "/root/repo/src/ouessant/codegen.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/codegen.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/ouessant/controller.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/controller.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/controller.cpp.o.d"
+  "/root/repo/src/ouessant/dpr.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/dpr.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/dpr.cpp.o.d"
+  "/root/repo/src/ouessant/emulator.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/emulator.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/emulator.cpp.o.d"
+  "/root/repo/src/ouessant/interface.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/interface.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/interface.cpp.o.d"
+  "/root/repo/src/ouessant/isa.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/isa.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/isa.cpp.o.d"
+  "/root/repo/src/ouessant/ocp.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/ocp.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/ocp.cpp.o.d"
+  "/root/repo/src/ouessant/program.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/program.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/program.cpp.o.d"
+  "/root/repo/src/ouessant/rtlgen.cpp" "src/ouessant/CMakeFiles/ouessant_core.dir/rtlgen.cpp.o" "gcc" "src/ouessant/CMakeFiles/ouessant_core.dir/rtlgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ouessant_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fifo/CMakeFiles/ouessant_fifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ouessant_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/res/CMakeFiles/ouessant_res.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ouessant_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

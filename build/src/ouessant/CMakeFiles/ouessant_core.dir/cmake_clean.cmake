@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_core.dir/assembler.cpp.o"
+  "CMakeFiles/ouessant_core.dir/assembler.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/codegen.cpp.o"
+  "CMakeFiles/ouessant_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/controller.cpp.o"
+  "CMakeFiles/ouessant_core.dir/controller.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/dpr.cpp.o"
+  "CMakeFiles/ouessant_core.dir/dpr.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/emulator.cpp.o"
+  "CMakeFiles/ouessant_core.dir/emulator.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/interface.cpp.o"
+  "CMakeFiles/ouessant_core.dir/interface.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/isa.cpp.o"
+  "CMakeFiles/ouessant_core.dir/isa.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/ocp.cpp.o"
+  "CMakeFiles/ouessant_core.dir/ocp.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/program.cpp.o"
+  "CMakeFiles/ouessant_core.dir/program.cpp.o.d"
+  "CMakeFiles/ouessant_core.dir/rtlgen.cpp.o"
+  "CMakeFiles/ouessant_core.dir/rtlgen.cpp.o.d"
+  "libouessant_core.a"
+  "libouessant_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

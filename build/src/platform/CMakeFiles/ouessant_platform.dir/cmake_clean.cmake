@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_platform.dir/report.cpp.o"
+  "CMakeFiles/ouessant_platform.dir/report.cpp.o.d"
+  "CMakeFiles/ouessant_platform.dir/soc.cpp.o"
+  "CMakeFiles/ouessant_platform.dir/soc.cpp.o.d"
+  "libouessant_platform.a"
+  "libouessant_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rac/block_rac.cpp" "src/rac/CMakeFiles/ouessant_rac.dir/block_rac.cpp.o" "gcc" "src/rac/CMakeFiles/ouessant_rac.dir/block_rac.cpp.o.d"
+  "/root/repo/src/rac/configurable_fir.cpp" "src/rac/CMakeFiles/ouessant_rac.dir/configurable_fir.cpp.o" "gcc" "src/rac/CMakeFiles/ouessant_rac.dir/configurable_fir.cpp.o.d"
+  "/root/repo/src/rac/dft.cpp" "src/rac/CMakeFiles/ouessant_rac.dir/dft.cpp.o" "gcc" "src/rac/CMakeFiles/ouessant_rac.dir/dft.cpp.o.d"
+  "/root/repo/src/rac/fir.cpp" "src/rac/CMakeFiles/ouessant_rac.dir/fir.cpp.o" "gcc" "src/rac/CMakeFiles/ouessant_rac.dir/fir.cpp.o.d"
+  "/root/repo/src/rac/idct.cpp" "src/rac/CMakeFiles/ouessant_rac.dir/idct.cpp.o" "gcc" "src/rac/CMakeFiles/ouessant_rac.dir/idct.cpp.o.d"
+  "/root/repo/src/rac/passthrough.cpp" "src/rac/CMakeFiles/ouessant_rac.dir/passthrough.cpp.o" "gcc" "src/rac/CMakeFiles/ouessant_rac.dir/passthrough.cpp.o.d"
+  "/root/repo/src/rac/vecadd.cpp" "src/rac/CMakeFiles/ouessant_rac.dir/vecadd.cpp.o" "gcc" "src/rac/CMakeFiles/ouessant_rac.dir/vecadd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ouessant/CMakeFiles/ouessant_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fifo/CMakeFiles/ouessant_fifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ouessant_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ouessant_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ouessant_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/res/CMakeFiles/ouessant_res.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

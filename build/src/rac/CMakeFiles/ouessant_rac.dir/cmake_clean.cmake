@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_rac.dir/block_rac.cpp.o"
+  "CMakeFiles/ouessant_rac.dir/block_rac.cpp.o.d"
+  "CMakeFiles/ouessant_rac.dir/configurable_fir.cpp.o"
+  "CMakeFiles/ouessant_rac.dir/configurable_fir.cpp.o.d"
+  "CMakeFiles/ouessant_rac.dir/dft.cpp.o"
+  "CMakeFiles/ouessant_rac.dir/dft.cpp.o.d"
+  "CMakeFiles/ouessant_rac.dir/fir.cpp.o"
+  "CMakeFiles/ouessant_rac.dir/fir.cpp.o.d"
+  "CMakeFiles/ouessant_rac.dir/idct.cpp.o"
+  "CMakeFiles/ouessant_rac.dir/idct.cpp.o.d"
+  "CMakeFiles/ouessant_rac.dir/passthrough.cpp.o"
+  "CMakeFiles/ouessant_rac.dir/passthrough.cpp.o.d"
+  "CMakeFiles/ouessant_rac.dir/vecadd.cpp.o"
+  "CMakeFiles/ouessant_rac.dir/vecadd.cpp.o.d"
+  "libouessant_rac.a"
+  "libouessant_rac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_rac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

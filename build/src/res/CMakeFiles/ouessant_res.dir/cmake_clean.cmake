@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_res.dir/estimate.cpp.o"
+  "CMakeFiles/ouessant_res.dir/estimate.cpp.o.d"
+  "libouessant_res.a"
+  "libouessant_res.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_res.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_sim.dir/kernel.cpp.o"
+  "CMakeFiles/ouessant_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/ouessant_sim.dir/stats.cpp.o"
+  "CMakeFiles/ouessant_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/ouessant_sim.dir/trace.cpp.o"
+  "CMakeFiles/ouessant_sim.dir/trace.cpp.o.d"
+  "libouessant_sim.a"
+  "libouessant_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libouessant_sim.a"
+)

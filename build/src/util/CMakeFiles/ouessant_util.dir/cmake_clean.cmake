@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ouessant_util.dir/reference.cpp.o"
+  "CMakeFiles/ouessant_util.dir/reference.cpp.o.d"
+  "CMakeFiles/ouessant_util.dir/transforms.cpp.o"
+  "CMakeFiles/ouessant_util.dir/transforms.cpp.o.d"
+  "libouessant_util.a"
+  "libouessant_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ouessant_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_drv.cpp" "tests/CMakeFiles/test_drv.dir/test_drv.cpp.o" "gcc" "tests/CMakeFiles/test_drv.dir/test_drv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/ouessant_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/l3/CMakeFiles/ouessant_l3.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ouessant_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ouessant/CMakeFiles/ouessant_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rac/CMakeFiles/ouessant_rac.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/ouessant_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ouessant_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/ouessant_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ouessant_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/ouessant_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fifo/CMakeFiles/ouessant_fifo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ouessant_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/res/CMakeFiles/ouessant_res.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ouessant_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

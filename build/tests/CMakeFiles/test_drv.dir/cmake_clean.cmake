@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drv.dir/test_drv.cpp.o"
+  "CMakeFiles/test_drv.dir/test_drv.cpp.o.d"
+  "test_drv"
+  "test_drv.pdb"
+  "test_drv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_smoke.dir/test_e2e_smoke.cpp.o"
+  "CMakeFiles/test_e2e_smoke.dir/test_e2e_smoke.cpp.o.d"
+  "test_e2e_smoke"
+  "test_e2e_smoke.pdb"
+  "test_e2e_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irqctl.dir/test_irqctl.cpp.o"
+  "CMakeFiles/test_irqctl.dir/test_irqctl.cpp.o.d"
+  "test_irqctl"
+  "test_irqctl.pdb"
+  "test_irqctl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irqctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

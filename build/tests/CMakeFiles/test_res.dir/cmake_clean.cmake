@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_res.dir/test_res.cpp.o"
+  "CMakeFiles/test_res.dir/test_res.cpp.o.d"
+  "test_res"
+  "test_res.pdb"
+  "test_res[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_res.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
