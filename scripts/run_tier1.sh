@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md):
+#   1. plain build + full ctest
+#   2. ASan+UBSan build + full ctest (catches the iterator-invalidation
+#      class of kernel bugs — e.g. mid-tick component removal — that a
+#      plain build can pass by luck)
+#   3. the bench_micro kernel throughput guard, which checks the gated
+#      and ungated scheduler agree on the simulated clock and records
+#      cycles/sec into BENCH_kernel.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==== tier-1: plain build + ctest ===="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==== tier-1: ASan+UBSan build + ctest ===="
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake -B build-san -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
+cmake --build build-san -j
+ctest --test-dir build-san --output-on-failure -j "$(nproc)"
+
+echo "==== tier-1: kernel throughput guard ===="
+# Skip the microbenchmarks (the guard is what gates); the filter matches
+# nothing, so only the post-run guard executes.
+(cd build/bench && ./bench_micro --benchmark_filter='^$')
+echo "guard record:"
+cat build/bench/BENCH_kernel.json
+
+echo "tier-1 OK"

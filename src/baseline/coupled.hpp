@@ -9,6 +9,10 @@
 // hardcore processors such as the Zynq, and it requires one accelerator
 // per processor."
 //
+// Clock-gating audit: not a sim::Component — invoke() runs on the host
+// stack through the Gpp's port and clock, so all per-cycle behaviour is
+// the Gpp's and the bus's; nothing to gate here.
+//
 // CoupledAccel models exactly that trade: invocation costs only a few
 // pipeline-handoff cycles and the CCU moves data through the processor's
 // own memory port at full burst speed — but the CPU is architecturally

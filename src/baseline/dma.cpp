@@ -9,6 +9,7 @@ DmaEngine::DmaEngine(sim::Kernel& kernel, std::string name,
                      int master_priority)
     : sim::Component(kernel, std::move(name)), base_(reg_base) {
   port_ = &bus.connect_master(this->name() + ".master", master_priority);
+  port_->wake_on_complete(*this);  // ends the kRead/kWrite gates
   bus.connect_slave(*this, reg_base, kDmaSpanBytes);
 }
 
@@ -41,6 +42,7 @@ u32 DmaEngine::write_word(Addr addr, u32 data) {
       if ((data & kDmaGo) != 0 && !busy()) {
         if (len_ == 0) throw SimError("DmaEngine " + name() + ": GO with LEN=0");
         go_ = true;
+        wake();  // the idle gate ends on GO
       }
       break;
     case kDmaSrc: src_ = data; break;

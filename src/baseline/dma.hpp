@@ -49,6 +49,13 @@ class DmaEngine : public sim::Component,
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent while idle (a GO write wakes us) or while a burst is in
+  /// flight on the bus (the master port's completion wakes us). The
+  /// hand-off ticks between bursts do real work and stay awake.
+  [[nodiscard]] bool is_quiescent() const override {
+    if (state_ == State::kIdle) return !go_;
+    return port_->busy();
+  }
 
   [[nodiscard]] cpu::IrqLine& irq() { return irq_; }
   [[nodiscard]] Addr reg_base() const { return base_; }

@@ -54,6 +54,10 @@ u32 SlaveAccel::write_word(Addr addr, u32 data) {
                        ": GO with incomplete input buffer");
       }
       go_ = true;
+      // Re-anchor the countdown credit (we may have been gated a long
+      // time while idle) and resume ticking.
+      next_expected_tick_ = kernel().now() + 1;
+      wake();
     }
     return 0;
   }
@@ -68,6 +72,10 @@ u32 SlaveAccel::write_word(Addr addr, u32 data) {
 }
 
 void SlaveAccel::tick_compute() {
+  const Cycle now = kernel().now();
+  const u64 skipped =
+      now > next_expected_tick_ ? now - next_expected_tick_ : 0;
+  next_expected_tick_ = now + 1;
   if (go_) {
     go_ = false;
     busy_ = true;
@@ -75,7 +83,11 @@ void SlaveAccel::tick_compute() {
   }
   if (!busy_) return;
   if (compute_left_ > 0) {
+    // Skipped cycles were all countdown cycles (the timer wakes us no
+    // later than the last decrement, so skipped < compute_left_).
+    compute_left_ -= static_cast<u32>(skipped);
     --compute_left_;
+    if (compute_left_ > 0) wake_at(now + compute_left_);
     return;
   }
   const std::vector<u32> out = fn_(in_buf_);

@@ -60,6 +60,14 @@ class SlaveAccel : public sim::Component,
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent while idle (a GO write wakes us) or mid-countdown once
+  /// the completion timer is armed. The GO-latch tick and the final
+  /// compute/flush tick stay awake.
+  [[nodiscard]] bool is_quiescent() const override {
+    if (go_) return false;
+    if (!busy_) return true;
+    return compute_left_ > 0;  // countdown tick armed wake_at
+  }
 
   [[nodiscard]] cpu::IrqLine& irq() { return irq_; }
   [[nodiscard]] Addr base() const { return base_; }
@@ -83,6 +91,7 @@ class SlaveAccel : public sim::Component,
   u32 compute_left_ = 0;
   u64 completed_ = 0;
   cpu::IrqLine irq_;
+  Cycle next_expected_tick_ = 0;  // sleep-credit anchor for the countdown
 };
 
 /// Functional cores matching the RAC datapaths word-for-word.

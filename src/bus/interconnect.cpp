@@ -16,13 +16,25 @@ InterconnectModel::InterconnectModel(sim::Kernel& kernel, std::string name,
 BusMasterPort& InterconnectModel::connect_master(const std::string& name,
                                                  int priority) {
   masters_.push_back(std::make_unique<BusMasterPort>(name, priority));
-  return *masters_.back();
+  BusMasterPort& p = *masters_.back();
+  p.bus_ = this;
+  p.h_beats_ = kernel().stats().intern(this->name() + "." + name + ".beats");
+  p.h_transactions_ =
+      kernel().stats().intern(this->name() + "." + name + ".transactions");
+  return p;
 }
 
 void InterconnectModel::connect_slave(BusSlave& slave, Addr base, u32 size) {
-  if (size == 0 || base % 4 != 0) {
+  if (size == 0 || base % 4 != 0 || size % 4 != 0) {
     throw ConfigError("connect_slave(" + slave.slave_name() +
                       "): bad base/size");
+  }
+  // The decode window must fit the 32-bit address space: a region that
+  // wraps past 2^32 would make decode()'s `addr - base < size` test match
+  // addresses the mapping never intended to claim.
+  if (static_cast<u64>(base) + size > (u64{1} << 32)) {
+    throw ConfigError("connect_slave(" + slave.slave_name() +
+                      "): region wraps the 32-bit address space");
   }
   for (const auto& m : map_) {
     const u64 a0 = base, a1 = static_cast<u64>(base) + size;
@@ -75,7 +87,18 @@ BusMasterPort* InterconnectModel::select_master() {
   return best;
 }
 
+bool InterconnectModel::is_quiescent() const {
+  if (granted_ != nullptr) return false;
+  return std::none_of(masters_.begin(), masters_.end(),
+                      [](const auto& m) { return m->active_; });
+}
+
 void InterconnectModel::tick_compute() {
+  // Credit cycles spent clock-gated: the bus only sleeps while idle, so
+  // every skipped cycle is an idle cycle the seed sweep would have
+  // counted one by one.
+  idle_cycles_ += pending_idle_credit();
+  next_expected_tick_ = kernel().now() + 1;
   if (granted_ == nullptr) {
     granted_ = select_master();
     if (granted_ == nullptr) {
@@ -155,6 +178,7 @@ void InterconnectModel::tick_compute() {
     wait_left_ = 0;
     beat_in_flight_ = false;
     open_.erase(&m);
+    if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
     throw;
   }
 }
@@ -174,6 +198,7 @@ void InterconnectModel::complete_beat(u32 data) {
     ++m.wdata_index_;
   }
   ++m.stats_.beats;
+  kernel().stats().add(m.h_beats_);
   m.addr_ += 4;
   --m.beats_;
   --grant_beats_left_;
@@ -182,7 +207,9 @@ void InterconnectModel::complete_beat(u32 data) {
 
   if (m.beats_ == 0) {
     m.active_ = false;
+    if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
     ++m.stats_.transactions;
+    kernel().stats().add(m.h_transactions_);
     if (logging_) {
       auto it = open_.find(&m);
       if (it != open_.end()) {

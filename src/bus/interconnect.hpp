@@ -63,11 +63,19 @@ class InterconnectModel : public sim::Component {
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent whenever no master holds or requests the bus: the only
+  /// effect of a tick in that state is counting an idle cycle, which the
+  /// sleep-credit below reproduces. BusMasterPort::begin() wakes us.
+  [[nodiscard]] bool is_quiescent() const override;
 
   // Introspection.
   [[nodiscard]] const BusTimingConfig& timing() const { return cfg_; }
   [[nodiscard]] u64 busy_cycles() const { return busy_cycles_; }
-  [[nodiscard]] u64 idle_cycles() const { return idle_cycles_; }
+  /// Idle cycle count, folding in cycles spent clock-gated (every gated
+  /// cycle is by construction an idle one).
+  [[nodiscard]] u64 idle_cycles() const {
+    return idle_cycles_ + pending_idle_credit();
+  }
   /// True while some master holds the bus (instantaneous, for probes).
   [[nodiscard]] bool granted_now() const { return granted_ != nullptr; }
 
@@ -94,6 +102,10 @@ class InterconnectModel : public sim::Component {
 
   BusMasterPort* select_master();
   void complete_beat(u32 data);
+  [[nodiscard]] u64 pending_idle_credit() const {
+    const Cycle now = kernel().now();
+    return now > next_expected_tick_ ? now - next_expected_tick_ : 0;
+  }
 
   BusTimingConfig cfg_;
   std::vector<std::unique_ptr<BusMasterPort>> masters_;
@@ -115,6 +127,7 @@ class InterconnectModel : public sim::Component {
   std::vector<TxnRecord> log_;
   u64 busy_cycles_ = 0;
   u64 idle_cycles_ = 0;
+  Cycle next_expected_tick_ = 0;  // sleep-credit anchor for idle_cycles_
 };
 
 /// AMBA2 AHB-class bus: bursts up to 256 beats per grant, one address

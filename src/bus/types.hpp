@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/kernel.hpp"
 #include "util/types.hpp"
 
 namespace ouessant::bus {
@@ -100,6 +101,10 @@ class BusMasterPort {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] int priority() const { return priority_; }
 
+  /// Wake @p c when the in-flight transaction completes (or errors), so a
+  /// component gated while polling busy() observes the completion edge.
+  void wake_on_complete(sim::Component& c) { completion_waiter_ = &c; }
+
  private:
   friend class InterconnectModel;
 
@@ -123,10 +128,20 @@ class BusMasterPort {
     wdata_.clear();
     rdata_.clear();
     wdata_index_ = 0;
+    // A new request must un-gate the interconnect's clock.
+    if (bus_ != nullptr) bus_->wake();
   }
 
   std::string name_;
   int priority_;
+
+  sim::Component* bus_ = nullptr;                // owning interconnect
+  sim::Component* completion_waiter_ = nullptr;  // gated busy()-poller
+
+  // Interned kernel counters (<bus>.<port>.beats / .transactions),
+  // bumped by the interconnect on the hot beat-completion path.
+  sim::Stats::Handle h_beats_;
+  sim::Stats::Handle h_transactions_;
 
   // Transaction state (owned by the interconnect while active).
   bool active_ = false;

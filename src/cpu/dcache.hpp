@@ -4,6 +4,11 @@
 // snoop those writes or be flushed by software; "current systems
 // implement cache snooping".
 //
+// Clock-gating audit: not a sim::Component — lookups/fills happen on the
+// host stack inside Gpp accesses and snoop invalidations are pushed by
+// the interconnect during its own (non-gated-while-active) tick, so the
+// cache has no per-cycle behaviour to gate.
+//
 // Model: direct-mapped, configurable line size and line count,
 // write-through / no-write-allocate (the Leon3 default configuration).
 // Cached hits cost one cycle and produce no bus traffic; misses fetch the

@@ -12,6 +12,13 @@
 // compute functionally in C++ while a CostMeter charges Leon3-calibrated
 // cycle costs per executed operation (see CpuCosts); the total is then
 // spent on the simulated clock.
+//
+// Clock-gating audit: not a sim::Component — the Gpp drives the kernel
+// from the host stack via Kernel::run / run_until, so it benefits from
+// quiescence gating (wait_for_irq and spend() fast-forward through fully
+// idle stretches) without needing an activity protocol of its own. Its
+// done-predicates (port not busy, IRQ line raised) are pure functions of
+// component state, as Kernel::run_until requires.
 #pragma once
 
 #include <functional>

@@ -11,7 +11,17 @@ u32 IrqController::attach(const IrqLine& line) {
     throw ConfigError("IrqController " + name() + ": too many sources");
   }
   sources_.push_back(&line);
+  line.watch(*this);  // any edge on the source must un-gate the sampler
   return static_cast<u32>(sources_.size() - 1);
+}
+
+bool IrqController::is_quiescent() const {
+  u32 p = 0;
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i]->raised()) p |= 1u << i;
+  }
+  if (p != pending_) return false;
+  return cpu_line_.raised() == ((pending_ & mask_) != 0);
 }
 
 void IrqController::tick_compute() {
@@ -41,6 +51,7 @@ u32 IrqController::write_word(Addr addr, u32 data) {
   switch (addr - base_) {
     case kIrqCtlMask:
       mask_ = data;
+      wake();  // the output must re-evaluate under the new mask
       break;
     case kIrqCtlPending:
     case kIrqCtlActive:

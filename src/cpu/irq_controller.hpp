@@ -48,6 +48,10 @@ class IrqController : public sim::Component,
 
   // sim::Component — sample the source lines each cycle.
   void tick_compute() override;
+  /// Quiescent while the registered pending/output state already matches
+  /// the source lines: re-sampling would change nothing. Any watched
+  /// line edge or a MASK write wakes us.
+  [[nodiscard]] bool is_quiescent() const override;
 
   [[nodiscard]] u32 pending() const { return pending_; }
   [[nodiscard]] u32 mask() const { return mask_; }

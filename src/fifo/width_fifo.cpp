@@ -1,5 +1,7 @@
 #include "fifo/width_fifo.hpp"
 
+#include <algorithm>
+
 namespace ouessant::fifo {
 
 WidthFifo::WidthFifo(sim::Kernel& kernel, std::string name,
@@ -34,6 +36,7 @@ void WidthFifo::write(u64 value) {
   wrote_this_cycle_ = true;
   has_pending_write_ = true;
   pending_write_ = value;
+  wake();  // the commit phase must run this cycle
 }
 
 bool WidthFifo::empty() const { return level_ < cfg_.rd_width; }
@@ -52,7 +55,23 @@ u64 WidthFifo::read() {
   const u64 v = peek();  // checks empty
   read_this_cycle_ = true;
   pending_pop_ = true;
+  wake();  // the commit phase must run this cycle
   return v;
+}
+
+void WidthFifo::add_waiter(sim::Component& c) {
+  if (std::find(waiters_.begin(), waiters_.end(), &c) == waiters_.end()) {
+    waiters_.push_back(&c);
+  }
+}
+
+void WidthFifo::remove_waiter(sim::Component& c) {
+  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &c),
+                 waiters_.end());
+}
+
+void WidthFifo::notify_waiters() {
+  for (sim::Component* w : waiters_) w->wake();
 }
 
 void WidthFifo::flush() {
@@ -62,9 +81,11 @@ void WidthFifo::flush() {
   read_this_cycle_ = false;
   has_pending_write_ = false;
   pending_pop_ = false;
+  notify_waiters();  // flags may have changed under a gated observer
 }
 
 void WidthFifo::tick_commit() {
+  const bool changed = pending_pop_ || has_pending_write_;
   if (pending_pop_) {
     storage_.pop(cfg_.rd_width);
     ++reads_;
@@ -79,6 +100,8 @@ void WidthFifo::tick_commit() {
   max_level_ = std::max(max_level_, level_);
   wrote_this_cycle_ = false;
   read_this_cycle_ = false;
+  if (changed) notify_waiters();  // un-gate producers/consumers blocked
+                                  // on the registered flags
 }
 
 res::ResourceNode WidthFifo::resource_tree() const {

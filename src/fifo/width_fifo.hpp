@@ -14,6 +14,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "fifo/bit_queue.hpp"
 #include "res/estimate.hpp"
@@ -54,6 +55,13 @@ class WidthFifo : public sim::Component, public res::ResourceAware {
   /// Drop all contents (reset).
   void flush();
 
+  // -- quiescence ------------------------------------------------------
+  /// Wake @p c whenever this FIFO's registered state changes (a chunk is
+  /// committed, popped, or the FIFO is flushed). Used by components that
+  /// gate their clock while blocked on full()/empty(). Idempotent.
+  void add_waiter(sim::Component& c);
+  void remove_waiter(sim::Component& c);
+
   // -- lifetime stats ---------------------------------------------------
   [[nodiscard]] u64 writes() const { return writes_; }
   [[nodiscard]] u64 reads() const { return reads_; }
@@ -61,6 +69,13 @@ class WidthFifo : public sim::Component, public res::ResourceAware {
 
   // sim::Component
   void tick_commit() override;
+  /// Quiescent whenever no access is pending: commit would only clear
+  /// already-clear flags and recompute an unchanged level. write()/read()
+  /// wake the FIFO for the cycle they occur in.
+  [[nodiscard]] bool is_quiescent() const override {
+    return !wrote_this_cycle_ && !read_this_cycle_ && !has_pending_write_ &&
+           !pending_pop_;
+  }
 
   // res::ResourceAware
   [[nodiscard]] res::ResourceNode resource_tree() const override;
@@ -79,6 +94,9 @@ class WidthFifo : public sim::Component, public res::ResourceAware {
   u64 writes_ = 0;
   u64 reads_ = 0;
   u32 max_level_ = 0;
+
+  std::vector<sim::Component*> waiters_;
+  void notify_waiters();
 };
 
 }  // namespace ouessant::fifo

@@ -6,6 +6,7 @@ Cpu::Cpu(sim::Kernel& kernel, std::string name, mem::Sram& sram,
          bus::InterconnectModel& bus, CpuConfig cfg)
     : sim::Component(kernel, std::move(name)), sram_(sram), cfg_(cfg) {
   port_ = &bus.connect_master(this->name() + ".mmio", cfg_.bus_priority);
+  port_->wake_on_complete(*this);  // ends the bus_wait_ gate
   pc_ = cfg_.reset_pc;
   halted_ = false;
 }
@@ -30,6 +31,7 @@ void Cpu::restart(Addr pc) {
   wfi_ = false;
   stall_ = 0;
   bus_wait_ = false;
+  wake();  // a halted core is quiescent; resume ticking
 }
 
 void Cpu::fault(const std::string& why) {
@@ -38,8 +40,14 @@ void Cpu::fault(const std::string& why) {
 }
 
 void Cpu::tick_compute() {
+  // Cycles skipped while clock-gated belong to the wait state we slept
+  // in (wfi or bus_wait; a halted core counts nothing) — the state is
+  // unchanged since we went quiescent, because only a tick changes it.
+  const u64 skipped = pending_credit();
+  next_expected_tick_ = kernel().now() + 1;
   if (halted_) return;
   if (wfi_) {
+    stats_.wfi_cycles += skipped;
     if (irq_ != nullptr && irq_->raised()) {
       wfi_ = false;  // wake; the next tick fetches the next instruction
     } else {
@@ -47,6 +55,7 @@ void Cpu::tick_compute() {
     }
     return;
   }
+  if (bus_wait_) stats_.cycles_busy += skipped;
   ++stats_.cycles_busy;
 
   if (bus_wait_) {

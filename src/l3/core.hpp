@@ -50,6 +50,15 @@ class Cpu : public sim::Component {
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent while halted, sleeping in wfi (the watched interrupt line
+  /// wakes us), or waiting out an MMIO transaction (the port's completion
+  /// wakes us). Never quiescent while executing or stalled.
+  [[nodiscard]] bool is_quiescent() const override {
+    if (halted_) return true;
+    if (wfi_) return irq_ != nullptr && !irq_->raised();
+    if (bus_wait_) return port_->busy();
+    return false;
+  }
 
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] u32 reg(u32 n) const { return regs_.at(n); }
@@ -59,11 +68,28 @@ class Cpu : public sim::Component {
   /// Restart a halted core at @p pc.
   void restart(Addr pc);
 
-  [[nodiscard]] const CpuStats& stats() const { return stats_; }
+  /// Counter snapshot with cycles spent clock-gated folded into the
+  /// counter of the state we slept in (wfi_cycles or cycles_busy).
+  [[nodiscard]] CpuStats stats() const {
+    CpuStats s = stats_;
+    const u64 credit = pending_credit();
+    if (credit > 0 && !halted_) {
+      if (wfi_) {
+        s.wfi_cycles += credit;
+      } else if (bus_wait_) {
+        s.cycles_busy += credit;
+      }
+    }
+    return s;
+  }
 
   /// Attach the level-sensitive interrupt input the `wfi` instruction
   /// sleeps on (e.g. an OCP's line, or an IrqController's cpu_line).
-  void set_irq_line(const cpu::IrqLine* line) { irq_ = line; }
+  void set_irq_line(const cpu::IrqLine* line) {
+    irq_ = line;
+    if (line != nullptr) line->watch(*this);  // edges end the wfi gate
+    wake();
+  }
 
  private:
   [[nodiscard]] bool is_cached(Addr addr) const;
@@ -84,6 +110,11 @@ class Cpu : public sim::Component {
   u8 bus_rd_ = 0;          ///< destination register of a pending MMIO load
   bool bus_is_load_ = false;
   CpuStats stats_;
+  Cycle next_expected_tick_ = 0;  // sleep-credit anchor for wait counters
+  [[nodiscard]] u64 pending_credit() const {
+    const Cycle now = kernel().now();
+    return now > next_expected_tick_ ? now - next_expected_tick_ : 0;
+  }
 };
 
 }  // namespace ouessant::l3

@@ -1,6 +1,10 @@
 // Memory models. The paper's platform is a Nexys4 board with 16 MB SRAM
 // behind the AHB bus; Sram models it as a word-addressed array with
 // configurable wait states. Rom is the same with writes rejected.
+//
+// Clock-gating audit: not a sim::Component — purely reactive bus slaves
+// with no per-cycle behaviour of their own (wait states are charged by
+// the interconnect), so there is nothing to gate.
 #pragma once
 
 #include <string>

@@ -20,6 +20,75 @@ Controller::Controller(sim::Kernel& kernel, std::string name,
     throw ConfigError("Controller " + this->name() +
                       ": more FIFOs than the ISA can address");
   }
+  // Subscribe to the edges that end each gateable wait state.
+  iface_.wake_on_start(*this);
+  iface_.master().wake_on_complete(*this);
+  rac_.wake_on_end_op(*this);
+}
+
+bool Controller::is_quiescent() const {
+  switch (state_) {
+    case State::kIdle:
+      return !iface_.start_pending();
+    case State::kFetch:
+    case State::kXfer:
+      return iface_.master().busy();
+    case State::kDecode:
+      return false;
+    case State::kExecWait:
+      return rac_.busy();
+  }
+  return false;
+}
+
+u64 Controller::pending_credit() const {
+  const Cycle now = kernel().now();
+  return now > next_expected_tick_ ? now - next_expected_tick_ : 0;
+}
+
+void Controller::credit_skipped(u64 skipped) {
+  // Cycles skipped while gated belong to the wait state we slept in —
+  // unchanged since then, because only a tick can change state_.
+  switch (state_) {
+    case State::kIdle:
+      stats_.idle_cycles += skipped;
+      break;
+    case State::kFetch:
+      stats_.fetch_cycles += skipped;
+      break;
+    case State::kXfer:
+      stats_.xfer_cycles += skipped;
+      break;
+    case State::kExecWait:
+      stats_.exec_wait_cycles += skipped;
+      break;
+    case State::kDecode:
+      break;  // never gated in decode
+  }
+}
+
+ControllerStats Controller::stats() const {
+  ControllerStats s = stats_;
+  const u64 credit = pending_credit();
+  if (credit > 0) {
+    switch (state_) {
+      case State::kIdle:
+        s.idle_cycles += credit;
+        break;
+      case State::kFetch:
+        s.fetch_cycles += credit;
+        break;
+      case State::kXfer:
+        s.xfer_cycles += credit;
+        break;
+      case State::kExecWait:
+        s.exec_wait_cycles += credit;
+        break;
+      case State::kDecode:
+        break;
+    }
+  }
+  return s;
 }
 
 void Controller::issue_fetch() {
@@ -134,6 +203,9 @@ void Controller::decode_and_issue() {
 }
 
 void Controller::tick_compute() {
+  const u64 skipped = pending_credit();
+  next_expected_tick_ = kernel().now() + 1;
+  if (skipped > 0) credit_skipped(skipped);
   switch (state_) {
     case State::kIdle:
       if (iface_.start_pending()) {

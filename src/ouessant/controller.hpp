@@ -52,8 +52,15 @@ class Controller : public sim::Component, public res::ResourceAware {
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent in every wait state whose exit has a wake hook: idle
+  /// (start write wakes us), fetch/xfer (bus completion), exec-wait (RAC
+  /// end_op). Never quiescent in decode — it always does work.
+  [[nodiscard]] bool is_quiescent() const override;
 
-  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  /// Snapshot of the counters with cycles spent clock-gated folded into
+  /// the current wait state's counter (so a reading taken while the
+  /// controller sleeps matches the ungated sweep exactly).
+  [[nodiscard]] ControllerStats stats() const;
   [[nodiscard]] IsaLevel isa_level() const { return isa_level_; }
   [[nodiscard]] bool running() const { return state_ != State::kIdle; }
   [[nodiscard]] u32 pc() const { return pc_; }
@@ -126,6 +133,9 @@ class Controller : public sim::Component, public res::ResourceAware {
   FifoSink sink_;
   FifoSource source_;
   ControllerStats stats_;
+  Cycle next_expected_tick_ = 0;  // sleep-credit anchor for wait counters
+  [[nodiscard]] u64 pending_credit() const;
+  void credit_skipped(u64 skipped);
 };
 
 }  // namespace ouessant::core

@@ -77,6 +77,12 @@ void ReconfigSlot::request_swap(std::size_t index) {
   target_ = index;
   reconfig_left_ = swap_cycles(index);
   ++swaps_;
+  // Re-anchor the credit counter (the slot may have been gated for a
+  // long time while idle) and stay awake until the first countdown tick
+  // arms the completion timer.
+  next_expected_tick_ = kernel().now() + 1;
+  countdown_timer_armed_ = false;
+  wake();
 }
 
 std::vector<Rac::FifoSpec> ReconfigSlot::input_specs() const {
@@ -114,11 +120,21 @@ u64 ReconfigSlot::completed_ops() const {
 }
 
 void ReconfigSlot::tick_compute() {
+  const u64 skipped = pending_credit();
+  next_expected_tick_ = kernel().now() + 1;
   if (reconfig_left_ > 0) {
+    // Cycles skipped while gated were all countdown cycles (the timer
+    // wakes us no later than completion, so skipped < reconfig_left_).
+    reconfig_left_ -= static_cast<u32>(skipped);
+    reconfig_cycles_total_ += skipped;
     --reconfig_left_;
     ++reconfig_cycles_total_;
     if (reconfig_left_ == 0) {
       active_ = target_;
+      countdown_timer_armed_ = false;
+    } else {
+      wake_at(kernel().now() + reconfig_left_);
+      countdown_timer_armed_ = true;
     }
   }
 }

@@ -44,8 +44,11 @@ class ReconfigSlot : public Rac {
     return candidates_.size();
   }
   [[nodiscard]] u64 swaps() const { return swaps_; }
+  /// Total cycles spent streaming bitstreams, with cycles the countdown
+  /// spent clock-gated folded in.
   [[nodiscard]] u64 reconfig_cycles_total() const {
-    return reconfig_cycles_total_;
+    return reconfig_cycles_total_ +
+           (reconfig_left_ > 0 ? pending_credit() : 0);
   }
 
   /// Cycles a swap to @p index takes (bitstream size / ICAP throughput
@@ -64,9 +67,21 @@ class ReconfigSlot : public Rac {
   void start() override;
   [[nodiscard]] bool busy() const override;
   [[nodiscard]] u64 completed_ops() const override;
+  /// end_op pulses come from whichever candidate is active — forward the
+  /// subscription to all of them (inactive ones never fire).
+  void wake_on_end_op(sim::Component& c) override {
+    for (Rac* cand : candidates_) cand->wake_on_end_op(c);
+  }
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent when no reconfiguration is in flight (request_swap wakes
+  /// us) or once the countdown has armed its completion timer. The brief
+  /// window between request_swap and the first countdown tick stays
+  /// awake so that tick can arm the timer.
+  [[nodiscard]] bool is_quiescent() const override {
+    return reconfig_left_ == 0 || countdown_timer_armed_;
+  }
 
   /// Region resources: the max over candidates (the region must fit the
   /// largest bitstream) plus the static decoupling logic.
@@ -82,6 +97,12 @@ class ReconfigSlot : public Rac {
   u32 reconfig_left_ = 0;
   u64 swaps_ = 0;
   u64 reconfig_cycles_total_ = 0;
+  bool countdown_timer_armed_ = false;
+  Cycle next_expected_tick_ = 0;  // sleep-credit anchor for the countdown
+  [[nodiscard]] u64 pending_credit() const {
+    const Cycle now = kernel().now();
+    return now > next_expected_tick_ ? now - next_expected_tick_ : 0;
+  }
 };
 
 }  // namespace ouessant::core

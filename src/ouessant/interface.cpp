@@ -46,6 +46,7 @@ void BusInterface::write_ctrl(u32 value) {
   }
   if ((value & kCtrlStart) != 0 && !running_) {
     start_pending_ = true;
+    if (start_waiter_ != nullptr) start_waiter_->wake();
   }
 }
 
@@ -102,6 +103,7 @@ void BusInterface::preconfigure(const std::array<u32, kNumBankRegs>& banks,
 void BusInterface::set_standalone(bool autostart, bool auto_restart) {
   autostart_armed_ = autostart;
   auto_restart_ = auto_restart;
+  if (autostart && start_waiter_ != nullptr) start_waiter_->wake();
 }
 
 void BusInterface::ack_start() {

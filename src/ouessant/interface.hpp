@@ -15,6 +15,7 @@
 
 #include "bus/types.hpp"
 #include "cpu/irq.hpp"
+#include "sim/kernel.hpp"
 #include "ouessant/regs.hpp"
 #include "res/estimate.hpp"
 
@@ -52,6 +53,9 @@ class BusInterface : public bus::BusSlave, public res::ResourceAware {
   [[nodiscard]] bool start_pending() const {
     return start_pending_ || autostart_armed_;
   }
+  /// Wake @p c whenever a start condition is armed (S bit written, or
+  /// standalone autostart) — lets the controller gate its clock in idle.
+  void wake_on_start(sim::Component& c) { start_waiter_ = &c; }
   void ack_start();                       ///< controller consumed S
   void set_running(bool running) { running_ = running; }
   [[nodiscard]] bool running() const { return running_; }
@@ -93,6 +97,7 @@ class BusInterface : public bus::BusSlave, public res::ResourceAware {
   bool error_ = false;
   bool progress_ = false;
   cpu::IrqLine irq_;
+  sim::Component* start_waiter_ = nullptr;
 };
 
 }  // namespace ouessant::core

@@ -48,6 +48,21 @@ class Rac : public sim::Component, public res::ResourceAware {
 
   /// Number of completed operations (end_op count) — used by tests.
   [[nodiscard]] virtual u64 completed_ops() const = 0;
+
+  /// Wake @p c on every end_op, so the controller can gate its clock
+  /// while waiting out an exec (busy() high). One waiter: the owner.
+  /// Virtual so wrappers (ReconfigSlot) can forward the subscription to
+  /// the RACs that actually emit the pulse.
+  virtual void wake_on_end_op(sim::Component& c) { end_op_waiter_ = &c; }
+
+ protected:
+  /// Subclasses call this wherever they drop busy() (end_op).
+  void notify_end_op() {
+    if (end_op_waiter_ != nullptr) end_op_waiter_->wake();
+  }
+
+ private:
+  sim::Component* end_op_waiter_ = nullptr;
 };
 
 }  // namespace ouessant::core

@@ -30,6 +30,24 @@ void BlockRac::bind(std::vector<fifo::WidthFifo*> in,
   }
   in_ = in[0];
   out_ = out[0];
+  // A FIFO edge is what unblocks kCollect (input arrives) and kEmit
+  // (output space frees up) — subscribe so those edges un-gate us.
+  in_->add_waiter(*this);
+  out_->add_waiter(*this);
+}
+
+bool BlockRac::is_quiescent() const {
+  switch (phase_) {
+    case Phase::kIdle:
+      return true;  // start() wakes us
+    case Phase::kCollect:
+      return in_->empty();  // input FIFO commit wakes us
+    case Phase::kCompute:
+      return true;  // wake_at(end of countdown) armed on entry
+    case Phase::kEmit:
+      return out_->full();  // output FIFO commit wakes us
+  }
+  return false;
 }
 
 void BlockRac::start() {
@@ -46,9 +64,16 @@ void BlockRac::start() {
   in_buf_.clear();
   out_buf_.clear();
   emit_index_ = 0;
+  wake();
 }
 
 void BlockRac::tick_compute() {
+  // Cycles skipped while clock-gated. Only the kCompute countdown has
+  // per-cycle state; the other phases' wait ticks are pure no-ops.
+  const Cycle now = kernel().now();
+  const u64 skipped =
+      now > next_expected_tick_ ? now - next_expected_tick_ : 0;
+  next_expected_tick_ = now + 1;
   switch (phase_) {
     case Phase::kIdle:
       break;
@@ -63,10 +88,14 @@ void BlockRac::tick_compute() {
           }
           compute_left_ = shape_.compute_cycles;
           phase_ = (compute_left_ == 0) ? Phase::kEmit : Phase::kCompute;
+          // The countdown ends compute_left_ ticks from now; sleep
+          // through it. Skipped decrements are credited above on wake.
+          if (compute_left_ > 0) wake_at(now + compute_left_);
         }
       }
       break;
     case Phase::kCompute:
+      compute_left_ -= static_cast<u32>(skipped);
       if (--compute_left_ == 0) phase_ = Phase::kEmit;
       break;
     case Phase::kEmit:
@@ -76,6 +105,7 @@ void BlockRac::tick_compute() {
           phase_ = Phase::kIdle;
           busy_ = false;  // end_op
           ++completed_;
+          notify_end_op();
         }
       }
       break;

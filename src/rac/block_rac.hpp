@@ -41,6 +41,10 @@ class BlockRac : public core::Rac {
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent while idle, blocked on a FIFO flag, or inside the compute
+  /// latency (a wake_at timer is armed for the end of the countdown, and
+  /// skipped decrements are credited in bulk on wake-up).
+  [[nodiscard]] bool is_quiescent() const override;
 
   [[nodiscard]] const Shape& shape() const { return shape_; }
 
@@ -65,6 +69,7 @@ class BlockRac : public core::Rac {
   std::size_t emit_index_ = 0;
   u32 compute_left_ = 0;
   u64 completed_ = 0;
+  Cycle next_expected_tick_ = 0;  // sleep-credit anchor for compute_left_
 };
 
 }  // namespace ouessant::rac

@@ -37,6 +37,9 @@ void ConfigurableFirRac::bind(std::vector<fifo::WidthFifo*> in,
   data_in_ = in[0];
   cfg_in_ = in[1];
   out_ = out[0];
+  data_in_->add_waiter(*this);
+  cfg_in_->add_waiter(*this);
+  out_->add_waiter(*this);
 }
 
 void ConfigurableFirRac::start() {
@@ -58,6 +61,7 @@ void ConfigurableFirRac::start() {
   } else {
     phase_ = Phase::kStream;
   }
+  wake();
 }
 
 i32 ConfigurableFirRac::step(i32 x) {
@@ -91,6 +95,7 @@ void ConfigurableFirRac::tick_compute() {
           phase_ = Phase::kIdle;
           busy_ = false;  // end_op
           ++completed_;
+          notify_end_op();
         }
       }
       break;

@@ -41,6 +41,18 @@ class ConfigurableFirRac : public core::Rac {
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent while idle or blocked on the phase's FIFOs.
+  [[nodiscard]] bool is_quiescent() const override {
+    switch (phase_) {
+      case Phase::kIdle:
+        return true;
+      case Phase::kLoadTaps:
+        return cfg_in_->empty();
+      case Phase::kStream:
+        return data_in_->empty() || out_->full();
+    }
+    return false;
+  }
 
   [[nodiscard]] u32 taps_n() const { return taps_n_; }
   [[nodiscard]] u32 block_len() const { return block_len_; }

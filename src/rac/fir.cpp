@@ -33,6 +33,8 @@ void FirRac::bind(std::vector<fifo::WidthFifo*> in,
   }
   in_ = in[0];
   out_ = out[0];
+  in_->add_waiter(*this);
+  out_->add_waiter(*this);
 }
 
 void FirRac::start() {
@@ -41,6 +43,7 @@ void FirRac::start() {
   busy_ = true;
   remaining_ = block_len_;
   std::fill(delay_.begin(), delay_.end(), 0);
+  wake();
 }
 
 i32 FirRac::step(i32 x) {
@@ -67,6 +70,7 @@ void FirRac::tick_compute() {
     if (remaining_ == 0) {
       busy_ = false;  // end_op
       ++completed_;
+      notify_end_op();
     }
   }
 }

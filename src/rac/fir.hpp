@@ -34,6 +34,12 @@ class FirRac : public core::Rac {
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent while idle or FIFO-blocked (all wait ticks are no-ops);
+  /// start() and the bound FIFOs' commit edges wake the datapath.
+  [[nodiscard]] bool is_quiescent() const override {
+    if (!busy_) return true;
+    return in_->empty() || out_->full();
+  }
 
   [[nodiscard]] const std::vector<i32>& taps() const { return taps_; }
   [[nodiscard]] u32 block_len() const { return block_len_; }

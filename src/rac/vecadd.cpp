@@ -27,6 +27,9 @@ void VecAddRac::bind(std::vector<fifo::WidthFifo*> in,
   a_ = in[0];
   b_ = in[1];
   out_ = out[0];
+  a_->add_waiter(*this);
+  b_->add_waiter(*this);
+  out_->add_waiter(*this);
 }
 
 void VecAddRac::start() {
@@ -34,6 +37,7 @@ void VecAddRac::start() {
   if (busy_) throw SimError("VecAddRac " + name() + ": start_op while busy");
   busy_ = true;
   remaining_ = block_len_;
+  wake();
 }
 
 void VecAddRac::tick_compute() {
@@ -49,6 +53,7 @@ void VecAddRac::tick_compute() {
     if (remaining_ == 0) {
       busy_ = false;  // end_op
       ++completed_;
+      notify_end_op();
     }
   }
 }

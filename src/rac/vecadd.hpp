@@ -32,6 +32,11 @@ class VecAddRac : public core::Rac {
 
   // sim::Component
   void tick_compute() override;
+  /// Quiescent while idle or blocked on any of the three FIFOs.
+  [[nodiscard]] bool is_quiescent() const override {
+    if (!busy_) return true;
+    return a_->empty() || b_->empty() || out_->full();
+  }
 
   [[nodiscard]] u32 block_len() const { return block_len_; }
 

@@ -1,8 +1,20 @@
 #include "sim/kernel.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace ouessant::sim {
+
+namespace {
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+struct HeapOrder {
+  bool operator()(const std::pair<Cycle, Component*>& a,
+                  const std::pair<Cycle, Component*>& b) const {
+    return a.first > b.first;  // min-heap on wake cycle
+  }
+};
+}  // namespace
 
 Component::Component(Kernel& kernel, std::string name)
     : kernel_(kernel), name_(std::move(name)) {
@@ -11,33 +23,220 @@ Component::Component(Kernel& kernel, std::string name)
 
 Component::~Component() { kernel_.remove(this); }
 
-void Kernel::add(Component* c) { components_.push_back(c); }
+void Kernel::add(Component* c) {
+  ++live_count_;
+  ++awake_count_;  // components are born awake; they may sleep after a tick
+  if (in_tick_) {
+    // Joining mid-sweep would let a half-constructed object tick this
+    // cycle (and grow the vector under the sweep). Park it; it joins at
+    // the cycle boundary and first ticks next cycle.
+    pending_adds_.push_back(c);
+  } else {
+    components_.push_back(c);
+  }
+}
 
 void Kernel::remove(Component* c) {
-  components_.erase(std::remove(components_.begin(), components_.end(), c),
-                    components_.end());
+  --live_count_;
+  if (c->awake_) --awake_count_;
+  // Null any armed timer so the heap never holds a dangling pointer.
+  for (auto& e : wake_heap_) {
+    if (e.second == c) e.second = nullptr;
+  }
+  if (in_tick_) {
+    // Tombstone in place: the sweep skips null slots, so the destroyed
+    // object never ticks again while every later component still ticks
+    // this cycle. The vector is compacted at the cycle boundary.
+    auto it = std::find(components_.begin(), components_.end(), c);
+    if (it != components_.end()) {
+      *it = nullptr;
+      compact_needed_ = true;
+    } else {
+      // Added and destroyed within the same tick: it never joined.
+      pending_adds_.erase(
+          std::remove(pending_adds_.begin(), pending_adds_.end(), c),
+          pending_adds_.end());
+    }
+  } else {
+    components_.erase(std::remove(components_.begin(), components_.end(), c),
+                      components_.end());
+  }
+}
+
+void Kernel::wake(Component* c) {
+  if (c->awake_) return;
+  c->awake_ = true;
+  ++awake_count_;
+  ++sched_.wakeups;
+}
+
+void Kernel::wake_at(Component* c, Cycle cycle) {
+  if (cycle <= cycle_) {
+    wake(c);
+    return;
+  }
+  wake_heap_.emplace_back(cycle, c);
+  std::push_heap(wake_heap_.begin(), wake_heap_.end(), HeapOrder{});
+}
+
+void Kernel::release_due_wakes() {
+  while (!wake_heap_.empty() && wake_heap_.front().first <= cycle_) {
+    std::pop_heap(wake_heap_.begin(), wake_heap_.end(), HeapOrder{});
+    Component* c = wake_heap_.back().second;
+    wake_heap_.pop_back();
+    if (c != nullptr) wake(c);
+  }
+}
+
+Cycle Kernel::next_wake_cycle() {
+  // Drop entries nulled by component removal so they can't stall a
+  // fast-forward decision.
+  while (!wake_heap_.empty() && wake_heap_.front().second == nullptr) {
+    std::pop_heap(wake_heap_.begin(), wake_heap_.end(), HeapOrder{});
+    wake_heap_.pop_back();
+  }
+  return wake_heap_.empty() ? kNever : wake_heap_.front().first;
+}
+
+void Kernel::apply_registry_changes() {
+  if (compact_needed_) {
+    components_.erase(
+        std::remove(components_.begin(), components_.end(), nullptr),
+        components_.end());
+    compact_needed_ = false;
+  }
+  if (!pending_adds_.empty()) {
+    components_.insert(components_.end(), pending_adds_.begin(),
+                       pending_adds_.end());
+    pending_adds_.clear();
+  }
+}
+
+void Kernel::sleep_pass() {
+  for (Component* c : components_) {
+    if (c != nullptr && c->awake_ && c->is_quiescent()) {
+      c->awake_ = false;
+      --awake_count_;
+      ++sched_.sleeps;
+    }
+  }
 }
 
 void Kernel::tick() {
-  for (Component* c : components_) c->tick_compute();
-  for (Component* c : components_) c->tick_commit();
-  ++cycle_;
-  for (auto& [id, fn] : samplers_) fn(cycle_);
+  release_due_wakes();
+  in_tick_ = true;
+  try {
+    if (gating_enabled_) {
+      for (Component* c : components_) {
+        if (c != nullptr && c->awake_) c->tick_compute();
+      }
+      for (Component* c : components_) {
+        if (c != nullptr && c->awake_) c->tick_commit();
+      }
+    } else {
+      // Seed-identical tick-everything sweep (differential reference).
+      for (Component* c : components_) {
+        if (c != nullptr) c->tick_compute();
+      }
+      for (Component* c : components_) {
+        if (c != nullptr) c->tick_commit();
+      }
+    }
+    ++cycle_;
+    ++sched_.ticks;
+    for (auto& [id, fn] : samplers_) fn(cycle_);
+  } catch (...) {
+    // A component fault (e.g. a bus ERROR) aborts the cycle exactly as in
+    // the seed kernel, but the registry must still leave tick mode —
+    // fault-injection tests catch the error and keep simulating.
+    in_tick_ = false;
+    apply_registry_changes();
+    throw;
+  }
+  in_tick_ = false;
+  apply_registry_changes();
+  if (gating_enabled_) sleep_pass();
+}
+
+void Kernel::advance_idle(Cycle to) {
+  sched_.fast_forward_cycles += to - cycle_;
+  ++sched_.fast_forwards;
+  if (samplers_.empty()) {
+    cycle_ = to;
+    return;
+  }
+  // Traces must observe every cycle: step so each skipped cycle fires the
+  // samplers exactly as a full tick would (the sweep itself is a no-op —
+  // nothing is awake). A sampler may construct components or wake one;
+  // bail out so the woken component ticks on the very next cycle.
+  while (cycle_ < to) {
+    ++cycle_;
+    for (auto& [id, fn] : samplers_) fn(cycle_);
+    if (awake_count_ != 0) return;
+  }
 }
 
 void Kernel::run(u64 n) {
-  for (u64 i = 0; i < n; ++i) tick();
+  const Cycle target = cycle_ + n;
+  while (cycle_ < target) {
+    if (gating_enabled_ && awake_count_ == 0) {
+      const Cycle next = std::min(next_wake_cycle(), target);
+      if (next > cycle_) {
+        advance_idle(next);
+        continue;
+      }
+    }
+    tick();
+  }
 }
 
 void Kernel::run_until(const std::function<bool()>& done, u64 timeout) {
   const Cycle start = cycle_;
+  // done() first — before the timeout check, before any tick. A predicate
+  // already true on entry returns immediately even with timeout == 0.
   while (!done()) {
     if (cycle_ - start >= timeout) {
       throw SimError("Kernel::run_until: timeout after " +
                      std::to_string(timeout) + " cycles");
     }
+    if (gating_enabled_ && awake_count_ == 0) {
+      // Nothing is clocked, so done() cannot change until the next wake:
+      // jump straight there (or to the timeout deadline, where the loop
+      // re-checks done() once more and then throws — same cycle the
+      // ungated loop would throw on).
+      const Cycle deadline = (timeout > kNever - start) ? kNever
+                                                        : start + timeout;
+      const Cycle next = std::min(next_wake_cycle(), deadline);
+      if (next > cycle_) {
+        advance_idle(next);
+        continue;
+      }
+    }
     tick();
   }
+}
+
+void Kernel::set_gating(bool on) {
+  if (gating_enabled_ == on) return;
+  gating_enabled_ = on;
+  if (!on) {
+    // Re-arm everything so the full sweep resumes with all clocks live.
+    for (Component* c : components_) {
+      if (c != nullptr) wake(c);
+    }
+    for (Component* c : pending_adds_) wake(c);
+  }
+}
+
+std::vector<std::string> Kernel::awake_names() const {
+  std::vector<std::string> names;
+  for (const Component* c : components_) {
+    if (c != nullptr && c->awake_) names.push_back(c->name());
+  }
+  for (const Component* c : pending_adds_) {
+    if (c->awake_) names.push_back(c->name());
+  }
+  return names;
 }
 
 u64 Kernel::add_sampler(std::function<void(Cycle)> fn) {

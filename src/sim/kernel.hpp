@@ -14,6 +14,31 @@
 // This two-phase scheme makes same-cycle interactions (e.g. one block
 // pushing into a FIFO while another pops) independent of registration
 // order, which keeps the model deterministic and order-insensitive.
+//
+// Quiescence / clock gating
+// -------------------------
+// Most blocks are idle most of the wall-clock (a RAC in its compute
+// latency, a drained FIFO, a WFI'd CPU). A component may declare itself
+// quiescent — both tick phases are provable no-ops in its current state —
+// and the kernel then skips it until something wakes it:
+//
+//   * is_quiescent(): polled after every cycle for awake components; a
+//     true return gates the component's clock.
+//   * wake(): called by whoever changes state the sleeper polls (a FIFO
+//     write, a bus transaction start, an IRQ edge). Takes effect
+//     immediately: a component whose sweep slot has not yet been reached
+//     this cycle still ticks this cycle, one whose slot has passed ticks
+//     next cycle — exactly the visibility the seed's full sweep had.
+//   * wake_at(cycle): self-service timer for countdowns with a known end
+//     (RAC latency, ICAP reconfiguration, compute timers).
+//
+// When every component is asleep the kernel fast-forwards cycle_ in bulk
+// to the next wake-heap entry (or run target), invoking samplers for each
+// skipped cycle so traces stay bit-identical. Gating is a pure scheduling
+// optimization: cycle counts, statistics and memory contents are
+// bit-identical to the ungated sweep (set_gating(false) keeps the seed's
+// tick-everything loop for differential testing). See DESIGN.md §5 for
+// the invariants a gateable component must keep.
 #pragma once
 
 #include <functional>
@@ -41,12 +66,43 @@ class Component {
   /// Phase 2: clock edge — commit the next state.
   virtual void tick_commit() {}
 
+  /// True when both tick phases are no-ops in the current state AND the
+  /// state can only change through external calls that wake() this
+  /// component (or a wake_at() timer already armed). Default: never —
+  /// components that do not opt in are ticked every cycle, exactly like
+  /// the seed kernel.
+  [[nodiscard]] virtual bool is_quiescent() const { return false; }
+
+  /// Un-gate this component. Idempotent; callable from any phase, from
+  /// host code between ticks, or from another component's tick.
+  void wake();
+
+  /// Arm a wake-up at absolute @p cycle (and wake immediately if the
+  /// cycle is not in the future). The timer is one-shot; spurious extra
+  /// wake-ups are harmless by the quiescence contract.
+  void wake_at(Cycle cycle);
+
+  /// True while the kernel clocks this component (diagnostics).
+  [[nodiscard]] bool awake() const { return awake_; }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Kernel& kernel() const { return kernel_; }
 
  private:
+  friend class Kernel;
   Kernel& kernel_;
   std::string name_;
+  bool awake_ = true;
+};
+
+/// Scheduler telemetry (not part of the simulated state — these differ
+/// between gated and ungated runs and are therefore kept out of Stats).
+struct SchedulerStats {
+  u64 ticks = 0;                 ///< cycles advanced by a full tick()
+  u64 fast_forwards = 0;         ///< bulk idle jumps taken
+  u64 fast_forward_cycles = 0;   ///< cycles advanced by those jumps
+  u64 wakeups = 0;               ///< sleep -> awake transitions
+  u64 sleeps = 0;                ///< awake -> sleep transitions
 };
 
 /// The clock and component registry.
@@ -65,6 +121,20 @@ class Kernel {
 
   /// Advance until @p done returns true, or throw SimError after
   /// @p timeout cycles (deadlock guard for tests and drivers).
+  ///
+  /// Ordering contract (pinned by tests/test_kernel_gating.cpp):
+  ///   1. done() is evaluated first, before any tick and before the
+  ///      timeout check — if it already holds on entry, run_until()
+  ///      returns without ticking, even with timeout == 0.
+  ///   2. The timeout throws only once `timeout` ticks have elapsed with
+  ///      done() still false; the final allowed tick is the timeout-th,
+  ///      and done() is re-evaluated after it before throwing.
+  ///   3. On throw, now() == entry cycle + timeout.
+  /// @p done must be a pure function of simulated component state (not of
+  /// now() directly): with gating enabled, cycles where no component is
+  /// awake are skipped in bulk and done() is not re-evaluated during the
+  /// skip — which is sound precisely because no component state can
+  /// change while nothing is clocked.
   void run_until(const std::function<bool()>& done, u64 timeout = 10'000'000);
 
   [[nodiscard]] Cycle now() const { return cycle_; }
@@ -77,18 +147,60 @@ class Kernel {
   u64 add_sampler(std::function<void(Cycle)> fn);
   void remove_sampler(u64 id);
 
-  [[nodiscard]] std::size_t component_count() const { return components_.size(); }
+  [[nodiscard]] std::size_t component_count() const { return live_count_; }
+
+  /// Quiescence scheduling on/off. Off reproduces the seed kernel's
+  /// tick-everything loop (every registered component, every cycle) —
+  /// kept for differential determinism tests. Default: on.
+  void set_gating(bool on);
+  [[nodiscard]] bool gating() const { return gating_enabled_; }
+
+  /// Number of components the next tick will clock (diagnostics).
+  [[nodiscard]] std::size_t awake_count() const { return awake_count_; }
+
+  /// Names of the currently awake components (diagnostics: "who is
+  /// keeping the clock tree on?").
+  [[nodiscard]] std::vector<std::string> awake_names() const;
+
+  [[nodiscard]] const SchedulerStats& sched_stats() const { return sched_; }
 
  private:
   friend class Component;
   void add(Component* c);
   void remove(Component* c);
+  void wake(Component* c);
+  void wake_at(Component* c, Cycle cycle);
+
+  void release_due_wakes();
+  [[nodiscard]] Cycle next_wake_cycle();
+  void advance_idle(Cycle to);
+  void apply_registry_changes();
+  void sleep_pass();
 
   Cycle cycle_ = 0;
   std::vector<Component*> components_;
   std::vector<std::pair<u64, std::function<void(Cycle)>>> samplers_;
   u64 next_sampler_id_ = 1;
   Stats stats_;
+
+  // Registry bookkeeping. Constructing or destroying a Component from a
+  // tick phase (or a sampler) must not invalidate the sweep: additions
+  // are parked in pending_adds_ until the cycle boundary, removals
+  // tombstone their slot in place and the vector is compacted after the
+  // sweep.
+  bool in_tick_ = false;
+  bool compact_needed_ = false;
+  std::vector<Component*> pending_adds_;
+  std::size_t live_count_ = 0;
+
+  // Quiescence scheduling.
+  bool gating_enabled_ = true;
+  std::size_t awake_count_ = 0;
+  std::vector<std::pair<Cycle, Component*>> wake_heap_;  // min-heap
+  SchedulerStats sched_;
 };
+
+inline void Component::wake() { kernel_.wake(this); }
+inline void Component::wake_at(Cycle cycle) { kernel_.wake_at(this, cycle); }
 
 }  // namespace ouessant::sim

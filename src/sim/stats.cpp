@@ -4,9 +4,17 @@
 
 namespace ouessant::sim {
 
+std::map<std::string, u64> Stats::all() const {
+  std::map<std::string, u64> out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (touched_[i]) out.emplace(names_[i], values_[i]);
+  }
+  return out;
+}
+
 std::string Stats::report() const {
   std::ostringstream os;
-  for (const auto& [k, v] : counters_) {
+  for (const auto& [k, v] : all()) {
     os << k << " = " << v << '\n';
   }
   return os.str();

@@ -1,10 +1,21 @@
 // Named statistics counters. Components record event counts (bus beats,
 // wait states, FIFO stalls, instructions retired...) which tests assert on
 // and benches report.
+//
+// Hot paths should intern their key once (at construction) and bump the
+// returned Handle: Handle adds are a single vector-indexed increment, with
+// no string hashing, comparison, or node allocation per event. The string
+// overloads remain for cold paths and tests and hit the same interned
+// slots, so `get("x")` observes counts recorded through a handle for "x".
+//
+// clear() zeroes every counter and forgets which keys were touched, but
+// keeps the intern table: outstanding Handles stay valid across clear().
 #pragma once
 
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "util/types.hpp"
 
@@ -12,28 +23,79 @@ namespace ouessant::sim {
 
 class Stats {
  public:
-  void add(const std::string& key, u64 delta = 1) { counters_[key] += delta; }
+  /// Interned counter id. Cheap to copy; valid for the lifetime of the
+  /// Stats object that issued it (including across clear()).
+  class Handle {
+   public:
+    Handle() = default;
+    [[nodiscard]] bool valid() const { return idx_ != kInvalid; }
 
-  void set(const std::string& key, u64 value) { counters_[key] = value; }
+   private:
+    friend class Stats;
+    static constexpr u32 kInvalid = ~u32{0};
+    explicit Handle(u32 idx) : idx_(idx) {}
+    u32 idx_ = kInvalid;
+  };
+
+  /// Map @p key to its counter slot, creating the slot on first use.
+  [[nodiscard]] Handle intern(const std::string& key) {
+    return Handle{slot(key)};
+  }
+
+  void add(Handle h, u64 delta = 1) {
+    values_[h.idx_] += delta;
+    touched_[h.idx_] = true;
+  }
+
+  void set(Handle h, u64 value) {
+    values_[h.idx_] = value;
+    touched_[h.idx_] = true;
+  }
+
+  [[nodiscard]] u64 get(Handle h) const { return values_[h.idx_]; }
+
+  void add(const std::string& key, u64 delta = 1) { add(intern(key), delta); }
+
+  void set(const std::string& key, u64 value) { set(intern(key), value); }
 
   [[nodiscard]] u64 get(const std::string& key) const {
-    auto it = counters_.find(key);
-    return it == counters_.end() ? 0 : it->second;
+    auto it = index_.find(key);
+    return it == index_.end() ? 0 : values_[it->second];
   }
 
+  /// True once @p key has been add()ed or set() since the last clear().
   [[nodiscard]] bool has(const std::string& key) const {
-    return counters_.count(key) != 0;
+    auto it = index_.find(key);
+    return it != index_.end() && touched_[it->second];
   }
 
-  void clear() { counters_.clear(); }
+  void clear() {
+    values_.assign(values_.size(), 0);
+    touched_.assign(touched_.size(), false);
+  }
 
-  [[nodiscard]] const std::map<std::string, u64>& all() const { return counters_; }
+  /// Snapshot of every touched counter, sorted by key.
+  [[nodiscard]] std::map<std::string, u64> all() const;
 
   /// Render as "key = value" lines, sorted by key.
   [[nodiscard]] std::string report() const;
 
  private:
-  std::map<std::string, u64> counters_;
+  u32 slot(const std::string& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const u32 idx = static_cast<u32>(values_.size());
+    index_.emplace(key, idx);
+    names_.push_back(key);
+    values_.push_back(0);
+    touched_.push_back(false);
+    return idx;
+  }
+
+  std::unordered_map<std::string, u32> index_;
+  std::vector<std::string> names_;
+  std::vector<u64> values_;
+  std::vector<bool> touched_;
 };
 
 }  // namespace ouessant::sim

@@ -277,5 +277,43 @@ TEST(Rom, RejectsWrites) {
   EXPECT_EQ(rom.size_bytes(), 16u);
 }
 
+TEST(BusMapping, SlaveAtTopOfAddressSpace) {
+  // A region ending exactly at 2^32 is legal; decode must reach its last
+  // word. (Regression: the seed's decode test `addr - base < size` was
+  // fine, but connect_slave accepted wrapping regions — see below.)
+  sim::Kernel k;
+  bus::AhbBus ahb{k, "ahb"};
+  mem::Sram hi{"hi", 0xFFFF'F000, 0x1000};
+  ahb.connect_slave(hi, 0xFFFF'F000, 0x1000);
+  auto& m = ahb.connect_master("m");
+  m.start_write(0xFFFF'F000, {0x12345678});
+  k.run_until([&] { return !m.busy(); });
+  EXPECT_EQ(hi.peek(0xFFFF'F000), 0x12345678u);
+  m.start_write(0xFFFF'FFFC, {0x9ABCDEF0});  // the very last word
+  k.run_until([&] { return !m.busy(); });
+  m.start_read(0xFFFF'FFFC, 1);
+  k.run_until([&] { return !m.busy(); });
+  EXPECT_EQ(m.rdata0(), 0x9ABCDEF0u);
+}
+
+TEST(BusMapping, RejectsRegionWrappingAddressSpace) {
+  // base + size past 2^32 would alias low addresses in the (u32) decode
+  // compare; the mapping must be refused up front.
+  sim::Kernel k;
+  bus::AhbBus ahb{k, "ahb"};
+  mem::Sram hi{"hi", 0xFFFF'F000, 0x2000};
+  EXPECT_THROW(ahb.connect_slave(hi, 0xFFFF'F000, 0x2000), ConfigError);
+}
+
+TEST(BusMapping, RejectsUnalignedOrEmptyRegion) {
+  sim::Kernel k;
+  bus::AhbBus ahb{k, "ahb"};
+  mem::Sram s{"s", 0x1000, 0x100};
+  EXPECT_THROW(ahb.connect_slave(s, 0x1002, 0x100), ConfigError);  // base
+  EXPECT_THROW(ahb.connect_slave(s, 0x1000, 0x0FE), ConfigError);  // size
+  EXPECT_THROW(ahb.connect_slave(s, 0x1000, 0), ConfigError);      // empty
+  ahb.connect_slave(s, 0x1000, 0x100);  // the aligned mapping still works
+}
+
 }  // namespace
 }  // namespace ouessant

@@ -1,0 +1,407 @@
+// Tests for the quiescence-aware scheduler: gating/fast-forward
+// semantics, the wake()/wake_at() protocol, the run_until ordering
+// contract, mid-tick registry mutation, and the interned Stats handles.
+//
+// The registry-mutation tests double as regressions for the seed kernel,
+// whose tick loop erased/reallocated the component vector under the
+// active sweep (iterator invalidation: a component registered after the
+// victim was silently skipped that cycle, and ASan flags the stale read).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace ouessant {
+namespace {
+
+/// Never-quiescent free runner: counts compute calls and remembers the
+/// cycle of the most recent one (now() is pre-increment during compute).
+class Runner : public sim::Component {
+ public:
+  Runner(sim::Kernel& k, std::string name)
+      : sim::Component(k, std::move(name)) {}
+  void tick_compute() override {
+    ++ticks_;
+    last_now_ = kernel().now();
+  }
+  [[nodiscard]] u64 ticks() const { return ticks_; }
+  [[nodiscard]] Cycle last_now() const { return last_now_; }
+
+ private:
+  u64 ticks_ = 0;
+  Cycle last_now_ = 0;
+};
+
+/// Always willing to sleep: ticks only while something keeps it awake.
+class Sleeper : public Runner {
+ public:
+  using Runner::Runner;
+  [[nodiscard]] bool is_quiescent() const override { return true; }
+};
+
+/// Counts into external storage so the count survives the component.
+class ExtCounter : public sim::Component {
+ public:
+  ExtCounter(sim::Kernel& k, std::string name, u64& out)
+      : sim::Component(k, std::move(name)), out_(out) {}
+  void tick_compute() override { ++out_; }
+
+ private:
+  u64& out_;
+};
+
+// ---------------------------------------------------------------------
+// Gating and fast-forward.
+
+TEST(Gating, IdleComponentIsGatedAfterFirstTick) {
+  sim::Kernel k;
+  ASSERT_TRUE(k.gating());  // on by default
+  Sleeper s(k, "s");
+  EXPECT_TRUE(s.awake());  // components are born awake
+  k.run(10);
+  EXPECT_EQ(k.now(), 10u);
+  EXPECT_EQ(s.ticks(), 1u);  // ticked once, then gated
+  EXPECT_FALSE(s.awake());
+  const auto& sched = k.sched_stats();
+  EXPECT_GE(sched.fast_forwards, 1u);
+  EXPECT_EQ(sched.ticks + sched.fast_forward_cycles, 10u);
+  EXPECT_GE(sched.sleeps, 1u);
+}
+
+TEST(Gating, WakeTakesEffectImmediately) {
+  sim::Kernel k;
+  Sleeper s(k, "s");
+  k.run(3);
+  ASSERT_FALSE(s.awake());
+  s.wake();
+  EXPECT_TRUE(s.awake());
+  k.tick();
+  EXPECT_EQ(s.ticks(), 2u);
+  EXPECT_EQ(s.last_now(), 3u);
+}
+
+TEST(Gating, WakeAtFiresAtExactCycle) {
+  sim::Kernel k;
+  Sleeper s(k, "s");
+  k.run(2);
+  s.wake_at(7);
+  EXPECT_FALSE(s.awake());  // timer armed, not yet due
+  k.run(8);
+  EXPECT_EQ(k.now(), 10u);
+  EXPECT_EQ(s.ticks(), 2u);
+  EXPECT_EQ(s.last_now(), 7u);  // ticked in the cycle starting at 7
+}
+
+TEST(Gating, WakeAtInPastWakesNow) {
+  sim::Kernel k;
+  Sleeper s(k, "s");
+  k.run(2);
+  ASSERT_FALSE(s.awake());
+  s.wake_at(1);
+  EXPECT_TRUE(s.awake());
+}
+
+TEST(Gating, FastForwardFiresSamplersEveryCycle) {
+  sim::Kernel k;
+  Sleeper s(k, "s");
+  std::vector<std::pair<Cycle, u64>> log;
+  k.add_sampler([&](Cycle c) { log.emplace_back(c, s.ticks()); });
+  k.run(5);
+  ASSERT_EQ(log.size(), 5u);  // traces observe every skipped cycle
+  EXPECT_EQ(log[0], (std::pair<Cycle, u64>{1, 1}));
+  EXPECT_EQ(log[4], (std::pair<Cycle, u64>{5, 1}));
+}
+
+TEST(Gating, SamplerWakeStopsFastForward) {
+  sim::Kernel k;
+  Sleeper s(k, "s");
+  k.add_sampler([&](Cycle c) {
+    if (c == 3) s.wake();
+  });
+  k.run(6);
+  EXPECT_EQ(k.now(), 6u);
+  EXPECT_EQ(s.ticks(), 2u);
+  EXPECT_EQ(s.last_now(), 3u);  // woke mid-skip, ticked the very next cycle
+}
+
+TEST(Gating, NeverQuiescentComponentBlocksFastForward) {
+  sim::Kernel k;
+  Runner r(k, "r");
+  Sleeper s(k, "s");
+  k.run(10);
+  EXPECT_EQ(r.ticks(), 10u);  // default is_quiescent(): seed behaviour
+  EXPECT_EQ(s.ticks(), 1u);
+  EXPECT_EQ(k.sched_stats().fast_forwards, 0u);
+}
+
+TEST(Gating, SetGatingOffReproducesFullSweep) {
+  sim::Kernel k;
+  Sleeper s(k, "s");
+  k.run(10);
+  ASSERT_EQ(s.ticks(), 1u);
+  k.set_gating(false);  // re-wakes every component
+  EXPECT_TRUE(s.awake());
+  k.run(10);
+  EXPECT_EQ(s.ticks(), 11u);  // ticked every cycle, like the seed kernel
+  k.set_gating(true);
+  k.run(10);
+  EXPECT_EQ(s.ticks(), 12u);  // one tick to re-evaluate, then gated again
+  EXPECT_EQ(k.now(), 30u);
+}
+
+TEST(Gating, AwakeDiagnostics) {
+  sim::Kernel k;
+  Runner r(k, "r");
+  Sleeper s(k, "s");
+  EXPECT_EQ(k.awake_count(), 2u);
+  k.run(2);
+  EXPECT_EQ(k.awake_count(), 1u);
+  const auto names = k.awake_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "r");
+}
+
+TEST(Gating, DestroyedComponentTimerDoesNotDangle) {
+  sim::Kernel k;
+  {
+    Sleeper s(k, "s");
+    k.run(1);
+    s.wake_at(100);  // armed timer outlives nothing: nulled on removal
+  }
+  k.run(10);  // must neither crash nor stall on the dead heap entry
+  EXPECT_EQ(k.now(), 11u);
+}
+
+// ---------------------------------------------------------------------
+// run_until ordering contract (see Kernel::run_until docs).
+
+TEST(RunUntil, DoneOnEntryReturnsWithoutTicking) {
+  sim::Kernel k;
+  Runner r(k, "r");
+  k.run_until([] { return true; }, /*timeout=*/0);
+  EXPECT_EQ(k.now(), 0u);
+  EXPECT_EQ(r.ticks(), 0u);  // done() is evaluated before any tick
+}
+
+TEST(RunUntil, ZeroTimeoutThrowsWithoutTicking) {
+  sim::Kernel k;
+  Runner r(k, "r");
+  EXPECT_THROW(k.run_until([] { return false; }, 0), SimError);
+  EXPECT_EQ(k.now(), 0u);
+  EXPECT_EQ(r.ticks(), 0u);
+}
+
+TEST(RunUntil, TimeoutThrowsAtEntryPlusTimeout) {
+  sim::Kernel k;
+  Runner r(k, "r");
+  EXPECT_THROW(k.run_until([] { return false; }, 100), SimError);
+  EXPECT_EQ(k.now(), 100u);
+  EXPECT_EQ(r.ticks(), 100u);  // the final allowed tick is the timeout-th
+  EXPECT_THROW(k.run_until([] { return false; }, 50), SimError);
+  EXPECT_EQ(k.now(), 150u);  // deadline is relative to the entry cycle
+}
+
+TEST(RunUntil, SucceedsExactlyAtDeadline) {
+  // done() is re-evaluated after the timeout-th tick, before throwing.
+  sim::Kernel k;
+  Runner r(k, "r");
+  k.run_until([&] { return r.ticks() >= 100; }, 100);
+  EXPECT_EQ(k.now(), 100u);
+}
+
+TEST(RunUntil, GatedTimeoutCycleMatchesUngated) {
+  // The fast-forwarded run_until must throw on the same cycle the seed's
+  // tick-everything loop would.
+  auto timeout_cycle = [](bool gating) {
+    sim::Kernel k;
+    k.set_gating(gating);
+    Sleeper s(k, "s");
+    try {
+      k.run_until([] { return false; }, 1234);
+    } catch (const SimError&) {
+      return k.now();
+    }
+    ADD_FAILURE() << "run_until did not time out";
+    return Cycle{0};
+  };
+  EXPECT_EQ(timeout_cycle(true), 1234u);
+  EXPECT_EQ(timeout_cycle(false), 1234u);
+}
+
+// ---------------------------------------------------------------------
+// Mid-tick registry mutation (seed regression).
+
+/// Deletes *victim during its own compute phase at cycle @p kill_at.
+class Killer : public sim::Component {
+ public:
+  Killer(sim::Kernel& k, std::string name, std::unique_ptr<ExtCounter>& victim,
+         Cycle kill_at)
+      : sim::Component(k, std::move(name)),
+        victim_(victim),
+        kill_at_(kill_at) {}
+  void tick_compute() override {
+    if (kernel().now() == kill_at_) victim_.reset();
+  }
+
+ private:
+  std::unique_ptr<ExtCounter>& victim_;
+  Cycle kill_at_;
+};
+
+TEST(Registry, KillLaterComponentMidTick) {
+  // Victim registered AFTER the killer: destroyed before its sweep slot,
+  // so it must not tick in the kill cycle — and the component registered
+  // after it must still tick that cycle (the seed's vector erase shifted
+  // it into the already-visited slot and skipped it).
+  sim::Kernel k;
+  u64 victim_ticks = 0;
+  std::unique_ptr<ExtCounter> victim;
+  Killer killer(k, "killer", victim, /*kill_at=*/2);
+  victim = std::make_unique<ExtCounter>(k, "victim", victim_ticks);
+  Runner after(k, "after");
+  k.run(5);
+  EXPECT_EQ(victim_ticks, 2u);  // ticked at now 0 and 1 only
+  EXPECT_EQ(after.ticks(), 5u);
+  EXPECT_EQ(k.component_count(), 2u);
+}
+
+TEST(Registry, KillEarlierComponentMidTick) {
+  // Victim registered BEFORE the killer: it already ticked this cycle
+  // when the killer runs, so it counts the kill cycle too.
+  sim::Kernel k;
+  u64 victim_ticks = 0;
+  std::unique_ptr<ExtCounter> victim =
+      std::make_unique<ExtCounter>(k, "victim", victim_ticks);
+  Killer killer(k, "killer", victim, /*kill_at=*/2);
+  Runner after(k, "after");
+  k.run(5);
+  EXPECT_EQ(victim_ticks, 3u);  // ticked at now 0, 1 and 2
+  EXPECT_EQ(after.ticks(), 5u);
+}
+
+/// Constructs a component into @p slot during compute at cycle @p at.
+class Spawner : public sim::Component {
+ public:
+  Spawner(sim::Kernel& k, std::string name,
+          std::unique_ptr<ExtCounter>& slot, u64& out, Cycle at)
+      : sim::Component(k, std::move(name)), slot_(slot), out_(out), at_(at) {}
+  void tick_compute() override {
+    if (kernel().now() == at_) {
+      slot_ = std::make_unique<ExtCounter>(kernel(), "spawned", out_);
+    }
+  }
+
+ private:
+  std::unique_ptr<ExtCounter>& slot_;
+  u64& out_;
+  Cycle at_;
+};
+
+TEST(Registry, SpawnMidTickFirstTicksNextCycle) {
+  sim::Kernel k;
+  u64 spawned_ticks = 0;
+  std::unique_ptr<ExtCounter> spawned;
+  Spawner sp(k, "spawner", spawned, spawned_ticks, /*at=*/1);
+  k.run(2);  // spawn happens during the tick advancing 1 -> 2
+  EXPECT_EQ(k.component_count(), 2u);
+  EXPECT_EQ(spawned_ticks, 0u);  // parked in pending_adds_, no same-cycle tick
+  k.run(3);
+  EXPECT_EQ(spawned_ticks, 3u);  // ticked at now 2, 3 and 4
+}
+
+TEST(Registry, SpawnAndKillWithinSameTick) {
+  // A component constructed and destroyed inside one compute phase never
+  // joins the sweep and never ticks.
+  class Flash : public sim::Component {
+   public:
+    Flash(sim::Kernel& k, u64& out)
+        : sim::Component(k, "flash"), out_(out) {}
+    void tick_compute() override {
+      if (kernel().now() == 1) {
+        u64 dummy = 0;
+        ExtCounter temp(kernel(), "temp", dummy);
+        out_ = dummy;
+      }
+    }
+
+   private:
+    u64& out_;
+  };
+  sim::Kernel k;
+  u64 temp_ticks = 0;
+  Flash f(k, temp_ticks);
+  k.run(4);
+  EXPECT_EQ(temp_ticks, 0u);
+  EXPECT_EQ(k.component_count(), 1u);
+}
+
+TEST(Registry, ExceptionInTickLeavesKernelUsable) {
+  class ThrowOnce : public sim::Component {
+   public:
+    explicit ThrowOnce(sim::Kernel& k) : sim::Component(k, "boom") {}
+    void tick_compute() override {
+      if (kernel().now() == 2 && !thrown_) {
+        thrown_ = true;
+        throw SimError("boom");
+      }
+    }
+
+   private:
+    bool thrown_ = false;
+  };
+  sim::Kernel k;
+  ThrowOnce t(k);
+  EXPECT_THROW(k.run(5), SimError);
+  EXPECT_EQ(k.now(), 2u);  // the faulting cycle did not complete
+  // The registry must have left tick mode: constructing a component now
+  // must register it immediately, and simulation continues.
+  u64 ticks = 0;
+  ExtCounter c(k, "late", ticks);
+  k.run(3);
+  EXPECT_EQ(k.now(), 5u);
+  EXPECT_EQ(ticks, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Interned Stats handles.
+
+TEST(StatsHandles, HandleAndStringShareSlot) {
+  sim::Stats s;
+  const sim::Stats::Handle h = s.intern("x");
+  ASSERT_TRUE(h.valid());
+  s.add(h, 5);
+  EXPECT_EQ(s.get("x"), 5u);  // string reads observe handle writes
+  s.add("x", 2);
+  EXPECT_EQ(s.get(h), 7u);  // and vice versa
+  EXPECT_TRUE(s.has("x"));
+}
+
+TEST(StatsHandles, InternIsIdempotent) {
+  sim::Stats s;
+  const auto a = s.intern("k");
+  const auto b = s.intern("k");
+  s.add(a, 1);
+  s.add(b, 1);
+  EXPECT_EQ(s.get("k"), 2u);
+}
+
+TEST(StatsHandles, HandleSurvivesClear) {
+  sim::Stats s;
+  const auto h = s.intern("x");
+  s.add(h, 9);
+  s.clear();
+  EXPECT_EQ(s.get(h), 0u);
+  EXPECT_FALSE(s.has("x"));
+  s.add(h, 3);  // outstanding handles stay valid across clear()
+  EXPECT_EQ(s.get("x"), 3u);
+  EXPECT_TRUE(s.has("x"));
+}
+
+TEST(StatsHandles, DefaultHandleIsInvalid) {
+  EXPECT_FALSE(sim::Stats::Handle{}.valid());
+}
+
+}  // namespace
+}  // namespace ouessant
