@@ -2,13 +2,14 @@
 //
 // §II-B's MPSoC argument says Ouessant scales by instantiating more OCPs
 // on the bus (unlike per-CPU coupling). The shared single-layer bus is
-// then the ceiling. This bench launches 1..4 identical streaming OCPs
+// then the ceiling. This scenario launches 1..4 identical streaming OCPs
 // concurrently on independent buffers and reports the aggregate
 // throughput, per-OCP completion latency, and bus utilization — exposing
 // where the fabric saturates and what fixed-priority arbitration does to
 // the losers.
-#include <cstdio>
+#include "scenarios.hpp"
 
+#include <algorithm>
 #include <memory>
 
 #include "drv/session.hpp"
@@ -18,20 +19,13 @@
 #include "rac/fir.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr u32 kWords = 512;
 
-struct Result {
-  u64 makespan = 0;            ///< all OCPs done
-  u64 slowest_latency = 0;     ///< worst single-OCP completion
-  double bus_util = 0.0;
-  double words_per_kcycle = 0.0;
-};
-
-Result run(u32 n_ocps) {
+void run_point(const exp::ParamMap& params, exp::Result& result) {
+  const u32 n_ocps = params.get_u32("ocps");
   platform::Soc soc;
   std::vector<std::unique_ptr<rac::FirRac>> racs;
   std::vector<std::unique_ptr<drv::OcpSession>> sessions;
@@ -62,44 +56,34 @@ Result run(u32 n_ocps) {
 
   const Cycle t0 = soc.kernel().now();
   for (auto& s : sessions) s->start_async();
-  Result r;
+  u64 slowest = 0;
   for (auto& s : sessions) {
     s->driver().wait_done_irq(10'000'000);
-    r.slowest_latency = std::max(r.slowest_latency, soc.kernel().now() - t0);
+    slowest = std::max(slowest, soc.kernel().now() - t0);
   }
-  r.makespan = soc.kernel().now() - t0;
-  const auto report = platform::make_report(soc);
+  const u64 makespan = soc.kernel().now() - t0;
   // Utilization over the contended window only.
-  r.bus_util = static_cast<double>(soc.bus().busy_cycles()) /
-               static_cast<double>(soc.kernel().now());
-  r.words_per_kcycle = 1000.0 * 2.0 * kWords * n_ocps /
-                       static_cast<double>(r.makespan);
-  (void)report;
-  return r;
+  const double bus_util = static_cast<double>(soc.bus().busy_cycles()) /
+                          static_cast<double>(soc.kernel().now());
+  result.add_metric("makespan", makespan);
+  result.add_metric("slowest", slowest);
+  result.add_metric("bus_util_pct", 100.0 * bus_util);
+  result.add_metric("words_per_kcycle",
+                    1000.0 * 2.0 * kWords * n_ocps /
+                        static_cast<double>(makespan));
+  result.add_utilization(platform::make_report(soc));
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E12: concurrent OCPs sharing one AHB (512-word streaming "
-              "jobs, fixed-priority)\n\n");
-  std::printf("%-6s %10s %14s %12s %16s\n", "OCPs", "makespan",
-              "slowest done", "bus util", "words/kcycle");
-  double single = 0;
-  for (u32 n = 1; n <= 4; ++n) {
-    const Result r = run(n);
-    if (n == 1) single = static_cast<double>(r.makespan);
-    std::printf("%-6u %10llu %14llu %11.1f%% %16.1f\n", n,
-                static_cast<unsigned long long>(r.makespan),
-                static_cast<unsigned long long>(r.slowest_latency),
-                100.0 * r.bus_util, r.words_per_kcycle);
-    if (n == 4) {
-      std::printf("\nscaling: 4 OCPs take %.2fx the single-OCP makespan "
-                  "(perfect sharing would be 4.00x\nonce the bus "
-                  "saturates; below that means the single job was not "
-                  "bus-bound).\n",
-                  static_cast<double>(r.makespan) / single);
-    }
-  }
-  return 0;
+void register_e12_contention(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e12_contention",
+      .experiment = "E12",
+      .title = "concurrent OCPs sharing one AHB (512-word streaming jobs)",
+      .grid = {{.name = "ocps", .values = {1, 2, 3, 4}}},
+      .run = run_point,
+  });
 }
+
+}  // namespace ouessant::scenarios

@@ -9,7 +9,7 @@
 //  2. total time for an invocation plus K cycles of independent CPU work —
 //     the OCP overlaps, the coupled design serializes; the crossover K*
 //     is the amount of spare CPU work that pays for Ouessant's overhead.
-#include <cstdio>
+#include "scenarios.hpp"
 
 #include "baseline/coupled.hpp"
 #include "baseline/slave_accel.hpp"
@@ -19,9 +19,8 @@
 #include "rac/dft.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kIn = 0x4001'0000;
@@ -73,41 +72,45 @@ std::pair<u64, u64> run_ocp(u64 cpu_work) {
   return {lat, total};
 }
 
-}  // namespace
-
-int main() {
-  std::printf("E10: ISA-coupled (Molen-style) vs Ouessant — 256-pt DFT\n\n");
-
+void run_latency_point(const exp::ParamMap&, exp::Result& result) {
   const auto [molen_lat, molen0] = run_coupled(0);
   const auto [ocp_lat, ocp0] = run_ocp(0);
   (void)molen0;
   (void)ocp0;
-  std::printf("isolated invocation latency:\n");
-  std::printf("  coupled:  %llu cycles (no controller, no driver)\n",
-              static_cast<unsigned long long>(molen_lat));
-  std::printf("  Ouessant: %llu cycles (+%.0f%% integration overhead)\n\n",
-              static_cast<unsigned long long>(ocp_lat),
-              100.0 * (static_cast<double>(ocp_lat) / molen_lat - 1.0));
-
-  std::printf("invocation + K cycles of independent CPU work (total):\n");
-  std::printf("%-10s %12s %12s %12s\n", "K", "coupled", "Ouessant",
-              "Ouessant/cpl");
-  for (const u64 k : {0ull, 500ull, 1000ull, 2000ull, 4000ull, 8000ull,
-                      16000ull}) {
-    const u64 molen = run_coupled(k).second;
-    const u64 ocp = run_ocp(k).second;
-    std::printf("%-10llu %12llu %12llu %12.2f\n",
-                static_cast<unsigned long long>(k),
-                static_cast<unsigned long long>(molen),
-                static_cast<unsigned long long>(ocp),
-                static_cast<double>(ocp) / static_cast<double>(molen));
-  }
-  std::printf("\nexpected shape: the coupled design wins the bare latency "
-              "race by a small\nmargin, but the moment the application has "
-              "roughly one invocation's worth of\nother work, Ouessant's "
-              "overlap wins — and keeps winning linearly. (Plus the\n"
-              "paper's structural points: Molen needs the CPU's pipeline "
-              "interface — impossible\non hard cores — and one accelerator "
-              "per processor.)\n");
-  return 0;
+  result.add_metric("coupled_lat", molen_lat);
+  result.add_metric("ocp_lat", ocp_lat);
+  result.add_metric(
+      "ocp_overhead_pct",
+      100.0 * (static_cast<double>(ocp_lat) / molen_lat - 1.0));
 }
+
+void run_overlap_point(const exp::ParamMap& params, exp::Result& result) {
+  const u64 k = static_cast<u64>(params.get_int("k"));
+  const u64 molen = run_coupled(k).second;
+  const u64 ocp = run_ocp(k).second;
+  result.add_metric("coupled_total", molen);
+  result.add_metric("ocp_total", ocp);
+  result.add_metric("ocp_over_coupled",
+                    static_cast<double>(ocp) / static_cast<double>(molen));
+}
+
+}  // namespace
+
+void register_e10_coupled(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e10_latency",
+      .experiment = "E10",
+      .title = "ISA-coupled (Molen-style) vs Ouessant: isolated latency",
+      .run = run_latency_point,
+  });
+  r.add(exp::ScenarioSpec{
+      .name = "e10_overlap",
+      .experiment = "E10",
+      .title = "invocation + K cycles of independent CPU work (total)",
+      .grid = {{.name = "k",
+                .values = {0, 500, 1000, 2000, 4000, 8000, 16000}}},
+      .run = run_overlap_point,
+  });
+}
+
+}  // namespace ouessant::scenarios

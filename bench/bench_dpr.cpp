@@ -1,12 +1,13 @@
 // E7 (extension ablation) — Dynamic Partial Reconfiguration tradeoff.
 //
-// The paper announces DPR support as work in progress; this bench
-// quantifies the design choice it enables: one reconfigurable OCP slot
+// The paper announces DPR support as work in progress; these scenarios
+// quantify the design choice it enables: one reconfigurable OCP slot
 // hosting IDCT-class and scaling datapaths alternately, versus two static
-// OCPs. Reported: FPGA area of both options and end-to-end time for
-// workloads that alternate between the two kernels at different batch
-// granularities (reconfiguration cost amortizes with batch size).
-#include <cstdio>
+// OCPs. Reported: FPGA area of both options (e7_dpr_area) and end-to-end
+// time for workloads that alternate between the two kernels at different
+// batch granularities (e7_dpr — reconfiguration cost amortizes with batch
+// size).
+#include "scenarios.hpp"
 
 #include "drv/session.hpp"
 #include "ouessant/codegen.hpp"
@@ -15,9 +16,8 @@
 #include "rac/passthrough.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kIn = 0x4001'0000;
@@ -100,52 +100,62 @@ u64 run_static(u32 batches, u32 batch_len) {
   return soc.kernel().now() - t0;
 }
 
+void run_area_point(const exp::ParamMap&, exp::Result& result) {
+  platform::Soc soc;
+  const util::Q q(16);
+  rac::ScaleRac a(soc.kernel(), "a", kWords, q.from_double(2.0), 18);
+  rac::ScaleRac b(soc.kernel(), "b", kWords, q.from_double(0.5), 18);
+  core::ReconfigSlot slot(soc.kernel(), "slot", {&a, &b});
+  core::Ocp& ocp = soc.add_ocp(slot);
+  const auto dpr_area = ocp.full_resource_tree().total();
+
+  platform::Soc soc2;
+  rac::ScaleRac a2(soc2.kernel(), "a", kWords, q.from_double(2.0), 18);
+  rac::ScaleRac b2(soc2.kernel(), "b", kWords, q.from_double(0.5), 18);
+  core::Ocp& oa = soc2.add_ocp(a2);
+  core::Ocp& ob = soc2.add_ocp(b2);
+  auto static_area = oa.full_resource_tree().total();
+  static_area += ob.full_resource_tree().total();
+
+  result.add_metric("dpr_lut", dpr_area.luts);
+  result.add_metric("dpr_ff", dpr_area.ffs);
+  result.add_metric("dpr_bram", dpr_area.bram36);
+  result.add_metric("dpr_dsp", dpr_area.dsps);
+  result.add_metric("static_lut", static_area.luts);
+  result.add_metric("static_ff", static_area.ffs);
+  result.add_metric("static_bram", static_area.bram36);
+  result.add_metric("static_dsp", static_area.dsps);
+}
+
+void run_time_point(const exp::ParamMap& params, exp::Result& result) {
+  const u32 batch_len = params.get_u32("batch_len");
+  const u32 batches = 8;
+  u32 swaps = 0;
+  const u64 dpr = run_dpr(batches, batch_len, &swaps);
+  const u64 stat = run_static(batches, batch_len);
+  result.add_metric("dpr_cycles", dpr);
+  result.add_metric("static_cycles", stat);
+  result.add_metric("swaps", swaps);
+  result.add_metric("dpr_over_static",
+                    static_cast<double>(dpr) / static_cast<double>(stat));
+}
+
 }  // namespace
 
-int main() {
-  std::printf("E7: DPR slot vs two static OCPs (alternating kernels, %u-word "
-              "blocks)\n\n",
-              kWords);
-
-  // Area comparison.
-  {
-    platform::Soc soc;
-    const util::Q q(16);
-    rac::ScaleRac a(soc.kernel(), "a", kWords, q.from_double(2.0), 18);
-    rac::ScaleRac b(soc.kernel(), "b", kWords, q.from_double(0.5), 18);
-    core::ReconfigSlot slot(soc.kernel(), "slot", {&a, &b});
-    core::Ocp& ocp = soc.add_ocp(slot);
-    const auto dpr_area = ocp.full_resource_tree().total();
-
-    platform::Soc soc2;
-    rac::ScaleRac a2(soc2.kernel(), "a", kWords, q.from_double(2.0), 18);
-    rac::ScaleRac b2(soc2.kernel(), "b", kWords, q.from_double(0.5), 18);
-    core::Ocp& oa = soc2.add_ocp(a2);
-    core::Ocp& ob = soc2.add_ocp(b2);
-    auto static_area = oa.full_resource_tree().total();
-    static_area += ob.full_resource_tree().total();
-
-    std::printf("area: DPR slot  %u LUT %u FF %u BRAM %u DSP\n",
-                dpr_area.luts, dpr_area.ffs, dpr_area.bram36, dpr_area.dsps);
-    std::printf("area: 2 static  %u LUT %u FF %u BRAM %u DSP\n\n",
-                static_area.luts, static_area.ffs, static_area.bram36,
-                static_area.dsps);
-  }
-
-  std::printf("%-14s %12s %12s %8s %10s\n", "batch size", "DPR cycles",
-              "static cyc", "swaps", "DPR/static");
-  for (const u32 batch_len : {1u, 2u, 8u, 32u, 128u}) {
-    const u32 batches = 8;
-    u32 swaps = 0;
-    const u64 dpr = run_dpr(batches, batch_len, &swaps);
-    const u64 stat = run_static(batches, batch_len);
-    std::printf("%-14u %12llu %12llu %8u %10.2f\n", batch_len,
-                static_cast<unsigned long long>(dpr),
-                static_cast<unsigned long long>(stat), swaps,
-                static_cast<double>(dpr) / static_cast<double>(stat));
-  }
-  std::printf("\nexpected shape: DPR halves the accelerator area but pays a "
-              "per-swap\nbitstream load; the overhead vanishes as batch "
-              "size grows.\n");
-  return 0;
+void register_e7_dpr(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e7_dpr_area",
+      .experiment = "E7",
+      .title = "DPR slot vs two static OCPs: FPGA area",
+      .run = run_area_point,
+  });
+  r.add(exp::ScenarioSpec{
+      .name = "e7_dpr",
+      .experiment = "E7",
+      .title = "DPR slot vs two static OCPs: alternating-kernel time",
+      .grid = {{.name = "batch_len", .values = {1, 2, 8, 32, 128}}},
+      .run = run_time_point,
+  });
 }
+
+}  // namespace ouessant::scenarios

@@ -7,7 +7,9 @@
 // (identity datapath with a fixed 18-cycle latency) so the differences are
 // pure integration cost. The OCP's advantages are structural: one bus
 // crossing per word instead of two, and no per-step CPU orchestration.
-#include <cstdio>
+#include "scenarios.hpp"
+
+#include <algorithm>
 
 #include "baseline/runners.hpp"
 #include "drv/session.hpp"
@@ -16,9 +18,8 @@
 #include "rac/passthrough.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kIn = 0x4001'0000;
@@ -74,26 +75,30 @@ u64 run_dma(u32 words) {
                                  words, std::min(words, 64u));
 }
 
+void run_point(const exp::ParamMap& params, exp::Result& result) {
+  const u32 words = params.get_u32("words");
+  const u64 pio = run_pio(words);
+  const u64 dma = run_dma(words);
+  const u64 ocp = run_ocp(words);
+  result.add_metric("pio", pio);
+  result.add_metric("dma", dma);
+  result.add_metric("ocp", ocp);
+  result.add_metric("pio_over_ocp",
+                    static_cast<double>(pio) / static_cast<double>(ocp));
+  result.add_metric("dma_over_ocp",
+                    static_cast<double>(dma) / static_cast<double>(ocp));
+}
+
 }  // namespace
 
-int main() {
-  std::printf("E5: integration styles — identical accelerator, block-size "
-              "sweep (cycles)\n\n");
-  std::printf("%-8s %10s %10s %10s %12s %12s\n", "words", "PIO", "DMA",
-              "OCP", "PIO/OCP", "DMA/OCP");
-  for (const u32 words : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
-    const u64 pio = run_pio(words);
-    const u64 dma = run_dma(words);
-    const u64 ocp = run_ocp(words);
-    std::printf("%-8u %10llu %10llu %10llu %12.2f %12.2f\n", words,
-                static_cast<unsigned long long>(pio),
-                static_cast<unsigned long long>(dma),
-                static_cast<unsigned long long>(ocp),
-                static_cast<double>(pio) / static_cast<double>(ocp),
-                static_cast<double>(dma) / static_cast<double>(ocp));
-  }
-  std::printf("\nexpected shape: OCP fastest at all sizes; PIO worst and "
-              "degrading linearly;\nDMA pays two bus crossings per word "
-              "plus per-step CPU orchestration.\n");
-  return 0;
+void register_e5_integration(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e5_integration",
+      .experiment = "E5",
+      .title = "PIO vs discrete DMA vs OCP, identical accelerator (cycles)",
+      .grid = {{.name = "words", .values = {16, 32, 64, 128, 256, 512, 1024}}},
+      .run = run_point,
+  });
 }
+
+}  // namespace ouessant::scenarios

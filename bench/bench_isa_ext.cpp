@@ -1,12 +1,12 @@
 // E6 — ablation for the paper's announced ISA evolution ("The instruction
 // set is also being worked on, to provide higher flexibility"): the v2
 // LOOP instruction with post-increment streaming mode versus the v1
-// unrolled transfer ladders of Fig. 4.
+// unrolled transfer ladders of Fig. 4 (scenario e6_isa), and exec
+// (blocking) vs execs (overlapped) scheduling (scenario e6_overlap).
 //
 // Reported per configuration: microcode size (words of program memory),
 // instruction fetch traffic (extra bus reads), and end-to-end cycles.
-// Also compares exec (blocking) vs execs (overlapped) scheduling.
-#include <cstdio>
+#include "scenarios.hpp"
 
 #include "drv/session.hpp"
 #include "ouessant/codegen.hpp"
@@ -14,21 +14,21 @@
 #include "rac/passthrough.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kIn = 0x4001'0000;
 constexpr Addr kOut = 0x4002'0000;
 
-struct Result {
+struct Measurement {
   u64 program_words;
   u64 instructions_executed;
   u64 cycles;
+  bool data_ok;
 };
 
-Result measure(u32 words, u32 burst, bool use_loop, bool overlap) {
+Measurement measure(u32 words, u32 burst, bool use_loop, bool overlap) {
   platform::Soc soc;
   rac::PassthroughRac rac(soc.kernel(), "pass", words, 32);
   core::Ocp& ocp = soc.add_ocp(
@@ -46,46 +46,49 @@ Result measure(u32 words, u32 burst, bool use_loop, bool overlap) {
   for (auto& w : in) w = rng.next_u32();
   session.put_input(in);
   const u64 cycles = session.run_irq();
-  if (session.get_output() != in) {
-    std::fprintf(stderr, "DATA MISMATCH (words=%u loop=%d)\n", words,
-                 use_loop);
-  }
   return {.program_words = prog.size(),
           .instructions_executed = ocp.controller().stats().instructions,
-          .cycles = cycles};
+          .cycles = cycles,
+          .data_ok = session.get_output() == in};
+}
+
+void run_isa_point(const exp::ParamMap& params, exp::Result& result) {
+  const u32 words = params.get_u32("words");
+  const u32 burst = params.get_u32("burst");
+  const bool use_loop = params.get_str("isa") == "v2";
+  const Measurement m = measure(words, burst, use_loop, /*overlap=*/true);
+  if (!m.data_ok) result.fail("data mismatch");
+  result.add_metric("prog_size", m.program_words);
+  result.add_metric("instrs_run", m.instructions_executed);
+  result.add_metric("cycles", m.cycles);
+}
+
+void run_overlap_point(const exp::ParamMap& params, exp::Result& result) {
+  const bool overlapped = params.get_str("mode") == "execs";
+  const Measurement m = measure(512, 64, /*use_loop=*/false, overlapped);
+  if (!m.data_ok) result.fail("data mismatch");
+  result.add_metric("cycles", m.cycles);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E6: ISA ablation — v1 unrolled vs v2 loop microcode\n\n");
-  std::printf("%-8s %-6s %-10s %10s %12s %10s\n", "words", "burst", "isa",
-              "prog size", "instrs run", "cycles");
-  for (const u32 words : {128u, 512u, 2048u}) {
-    for (const u32 burst : {16u, 64u}) {
-      for (const bool use_loop : {false, true}) {
-        const Result r = measure(words, burst, use_loop, /*overlap=*/true);
-        std::printf("%-8u %-6u %-10s %10llu %12llu %10llu\n", words, burst,
-                    use_loop ? "v2 loop" : "v1 unroll",
-                    static_cast<unsigned long long>(r.program_words),
-                    static_cast<unsigned long long>(r.instructions_executed),
-                    static_cast<unsigned long long>(r.cycles));
-      }
-    }
-  }
-
-  std::printf("\nexec (blocking) vs execs (overlapped), 512 words @ DMA64, "
-              "v1:\n");
-  const Result blocking = measure(512, 64, false, /*overlap=*/false);
-  const Result overlapped = measure(512, 64, false, /*overlap=*/true);
-  std::printf("  exec   : %llu cycles\n",
-              static_cast<unsigned long long>(blocking.cycles));
-  std::printf("  execs  : %llu cycles (%.1f%% faster)\n",
-              static_cast<unsigned long long>(overlapped.cycles),
-              100.0 * (1.0 - static_cast<double>(overlapped.cycles) /
-                                 static_cast<double>(blocking.cycles)));
-  std::printf("\nexpected shape: v2 shrinks microcode from O(words/burst) "
-              "to O(1)\nwith matching cycle counts (fetch traffic is the "
-              "only delta).\n");
-  return 0;
+void register_e6_isa_ext(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e6_isa",
+      .experiment = "E6",
+      .title = "ISA ablation: v1 unrolled vs v2 loop microcode",
+      .grid = {{.name = "words", .values = {128, 512, 2048}},
+               {.name = "burst", .values = {16, 64}},
+               {.name = "isa", .values = {"v1", "v2"}}},
+      .run = run_isa_point,
+  });
+  r.add(exp::ScenarioSpec{
+      .name = "e6_overlap",
+      .experiment = "E6",
+      .title = "exec (blocking) vs execs (overlapped), 512 words @ DMA64, v1",
+      .grid = {{.name = "mode", .values = {"exec", "execs"}}},
+      .run = run_overlap_point,
+  });
 }
+
+}  // namespace ouessant::scenarios

@@ -6,7 +6,7 @@
 // 1.67x gain is per *isolated* invocation under Linux; at application
 // level (baremetal back-to-back blocks, entropy decode overlapped) the
 // integration wins by an order of magnitude.
-#include <cstdio>
+#include "scenarios.hpp"
 
 #include "codec/jpeg.hpp"
 #include "cpu/sw_kernels.hpp"
@@ -17,9 +17,8 @@
 #include "util/fixed.hpp"
 #include "util/transforms.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kCoef = 0x4001'0000;
@@ -99,31 +98,32 @@ Times run_decode(u32 dim, u32 quality, codec::EntropyKind entropy) {
   return t;
 }
 
+void run_point(const exp::ParamMap& params, exp::Result& result) {
+  const u32 dim = params.get_u32("dim");
+  const u32 quality = params.get_u32("quality");
+  const auto entropy = params.get_str("entropy") == "rle"
+                           ? codec::EntropyKind::kRle
+                           : codec::EntropyKind::kHuffman;
+  const Times t = run_decode(dim, quality, entropy);
+  result.add_metric("sw", t.sw);
+  result.add_metric("hw_seq", t.hw_seq);
+  result.add_metric("hw_pipe", t.hw_pipe);
+  result.add_metric("sw_over_seq", static_cast<double>(t.sw) / t.hw_seq);
+  result.add_metric("sw_over_pipe", static_cast<double>(t.sw) / t.hw_pipe);
+}
+
 }  // namespace
 
-int main() {
-  std::printf("E9: JPEG-style decode throughput (cycles; 50 MHz SoC)\n\n");
-  std::printf("%-8s %-4s %-8s %10s %10s %10s %8s %8s\n", "image", "Q",
-              "entropy", "SW", "OCP seq", "OCP pipe", "SW/seq", "SW/pipe");
-  for (const u32 dim : {32u, 64u, 96u}) {
-    for (const u32 quality : {25u, 75u}) {
-      for (const auto entropy :
-           {codec::EntropyKind::kRle, codec::EntropyKind::kHuffman}) {
-        const Times t = run_decode(dim, quality, entropy);
-        std::printf("%3ux%-4u %-4u %-8s %10llu %10llu %10llu %8.2f %8.2f\n",
-                    dim, dim, quality,
-                    entropy == codec::EntropyKind::kRle ? "rle" : "huffman",
-                    static_cast<unsigned long long>(t.sw),
-                    static_cast<unsigned long long>(t.hw_seq),
-                    static_cast<unsigned long long>(t.hw_pipe),
-                    static_cast<double>(t.sw) / t.hw_seq,
-                    static_cast<double>(t.sw) / t.hw_pipe);
-      }
-    }
-  }
-  std::printf("\nexpected shape: SW cost scales with blocks; the OCP "
-              "removes the IDCT term;\npipelining additionally hides it "
-              "behind the entropy stage (higher quality =>\nmore entropy "
-              "work per block => better hiding).\n");
-  return 0;
+void register_e9_jpeg(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e9_jpeg",
+      .experiment = "E9",
+      .title = "JPEG-style decode throughput (cycles; 50 MHz SoC)",
+      .grid = {{.name = "dim", .values = {32, 64, 96}},
+               {.name = "quality", .values = {25, 75}},
+               {.name = "entropy", .values = {"rle", "huffman"}}},
+      .run = run_point,
+  });
 }
+
+}  // namespace ouessant::scenarios

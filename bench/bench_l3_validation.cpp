@@ -6,7 +6,7 @@
 // and the OCP invocation they all compare against. The assembly kernel,
 // the C++ datapath and the RAC produce bit-identical samples, so this is
 // purely a timing cross-check of the substrates.
-#include <cstdio>
+#include "scenarios.hpp"
 
 #include "cpu/sw_kernels.hpp"
 #include "drv/session.hpp"
@@ -20,9 +20,8 @@
 #include "util/rng.hpp"
 #include "util/transforms.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 u64 run_asm_idct(bool* bit_exact) {
   sim::Kernel kernel;
@@ -77,29 +76,28 @@ u64 run_hw_idct() {
   return session.run_irq();
 }
 
-}  // namespace
-
-int main() {
-  std::printf("E11: software-IDCT cost, three independent derivations\n\n");
+void run_point(const exp::ParamMap&, exp::Result& result) {
   bool bit_exact = false;
   const u64 executed = run_asm_idct(&bit_exact);
   const u64 analytic = cpu::sw::cost_idct8x8(cpu::CpuCosts{});
   const u64 hw = run_hw_idct();
-
-  std::printf("%-44s %10s\n", "derivation", "cycles");
-  std::printf("%-44s %10s\n", "paper Table I (Leon3 board, optimized SW)",
-              "5000");
-  std::printf("%-44s %10llu\n", "analytic cost model (cpu::sw, E1)",
-              static_cast<unsigned long long>(analytic));
-  std::printf("%-44s %10llu\n", "L3 assembly, executed on the ISS",
-              static_cast<unsigned long long>(executed));
-  std::printf("%-44s %10llu\n", "OCP invocation (baremetal, for scale)",
-              static_cast<unsigned long long>(hw));
-  std::printf("\nassembly output bit-exact with the shared datapath: %s\n",
-              bit_exact ? "yes" : "NO");
-  std::printf("\nexpected shape: all three software figures within ~2x of "
-              "each other\n(the ISS kernel keeps loop bookkeeping the "
-              "analytic model abstracts away),\nand an order of magnitude "
-              "above the coprocessor path.\n");
-  return bit_exact ? 0 : 1;
+  if (!bit_exact) result.fail("assembly output not bit-exact");
+  result.add_metric("paper_sw", 5000);
+  result.add_metric("analytic", analytic);
+  result.add_metric("iss_executed", executed);
+  result.add_metric("hw", hw);
+  result.add_metric("bit_exact", bit_exact ? "yes" : "NO");
 }
+
+}  // namespace
+
+void register_e11_l3_validation(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e11_l3",
+      .experiment = "E11",
+      .title = "software-IDCT cost, three independent derivations",
+      .run = run_point,
+  });
+}
+
+}  // namespace ouessant::scenarios

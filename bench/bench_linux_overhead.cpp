@@ -9,7 +9,7 @@
 //   * Linux, mmap (zero-copy) driver — the paper's driver
 //   * Linux, copy_{from,to}_user driver — the naive alternative
 // and report the per-invocation cycles and the derived OS overhead.
-#include <cstdio>
+#include "scenarios.hpp"
 
 #include "drv/linux_env.hpp"
 #include "ouessant/codegen.hpp"
@@ -18,9 +18,8 @@
 #include "util/fixed.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kIn = 0x4001'0000;
@@ -49,11 +48,7 @@ struct Rig {
   drv::OcpSession session;
 };
 
-}  // namespace
-
-int main() {
-  std::printf("E3: 256-pt DFT invocation cost by environment (cycles)\n\n");
-
+void run_point(const exp::ParamMap&, exp::Result& result) {
   u64 bm_poll = 0;
   u64 bm_irq = 0;
   u64 lx_mmap = 0;
@@ -77,25 +72,29 @@ int main() {
     Rig rig;
     drv::LinuxEnv env;
     env.invoke(rig.session, drv::XferMode::kCopyUser, kUserIn, kUserOut);
-    lx_copy = env.invoke(rig.session, drv::XferMode::kCopyUser, kUserIn,
-                         kUserOut);
+    lx_copy =
+        env.invoke(rig.session, drv::XferMode::kCopyUser, kUserIn, kUserOut);
   }
 
-  std::printf("%-34s %10s\n", "environment", "cycles");
-  std::printf("%-34s %10llu\n", "baremetal, polling",
-              static_cast<unsigned long long>(bm_poll));
-  std::printf("%-34s %10llu\n", "baremetal, interrupt",
-              static_cast<unsigned long long>(bm_irq));
-  std::printf("%-34s %10llu\n", "Linux, mmap driver (paper)",
-              static_cast<unsigned long long>(lx_mmap));
-  std::printf("%-34s %10llu\n", "Linux, copy_to_user driver",
-              static_cast<unsigned long long>(lx_copy));
-
-  std::printf("\nderived Linux overhead (mmap - baremetal irq): %llu\n",
-              static_cast<unsigned long long>(lx_mmap - bm_irq));
-  std::printf("extra cost of per-call copies: %llu (%.2f cycles/word)\n",
-              static_cast<unsigned long long>(lx_copy - lx_mmap),
-              static_cast<double>(lx_copy - lx_mmap) / 1024.0);
-  std::printf("\npaper: baremetal ~4000, Linux ~7000, overhead ~3000\n");
-  return 0;
+  result.add_metric("bm_poll", bm_poll);
+  result.add_metric("bm_irq", bm_irq);
+  result.add_metric("lx_mmap", lx_mmap);
+  result.add_metric("lx_copy", lx_copy);
+  result.add_metric("linux_overhead", lx_mmap - bm_irq);
+  result.add_metric("copy_extra", lx_copy - lx_mmap);
+  result.add_metric("copy_per_word",
+                    static_cast<double>(lx_copy - lx_mmap) / 1024.0);
 }
+
+}  // namespace
+
+void register_e3_linux_overhead(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e3_linux_overhead",
+      .experiment = "E3",
+      .title = "256-pt DFT invocation cost by environment (cycles)",
+      .run = run_point,
+  });
+}
+
+}  // namespace ouessant::scenarios

@@ -2,17 +2,17 @@
 // simulation throughput, FIFO conversion, encoding, assembly, and the
 // transform datapaths. These guard the usability of the library (a slow
 // simulator makes the experiment benches painful), not a paper result.
+//
+// The kernel quiescence-gating throughput guard that used to live here is
+// now the "kernel_gating" scenario (bench_kernel_guard.cpp), run through
+// ouessant_bench like every other experiment.
 #include <benchmark/benchmark.h>
-
-#include <chrono>
-#include <cstdio>
 
 #include "drv/session.hpp"
 #include "fifo/width_fifo.hpp"
 #include "ouessant/assembler.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
-#include "rac/dft.hpp"
 #include "rac/passthrough.hpp"
 #include "util/fixed.hpp"
 #include "util/rng.hpp"
@@ -120,114 +120,6 @@ void BM_EndToEndInvocation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndInvocation);
 
-// ---------------------------------------------------------------------
-// Kernel throughput guard: the idle-heavy scenario quiescence gating is
-// built for — a duty-cycled 256-point DFT workload. Each frame moves the
-// input block, blocks on exec (controller in exec-wait, bus idle, CPU
-// asleep on the IRQ line — the ~2.5k-cycle compute countdown fast-
-// forwards in one jump), drains the output, then the whole SoC idles
-// until the next frame period. Runs the same workload with gating on
-// and off, checks the simulated clocks agree bit-for-bit, and records
-// host cycles/sec for both into BENCH_kernel.json so a regression in
-// the fast-forward path shows up in CI transcripts.
-
-/// Cycles between frame starts — the inter-job idle a periodic signal-
-/// processing deployment spends waiting for the next buffer.
-constexpr u64 kFramePeriodSlack = 20'000;
-
-/// Runs @p invocations interrupt-mode DFT frames; returns {simulated
-/// cycles consumed, host seconds}.
-std::pair<u64, double> run_idle_heavy_dft(bool gating, int invocations) {
-  platform::Soc soc;
-  soc.kernel().set_gating(gating);
-  rac::DftRac dft(soc.kernel(), "dft", {.points = 256});
-  core::Ocp& ocp = soc.add_ocp(dft);
-  drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
-                          {.prog_base = 0x4000'0000,
-                           .in_base = 0x4001'0000,
-                           .out_base = 0x4002'0000,
-                           .in_words = 512,
-                           .out_words = 512});
-  // overlap=false: move all input, block on exec, then move the output —
-  // the exec window is a pure wait (controller in exec-wait, bus idle,
-  // CPU asleep on the IRQ line), which is what gating fast-forwards.
-  session.install(core::build_stream_program({.in_words = 512,
-                                              .out_words = 512,
-                                              .burst = 64,
-                                              .overlap = false}),
-                  /*timed_program=*/false);
-  util::Rng rng(11);
-  std::vector<u32> in(512);
-  for (auto& w : in) {
-    w = static_cast<u32>(util::to_word(rng.range(-30000, 30000)));
-  }
-  const auto t0 = std::chrono::steady_clock::now();
-  const Cycle c0 = soc.kernel().now();
-  for (int i = 0; i < invocations; ++i) {
-    session.put_input(in);
-    session.run_irq();
-    soc.cpu().spend(kFramePeriodSlack);  // idle until the next frame
-  }
-  const auto t1 = std::chrono::steady_clock::now();
-  return {soc.kernel().now() - c0,
-          std::chrono::duration<double>(t1 - t0).count()};
-}
-
-int kernel_throughput_guard() {
-  constexpr int kInvocations = 50;
-  const auto [gated_cycles, gated_s] =
-      run_idle_heavy_dft(/*gating=*/true, kInvocations);
-  const auto [ungated_cycles, ungated_s] =
-      run_idle_heavy_dft(/*gating=*/false, kInvocations);
-  if (gated_cycles != ungated_cycles) {
-    std::fprintf(stderr,
-                 "kernel guard: GATING CHANGED THE SIMULATED CLOCK "
-                 "(gated %llu vs ungated %llu cycles)\n",
-                 static_cast<unsigned long long>(gated_cycles),
-                 static_cast<unsigned long long>(ungated_cycles));
-    return 1;
-  }
-  const double gated_cps = static_cast<double>(gated_cycles) / gated_s;
-  const double ungated_cps = static_cast<double>(ungated_cycles) / ungated_s;
-  const double speedup = gated_cps / ungated_cps;
-  std::printf(
-      "\nkernel guard: idle-heavy 256-pt DFT, %d interrupt-mode "
-      "invocations, %llu simulated cycles\n"
-      "  gating on : %.3e cycles/sec\n"
-      "  gating off: %.3e cycles/sec\n"
-      "  speedup   : %.2fx (target >= 2x)\n",
-      kInvocations, static_cast<unsigned long long>(gated_cycles),
-      gated_cps, ungated_cps, speedup);
-  if (FILE* f = std::fopen("BENCH_kernel.json", "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"kernel_gating_guard\",\n"
-                 "  \"scenario\": \"idle_heavy_dft256_irq\",\n"
-                 "  \"invocations\": %d,\n"
-                 "  \"sim_cycles\": %llu,\n"
-                 "  \"gated_cycles_per_sec\": %.1f,\n"
-                 "  \"ungated_cycles_per_sec\": %.1f,\n"
-                 "  \"speedup\": %.3f\n"
-                 "}\n",
-                 kInvocations, static_cast<unsigned long long>(gated_cycles),
-                 gated_cps, ungated_cps, speedup);
-    std::fclose(f);
-  }
-  if (speedup < 2.0) {
-    std::fprintf(stderr,
-                 "kernel guard: WARNING speedup %.2fx below the 2x "
-                 "target (noisy host or fast-forward regression)\n",
-                 speedup);
-  }
-  return 0;
-}
-
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return kernel_throughput_guard();
-}
+BENCHMARK_MAIN();

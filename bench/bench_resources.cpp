@@ -3,21 +3,17 @@
 // claims: the OCP machinery (interface + controller + FIFO control) stays
 // under 1000 LUT / 750 FF, FIFO memory is inferred as BRAM, and the RAC
 // size is independent of Ouessant.
-#include <cstdio>
+#include "scenarios.hpp"
+
+#include <memory>
 
 #include "platform/soc.hpp"
 #include "rac/dft.hpp"
 #include "rac/fir.hpp"
 #include "rac/idct.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
-
-void print_row(const char* name, const res::ResourceEstimate& e) {
-  std::printf("%-28s %8u %8u %8u %8u\n", name, e.luts, e.ffs, e.bram36,
-              e.dsps);
-}
 
 /// OCP machinery = everything except FIFO storage (the paper counts the
 /// "FIFO control" but reports storage separately as BRAM).
@@ -43,61 +39,67 @@ res::ResourceEstimate fifo_storage(const core::Ocp& ocp) {
   return e;
 }
 
-template <typename MakeRac>
-void report_config(const char* label, MakeRac make_rac) {
+std::unique_ptr<core::Rac> make_rac(sim::Kernel& k, const std::string& which) {
+  if (which == "idct") return std::make_unique<rac::IdctRac>(k, "idct");
+  if (which == "dft256") {
+    return std::make_unique<rac::DftRac>(k, "dft",
+                                         rac::DftRacConfig{.points = 256});
+  }
+  return std::make_unique<rac::FirRac>(k, "fir", std::vector<i32>(16, 1 << 12),
+                                       256);
+}
+
+void add_estimate(exp::Result& result, const std::string& prefix,
+                  const res::ResourceEstimate& e) {
+  result.add_metric(prefix + "_lut", e.luts);
+  result.add_metric(prefix + "_ff", e.ffs);
+  result.add_metric(prefix + "_bram", e.bram36);
+  result.add_metric(prefix + "_dsp", e.dsps);
+}
+
+void run_point(const exp::ParamMap& params, exp::Result& result) {
+  const std::string& which = params.get_str("rac");
+
   // Accelerator alone.
   sim::Kernel lone_kernel;
-  auto lone = make_rac(lone_kernel);
-  const auto alone = lone->resource_tree().total();
+  const auto alone = make_rac(lone_kernel, which)->resource_tree().total();
 
   // Accelerator + OCP.
   platform::Soc soc;
-  auto rac = make_rac(soc.kernel());
+  auto rac = make_rac(soc.kernel(), which);
   core::Ocp& ocp = soc.add_ocp(*rac);
   const auto wrapped = ocp.full_resource_tree().total();
   const auto machinery = ocp_machinery(ocp);
   const auto storage = fifo_storage(ocp);
 
-  std::printf("\n-- %s --\n", label);
-  print_row("accelerator alone", alone);
-  print_row("accelerator + OCP", wrapped);
-  print_row("  of which OCP machinery", machinery);
-  print_row("  of which FIFO storage", storage);
+  add_estimate(result, "alone", alone);
+  add_estimate(result, "wrapped", wrapped);
+  add_estimate(result, "machinery", machinery);
+  add_estimate(result, "storage", storage);
+
+  // The paper's claims, checked on every configuration: machinery under
+  // 1000 LUT / 750 FF, FIFO storage entirely in BRAM, and the RAC's own
+  // numbers unchanged by the wrapper (wrapped == alone + OCP subtree).
+  const bool claim = machinery.luts < 1000 && machinery.ffs < 750;
+  result.add_metric("claim_pass", claim ? 1 : 0);
+  if (!claim) {
+    result.fail("OCP machinery exceeds the paper's <1000 LUT / <750 FF");
+  }
+  if (storage.luts != 0 || storage.ffs != 0) {
+    result.fail("FIFO storage not inferred as pure BRAM");
+  }
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E2: resource footprint (Artix7-class estimates)\n");
-  std::printf("%-28s %8s %8s %8s %8s\n", "configuration", "LUT", "FF",
-              "BRAM", "DSP");
-
-  report_config("2D IDCT (JPEG)", [](sim::Kernel& k) {
-    return std::make_unique<rac::IdctRac>(k, "idct");
+void register_e2_resources(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e2_resources",
+      .experiment = "E2",
+      .title = "resource footprint, accelerator alone vs +OCP (Artix7-class)",
+      .grid = {{.name = "rac", .values = {"idct", "dft256", "fir16"}}},
+      .run = run_point,
   });
-  report_config("DFT 256 (Spiral-class)", [](sim::Kernel& k) {
-    return std::make_unique<rac::DftRac>(k, "dft",
-                                         rac::DftRacConfig{.points = 256});
-  });
-  report_config("FIR 16-tap", [](sim::Kernel& k) {
-    return std::make_unique<rac::FirRac>(
-        k, "fir", std::vector<i32>(16, 1 << 12), 256);
-  });
-
-  // Full Keep-Hierarchy report for the paper's headline configuration.
-  {
-    platform::Soc soc;
-    rac::DftRac dft(soc.kernel(), "dft256", {.points = 256});
-    core::Ocp& ocp = soc.add_ocp(dft);
-    std::printf("\n-- Keep-Hierarchy report: DFT 256 + OCP --\n%s",
-                res::render_report(ocp.full_resource_tree()).c_str());
-
-    const auto machinery = ocp_machinery(ocp);
-    std::printf("\npaper claim check: OCP machinery %u LUT (<1000), %u FF "
-                "(<750): %s\n",
-                machinery.luts, machinery.ffs,
-                (machinery.luts < 1000 && machinery.ffs < 750) ? "PASS"
-                                                               : "FAIL");
-  }
-  return 0;
 }
+
+}  // namespace ouessant::scenarios

@@ -8,7 +8,7 @@
 // data available). HW: full invocation under Linux (interrupt mode),
 // including data transfer and driver overhead. SW: the time-optimized
 // software version under the same environment. Gain: SW/HW.
-#include <cstdio>
+#include "scenarios.hpp"
 
 #include "cpu/sw_kernels.hpp"
 #include "drv/linux_env.hpp"
@@ -19,24 +19,15 @@
 #include "util/fixed.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kIn = 0x4001'0000;
 constexpr Addr kOut = 0x4002'0000;
 
-struct Row {
-  const char* name;
-  u64 lat;
-  u64 hw;
-  u64 sw;
-};
-
 /// One Linux-mode (mmap driver) OCP invocation.
-u64 run_hw_linux(platform::Soc& soc, core::Ocp& ocp, u32 words,
-                 u32 burst) {
+u64 run_hw_linux(platform::Soc& soc, core::Ocp& ocp, u32 words, u32 burst) {
   drv::OcpSession session(soc.cpu(), soc.sram(), ocp,
                           {.prog_base = kProg,
                            .in_base = kIn,
@@ -63,50 +54,52 @@ u64 run_hw_linux(platform::Soc& soc, core::Ocp& ocp, u32 words,
   return linux_env.invoke(session, drv::XferMode::kMmap);
 }
 
-Row run_idct() {
-  Row r{.name = "IDCT", .lat = rac::IdctRac::kPaperLatency, .hw = 0, .sw = 0};
-  {
-    platform::Soc soc;
-    rac::IdctRac idct(soc.kernel(), "idct");
-    core::Ocp& ocp = soc.add_ocp(idct);
-    r.hw = run_hw_linux(soc, ocp, 64, 64);
+void run_point(const exp::ParamMap& params, exp::Result& result) {
+  const std::string& workload = params.get_str("workload");
+  u64 lat = 0;
+  u64 hw = 0;
+  u64 sw = 0;
+  if (workload == "idct") {
+    lat = rac::IdctRac::kPaperLatency;
+    {
+      platform::Soc soc;
+      rac::IdctRac idct(soc.kernel(), "idct");
+      core::Ocp& ocp = soc.add_ocp(idct);
+      hw = run_hw_linux(soc, ocp, 64, 64);
+    }
+    {
+      platform::Soc soc;
+      sw = cpu::sw::sw_idct8x8(soc.cpu(), soc.sram(), kIn, kOut);
+    }
+  } else {
+    {
+      platform::Soc soc;
+      rac::DftRac dft(soc.kernel(), "dft", {.points = 256});
+      lat = dft.datasheet_latency();
+      core::Ocp& ocp = soc.add_ocp(dft);
+      hw = run_hw_linux(soc, ocp, 512, 64);
+    }
+    {
+      platform::Soc soc;
+      sw = cpu::sw::sw_dft_softfloat(soc.cpu(), soc.sram(), kIn, kOut, 256);
+    }
   }
-  {
-    platform::Soc soc;
-    r.sw = cpu::sw::sw_idct8x8(soc.cpu(), soc.sram(), kIn, kOut);
-  }
-  return r;
-}
-
-Row run_dft() {
-  Row r{.name = "DFT", .lat = 0, .hw = 0, .sw = 0};
-  {
-    platform::Soc soc;
-    rac::DftRac dft(soc.kernel(), "dft", {.points = 256});
-    r.lat = dft.datasheet_latency();
-    core::Ocp& ocp = soc.add_ocp(dft);
-    r.hw = run_hw_linux(soc, ocp, 512, 64);
-  }
-  {
-    platform::Soc soc;
-    r.sw = cpu::sw::sw_dft_softfloat(soc.cpu(), soc.sram(), kIn, kOut, 256);
-  }
-  return r;
+  result.add_metric("lat", lat);
+  result.add_metric("hw", hw);
+  result.add_metric("sw", sw);
+  result.add_metric("gain", static_cast<double>(sw) / static_cast<double>(hw));
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E1: Table I — time results for OCP (cycles @ 50 MHz)\n");
-  std::printf("%-6s %8s %10s %12s %8s\n", "", "Lat.", "HW", "SW", "Gain");
-  const Row rows[] = {run_idct(), run_dft()};
-  for (const Row& r : rows) {
-    std::printf("%-6s %8llu %10llu %12llu %8.2f\n", r.name,
-                static_cast<unsigned long long>(r.lat),
-                static_cast<unsigned long long>(r.hw),
-                static_cast<unsigned long long>(r.sw),
-                static_cast<double>(r.sw) / static_cast<double>(r.hw));
-  }
-  std::printf("\npaper:  IDCT 18/3000/5000/1.67  DFT 2485/7000/600e3/85\n");
-  return 0;
+void register_e1_table1(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e1_table1",
+      .experiment = "E1",
+      .title = "Table I: HW vs SW invocation time under Linux (cycles)",
+      .grid = {{.name = "workload", .values = {"idct", "dft"}}},
+      .run = run_point,
+  });
 }
+
+}  // namespace ouessant::scenarios

@@ -2,11 +2,12 @@
 // 1500 cycles needed for data transfer, and 1024 32-bit words to
 // transfer. This means that around 1.5 cycles per word were required."
 //
-// The bench measures the OCP moving 1024 words (512 in + 512 out, the
-// paper's DFT traffic) through a passthrough RAC while sweeping the
-// mvtc/mvfc burst length, and reports effective cycles/word — exposing
-// both the paper's figure at DMA64 and the burst-length design space.
-#include <cstdio>
+// The scenario measures the OCP moving 1024 words (512 in + 512 out, the
+// paper's DFT traffic) through a streaming identity datapath while
+// sweeping the mvtc/mvfc burst length and the v1/v2 microcode shape, and
+// reports effective cycles/word — exposing both the paper's figure at
+// DMA64 and the burst-length design space.
+#include "scenarios.hpp"
 
 #include "drv/session.hpp"
 #include "ouessant/codegen.hpp"
@@ -14,23 +15,18 @@
 #include "rac/fir.hpp"
 #include "util/rng.hpp"
 
+namespace ouessant::scenarios {
 namespace {
-
-using namespace ouessant;
 
 constexpr Addr kProg = 0x4000'0000;
 constexpr Addr kIn = 0x4001'0000;
 constexpr Addr kOut = 0x4002'0000;
 
-struct Sample {
-  u32 burst;
-  u64 total_cycles;       ///< whole invocation (start -> done ack)
-  u64 program_size;
-  double cycles_per_word;
-};
-
-Sample measure(u32 burst, bool use_loop) {
+void run_point(const exp::ParamMap& params, exp::Result& result) {
   const u32 words = 512;
+  const u32 burst = params.get_u32("burst");
+  const bool use_loop = params.get_str("isa") == "v2";
+
   platform::Soc soc;
   // A streaming identity datapath (1-tap unity FIR): one word in, one word
   // out per cycle, fully overlapped with the bus — so the measurement is
@@ -52,32 +48,31 @@ Sample measure(u32 burst, bool use_loop) {
   session.put_input(in);
   const u64 cycles = session.run_irq();
   if (session.get_output() != in) {
-    std::fprintf(stderr, "DATA MISMATCH at burst %u\n", burst);
+    result.fail("data mismatch at burst " + std::to_string(burst));
   }
-  return {.burst = burst,
-          .total_cycles = cycles,
-          .program_size = prog.size(),
-          .cycles_per_word = static_cast<double>(cycles) / (2.0 * words)};
+  result.add_metric("prog_size", prog.size());
+  result.add_metric("cycles", cycles);
+  result.add_metric("cycles_per_word",
+                    static_cast<double>(cycles) / (2.0 * words));
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E4: transfer efficiency — 1024 words (512 in + 512 out) "
-              "through the OCP\n\n");
-  std::printf("%-8s %-8s %12s %10s %14s\n", "burst", "loop?", "instrs",
-              "cycles", "cycles/word");
-  for (const u32 burst : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-    for (const bool use_loop : {false, true}) {
-      if (use_loop && 512 / burst <= 1) continue;
-      const Sample s = measure(burst, use_loop);
-      std::printf("%-8u %-8s %12llu %10llu %14.3f\n", s.burst,
-                  use_loop ? "v2" : "v1",
-                  static_cast<unsigned long long>(s.program_size),
-                  static_cast<unsigned long long>(s.total_cycles),
-                  s.cycles_per_word);
-    }
-  }
-  std::printf("\npaper: ~1.5 cycles/word at DMA64 (unrolled)\n");
-  return 0;
+void register_e4_transfer(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "e4_transfer",
+      .experiment = "E4",
+      .title = "transfer efficiency: 1024 words through the OCP, burst sweep",
+      .grid = {{.name = "burst",
+                .values = {1, 2, 4, 8, 16, 32, 64, 128, 256}},
+               {.name = "isa", .values = {"v1", "v2"}}},
+      // The v2 loop degenerates when the whole block fits one burst.
+      .skip =
+          [](const exp::ParamMap& p) {
+            return p.get_str("isa") == "v2" && 512 / p.get_u32("burst") <= 1;
+          },
+      .run = run_point,
+  });
 }
+
+}  // namespace ouessant::scenarios

@@ -1,0 +1,217 @@
+// ouessant_bench — the single driver for every paper experiment.
+//
+// Replaces the fourteen per-experiment bench binaries: each experiment is
+// now a registered scenario (see scenarios.hpp) and this driver expands,
+// filters, runs and reports them.
+//
+//   ouessant_bench --list               show scenarios and grid sizes
+//   ouessant_bench                      run everything, print tables
+//   ouessant_bench --filter e4,e5      substring filter (name/E-id/title)
+//   ouessant_bench --jobs 8             parallel sweep, deterministic output
+//   ouessant_bench --json out.json      persist results (ouessant.sweep.v1)
+//   ouessant_bench --compare-jobs 4     run twice (jobs=1, jobs=4), check
+//                                       payload bit-identity, record both
+//                                       wall clocks + speedup in the JSON
+//
+// Exit status is non-zero when any scenario run fails an invariant or the
+// --compare-jobs identity check trips.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "scenarios.hpp"
+
+namespace {
+
+using namespace ouessant;
+
+struct Options {
+  bool list = false;
+  std::string filter;
+  int jobs = 1;
+  int compare_jobs = 0;  // 0 = off
+  std::string json_path;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--filter SUBSTR[,SUBSTR...]] [--jobs N]\n"
+               "          [--json PATH] [--compare-jobs N]\n",
+               argv0);
+}
+
+bool parse_int(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1 || v > 1024) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--list") {
+      opt->list = true;
+    } else if (arg == "--filter") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->filter = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, &opt->jobs)) return false;
+    } else if (arg == "--compare-jobs") {
+      const char* v = next();
+      if (v == nullptr || !parse_int(v, &opt->compare_jobs)) return false;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->json_path = v;
+    } else {
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void list_scenarios(const exp::Registry& registry,
+                    const std::string& filter) {
+  std::printf("%-16s %-6s %7s  %s\n", "scenario", "exp", "points", "title");
+  for (const auto& spec : registry.scenarios()) {
+    if (!exp::matches_filter(spec, filter)) continue;
+    std::printf("%-16s %-6s %7zu  %s\n", spec.name.c_str(),
+                spec.experiment.c_str(), spec.point_count(),
+                spec.title.c_str());
+  }
+}
+
+void print_tables(const exp::Registry& registry,
+                  const std::vector<exp::Result>& results) {
+  for (const auto& spec : registry.scenarios()) {
+    std::vector<exp::Result> rows;
+    for (const auto& r : results) {
+      if (r.scenario == spec.name) rows.push_back(r);
+    }
+    if (rows.empty()) continue;
+    std::printf("== %s [%s] %s ==\n", spec.name.c_str(),
+                spec.experiment.c_str(), spec.title.c_str());
+    std::fputs(exp::render_table(rows).c_str(), stdout);
+    std::printf("\n");
+  }
+}
+
+std::string fmt_seconds(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string fmt_ratio(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+/// Payload identity between two equally-expanded sweeps, skipping
+/// scenarios whose metrics read the host clock.
+bool payloads_identical(const std::vector<exp::SweepJob>& jobs,
+                        const std::vector<exp::Result>& a,
+                        const std::vector<exp::Result>& b) {
+  if (a.size() != jobs.size() || b.size() != jobs.size()) return false;
+  bool identical = true;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].spec->deterministic) continue;
+    if (!same_payload(a[i], b[i])) {
+      std::fprintf(stderr,
+                   "compare-jobs: payload mismatch at job %zu (%s %s)\n", i,
+                   a[i].scenario.c_str(), a[i].params.str().c_str());
+      identical = false;
+    }
+  }
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) return 2;
+
+  exp::Registry registry;
+  scenarios::register_all_scenarios(registry);
+
+  if (opt.list) {
+    list_scenarios(registry, opt.filter);
+    return 0;
+  }
+
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::vector<std::string> meta;
+  meta.push_back("\"host_cpus\": " + std::to_string(host_cpus));
+  meta.push_back("\"filter\": \"" + opt.filter + "\"");
+
+  try {
+    if (opt.compare_jobs > 0) {
+      const auto jobs = exp::expand_jobs(registry, opt.filter);
+      const auto serial =
+          exp::run_sweep(registry, {.jobs = 1, .filter = opt.filter});
+      const auto parallel = exp::run_sweep(
+          registry, {.jobs = opt.compare_jobs, .filter = opt.filter});
+      const bool identical =
+          payloads_identical(jobs, serial.results, parallel.results);
+      const double speedup = serial.wall_seconds / parallel.wall_seconds;
+
+      print_tables(registry, serial.results);
+      std::printf("sweep: %zu runs | jobs=1 %.3fs | jobs=%d %.3fs | "
+                  "speedup %.2fx (host has %u CPUs) | payloads %s\n",
+                  serial.results.size(), serial.wall_seconds,
+                  opt.compare_jobs, parallel.wall_seconds, speedup,
+                  host_cpus, identical ? "identical" : "MISMATCH");
+
+      meta.push_back("\"jobs\": " + std::to_string(opt.compare_jobs));
+      meta.push_back("\"wall_seconds_jobs1\": " +
+                     fmt_seconds(serial.wall_seconds));
+      meta.push_back("\"wall_seconds_jobsN\": " +
+                     fmt_seconds(parallel.wall_seconds));
+      meta.push_back("\"speedup\": " + fmt_ratio(speedup));
+      meta.push_back(std::string("\"payloads_identical\": ") +
+                     (identical ? "true" : "false"));
+      if (!opt.json_path.empty()) {
+        exp::write_json(opt.json_path, serial.results, meta);
+      }
+      if (!identical || !serial.all_ok() || !parallel.all_ok()) return 1;
+      return 0;
+    }
+
+    const auto outcome = exp::run_sweep(
+        registry, {.jobs = opt.jobs, .filter = opt.filter});
+    print_tables(registry, outcome.results);
+    std::printf("sweep: %zu runs | jobs=%d | %.3fs | %zu failed\n",
+                outcome.results.size(), outcome.jobs, outcome.wall_seconds,
+                outcome.failed);
+    for (const auto& r : outcome.results) {
+      if (!r.ok) {
+        std::fprintf(stderr, "FAIL %s %s: %s\n", r.scenario.c_str(),
+                     r.params.str().c_str(), r.error.c_str());
+      }
+    }
+
+    meta.push_back("\"jobs\": " + std::to_string(outcome.jobs));
+    meta.push_back("\"wall_seconds\": " + fmt_seconds(outcome.wall_seconds));
+    if (!opt.json_path.empty()) {
+      exp::write_json(opt.json_path, outcome.results, meta);
+    }
+    return outcome.all_ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ouessant_bench: %s\n", e.what());
+    return 2;
+  }
+}

@@ -3,15 +3,21 @@
 // and resource reports. The "one binary to poke at everything" tool an
 // open-source release ships.
 //
+// Built on the experiment layer: each block invocation fills one
+// exp::Result row, the block table is rendered by exp::render_table, and
+// --json persists the rows (plus the SoC utilization snapshot) in the
+// same ouessant.sweep.v1 schema the bench driver writes.
+//
 //   soc_sim [--rac idct|dft256|fir16|pass] [--bus ahb|axi4|axilite]
 //           [--env baremetal|linux] [--burst N] [--loop] [--blocks N]
-//           [--trace out.vcd] [--resources]
+//           [--trace out.vcd] [--resources] [--json out.json]
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
 #include "drv/linux_env.hpp"
+#include "exp/result.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/report.hpp"
 #include "platform/soc.hpp"
@@ -35,6 +41,7 @@ struct Options {
   u32 blocks = 4;
   std::string trace;
   bool resources = false;
+  std::string json;
 };
 
 int usage() {
@@ -43,7 +50,8 @@ int usage() {
                "[--bus ahb|axi4|axilite]\n"
                "               [--env baremetal|linux] [--burst N] [--loop] "
                "[--blocks N]\n"
-               "               [--trace out.vcd] [--resources]\n");
+               "               [--trace out.vcd] [--resources] "
+               "[--json out.json]\n");
   return 2;
 }
 
@@ -66,6 +74,7 @@ int main(int argc, char** argv) {
       else if (arg == "--blocks") opt.blocks = static_cast<u32>(std::stoul(next()));
       else if (arg == "--trace") opt.trace = next();
       else if (arg == "--resources") opt.resources = true;
+      else if (arg == "--json") opt.json = next();
       else return usage();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "soc_sim: %s\n", e.what());
@@ -125,6 +134,7 @@ int main(int argc, char** argv) {
 
   util::Rng rng(1);
   drv::LinuxEnv linux_env;
+  std::vector<exp::Result> rows;
   u64 total = 0;
   for (u32 b = 0; b < opt.blocks; ++b) {
     std::vector<u32> in(words);
@@ -134,17 +144,38 @@ int main(int argc, char** argv) {
                            ? linux_env.invoke(session, drv::XferMode::kMmap)
                            : session.run_irq();
     total += cycles;
-    std::printf("block %u: %llu cycles (%.2f us)\n", b,
-                static_cast<unsigned long long>(cycles), soc.us(cycles));
+    exp::Result row;
+    row.scenario = "soc_sim";
+    row.experiment = "example";
+    row.params.set("block", static_cast<i64>(b));
+    row.add_metric("cycles", cycles);
+    row.add_metric("us", soc.us(cycles));
+    rows.push_back(std::move(row));
   }
+  std::fputs(exp::render_table(rows).c_str(), stdout);
   std::printf("\ntotal: %llu cycles for %u block(s), %.2f us\n",
               static_cast<unsigned long long>(total), opt.blocks,
               soc.us(total));
 
-  std::printf("\n%s", platform::make_report(soc).render().c_str());
+  const auto report = platform::make_report(soc);
+  std::printf("\n%s", report.render().c_str());
   if (opt.resources) {
     std::printf("\n%s",
                 res::render_report(ocp.full_resource_tree()).c_str());
+  }
+  if (!opt.json.empty()) {
+    exp::Result summary;
+    summary.scenario = "soc_sim";
+    summary.experiment = "example";
+    summary.add_metric("total_cycles", total);
+    summary.add_metric("blocks", opt.blocks);
+    summary.add_utilization(report);
+    rows.push_back(std::move(summary));
+    exp::write_json(opt.json, rows,
+                    {"\"rac\": \"" + opt.rac + "\"",
+                     "\"bus\": \"" + opt.bus + "\"",
+                     "\"env\": \"" + opt.env + "\""});
+    std::printf("\nresults written to %s\n", opt.json.c_str());
   }
   if (trace) std::printf("\nwaveform written to %s\n", opt.trace.c_str());
   return 0;

@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# Regenerate every experiment in EXPERIMENTS.md: build, test, then run
-# each bench binary, teeing the transcripts next to the build tree.
+# Regenerate every experiment in EXPERIMENTS.md: build, test, then sweep
+# the whole scenario registry through ouessant_bench. The sweep runs
+# twice (--compare-jobs): once serially and once on a worker pool sized
+# to the host, verifying the two produce bit-identical payloads and
+# recording both wall clocks into BENCH_sweep.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 mkdir -p build/experiment-logs
-for b in build/bench/*; do
-  [ -x "$b" ] || continue
-  name="$(basename "$b")"
-  echo "==== $name ===="
-  "$b" | tee "build/experiment-logs/$name.txt"
-  echo
-done
-echo "transcripts in build/experiment-logs/"
+# At least 4 workers even on small hosts so BENCH_sweep.json always
+# records the serial-vs-parallel comparison (meta.host_cpus tells the
+# reader whether a speedup was physically possible).
+DEFAULT_JOBS=$(nproc)
+[ "$DEFAULT_JOBS" -lt 4 ] && DEFAULT_JOBS=4
+JOBS="${JOBS:-$DEFAULT_JOBS}"
+./build/bench/ouessant_bench --compare-jobs "$JOBS" \
+  --json BENCH_sweep.json | tee build/experiment-logs/sweep.txt
+echo
+echo "transcript in build/experiment-logs/sweep.txt, results in BENCH_sweep.json"

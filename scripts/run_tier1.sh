@@ -4,8 +4,12 @@
 #   2. ASan+UBSan build + full ctest (catches the iterator-invalidation
 #      class of kernel bugs — e.g. mid-tick component removal — that a
 #      plain build can pass by luck)
-#   3. the bench_micro kernel throughput guard, which checks the gated
-#      and ungated scheduler agree on the simulated clock and records
+#   3. TSan build running the full scenario sweep at --jobs $(nproc):
+#      every (scenario, grid point) job executes on a worker thread, so
+#      any mutable state shared between "isolated" simulations shows up
+#      as a data race here (the no-mutable-statics rule of DESIGN.md).
+#   4. the kernel throughput guard scenario, which checks the gated and
+#      ungated scheduler agree on the simulated clock and records
 #      cycles/sec into BENCH_kernel.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -24,10 +28,18 @@ cmake -B build-san -S . \
 cmake --build build-san -j
 ctest --test-dir build-san --output-on-failure -j "$(nproc)"
 
+echo "==== tier-1: TSan parallel sweep ===="
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
+cmake --build build-tsan -j --target ouessant_bench
+./build-tsan/bench/ouessant_bench --jobs "$(nproc)" > /dev/null
+
 echo "==== tier-1: kernel throughput guard ===="
-# Skip the microbenchmarks (the guard is what gates); the filter matches
-# nothing, so only the post-run guard executes.
-(cd build/bench && ./bench_micro --benchmark_filter='^$')
+./build/bench/ouessant_bench --filter kernel_gating \
+  --json build/bench/BENCH_kernel.json
 echo "guard record:"
 cat build/bench/BENCH_kernel.json
 

@@ -3,6 +3,16 @@
 namespace ouessant::platform {
 
 Soc::Soc(SocConfig cfg) : cfg_(cfg) {
+  // Reject configurations that would only fail later (and silently):
+  // clock_mhz <= 0 turns us() into inf/NaN in every report, and an empty
+  // SRAM maps a zero-length region no access can ever hit.
+  if (!(cfg_.clock_mhz > 0.0)) {
+    throw ConfigError("SocConfig: clock_mhz must be > 0 (got " +
+                      std::to_string(cfg_.clock_mhz) + ")");
+  }
+  if (cfg_.sram_bytes == 0) {
+    throw ConfigError("SocConfig: sram_bytes must be non-zero");
+  }
   switch (cfg_.bus) {
     case BusKind::kAhb:
       bus_ = std::make_unique<bus::AhbBus>(kernel_, "ahb");
@@ -24,8 +34,21 @@ Soc::Soc(SocConfig cfg) : cfg_(cfg) {
 }
 
 core::Ocp& Soc::add_ocp(core::Rac& rac, core::IsaLevel isa) {
+  // The fixed map reserves [kOcpRegBase, kSlaveAccelBase) for OCP
+  // register windows; the kMaxOcps-th window would land exactly on the
+  // baseline SlaveAccel. Reject here, at attach time, with the map in the
+  // message — the same class of overlap connect_slave rejects for slaves
+  // that are actually mapped.
+  if (ocps_.size() >= kMaxOcps) {
+    throw ConfigError(
+        "Soc::add_ocp: OCP #" + std::to_string(ocps_.size()) +
+        " register window would overlap the fixed map at kSlaveAccelBase "
+        "(max " +
+        std::to_string(kMaxOcps) + " OCPs)");
+  }
   core::OcpConfig ocp_cfg;
-  ocp_cfg.reg_base = kOcpRegBase + static_cast<Addr>(ocps_.size()) * 0x100;
+  ocp_cfg.reg_base =
+      kOcpRegBase + static_cast<Addr>(ocps_.size()) * kOcpRegSpan;
   ocp_cfg.master_priority = 1 + static_cast<int>(ocps_.size());
   ocp_cfg.isa_level = isa;
   ocps_.push_back(std::make_unique<core::Ocp>(

@@ -37,6 +37,15 @@ inline constexpr Addr kOcpRegBase = 0x8000'0000;
 inline constexpr Addr kSlaveAccelBase = 0x8001'0000;
 inline constexpr Addr kDmaBase = 0x8002'0000;
 
+/// Span of one OCP register window in the fixed map.
+inline constexpr Addr kOcpRegSpan = 0x100;
+
+/// How many OCPs fit between kOcpRegBase and the next fixed-map window
+/// (the baseline SlaveAccel at kSlaveAccelBase). The 256th window would
+/// land exactly on kSlaveAccelBase, so attach time rejects it.
+inline constexpr std::size_t kMaxOcps =
+    (kSlaveAccelBase - kOcpRegBase) / kOcpRegSpan;
+
 class Soc {
  public:
   explicit Soc(SocConfig cfg = {});
@@ -48,7 +57,8 @@ class Soc {
   [[nodiscard]] const SocConfig& config() const { return cfg_; }
 
   /// Attach an OCP wrapping @p rac. The n-th OCP's registers land at
-  /// kOcpRegBase + n*0x100.
+  /// kOcpRegBase + n*kOcpRegSpan; throws ConfigError once the window
+  /// would reach kSlaveAccelBase (n >= kMaxOcps).
   core::Ocp& add_ocp(core::Rac& rac,
                      core::IsaLevel isa = core::IsaLevel::kV2);
 

@@ -30,6 +30,34 @@ TEST(Soc, ClockReporting) {
   EXPECT_DOUBLE_EQ(soc.us(50), 1.0);  // 50 cycles @ 50 MHz = 1 us
 }
 
+TEST(Soc, RejectsNonPositiveClock) {
+  platform::SocConfig cfg;
+  cfg.clock_mhz = 0.0;
+  EXPECT_THROW(platform::Soc{cfg}, ConfigError);
+  cfg.clock_mhz = -50.0;
+  EXPECT_THROW(platform::Soc{cfg}, ConfigError);
+}
+
+TEST(Soc, RejectsEmptySram) {
+  platform::SocConfig cfg;
+  cfg.sram_bytes = 0;
+  EXPECT_THROW(platform::Soc{cfg}, ConfigError);
+}
+
+TEST(Soc, AddOcpRejectsWindowOverlappingFixedMap) {
+  // The n-th OCP register window sits at kOcpRegBase + n*kOcpRegSpan; the
+  // kMaxOcps-th would land exactly on kSlaveAccelBase. Attach must reject
+  // it instead of silently mapping registers over the baseline SlaveAccel.
+  platform::Soc soc;
+  rac::PassthroughRac rac(soc.kernel(), "r", 4, 32);
+  for (std::size_t i = 0; i < platform::kMaxOcps; ++i) {
+    core::Ocp& ocp = soc.add_ocp(rac);
+    EXPECT_LT(ocp.config().reg_base, platform::kSlaveAccelBase);
+  }
+  EXPECT_EQ(soc.ocp_count(), platform::kMaxOcps);
+  EXPECT_THROW(soc.add_ocp(rac), ConfigError);
+}
+
 TEST(Soc, MultipleOcpsCoexist) {
   platform::Soc soc;
   rac::PassthroughRac r0(soc.kernel(), "r0", 16, 32);
