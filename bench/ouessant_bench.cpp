@@ -12,12 +12,18 @@
 //   ouessant_bench --compare-jobs 4     run twice (jobs=1, jobs=4), check
 //                                       payload bit-identity, record both
 //                                       wall clocks + speedup in the JSON
+//   ouessant_bench --seed 42            override the built-in seed of every
+//                                       seeded (run_ctx) scenario
+//   ouessant_bench --trace STEM         write STEM_<scenario>_<point>.vcd
+//                                       for every seeded scenario run
 //
 // Exit status is non-zero when any scenario run fails an invariant or the
 // --compare-jobs identity check trips.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,12 +41,15 @@ struct Options {
   int jobs = 1;
   int compare_jobs = 0;  // 0 = off
   std::string json_path;
+  std::optional<ouessant::u64> seed;
+  std::string trace_stem;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--filter SUBSTR[,SUBSTR...]] [--jobs N]\n"
-               "          [--json PATH] [--compare-jobs N]\n",
+               "          [--json PATH] [--compare-jobs N] [--seed U64]\n"
+               "          [--trace STEM]\n",
                argv0);
 }
 
@@ -49,6 +58,15 @@ bool parse_int(const char* s, int* out) {
   const long v = std::strtol(s, &end, 10);
   if (end == s || *end != '\0' || v < 1 || v > 1024) return false;
   *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_u64(const char* s, ouessant::u64* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end != '\0' || errno != 0) return false;
+  *out = static_cast<ouessant::u64>(v);
   return true;
 }
 
@@ -74,6 +92,15 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->json_path = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      ouessant::u64 seed = 0;
+      if (v == nullptr || !parse_u64(v, &seed)) return false;
+      opt->seed = seed;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->trace_stem = v;
     } else {
       usage(argv[0]);
       return false;
@@ -157,14 +184,23 @@ int main(int argc, char** argv) {
   std::vector<std::string> meta;
   meta.push_back("\"host_cpus\": " + std::to_string(host_cpus));
   meta.push_back("\"filter\": \"" + opt.filter + "\"");
+  if (opt.seed) {
+    meta.push_back("\"seed\": " + std::to_string(*opt.seed));
+  }
 
   try {
     if (opt.compare_jobs > 0) {
       const auto jobs = exp::expand_jobs(registry, opt.filter);
       const auto serial =
-          exp::run_sweep(registry, {.jobs = 1, .filter = opt.filter});
+          exp::run_sweep(registry, {.jobs = 1,
+                                    .filter = opt.filter,
+                                    .seed = opt.seed,
+                                    .trace_stem = opt.trace_stem});
       const auto parallel = exp::run_sweep(
-          registry, {.jobs = opt.compare_jobs, .filter = opt.filter});
+          registry, {.jobs = opt.compare_jobs,
+                     .filter = opt.filter,
+                     .seed = opt.seed,
+                     .trace_stem = opt.trace_stem});
       const bool identical =
           payloads_identical(jobs, serial.results, parallel.results);
       const double speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -191,8 +227,11 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto outcome = exp::run_sweep(
-        registry, {.jobs = opt.jobs, .filter = opt.filter});
+    const auto outcome = exp::run_sweep(registry,
+                                        {.jobs = opt.jobs,
+                                         .filter = opt.filter,
+                                         .seed = opt.seed,
+                                         .trace_stem = opt.trace_stem});
     print_tables(registry, outcome.results);
     std::printf("sweep: %zu runs | jobs=%d | %.3fs | %zu failed\n",
                 outcome.results.size(), outcome.jobs, outcome.wall_seconds,

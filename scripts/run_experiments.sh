@@ -20,5 +20,12 @@ DEFAULT_JOBS=$(nproc)
 JOBS="${JOBS:-$DEFAULT_JOBS}"
 ./build/bench/ouessant_bench --compare-jobs "$JOBS" \
   --json BENCH_sweep.json | tee build/experiment-logs/sweep.txt
+
+# The offload-service scenarios again as a standalone artifact: the
+# serve_* histograms move together (scheduler changes shift every
+# percentile), so reviewers diff BENCH_serve.json on its own.
+./build/bench/ouessant_bench --filter serve --compare-jobs "$JOBS" \
+  --json BENCH_serve.json | tee build/experiment-logs/serve.txt
 echo
 echo "transcript in build/experiment-logs/sweep.txt, results in BENCH_sweep.json"
+echo "service scenarios in build/experiment-logs/serve.txt, results in BENCH_serve.json"

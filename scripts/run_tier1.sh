@@ -37,6 +37,13 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j --target ouessant_bench
 ./build-tsan/bench/ouessant_bench --jobs "$(nproc)" > /dev/null
 
+echo "==== tier-1: TSan svc soak (10k-job closed loop, 4 OCPs/shard) ===="
+# One OffloadService per worker thread: races between supposedly
+# isolated service instances (shared mutable statics anywhere under
+# src/svc/) surface here, and any lost/rejected job fails the run.
+cmake --build build-tsan -j --target svc_soak
+./build-tsan/bench/svc_soak --jobs "$(nproc)" --total 10000
+
 echo "==== tier-1: kernel throughput guard ===="
 ./build/bench/ouessant_bench --filter kernel_gating \
   --json build/bench/BENCH_kernel.json

@@ -7,12 +7,13 @@ using core::kCtrlErr;
 using core::kCtrlIe;
 using core::kCtrlStart;
 
-OcpDriver::OcpDriver(cpu::Gpp& gpp, Addr reg_base, cpu::IrqLine& irq)
-    : gpp_(gpp), base_(reg_base), irq_(irq) {}
+OcpDriver::OcpDriver(cpu::Gpp& gpp, Addr reg_base, cpu::IrqLine& irq,
+                     std::string name)
+    : gpp_(gpp), base_(reg_base), irq_(irq), name_(std::move(name)) {}
 
 void OcpDriver::set_bank(u32 n, Addr phys) {
   if (n >= core::kNumBankRegs) {
-    throw SimError("OcpDriver: bank index out of range");
+    throw SimError("OcpDriver(" + name_ + "): bank index out of range");
   }
   gpp_.write32(base_ + core::bank_reg(n), phys);
 }
@@ -55,11 +56,14 @@ u32 OcpDriver::wait_done_poll(u64 poll_gap, u64 timeout) {
     const u32 ctrl = read_ctrl();
     ++polls;
     if ((ctrl & kCtrlErr) != 0) {
-      throw SimError("OcpDriver: OCP signalled a microcode fault");
+      throw SimError("OcpDriver(" + name_ +
+                     "): OCP signalled a microcode fault");
     }
     if ((ctrl & kCtrlDone) != 0) break;
     if (gpp_.now() - t0 >= timeout) {
-      throw SimError("OcpDriver::wait_done_poll: timeout");
+      throw SimError("OcpDriver(" + name_ +
+                     ")::wait_done_poll: no completion within " +
+                     std::to_string(timeout) + " cycles");
     }
     gpp_.spend(poll_gap);
   }
@@ -68,10 +72,19 @@ u32 OcpDriver::wait_done_poll(u64 poll_gap, u64 timeout) {
 }
 
 void OcpDriver::wait_done_irq(u64 timeout) {
-  gpp_.wait_for_irq(irq_, timeout);
+  try {
+    gpp_.wait_for_irq(irq_, timeout);
+  } catch (const SimError&) {
+    // Re-throw with the coprocessor identified and the deadline that
+    // actually expired (the kernel's message knows neither).
+    throw SimError("OcpDriver(" + name_ +
+                   ")::wait_done_irq: no interrupt within " +
+                   std::to_string(timeout) + " cycles");
+  }
   const u32 ctrl = read_ctrl();
   if ((ctrl & kCtrlErr) != 0) {
-    throw SimError("OcpDriver: OCP signalled a microcode fault");
+    throw SimError("OcpDriver(" + name_ +
+                   "): OCP signalled a microcode fault");
   }
   clear_done();
 }

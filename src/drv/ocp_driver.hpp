@@ -4,6 +4,8 @@
 // issued by the Gpp.
 #pragma once
 
+#include <string>
+
 #include "cpu/gpp.hpp"
 #include "cpu/irq.hpp"
 #include "mem/sram.hpp"
@@ -12,10 +14,18 @@
 
 namespace ouessant::drv {
 
+/// Default completion deadline for the wait helpers, in cycles. Callers
+/// with real-time budgets pass their own; the value always travels into
+/// the timeout SimError so logs show which deadline actually expired.
+inline constexpr u64 kDefaultDriverTimeout = 10'000'000;
+
 class OcpDriver {
  public:
-  /// @p reg_base: where the OCP's 10 registers are mapped.
-  OcpDriver(cpu::Gpp& gpp, Addr reg_base, cpu::IrqLine& irq);
+  /// @p reg_base: where the OCP's 10 registers are mapped. @p name tags
+  /// every SimError this driver throws (one CPU typically runs several
+  /// OCP drivers — "which coprocessor timed out" must not be a guess).
+  OcpDriver(cpu::Gpp& gpp, Addr reg_base, cpu::IrqLine& irq,
+            std::string name = "ocp");
 
   // -- configuration -----------------------------------------------------
   /// Program bank register @p n with physical base @p phys.
@@ -44,18 +54,20 @@ class OcpDriver {
 
   /// Busy-wait on the D bit with MMIO reads every @p poll_gap cycles.
   /// Throws SimError if ERR is observed. Returns polls performed.
-  u32 wait_done_poll(u64 poll_gap = 16, u64 timeout = 10'000'000);
+  u32 wait_done_poll(u64 poll_gap = 16, u64 timeout = kDefaultDriverTimeout);
 
   /// Sleep until the OCP interrupt fires, then acknowledge.
-  void wait_done_irq(u64 timeout = 10'000'000);
+  void wait_done_irq(u64 timeout = kDefaultDriverTimeout);
 
   [[nodiscard]] cpu::Gpp& gpp() { return gpp_; }
   [[nodiscard]] Addr reg_base() const { return base_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
   cpu::Gpp& gpp_;
   Addr base_;
   cpu::IrqLine& irq_;
+  std::string name_;
   bool ie_ = false;
 };
 

@@ -8,7 +8,7 @@ OcpSession::OcpSession(cpu::Gpp& gpp, mem::Sram& mem, core::Ocp& ocp,
       mem_(mem),
       ocp_(ocp),
       layout_(layout),
-      drv_(gpp, ocp.config().reg_base, ocp.irq()) {
+      drv_(gpp, ocp.config().reg_base, ocp.irq(), ocp.name()) {
   if (layout_.in_words == 0 || layout_.out_words == 0) {
     throw ConfigError("OcpSession: zero-sized layout");
   }
@@ -42,18 +42,18 @@ std::vector<u32> OcpSession::get_output() const {
   return mem_.dump(layout_.out_base, layout_.out_words);
 }
 
-u64 OcpSession::run_poll(u64 poll_gap) {
+u64 OcpSession::run_poll(u64 poll_gap, u64 timeout) {
   const Cycle t0 = gpp_.now();
   drv_.start();
-  drv_.wait_done_poll(poll_gap);
+  drv_.wait_done_poll(poll_gap, timeout);
   return gpp_.now() - t0;
 }
 
-u64 OcpSession::run_irq() {
+u64 OcpSession::run_irq(u64 timeout) {
   const Cycle t0 = gpp_.now();
   drv_.enable_irq(true);
   drv_.start();
-  drv_.wait_done_irq();
+  drv_.wait_done_irq(timeout);
   return gpp_.now() - t0;
 }
 

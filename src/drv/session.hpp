@@ -33,11 +33,13 @@ class OcpSession {
   [[nodiscard]] std::vector<u32> get_output() const;
 
   /// Start and poll for completion. Returns cycles from start to
-  /// acknowledged completion.
-  u64 run_poll(u64 poll_gap = 16);
+  /// acknowledged completion. @p timeout reaches the driver's deadline
+  /// check (and its SimError message) instead of being pinned to the
+  /// old hard-coded 10'000'000.
+  u64 run_poll(u64 poll_gap = 16, u64 timeout = kDefaultDriverTimeout);
 
   /// Start and sleep on the interrupt. Returns cycles elapsed.
-  u64 run_irq();
+  u64 run_irq(u64 timeout = kDefaultDriverTimeout);
 
   /// Start only (the CPU is free afterwards — the paper's "the GPP can
   /// process other tasks" mode). Pair with driver().wait_done_irq().

@@ -27,8 +27,12 @@ void Registry::add(ScenarioSpec spec) {
   if (spec.name.empty()) {
     throw ConfigError("Registry::add: scenario needs a name");
   }
-  if (!spec.run) {
+  if (!spec.run && !spec.run_ctx) {
     throw ConfigError("Registry::add(" + spec.name + "): no run function");
+  }
+  if (spec.run && spec.run_ctx) {
+    throw ConfigError("Registry::add(" + spec.name +
+                      "): provide run or run_ctx, not both");
   }
   if (find(spec.name) != nullptr) {
     throw ConfigError("Registry::add: duplicate scenario \"" + spec.name +

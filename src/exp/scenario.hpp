@@ -19,6 +19,15 @@
 
 namespace ouessant::exp {
 
+/// Per-run context the sweep threads into context-aware scenarios: the
+/// seed the run must use (the spec's default_seed unless the driver's
+/// --seed overrides it) and an optional VCD trace destination ("" = no
+/// tracing). Plain runs (ScenarioSpec::run) never see it.
+struct RunContext {
+  u64 seed = 0;
+  std::string trace_path;
+};
+
 /// One named grid axis. The sweep expands axes in declaration order with
 /// the last axis varying fastest — the same order as the nested for-loops
 /// of the pre-registry bench binaries, so transcripts stay comparable.
@@ -47,11 +56,19 @@ struct ScenarioSpec {
   /// skip non-deterministic scenarios.
   bool deterministic = true;
 
+  /// Seed handed to run_ctx scenarios when the driver does not override
+  /// it. Scenarios without randomness leave it at 0 and ignore it.
+  u64 default_seed = 0;
+
   /// Execute one grid point. Must build all simulation state locally,
   /// must not touch global mutable state, and reports failures by
   /// filling @p result (throwing is also safe: the sweep converts the
   /// exception into result.fail()).
   std::function<void(const ParamMap&, Result&)> run;
+
+  /// Context-aware alternative to run: also receives the RunContext
+  /// (seed + trace path). A spec provides exactly one of run / run_ctx.
+  std::function<void(const ParamMap&, const RunContext&, Result&)> run_ctx;
 
   /// Number of points after skip-filtering.
   [[nodiscard]] std::size_t point_count() const;

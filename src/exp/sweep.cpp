@@ -49,6 +49,24 @@ std::vector<SweepJob> expand_jobs(const Registry& registry,
   return jobs;
 }
 
+std::vector<SweepJob> expand_jobs(const Registry& registry,
+                                  const SweepOptions& options) {
+  std::vector<SweepJob> jobs = expand_jobs(registry, options.filter);
+  const ScenarioSpec* last = nullptr;
+  std::size_t point = 0;
+  for (SweepJob& job : jobs) {
+    if (!job.spec->run_ctx) continue;  // plain runs take no context
+    job.seed = options.seed;
+    if (!options.trace_stem.empty()) {
+      point = (job.spec == last) ? point + 1 : 0;
+      last = job.spec;
+      job.trace_path = options.trace_stem + "_" + job.spec->name + "_" +
+                       std::to_string(point) + ".vcd";
+    }
+  }
+  return jobs;
+}
+
 Result run_job(const SweepJob& job) {
   Result r;
   r.scenario = job.spec->name;
@@ -56,7 +74,14 @@ Result run_job(const SweepJob& job) {
   r.params = job.params;
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    job.spec->run(job.params, r);
+    if (job.spec->run_ctx) {
+      RunContext ctx;
+      ctx.seed = job.seed.value_or(job.spec->default_seed);
+      ctx.trace_path = job.trace_path;
+      job.spec->run_ctx(job.params, ctx, r);
+    } else {
+      job.spec->run(job.params, r);
+    }
   } catch (const std::exception& e) {
     r.fail(e.what());
   } catch (...) {
@@ -69,7 +94,7 @@ Result run_job(const SweepJob& job) {
 }
 
 SweepOutcome run_sweep(const Registry& registry, const SweepOptions& options) {
-  const std::vector<SweepJob> jobs = expand_jobs(registry, options.filter);
+  const std::vector<SweepJob> jobs = expand_jobs(registry, options);
   SweepOutcome out;
   out.jobs = options.jobs < 1 ? 1 : options.jobs;
   out.results.resize(jobs.size());

@@ -9,6 +9,7 @@
 // --jobs on a multi-core host.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,12 +25,23 @@ struct SweepOptions {
   /// Comma-separated list of substrings; a scenario runs when its name,
   /// experiment id or title contains any of them. Empty = everything.
   std::string filter;
+  /// Override every run_ctx scenario's default_seed (ouessant_bench
+  /// --seed). Unset = each spec's built-in seed, so the default sweep
+  /// stays bit-identical run to run.
+  std::optional<u64> seed;
+  /// When non-empty, each run_ctx job gets a VCD trace written to
+  /// "<stem>_<scenario>_<point>.vcd" (ouessant_bench --trace).
+  std::string trace_stem;
 };
 
 /// One expanded (scenario, grid point) work item.
 struct SweepJob {
   const ScenarioSpec* spec = nullptr;
   ParamMap params;
+  /// Seed override for run_ctx specs (from SweepOptions::seed).
+  std::optional<u64> seed;
+  /// Per-job VCD destination ("" = no tracing).
+  std::string trace_path;
 };
 
 struct SweepOutcome {
@@ -48,6 +60,11 @@ struct SweepOutcome {
 /// Expand every matching scenario's grid into the deterministic job list.
 [[nodiscard]] std::vector<SweepJob> expand_jobs(const Registry& registry,
                                                 const std::string& filter);
+
+/// Same, but also stamping each job with the options' seed override and
+/// per-job trace path (see SweepOptions).
+[[nodiscard]] std::vector<SweepJob> expand_jobs(const Registry& registry,
+                                                const SweepOptions& options);
 
 /// Run one job in isolation; exceptions become result.fail().
 [[nodiscard]] Result run_job(const SweepJob& job);

@@ -1,0 +1,147 @@
+// The offload service's scheduler: a bounded JobQueue in front of a set
+// of OCP workers, drained by a CPU-driven dispatch loop.
+//
+// Split of responsibilities (DESIGN.md §9): the Dispatcher is a
+// sim::Component only as a *doorbell* — its tick raises arrival_due_
+// exactly at the cycle the next open-loop job arrives (armed with
+// wake_at, so the quiescence-gated kernel can sleep through the gaps).
+// All actual service work — ingesting arrivals, acknowledging
+// completions, installing/launching batch programs — happens on the host
+// call stack in service_once(), because driver accesses are blocking Gpp
+// calls that re-enter the kernel and therefore must never run inside a
+// component tick.
+//
+// The run loop the service executes is:
+//   while (!finished())  { service_once();  kernel.run_until(service_due); }
+// where service_due() is a pure function of component state (the arrival
+// doorbell and the IRQ controller's aggregated CPU line), as
+// Kernel::run_until requires.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/gpp.hpp"
+#include "cpu/irq_controller.hpp"
+#include "drv/session.hpp"
+#include "sim/kernel.hpp"
+#include "svc/job.hpp"
+
+namespace ouessant::svc {
+
+/// Per-worker accounting the service report aggregates.
+struct WorkerStats {
+  u64 jobs = 0;          ///< jobs completed by this worker
+  u64 launches = 0;      ///< start bits issued (batches)
+  u64 installs = 0;      ///< timed program (re)installs
+  u64 busy_cycles = 0;   ///< cycles between start and acknowledged done
+};
+
+class Dispatcher : public sim::Component {
+ public:
+  /// @p irq_ctl_base: where @p irq_ctl is mapped on the bus (the
+  /// dispatcher reads PENDING through timed MMIO like a real ISR would).
+  Dispatcher(sim::Kernel& kernel, std::string name, cpu::Gpp& gpp,
+             mem::Sram& mem, cpu::IrqController& irq_ctl, Addr irq_ctl_base,
+             std::size_t queue_depth);
+
+  /// Register @p ocp as a worker for @p kind jobs. Batches of up to
+  /// @p max_batch same-kind jobs are launched as one v2-loop program.
+  /// Returns the worker index. The OCP's IRQ line is attached to the
+  /// controller here; configure_irqs() later unmasks it.
+  u32 add_worker(core::Ocp& ocp, JobKind kind, drv::SessionLayout layout,
+                 u32 max_batch);
+
+  /// Hand the open-loop arrival schedule over (must be sorted by
+  /// arrival; ConfigError otherwise). The doorbell arms itself.
+  void load_schedule(std::vector<Job> arrivals);
+
+  /// Host-stack submission at now() (closed-loop clients). Charges the
+  /// CPU enqueue cost; false when the queue rejected the job.
+  bool submit_now(Job job);
+
+  /// Called once per completed job, after its timestamps and worker
+  /// index are final — the closed-loop generator's resubmission hook and
+  /// the service's latency recorder.
+  void set_completion_hook(std::function<void(const Job&)> fn) {
+    completion_hook_ = std::move(fn);
+  }
+
+  /// Timed IRQ setup: unmask every attached source at the controller and
+  /// enable the per-OCP interrupt in each driver. First timed accesses
+  /// of a run — call after VCD signals are attached, before the loop.
+  void configure_irqs();
+
+  /// One service pass: ingest due arrivals, retire completions, dispatch
+  /// ready jobs to idle workers. All timed, on the host stack.
+  void service_once();
+
+  /// True when the CPU has service work: an arrival is due or a worker
+  /// finished. Pure function of component state (run_until-safe).
+  [[nodiscard]] bool service_due() const {
+    return arrival_due_ || irq_ctl_.cpu_line().raised();
+  }
+
+  /// All submitted work accounted for: every scheduled arrival ingested,
+  /// queue drained, no batch in flight.
+  [[nodiscard]] bool finished() const {
+    return next_arrival_ >= schedule_.size() && queue_.empty() &&
+           in_flight_ == 0;
+  }
+
+  // -- introspection (trace signals, report) ---------------------------
+  [[nodiscard]] const JobQueue& queue() const { return queue_; }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] bool worker_busy(std::size_t i) const {
+    return workers_.at(i).busy;
+  }
+  [[nodiscard]] JobKind worker_kind(std::size_t i) const {
+    return workers_.at(i).kind;
+  }
+  [[nodiscard]] const WorkerStats& worker_stats(std::size_t i) const {
+    return workers_.at(i).stats;
+  }
+  [[nodiscard]] u64 completed() const { return completed_; }
+  [[nodiscard]] u64 rejected() const { return queue_.rejected(); }
+  [[nodiscard]] u32 in_flight() const { return in_flight_; }
+
+  // sim::Component (the arrival doorbell).
+  void tick_commit() override;
+  [[nodiscard]] bool is_quiescent() const override;
+
+ private:
+  struct Worker {
+    std::unique_ptr<drv::OcpSession> session;
+    JobKind kind = JobKind::kIdct;
+    u32 max_batch = 1;
+    u32 irq_source = 0;        ///< bit index at the IrqController
+    std::vector<Job> batch;    ///< jobs of the in-flight launch
+    u32 installed_batch = 0;   ///< batch size the resident program serves
+    bool busy = false;
+    Cycle busy_since = 0;
+    WorkerStats stats;
+  };
+
+  void ingest_arrivals();
+  void retire_completions();
+  void dispatch_ready();
+  void launch(std::size_t wi, std::vector<Job> batch);
+  void retire_worker(Worker& w);
+
+  cpu::Gpp& gpp_;
+  mem::Sram& mem_;
+  cpu::IrqController& irq_ctl_;
+  Addr irq_ctl_base_;
+  JobQueue queue_;
+  std::vector<Worker> workers_;
+  std::vector<Job> schedule_;
+  std::size_t next_arrival_ = 0;
+  bool arrival_due_ = false;
+  u32 in_flight_ = 0;   ///< jobs currently launched on some worker
+  u64 completed_ = 0;
+  std::function<void(const Job&)> completion_hook_;
+};
+
+}  // namespace ouessant::svc

@@ -1,0 +1,68 @@
+#include "svc/job.hpp"
+
+namespace ouessant::svc {
+
+const char* kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kIdct:
+      return "idct";
+    case JobKind::kDft:
+      return "dft32";
+    case JobKind::kFir:
+      return "fir";
+    case JobKind::kJpegBlock:
+      return "jpeg";
+  }
+  return "?";
+}
+
+u32 block_words(JobKind kind) {
+  // 64 words for every kind: the IDCT/JPEG block is 8x8, the DFT runs 32
+  // complex points (2 words each), the FIR processes 64 samples. One
+  // block therefore always fits a single burst (isa::kMaxBurst = 256),
+  // which is what makes the v2-loop batch program applicable.
+  (void)kind;
+  return 64;
+}
+
+JobQueue::JobQueue(std::size_t depth) : depth_(depth) {
+  if (depth_ == 0) {
+    throw ConfigError("JobQueue: depth must be non-zero");
+  }
+}
+
+bool JobQueue::push(Job job) {
+  if (size() >= depth_) {
+    ++rejected_;
+    return false;
+  }
+  classes_[static_cast<std::size_t>(job.prio)].push_back(std::move(job));
+  ++accepted_;
+  peak_ = std::max(peak_, size());
+  return true;
+}
+
+std::vector<Job> JobQueue::take(JobKind kind, u32 max_batch) {
+  std::vector<Job> out;
+  if (max_batch == 0) return out;
+  for (auto& cls : classes_) {
+    for (auto it = cls.begin(); it != cls.end() && out.size() < max_batch;) {
+      if (it->kind == kind) {
+        out.push_back(std::move(*it));
+        it = cls.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (out.size() >= max_batch) break;
+  }
+  return out;
+}
+
+std::size_t JobQueue::size() const {
+  std::size_t n = 0;
+  for (const auto& cls : classes_) n += cls.size();
+  return n;
+}
+
+}  // namespace ouessant::svc

@@ -1,0 +1,94 @@
+// Offload jobs and the software job queue.
+//
+// The paper's integration model is single-shot: one OCP, one microcode
+// launch, one result. The service layer (DESIGN.md §9) turns that into a
+// *service*: applications submit Jobs (kind + payload + priority), a
+// bounded JobQueue holds them, and the Dispatcher drains the queue onto
+// whatever OCP instances the SoC carries. The queue is deliberately
+// bounded with an explicit reject-on-full path so overload is observable
+// (a counted rejection) instead of silent (an ever-growing backlog).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ouessant::svc {
+
+/// What computation a job wants. Each kind maps to one RAC type; the
+/// Dispatcher only places a job on an OCP whose RAC matches.
+enum class JobKind : u8 {
+  kIdct = 0,   ///< 8x8 2D IDCT block (the paper's first accelerator)
+  kDft,        ///< 32-point DFT (small-batchable sibling of the DFT RAC)
+  kFir,        ///< 64-sample FIR block
+  kJpegBlock,  ///< dequantized JPEG coefficient block -> spatial samples
+};
+
+inline constexpr std::size_t kNumJobKinds = 4;
+
+[[nodiscard]] const char* kind_name(JobKind kind);
+
+/// Words per block for @p kind — both input and output (every current
+/// kind is 64-in/64-out, which keeps blocks batchable: the v2 LOOP batch
+/// program requires one block to fit a single burst).
+[[nodiscard]] u32 block_words(JobKind kind);
+
+/// Two priority classes, strictly ordered: all queued high-priority work
+/// of a kind is served before normal work of that kind.
+enum class Priority : u8 { kHigh = 0, kNormal = 1 };
+inline constexpr std::size_t kNumPriorities = 2;
+
+/// One offload request plus its latency-accounting timestamps. The
+/// payload is `block_words(kind)` words in the RAC's wire format.
+struct Job {
+  u64 id = 0;
+  JobKind kind = JobKind::kIdct;
+  Priority prio = Priority::kNormal;
+  Cycle arrival = 0;   ///< cycle the job entered the system
+  std::vector<u32> payload;
+
+  // Filled by the Dispatcher.
+  Cycle dispatch = 0;  ///< cycle the CPU started the launch sequence
+  Cycle complete = 0;  ///< cycle the completion was acknowledged
+  int worker = -1;     ///< OCP index that served the job
+
+  [[nodiscard]] u64 queue_wait() const { return dispatch - arrival; }
+  [[nodiscard]] u64 service() const { return complete - dispatch; }
+  [[nodiscard]] u64 end_to_end() const { return complete - arrival; }
+};
+
+/// Bounded multi-class FIFO. push() rejects (and counts) when the queue
+/// is at depth; take() hands the Dispatcher up to @p max_batch jobs of
+/// one kind in (priority class, FIFO) order — the batching path pops
+/// several same-kind jobs for a single v2-loop launch.
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t depth);
+
+  /// False (and the job is dropped + counted) when the queue is full.
+  bool push(Job job);
+
+  /// Remove up to @p max_batch jobs of @p kind, high class first, FIFO
+  /// within a class. Empty when no queued job matches.
+  [[nodiscard]] std::vector<Job> take(JobKind kind, u32 max_batch);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+  [[nodiscard]] u64 accepted() const { return accepted_; }
+  [[nodiscard]] u64 rejected() const { return rejected_; }
+  [[nodiscard]] std::size_t peak_depth() const { return peak_; }
+
+ private:
+  std::size_t depth_;
+  std::array<std::deque<Job>, kNumPriorities> classes_;
+  u64 accepted_ = 0;
+  u64 rejected_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace ouessant::svc

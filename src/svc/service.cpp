@@ -1,0 +1,194 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "rac/dft.hpp"
+#include "rac/fir.hpp"
+#include "rac/idct.hpp"
+
+namespace ouessant::svc {
+
+namespace {
+
+/// Worker i's staging window in SRAM: program image at the base, input
+/// blocks at +256 KiB, output blocks at +512 KiB — far above anything
+/// the rest of the map uses, 1 MiB stride per worker.
+constexpr Addr kWorkerBase = 0x4010'0000;
+constexpr Addr kWorkerStride = 0x0010'0000;
+constexpr Addr kWorkerInOff = 0x0004'0000;
+constexpr Addr kWorkerOutOff = 0x0008'0000;
+
+std::unique_ptr<core::Rac> make_rac(sim::Kernel& kernel, JobKind kind,
+                                    const std::string& name) {
+  switch (kind) {
+    case JobKind::kIdct:
+    case JobKind::kJpegBlock:
+      return std::make_unique<rac::IdctRac>(kernel, name);
+    case JobKind::kDft:
+      return std::make_unique<rac::DftRac>(kernel, name,
+                                           rac::DftRacConfig{.points = 32});
+    case JobKind::kFir:
+      return std::make_unique<rac::FirRac>(kernel, name, fir_service_taps(),
+                                           block_words(JobKind::kFir));
+  }
+  throw ConfigError("OffloadService: unknown job kind");
+}
+
+}  // namespace
+
+void ServiceReport::add_to(exp::Result& result) const {
+  result.add_metric("jobs", jobs);
+  result.add_metric("completed", completed);
+  result.add_metric("rejected", rejected);
+  result.add_metric("makespan_cycles", makespan());
+  if (makespan() > 0) {
+    result.add_metric("throughput_jpmc", static_cast<double>(completed) *
+                                             1e6 /
+                                             static_cast<double>(makespan()));
+  }
+  result.add_metric("queue_peak", static_cast<u64>(peak_depth));
+  result.add_metric("batches", batches);
+  if (batches > 0) {
+    result.add_metric("jobs_per_batch", static_cast<double>(completed) /
+                                            static_cast<double>(batches));
+  }
+  result.add_metric("installs", installs);
+  wait.add_metrics(result, "wait");
+  service.add_metrics(result, "svc");
+  e2e.add_metrics(result, "e2e");
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const double pct =
+        makespan() > 0 ? static_cast<double>(workers[i].busy_cycles) * 100.0 /
+                             static_cast<double>(makespan())
+                       : 0.0;
+    result.add_metric("util_ocp" + std::to_string(i) + "_pct", pct);
+  }
+}
+
+OffloadService::OffloadService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      soc_(cfg_.soc),
+      irq_ctl_(soc_.kernel(), "svc_irqctl", kSvcIrqCtlBase),
+      dispatcher_(soc_.kernel(), "svc_dispatcher", soc_.cpu(), soc_.sram(),
+                  irq_ctl_, kSvcIrqCtlBase, cfg_.queue_depth) {
+  if (cfg_.ocps.empty()) {
+    throw ConfigError("OffloadService: at least one OCP worker required");
+  }
+  soc_.bus().connect_slave(irq_ctl_, kSvcIrqCtlBase, cpu::kIrqCtlSpanBytes);
+  for (std::size_t i = 0; i < cfg_.ocps.size(); ++i) {
+    const OcpSpec& spec = cfg_.ocps[i];
+    const std::string name = std::string("svc_") + kind_name(spec.kind) +
+                             std::to_string(i);
+    racs_.push_back(make_rac(soc_.kernel(), spec.kind, name + "_rac"));
+    core::Ocp& ocp = soc_.add_ocp(*racs_.back());
+    const Addr base = kWorkerBase + static_cast<Addr>(i) * kWorkerStride;
+    const u32 words = spec.max_batch * block_words(spec.kind);
+    dispatcher_.add_worker(ocp, spec.kind,
+                           drv::SessionLayout{.prog_base = base,
+                                              .in_base = base + kWorkerInOff,
+                                              .out_base = base + kWorkerOutOff,
+                                              .in_words = words,
+                                              .out_words = words},
+                           spec.max_batch);
+  }
+}
+
+void OffloadService::attach_trace(sim::VcdTrace& trace) {
+  trace.add_signal("svc_queue_depth", 16, [this] {
+    return static_cast<u64>(dispatcher_.queue().size());
+  });
+  trace.add_signal("svc_in_flight", 16,
+                   [this] { return static_cast<u64>(dispatcher_.in_flight()); });
+  for (std::size_t i = 0; i < dispatcher_.worker_count(); ++i) {
+    trace.add_signal("svc_ocp" + std::to_string(i) + "_busy", 1, [this, i] {
+      return static_cast<u64>(dispatcher_.worker_busy(i));
+    });
+  }
+}
+
+void OffloadService::validate(const WorkloadConfig& workload) const {
+  if (workload.jobs == 0) {
+    throw ConfigError("OffloadService: workload submits no jobs");
+  }
+  for (JobKind kind : workload.kinds) {
+    bool served = false;
+    for (std::size_t i = 0; i < dispatcher_.worker_count(); ++i) {
+      if (dispatcher_.worker_kind(i) == kind) {
+        served = true;
+        break;
+      }
+    }
+    if (!served) {
+      throw ConfigError(std::string("OffloadService: no worker serves ") +
+                        kind_name(kind) + " jobs — they would wait forever");
+    }
+  }
+  if (workload.mode == LoadMode::kClosedLoop && workload.clients == 0) {
+    throw ConfigError("OffloadService: closed loop needs >= 1 client");
+  }
+}
+
+ServiceReport OffloadService::run(const WorkloadConfig& workload) {
+  if (ran_) {
+    throw ConfigError("OffloadService: run() is single-shot");
+  }
+  ran_ = true;
+  validate(workload);
+
+  sim::Kernel& kernel = soc_.kernel();
+  cpu::Gpp& gpp = soc_.cpu();
+  ServiceReport rep;
+  rep.jobs = workload.jobs;
+
+  dispatcher_.configure_irqs();  // first timed accesses of the run
+
+  util::Rng rng(workload.seed);
+  u64 issued = 0;
+  rep.start = gpp.now();
+
+  dispatcher_.set_completion_hook([&](const Job& job) {
+    rep.wait.add(job.queue_wait());
+    rep.service.add(job.service());
+    rep.e2e.add(job.end_to_end());
+    // Closed loop: the client whose job just finished submits its next
+    // one immediately (zero think time — a pure throughput probe).
+    if (workload.mode == LoadMode::kClosedLoop && issued < workload.jobs) {
+      dispatcher_.submit_now(make_job(issued++, gpp.now(), workload, rng));
+    }
+  });
+
+  if (workload.mode == LoadMode::kOpenLoop) {
+    dispatcher_.load_schedule(
+        open_loop_arrivals(workload, rng, gpp.now() + 1));
+    issued = workload.jobs;
+  } else {
+    const u32 initial =
+        std::min<u64>(workload.clients, workload.jobs);
+    for (u32 c = 0; c < initial; ++c) {
+      dispatcher_.submit_now(make_job(issued++, gpp.now(), workload, rng));
+    }
+  }
+
+  while (!dispatcher_.finished()) {
+    dispatcher_.service_once();
+    if (dispatcher_.finished()) break;
+    kernel.run_until([this] { return dispatcher_.service_due(); },
+                     cfg_.timeout_cycles);
+  }
+
+  rep.end = gpp.now();
+  rep.completed = dispatcher_.completed();
+  rep.rejected = dispatcher_.rejected();
+  rep.peak_depth = dispatcher_.queue().peak_depth();
+  for (std::size_t i = 0; i < dispatcher_.worker_count(); ++i) {
+    const WorkerStats& ws = dispatcher_.worker_stats(i);
+    rep.workers.push_back(ws);
+    rep.batches += ws.launches;
+    rep.installs += ws.installs;
+  }
+  dispatcher_.set_completion_hook(nullptr);  // rng/rep go out of scope
+  return rep;
+}
+
+}  // namespace ouessant::svc

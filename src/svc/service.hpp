@@ -1,0 +1,92 @@
+// OffloadService: the whole offload stack assembled — a platform::Soc,
+// one RAC+OCP pair per configured worker, an IrqController aggregating
+// their completion interrupts, and the Dispatcher serving a workload.
+//
+// This is the top of DESIGN.md §9: a scenario (or application)
+// constructs an OffloadService, optionally attaches VCD trace signals,
+// then calls run(workload) and reads the ServiceReport. Construction
+// performs NO timed accesses — the first kernel activity happens inside
+// run() — so trace signals can always be registered in between.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cpu/irq_controller.hpp"
+#include "exp/result.hpp"
+#include "platform/soc.hpp"
+#include "sim/trace.hpp"
+#include "svc/dispatcher.hpp"
+#include "svc/latency.hpp"
+#include "svc/workload.hpp"
+
+namespace ouessant::svc {
+
+/// Where the service's interrupt controller lives in the fixed map
+/// (after the DMA engine window).
+inline constexpr Addr kSvcIrqCtlBase = 0x8003'0000;
+
+/// One OCP worker: which job kind it serves and how many same-kind jobs
+/// the dispatcher may coalesce into a single v2-loop launch.
+struct OcpSpec {
+  JobKind kind = JobKind::kIdct;
+  u32 max_batch = 1;
+};
+
+struct ServiceConfig {
+  platform::SocConfig soc{};
+  std::vector<OcpSpec> ocps = {OcpSpec{}};
+  std::size_t queue_depth = 64;
+  /// Per-wait deadlock guard handed to Kernel::run_until.
+  u64 timeout_cycles = 10'000'000;
+};
+
+struct ServiceReport {
+  u64 jobs = 0;       ///< jobs the workload intended to submit
+  u64 completed = 0;
+  u64 rejected = 0;   ///< dropped by the bounded queue
+  u64 batches = 0;    ///< launches across all workers
+  u64 installs = 0;   ///< timed microcode (re)installs
+  std::size_t peak_depth = 0;
+  Cycle start = 0;
+  Cycle end = 0;
+  LatencyStats wait;     ///< arrival -> dispatch
+  LatencyStats service;  ///< dispatch -> acknowledged completion
+  LatencyStats e2e;      ///< arrival -> acknowledged completion
+  std::vector<WorkerStats> workers;
+
+  [[nodiscard]] u64 makespan() const { return end - start; }
+
+  /// Flatten into the metric schema EXPERIMENTS.md documents for
+  /// serve_* rows (counts, histograms, throughput, per-OCP utilization).
+  void add_to(exp::Result& result) const;
+};
+
+class OffloadService {
+ public:
+  explicit OffloadService(ServiceConfig cfg = {});
+
+  /// Register queue-depth / per-worker-busy / in-flight signals. Must be
+  /// called before run() (trace signals must precede the first tick).
+  void attach_trace(sim::VcdTrace& trace);
+
+  /// Serve @p workload to completion and report. Single-shot: a service
+  /// instance runs exactly one workload (scenarios build a fresh SoC per
+  /// grid point, as the parallel sweep requires).
+  ServiceReport run(const WorkloadConfig& workload);
+
+  [[nodiscard]] platform::Soc& soc() { return soc_; }
+  [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
+
+ private:
+  void validate(const WorkloadConfig& workload) const;
+
+  ServiceConfig cfg_;
+  platform::Soc soc_;
+  cpu::IrqController irq_ctl_;
+  Dispatcher dispatcher_;
+  std::vector<std::unique_ptr<core::Rac>> racs_;
+  bool ran_ = false;
+};
+
+}  // namespace ouessant::svc

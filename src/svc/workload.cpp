@@ -1,0 +1,102 @@
+#include "svc/workload.hpp"
+
+#include <cmath>
+
+#include "rac/fir.hpp"
+#include "util/fixed.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant::svc {
+
+Job make_job(u64 id, Cycle arrival, const WorkloadConfig& cfg,
+             util::Rng& rng) {
+  if (cfg.kinds.empty()) {
+    throw ConfigError("WorkloadConfig: empty kind mix");
+  }
+  Job job;
+  job.id = id;
+  job.arrival = arrival;
+  job.kind = cfg.kinds[rng.below(static_cast<u32>(cfg.kinds.size()))];
+  job.prio = rng.chance(cfg.high_fraction) ? Priority::kHigh
+                                           : Priority::kNormal;
+  job.payload.resize(block_words(job.kind));
+  // Coefficient-magnitude samples: the same range every RAC-facing bench
+  // uses, safely inside the Q16.16 headroom of all four datapaths.
+  for (auto& w : job.payload) w = util::to_word(rng.range(-20000, 20000));
+  return job;
+}
+
+std::vector<Job> open_loop_arrivals(const WorkloadConfig& cfg,
+                                    util::Rng& rng, Cycle start) {
+  if (!(cfg.mean_gap >= 1.0)) {
+    throw ConfigError("WorkloadConfig: mean_gap must be >= 1 cycle");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(cfg.jobs);
+  Cycle t = start;
+  for (u32 i = 0; i < cfg.jobs; ++i) {
+    // Exponential gap, floored at one cycle so arrivals stay strictly
+    // ordered events. Deterministic for a given seed (single binary —
+    // the determinism contract the sweep checks is jobs=1 vs jobs=N and
+    // run-to-run, not cross-libm).
+    const double u = rng.uniform();
+    const double gap = -std::log(1.0 - u) * cfg.mean_gap;
+    t += std::max<Cycle>(1, static_cast<Cycle>(gap));
+    jobs.push_back(make_job(i, t, cfg, rng));
+  }
+  return jobs;
+}
+
+std::vector<u32> reference_output(JobKind kind,
+                                  const std::vector<u32>& payload) {
+  const u32 words = block_words(kind);
+  if (payload.size() != words) {
+    throw ConfigError("reference_output: payload size mismatch");
+  }
+  std::vector<u32> out(words);
+  switch (kind) {
+    case JobKind::kIdct:
+    case JobKind::kJpegBlock: {
+      i32 coef[64];
+      i32 pix[64];
+      for (u32 i = 0; i < 64; ++i) coef[i] = util::from_word(payload[i]);
+      util::fixed_idct8x8(coef, pix);
+      for (u32 i = 0; i < 64; ++i) out[i] = util::to_word(pix[i]);
+      break;
+    }
+    case JobKind::kDft: {
+      std::vector<i32> re(32);
+      std::vector<i32> im(32);
+      for (u32 i = 0; i < 32; ++i) {
+        re[i] = util::from_word(payload[2 * i]);
+        im[i] = util::from_word(payload[2 * i + 1]);
+      }
+      util::fixed_fft(re, im);
+      for (u32 i = 0; i < 32; ++i) {
+        out[2 * i] = util::to_word(re[i]);
+        out[2 * i + 1] = util::to_word(im[i]);
+      }
+      break;
+    }
+    case JobKind::kFir: {
+      std::vector<i32> x(words);
+      for (u32 i = 0; i < words; ++i) x[i] = util::from_word(payload[i]);
+      const auto y = rac::FirRac::filter_reference(fir_service_taps(), x);
+      for (u32 i = 0; i < words; ++i) out[i] = util::to_word(y[i]);
+      break;
+    }
+  }
+  return out;
+}
+
+const std::vector<i32>& fir_service_taps() {
+  // 8-tap symmetric low-pass in Q16.16, gain < 1 so outputs never
+  // saturate on the payload range above. Immutable after construction —
+  // safe under the parallel sweep's no-mutable-statics rule (C++ inits
+  // this once, thread-safely, and it is only ever read).
+  static const std::vector<i32> taps = {1 << 12, 1 << 13, 1 << 14, 1 << 14,
+                                        1 << 14, 1 << 14, 1 << 13, 1 << 12};
+  return taps;
+}
+
+}  // namespace ouessant::svc

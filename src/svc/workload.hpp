@@ -1,0 +1,61 @@
+// Load generators for the offload service.
+//
+// Open loop: a Poisson arrival process (exponential inter-arrival gaps
+// from the seeded util::Rng) materialized as a full schedule before the
+// run — the rate does not react to the service, which is what drives the
+// overload scenario past saturation. Closed loop: a fixed population of
+// clients, each submitting its next job the moment its previous one
+// completes — the classic throughput-probe used by the batching sweep.
+//
+// Both generators draw every random decision (gaps, kinds, priorities,
+// payload words) from one Rng seeded by WorkloadConfig::seed, so a seed
+// fully determines the job stream and therefore the whole service run.
+#pragma once
+
+#include <vector>
+
+#include "svc/job.hpp"
+#include "util/rng.hpp"
+
+namespace ouessant::svc {
+
+/// The built-in seed every serve_* scenario uses unless ouessant_bench
+/// overrides it with --seed.
+inline constexpr u64 kDefaultServiceSeed = 0x0C9A'5EEDull;
+
+enum class LoadMode : u8 {
+  kOpenLoop,   ///< Poisson arrivals at a fixed mean gap
+  kClosedLoop  ///< fixed client population, submit-on-completion
+};
+
+struct WorkloadConfig {
+  LoadMode mode = LoadMode::kOpenLoop;
+  u32 jobs = 100;          ///< total jobs the run submits
+  double mean_gap = 600.0; ///< open loop: mean inter-arrival gap (cycles)
+  u32 clients = 4;         ///< closed loop: concurrent outstanding jobs
+  /// Kinds in the mix, drawn uniformly per job. Every kind listed here
+  /// must be served by at least one OCP or its jobs would wait forever.
+  std::vector<JobKind> kinds = {JobKind::kIdct};
+  double high_fraction = 0.0;  ///< share of Priority::kHigh jobs
+  u64 seed = kDefaultServiceSeed;
+};
+
+/// Draw one job (kind, priority, payload) from @p rng.
+[[nodiscard]] Job make_job(u64 id, Cycle arrival, const WorkloadConfig& cfg,
+                           util::Rng& rng);
+
+/// Materialize the open-loop schedule: @p cfg.jobs arrivals starting at
+/// @p start, gaps ~ Exp(1/mean_gap), nondecreasing arrival cycles.
+[[nodiscard]] std::vector<Job> open_loop_arrivals(const WorkloadConfig& cfg,
+                                                  util::Rng& rng,
+                                                  Cycle start);
+
+/// Bit-exact software model of what the matching RAC produces for
+/// @p payload — the check the service verifies completions against.
+[[nodiscard]] std::vector<u32> reference_output(
+    JobKind kind, const std::vector<u32>& payload);
+
+/// The FIR tap set every JobKind::kFir worker is built with.
+[[nodiscard]] const std::vector<i32>& fir_service_taps();
+
+}  // namespace ouessant::svc

@@ -261,6 +261,46 @@ TEST(Sweep, ParallelBitIdenticalToSerial) {
   }
 }
 
+TEST(Sweep, RunCtxThreadsSeedAndTracePath) {
+  exp::Registry r;
+  r.add({.name = "ctx_spec",
+         .grid = {{.name = "i", .values = {1, 2}}},
+         .default_seed = 7,
+         .run_ctx = [](const exp::ParamMap&, const exp::RunContext& ctx,
+                       exp::Result& res) {
+           res.add_metric("seed", static_cast<i64>(ctx.seed));
+           res.add_metric("traced", ctx.trace_path.empty() ? 0 : 1);
+         }});
+
+  // Default: the spec's own seed, no tracing.
+  auto outcome = exp::run_sweep(r, {.jobs = 1});
+  ASSERT_EQ(outcome.results.size(), 2u);
+  EXPECT_EQ(outcome.results[0].metrics.get_int("seed"), 7);
+  EXPECT_EQ(outcome.results[0].metrics.get_int("traced"), 0);
+
+  // --seed overrides, --trace names one file per grid point.
+  const auto jobs =
+      exp::expand_jobs(r, {.jobs = 1, .seed = 42u, .trace_stem = "tr"});
+  ASSERT_EQ(jobs.size(), 2u);
+  ASSERT_TRUE(jobs[0].seed.has_value());
+  EXPECT_EQ(*jobs[0].seed, 42u);
+  EXPECT_EQ(jobs[0].trace_path, "tr_ctx_spec_0.vcd");
+  EXPECT_EQ(jobs[1].trace_path, "tr_ctx_spec_1.vcd");
+}
+
+TEST(Registry, RequiresExactlyOneRunFunction) {
+  exp::Registry none;
+  EXPECT_THROW(none.add({.name = "none"}), ConfigError);
+
+  exp::Registry both;
+  EXPECT_THROW(
+      both.add({.name = "both",
+                .run = [](const exp::ParamMap&, exp::Result&) {},
+                .run_ctx = [](const exp::ParamMap&, const exp::RunContext&,
+                              exp::Result&) {}}),
+      ConfigError);
+}
+
 TEST(Sweep, ExceptionBecomesFailedResult) {
   exp::Registry r;
   r.add({.name = "boom",

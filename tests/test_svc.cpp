@@ -1,0 +1,238 @@
+// Tests for the offload service layer: the bounded JobQueue, latency
+// accounting, the load generators, and whole OffloadService runs
+// (determinism, gating differential, overload, batching).
+#include <gtest/gtest.h>
+
+#include "svc/job.hpp"
+#include "svc/latency.hpp"
+#include "svc/service.hpp"
+#include "svc/workload.hpp"
+#include "util/rng.hpp"
+
+namespace ouessant::svc {
+namespace {
+
+Job make(u64 id, JobKind kind, Priority prio = Priority::kNormal) {
+  Job j;
+  j.id = id;
+  j.kind = kind;
+  j.prio = prio;
+  return j;
+}
+
+TEST(JobQueue, BoundedRejectOnFull) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.push(make(0, JobKind::kIdct)));
+  EXPECT_TRUE(q.push(make(1, JobKind::kIdct)));
+  EXPECT_FALSE(q.push(make(2, JobKind::kIdct)));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.peak_depth(), 2u);
+
+  // Draining frees capacity again.
+  EXPECT_EQ(q.take(JobKind::kIdct, 1).size(), 1u);
+  EXPECT_TRUE(q.push(make(3, JobKind::kIdct)));
+  EXPECT_EQ(q.rejected(), 1u);
+}
+
+TEST(JobQueue, PriorityClassThenFifo) {
+  JobQueue q(8);
+  q.push(make(0, JobKind::kIdct, Priority::kNormal));
+  q.push(make(1, JobKind::kIdct, Priority::kNormal));
+  q.push(make(2, JobKind::kIdct, Priority::kHigh));
+  q.push(make(3, JobKind::kIdct, Priority::kHigh));
+
+  const auto batch = q.take(JobKind::kIdct, 4);
+  ASSERT_EQ(batch.size(), 4u);
+  // High class first, FIFO within each class.
+  EXPECT_EQ(batch[0].id, 2u);
+  EXPECT_EQ(batch[1].id, 3u);
+  EXPECT_EQ(batch[2].id, 0u);
+  EXPECT_EQ(batch[3].id, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(JobQueue, TakeFiltersByKindAndBatchLimit) {
+  JobQueue q(8);
+  q.push(make(0, JobKind::kIdct));
+  q.push(make(1, JobKind::kDft));
+  q.push(make(2, JobKind::kIdct));
+  q.push(make(3, JobKind::kIdct));
+
+  const auto idct = q.take(JobKind::kIdct, 2);
+  ASSERT_EQ(idct.size(), 2u);
+  EXPECT_EQ(idct[0].id, 0u);
+  EXPECT_EQ(idct[1].id, 2u);
+
+  EXPECT_TRUE(q.take(JobKind::kFir, 4).empty());
+  const auto dft = q.take(JobKind::kDft, 4);
+  ASSERT_EQ(dft.size(), 1u);
+  EXPECT_EQ(dft[0].id, 1u);
+  EXPECT_EQ(q.size(), 1u);  // one IDCT job left
+}
+
+TEST(LatencyStats, NearestRankPercentiles) {
+  LatencyStats s;
+  for (u64 v = 1; v <= 100; ++v) s.add(v);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_EQ(s.percentile(50), 50u);
+  EXPECT_EQ(s.percentile(95), 95u);
+  EXPECT_EQ(s.percentile(99), 99u);
+  EXPECT_EQ(s.percentile(100), 100u);
+  EXPECT_EQ(s.min(), 1u);
+  EXPECT_EQ(s.max(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+
+  LatencyStats one;
+  one.add(7);
+  EXPECT_EQ(one.percentile(1), 7u);
+  EXPECT_EQ(one.percentile(99), 7u);
+
+  const LatencyStats empty;
+  EXPECT_EQ(empty.percentile(50), 0u);
+}
+
+TEST(Workload, OpenLoopScheduleIsSeededAndSorted) {
+  WorkloadConfig cfg;
+  cfg.jobs = 50;
+  cfg.mean_gap = 300.0;
+  cfg.kinds = {JobKind::kIdct, JobKind::kDft};
+  cfg.high_fraction = 0.5;
+
+  util::Rng rng_a(cfg.seed);
+  util::Rng rng_b(cfg.seed);
+  const auto a = open_loop_arrivals(cfg, rng_a, 10);
+  const auto b = open_loop_arrivals(cfg, rng_b, 10);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].prio, b[i].prio);
+    EXPECT_EQ(a[i].payload, b[i].payload);
+    EXPECT_EQ(a[i].payload.size(), block_words(a[i].kind));
+    if (i > 0) {
+      EXPECT_GT(a[i].arrival, a[i - 1].arrival);  // gaps >= 1
+    }
+  }
+
+  util::Rng rng_c(cfg.seed + 1);
+  const auto c = open_loop_arrivals(cfg, rng_c, 10);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    differs = differs || c[i].arrival != a[i].arrival;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// -- whole-service runs ------------------------------------------------
+
+ServiceConfig small_service(std::size_t queue_depth = 64) {
+  ServiceConfig cfg;
+  cfg.ocps = {OcpSpec{.kind = JobKind::kIdct, .max_batch = 1}};
+  cfg.queue_depth = queue_depth;
+  return cfg;
+}
+
+WorkloadConfig small_workload(u32 jobs = 24) {
+  WorkloadConfig wl;
+  wl.jobs = jobs;
+  wl.mean_gap = 400.0;
+  return wl;
+}
+
+void expect_same_report(const ServiceReport& a, const ServiceReport& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.installs, b.installs);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  for (const double p : {50.0, 95.0, 99.0}) {
+    EXPECT_EQ(a.wait.percentile(p), b.wait.percentile(p));
+    EXPECT_EQ(a.service.percentile(p), b.service.percentile(p));
+    EXPECT_EQ(a.e2e.percentile(p), b.e2e.percentile(p));
+  }
+}
+
+TEST(OffloadService, ServesOpenLoopWorkload) {
+  OffloadService service(small_service());
+  const ServiceReport rep = service.run(small_workload());
+  EXPECT_EQ(rep.completed, 24u);
+  EXPECT_EQ(rep.rejected, 0u);
+  EXPECT_EQ(rep.e2e.count(), 24u);
+  EXPECT_GT(rep.makespan(), 0u);
+  ASSERT_EQ(rep.workers.size(), 1u);
+  EXPECT_EQ(rep.workers[0].jobs, 24u);
+  // Per-sample e2e = wait + service, so the extremes must agree.
+  EXPECT_EQ(rep.e2e.max(),
+            rep.e2e.percentile(100));
+  EXPECT_GE(rep.e2e.min(), rep.service.min());
+}
+
+TEST(OffloadService, RunIsSingleShot) {
+  OffloadService service(small_service());
+  (void)service.run(small_workload());
+  EXPECT_THROW((void)service.run(small_workload()), ConfigError);
+}
+
+TEST(OffloadService, RejectsUnservedKind) {
+  OffloadService service(small_service());
+  WorkloadConfig wl = small_workload();
+  wl.kinds = {JobKind::kDft};  // no DFT worker configured
+  EXPECT_THROW((void)service.run(wl), ConfigError);
+}
+
+TEST(OffloadService, IdenticalSeedsGiveIdenticalReports) {
+  OffloadService sa(small_service());
+  OffloadService sb(small_service());
+  const ServiceReport a = sa.run(small_workload());
+  const ServiceReport b = sb.run(small_workload());
+  expect_same_report(a, b);
+
+  WorkloadConfig other = small_workload();
+  other.seed = kDefaultServiceSeed + 1;
+  OffloadService sc(small_service());
+  const ServiceReport c = sc.run(other);
+  EXPECT_NE(c.end, a.end);  // a different seed moves the schedule
+}
+
+TEST(OffloadService, GatingDifferentialIsBitIdentical) {
+  OffloadService gated(small_service());
+  OffloadService free_running(small_service());
+  free_running.soc().kernel().set_gating(false);
+  const ServiceReport a = gated.run(small_workload());
+  const ServiceReport b = free_running.run(small_workload());
+  expect_same_report(a, b);
+}
+
+TEST(OffloadService, OverloadRejectsWithoutLivelock) {
+  ServiceConfig cfg = small_service(/*queue_depth=*/4);
+  OffloadService service(cfg);
+  WorkloadConfig wl = small_workload(/*jobs=*/40);
+  wl.mean_gap = 50.0;  // far beyond one OCP's service rate
+  const ServiceReport rep = service.run(wl);
+  EXPECT_GT(rep.rejected, 0u);
+  EXPECT_EQ(rep.completed + rep.rejected, 40u);
+  EXPECT_EQ(rep.e2e.count(), rep.completed);
+  EXPECT_LE(rep.peak_depth, 4u);
+}
+
+TEST(OffloadService, ClosedLoopBatchingCoalesces) {
+  ServiceConfig cfg;
+  cfg.ocps = {OcpSpec{.kind = JobKind::kIdct, .max_batch = 4}};
+  OffloadService service(cfg);
+  WorkloadConfig wl;
+  wl.mode = LoadMode::kClosedLoop;
+  wl.jobs = 32;
+  wl.clients = 8;
+  const ServiceReport rep = service.run(wl);
+  EXPECT_EQ(rep.completed, 32u);
+  EXPECT_EQ(rep.rejected, 0u);
+  // With 8 clients feeding a max_batch=4 worker, coalescing must kick
+  // in: strictly fewer launches than jobs.
+  EXPECT_LT(rep.batches, rep.completed);
+}
+
+}  // namespace
+}  // namespace ouessant::svc
