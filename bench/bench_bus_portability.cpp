@@ -6,6 +6,7 @@
 #include "scenarios.hpp"
 
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/dft.hpp"
@@ -37,7 +38,9 @@ u64 run_idct(platform::BusKind bus) {
   std::vector<u32> in(64);
   for (auto& w : in) w = util::to_word(rng.range(-512, 511));
   session.put_input(in);
-  return session.run_irq();
+  const u64 cycles = session.run_irq();
+  obs::validate_soc_ledger(soc);
+  return cycles;
 }
 
 u64 run_dft(platform::BusKind bus) {
@@ -55,7 +58,9 @@ u64 run_dft(platform::BusKind bus) {
   std::vector<u32> in(512);
   for (auto& w : in) w = rng.next_u32() & 0x00FF'FFFF;
   session.put_input(in);
-  return session.run_irq();
+  const u64 cycles = session.run_irq();
+  obs::validate_soc_ledger(soc);
+  return cycles;
 }
 
 void run_point(const exp::ParamMap& params, exp::Result& result) {

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/report.hpp"
 #include "platform/soc.hpp"
@@ -72,6 +73,7 @@ void run_point(const exp::ParamMap& params, exp::Result& result) {
                     1000.0 * 2.0 * kWords * n_ocps /
                         static_cast<double>(makespan));
   result.add_utilization(platform::make_report(soc));
+  obs::validate_soc_ledger(soc);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "baseline/coupled.hpp"
 #include "baseline/slave_accel.hpp"
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/dft.hpp"
@@ -44,6 +45,7 @@ std::pair<u64, u64> run_coupled(u64 cpu_work) {
   const Cycle t0 = soc.kernel().now();
   const u64 lat = ccu.invoke(kIn, kOut);
   soc.cpu().spend(cpu_work);  // serialized: the CPU was stalled
+  obs::validate_soc_ledger(soc);
   return {lat, soc.kernel().now() - t0};
 }
 
@@ -69,6 +71,7 @@ std::pair<u64, u64> run_ocp(u64 cpu_work) {
   // Isolated latency: a fresh run with no CPU work.
   session.put_input(workload());
   const u64 lat = session.run_irq();
+  obs::validate_soc_ledger(soc);
   return {lat, total};
 }
 

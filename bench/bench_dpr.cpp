@@ -10,6 +10,7 @@
 #include "scenarios.hpp"
 
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "ouessant/dpr.hpp"
 #include "platform/soc.hpp"
@@ -63,6 +64,7 @@ u64 run_dpr(u32 batches, u32 batch_len, u32* swaps_out) {
     }
   }
   *swaps_out = static_cast<u32>(slot.swaps());
+  obs::validate_soc_ledger(soc);
   return soc.kernel().now() - t0;
 }
 
@@ -97,6 +99,7 @@ u64 run_static(u32 batches, u32 batch_len) {
       s.run_poll();
     }
   }
+  obs::validate_soc_ledger(soc);
   return soc.kernel().now() - t0;
 }
 

@@ -13,6 +13,7 @@
 
 #include "baseline/runners.hpp"
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/passthrough.hpp"
@@ -46,7 +47,9 @@ u64 run_ocp(u32 words) {
                        .burst = std::min(words, 64u), .overlap = true}),
                   /*timed_program=*/false);
   session.put_input(workload(words));
-  return session.run_irq();
+  const u64 cycles = session.run_irq();
+  obs::validate_soc_ledger(soc);
+  return cycles;
 }
 
 u64 run_pio(u32 words) {
@@ -58,7 +61,10 @@ u64 run_pio(u32 words) {
   soc.bus().connect_slave(accel, platform::kSlaveAccelBase,
                           baseline::kSlaveSpanBytes);
   soc.sram().load(kIn, workload(words));
-  return baseline::run_slave_pio(soc.cpu(), accel, kIn, kOut, words, words);
+  const u64 cycles =
+      baseline::run_slave_pio(soc.cpu(), accel, kIn, kOut, words, words);
+  obs::validate_soc_ledger(soc);
+  return cycles;
 }
 
 u64 run_dma(u32 words) {
@@ -71,8 +77,11 @@ u64 run_dma(u32 words) {
                           baseline::kSlaveSpanBytes);
   baseline::DmaEngine dma(soc.kernel(), "dma", soc.bus(), platform::kDmaBase);
   soc.sram().load(kIn, workload(words));
-  return baseline::run_slave_dma(soc.cpu(), dma, accel, kIn, kOut, words,
-                                 words, std::min(words, 64u));
+  const u64 cycles = baseline::run_slave_dma(soc.cpu(), dma, accel, kIn, kOut,
+                                             words, words,
+                                             std::min(words, 64u));
+  obs::validate_soc_ledger(soc);
+  return cycles;
 }
 
 void run_point(const exp::ParamMap& params, exp::Result& result) {

@@ -9,6 +9,7 @@
 #include "scenarios.hpp"
 
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/passthrough.hpp"
@@ -46,6 +47,7 @@ Measurement measure(u32 words, u32 burst, bool use_loop, bool overlap) {
   for (auto& w : in) w = rng.next_u32();
   session.put_input(in);
   const u64 cycles = session.run_irq();
+  obs::validate_soc_ledger(soc);
   return {.program_words = prog.size(),
           .instructions_executed = ocp.controller().stats().instructions,
           .cycles = cycles,

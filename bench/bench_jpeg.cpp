@@ -11,6 +11,7 @@
 #include "codec/jpeg.hpp"
 #include "cpu/sw_kernels.hpp"
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/idct.hpp"
@@ -47,6 +48,7 @@ Times run_decode(u32 dim, u32 quality, codec::EntropyKind entropy) {
       cpu::sw::sw_idct8x8(soc.cpu(), soc.sram(), kCoef, kPix);
     }
     t.sw = soc.kernel().now() - t0;
+    obs::validate_soc_ledger(soc);
   }
 
   // OCP decode, sequential and pipelined.
@@ -94,6 +96,7 @@ Times run_decode(u32 dim, u32 quality, codec::EntropyKind entropy) {
       }
       t.hw_pipe = soc.kernel().now() - t0;
     }
+    obs::validate_soc_ledger(soc);
   }
   return t;
 }

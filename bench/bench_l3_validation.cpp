@@ -13,6 +13,7 @@
 #include "l3/asm.hpp"
 #include "l3/core.hpp"
 #include "l3/kernels.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/idct.hpp"
@@ -73,7 +74,9 @@ u64 run_hw_idct() {
   std::vector<u32> in(64);
   for (auto& w : in) w = util::to_word(rng.range(-1024, 1023));
   session.put_input(in);
-  return session.run_irq();
+  const u64 cycles = session.run_irq();
+  obs::validate_soc_ledger(soc);
+  return cycles;
 }
 
 void run_point(const exp::ParamMap&, exp::Result& result) {

@@ -12,6 +12,7 @@
 #include "scenarios.hpp"
 
 #include "drv/linux_env.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/dft.hpp"
@@ -57,16 +58,19 @@ void run_point(const exp::ParamMap&, exp::Result& result) {
   {
     Rig rig;
     bm_poll = rig.session.run_poll();
+    obs::validate_soc_ledger(rig.soc);
   }
   {
     Rig rig;
     bm_irq = rig.session.run_irq();
+    obs::validate_soc_ledger(rig.soc);
   }
   {
     Rig rig;
     drv::LinuxEnv env;
     env.invoke(rig.session, drv::XferMode::kMmap);  // warm
     lx_mmap = env.invoke(rig.session, drv::XferMode::kMmap);
+    obs::validate_soc_ledger(rig.soc);
   }
   {
     Rig rig;
@@ -74,6 +78,7 @@ void run_point(const exp::ParamMap&, exp::Result& result) {
     env.invoke(rig.session, drv::XferMode::kCopyUser, kUserIn, kUserOut);
     lx_copy =
         env.invoke(rig.session, drv::XferMode::kCopyUser, kUserIn, kUserOut);
+    obs::validate_soc_ledger(rig.soc);
   }
 
   result.add_metric("bm_poll", bm_poll);

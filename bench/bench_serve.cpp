@@ -24,13 +24,22 @@
 #include <memory>
 #include <utility>
 
+#include "obs/collect.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
 #include "svc/service.hpp"
 
 namespace ouessant::scenarios {
 namespace {
 
-/// Build the service, optionally attach the VCD probes, serve the
-/// workload, and flatten report + bus utilization into the result.
+/// Sampling period for --trace-events metrics time-series: fine enough
+/// to see queue oscillation, coarse enough to keep files small.
+constexpr u64 kMetricsPeriod = 64;
+
+/// Build the service, optionally attach the VCD probes and/or the event
+/// tracer + metrics sampler, serve the workload, and flatten report +
+/// bus utilization into the result. Every run closes with a CycleLedger
+/// proof that per-component cycle attribution sums to wall cycles.
 void serve_point(svc::ServiceConfig cfg, svc::WorkloadConfig wl,
                  const exp::RunContext& ctx, exp::Result& result) {
   svc::OffloadService service(std::move(cfg));
@@ -40,9 +49,24 @@ void serve_point(svc::ServiceConfig cfg, svc::WorkloadConfig wl,
                                             ctx.trace_path, "svc");
     service.attach_trace(*trace);
   }
+  std::unique_ptr<obs::EventTracer> tracer;
+  std::unique_ptr<obs::MetricsSampler> metrics;
+  if (!ctx.trace_events_path.empty()) {
+    tracer = std::make_unique<obs::EventTracer>(service.soc().kernel());
+    service.attach_tracer(*tracer);
+    metrics = std::make_unique<obs::MetricsSampler>(service.soc().kernel(),
+                                                    kMetricsPeriod);
+    service.attach_metrics(*metrics);
+  }
   wl.seed = ctx.seed;
   const svc::ServiceReport rep = service.run(wl);
   rep.add_to(result);
+  obs::validate_soc_ledger(service.soc());
+  if (tracer != nullptr) {
+    tracer->write_json(ctx.trace_events_path);
+    metrics->write_json(ctx.trace_events_path + ".metrics.json");
+    result.add_metric("trace_events", static_cast<u64>(tracer->event_count()));
+  }
   const Cycle now = service.soc().kernel().now();
   result.add_metric(
       "bus_util_pct",

@@ -12,6 +12,7 @@
 
 #include "cpu/sw_kernels.hpp"
 #include "drv/linux_env.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/dft.hpp"
@@ -66,10 +67,12 @@ void run_point(const exp::ParamMap& params, exp::Result& result) {
       rac::IdctRac idct(soc.kernel(), "idct");
       core::Ocp& ocp = soc.add_ocp(idct);
       hw = run_hw_linux(soc, ocp, 64, 64);
+      obs::validate_soc_ledger(soc);
     }
     {
       platform::Soc soc;
       sw = cpu::sw::sw_idct8x8(soc.cpu(), soc.sram(), kIn, kOut);
+      obs::validate_soc_ledger(soc);
     }
   } else {
     {
@@ -78,10 +81,12 @@ void run_point(const exp::ParamMap& params, exp::Result& result) {
       lat = dft.datasheet_latency();
       core::Ocp& ocp = soc.add_ocp(dft);
       hw = run_hw_linux(soc, ocp, 512, 64);
+      obs::validate_soc_ledger(soc);
     }
     {
       platform::Soc soc;
       sw = cpu::sw::sw_dft_softfloat(soc.cpu(), soc.sram(), kIn, kOut, 256);
+      obs::validate_soc_ledger(soc);
     }
   }
   result.add_metric("lat", lat);

@@ -10,6 +10,7 @@
 #include "scenarios.hpp"
 
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/fir.hpp"
@@ -47,6 +48,7 @@ void run_point(const exp::ParamMap& params, exp::Result& result) {
   for (auto& w : in) w = rng.next_u32();
   session.put_input(in);
   const u64 cycles = session.run_irq();
+  obs::validate_soc_ledger(soc);
   if (session.get_output() != in) {
     result.fail("data mismatch at burst " + std::to_string(burst));
   }

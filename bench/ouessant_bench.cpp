@@ -16,6 +16,11 @@
 //                                       seeded (run_ctx) scenario
 //   ouessant_bench --trace STEM         write STEM_<scenario>_<point>.vcd
 //                                       for every seeded scenario run
+//   ouessant_bench --trace-events STEM  write Chrome trace-event JSON
+//                                       (STEM_<scenario>_<point>.trace.json
+//                                       + .metrics.json time-series) for
+//                                       every seeded scenario run; view
+//                                       with ouessant_trace or Perfetto
 //
 // Exit status is non-zero when any scenario run fails an invariant or the
 // --compare-jobs identity check trips.
@@ -43,13 +48,14 @@ struct Options {
   std::string json_path;
   std::optional<ouessant::u64> seed;
   std::string trace_stem;
+  std::string trace_events_stem;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--filter SUBSTR[,SUBSTR...]] [--jobs N]\n"
                "          [--json PATH] [--compare-jobs N] [--seed U64]\n"
-               "          [--trace STEM]\n",
+               "          [--trace STEM] [--trace-events STEM]\n",
                argv0);
 }
 
@@ -101,6 +107,10 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->trace_stem = v;
+    } else if (arg == "--trace-events") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->trace_events_stem = v;
     } else {
       usage(argv[0]);
       return false;
@@ -191,16 +201,18 @@ int main(int argc, char** argv) {
   try {
     if (opt.compare_jobs > 0) {
       const auto jobs = exp::expand_jobs(registry, opt.filter);
-      const auto serial =
-          exp::run_sweep(registry, {.jobs = 1,
-                                    .filter = opt.filter,
-                                    .seed = opt.seed,
-                                    .trace_stem = opt.trace_stem});
+      const auto serial = exp::run_sweep(
+          registry, {.jobs = 1,
+                     .filter = opt.filter,
+                     .seed = opt.seed,
+                     .trace_stem = opt.trace_stem,
+                     .trace_events_stem = opt.trace_events_stem});
       const auto parallel = exp::run_sweep(
           registry, {.jobs = opt.compare_jobs,
                      .filter = opt.filter,
                      .seed = opt.seed,
-                     .trace_stem = opt.trace_stem});
+                     .trace_stem = opt.trace_stem,
+                     .trace_events_stem = opt.trace_events_stem});
       const bool identical =
           payloads_identical(jobs, serial.results, parallel.results);
       const double speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -227,11 +239,12 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto outcome = exp::run_sweep(registry,
-                                        {.jobs = opt.jobs,
-                                         .filter = opt.filter,
-                                         .seed = opt.seed,
-                                         .trace_stem = opt.trace_stem});
+    const auto outcome = exp::run_sweep(
+        registry, {.jobs = opt.jobs,
+                   .filter = opt.filter,
+                   .seed = opt.seed,
+                   .trace_stem = opt.trace_stem,
+                   .trace_events_stem = opt.trace_events_stem});
     print_tables(registry, outcome.results);
     std::printf("sweep: %zu runs | jobs=%d | %.3fs | %zu failed\n",
                 outcome.results.size(), outcome.jobs, outcome.wall_seconds,

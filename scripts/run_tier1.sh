@@ -11,6 +11,10 @@
 #   4. the kernel throughput guard scenario, which checks the gated and
 #      ungated scheduler agree on the simulated clock and records
 #      cycles/sec into BENCH_kernel.json
+#   5. the trace-overhead guard: one serve workload traced and untraced
+#      must be bit-identical (sim clock + Stats::all() + latency
+#      histograms) with traced host time within 2x untraced, and the
+#      written trace must round-trip through the ouessant_trace CLI
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -49,5 +53,12 @@ echo "==== tier-1: kernel throughput guard ===="
   --json build/bench/BENCH_kernel.json
 echo "guard record:"
 cat build/bench/BENCH_kernel.json
+
+echo "==== tier-1: trace-overhead guard + ouessant_trace round-trip ===="
+cmake --build build -j --target trace_guard ouessant_trace
+./build/bench/trace_guard build/bench/trace_guard.trace.json
+./build/tools/ouessant_trace build/bench/trace_guard.trace.json --top 5 \
+  > /dev/null
+echo "trace round-trip OK"
 
 echo "tier-1 OK"

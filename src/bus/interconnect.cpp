@@ -87,6 +87,35 @@ BusMasterPort* InterconnectModel::select_master() {
   return best;
 }
 
+void InterconnectModel::set_tracer(obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) track_ = tracer_->track("bus." + name());
+}
+
+MasterStats InterconnectModel::master_totals() const {
+  MasterStats total;
+  for (const auto& m : masters_) {
+    total.transactions += m->stats().transactions;
+    total.beats += m->stats().beats;
+    total.wait_cycles += m->stats().wait_cycles;
+    total.stall_cycles += m->stats().stall_cycles;
+    total.grant_cycles += m->stats().grant_cycles;
+  }
+  return total;
+}
+
+void InterconnectModel::note_txn_wait(BusMasterPort& m) {
+  if (!logging_ && tracer_ == nullptr) return;
+  auto it = open_.find(&m);
+  if (it != open_.end()) ++it->second.waits;
+}
+
+void InterconnectModel::note_txn_stall(BusMasterPort& m) {
+  if (!logging_ && tracer_ == nullptr) return;
+  auto it = open_.find(&m);
+  if (it != open_.end()) ++it->second.stalls;
+}
+
 bool InterconnectModel::is_quiescent() const {
   if (granted_ != nullptr) return false;
   return std::none_of(masters_.begin(), masters_.end(),
@@ -107,7 +136,8 @@ void InterconnectModel::tick_compute() {
     }
     grant_addr_cycles_left_ = cfg_.address_phase_cycles;
     grant_beats_left_ = std::min(cfg_.max_beats_per_grant, granted_->beats_);
-    if (logging_ && open_.find(granted_) == open_.end()) {
+    if ((logging_ || tracer_ != nullptr) &&
+        open_.find(granted_) == open_.end()) {
       // First grant for this transaction: open a log record.
       open_[granted_] = TxnRecord{.start = kernel().now(),
                                   .end = 0,
@@ -129,6 +159,7 @@ void InterconnectModel::tick_compute() {
   if (wait_left_ > 0) {
     --wait_left_;
     ++m.stats_.wait_cycles;
+    note_txn_wait(m);
     if (wait_left_ == 0 && beat_in_flight_) {
       complete_beat(inflight_data_);
     }
@@ -144,6 +175,7 @@ void InterconnectModel::tick_compute() {
       if (m.source_ != nullptr) {
         if (!m.source_->beat_ready()) {
           ++m.stats_.stall_cycles;
+          note_txn_stall(m);
           return;
         }
         data = m.source_->take_beat();
@@ -161,6 +193,7 @@ void InterconnectModel::tick_compute() {
     } else {
       if (m.sink_ != nullptr && !m.sink_->beat_space()) {
         ++m.stats_.stall_cycles;
+        note_txn_stall(m);
         return;
       }
       const SlaveResponse resp = decode(m.addr_).read_word(m.addr_);
@@ -210,11 +243,19 @@ void InterconnectModel::complete_beat(u32 data) {
     if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
     ++m.stats_.transactions;
     kernel().stats().add(m.h_transactions_);
-    if (logging_) {
+    if (logging_ || tracer_ != nullptr) {
       auto it = open_.find(&m);
       if (it != open_.end()) {
         it->second.end = kernel().now();
-        log_.push_back(it->second);
+        if (tracer_ != nullptr) {
+          const TxnRecord& r = it->second;
+          tracer_->complete(
+              track_, r.write ? "wr" : "rd", r.start, r.end,
+              {obs::arg("master", r.master), obs::arg("addr", u64{r.addr}),
+               obs::arg("beats", u64{r.beats}), obs::arg("waits", u64{r.waits}),
+               obs::arg("stalls", u64{r.stalls})});
+        }
+        if (logging_) log_.push_back(it->second);
         open_.erase(it);
       }
     }

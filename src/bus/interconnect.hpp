@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bus/types.hpp"
+#include "obs/tracer.hpp"
 #include "sim/kernel.hpp"
 
 namespace ouessant::bus {
@@ -42,6 +43,8 @@ struct TxnRecord {
   Addr addr = 0;
   bool write = false;
   u32 beats = 0;
+  u32 waits = 0;   ///< slave wait states inside this transaction
+  u32 stalls = 0;  ///< master stalls inside this transaction
 };
 
 class InterconnectModel : public sim::Component {
@@ -93,6 +96,18 @@ class InterconnectModel : public sim::Component {
   [[nodiscard]] const std::vector<TxnRecord>& log() const { return log_; }
   void clear_log() { log_.clear(); }
 
+  /// Attach (or detach, nullptr) an event tracer. Every completed
+  /// transaction is then emitted as one span ("wr"/"rd") on a track
+  /// named "bus.<name>", annotated with master, address, beat count and
+  /// the wait-state/stall cycles it absorbed.
+  void set_tracer(obs::EventTracer* tracer);
+
+  /// Per-category cycle totals summed over every master port. With the
+  /// model's one-action-per-busy-cycle invariant,
+  ///   beats + grant_cycles + wait_cycles + stall_cycles == busy_cycles()
+  /// — the identity the CycleLedger builds Table I's transfer column on.
+  [[nodiscard]] MasterStats master_totals() const;
+
  private:
   struct Mapping {
     Addr base;
@@ -102,6 +117,8 @@ class InterconnectModel : public sim::Component {
 
   BusMasterPort* select_master();
   void complete_beat(u32 data);
+  void note_txn_wait(BusMasterPort& m);
+  void note_txn_stall(BusMasterPort& m);
   [[nodiscard]] u64 pending_idle_credit() const {
     const Cycle now = kernel().now();
     return now > next_expected_tick_ ? now - next_expected_tick_ : 0;
@@ -122,6 +139,8 @@ class InterconnectModel : public sim::Component {
   std::size_t rr_next_ = 0;    // round-robin pointer
 
   std::vector<WriteSnooper> snoopers_;
+  obs::EventTracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
   bool logging_ = false;
   std::map<BusMasterPort*, TxnRecord> open_;  // in-flight logged txns
   std::vector<TxnRecord> log_;

@@ -57,13 +57,16 @@ u32 OcpDriver::wait_done_poll(u64 poll_gap, u64 timeout) {
     ++polls;
     if ((ctrl & kCtrlErr) != 0) {
       throw SimError("OcpDriver(" + name_ +
-                     "): OCP signalled a microcode fault");
+                     "): OCP signalled a microcode fault at cycle " +
+                     std::to_string(gpp_.now()));
     }
     if ((ctrl & kCtrlDone) != 0) break;
     if (gpp_.now() - t0 >= timeout) {
       throw SimError("OcpDriver(" + name_ +
                      ")::wait_done_poll: no completion within " +
-                     std::to_string(timeout) + " cycles");
+                     std::to_string(timeout) + " cycles (started cycle " +
+                     std::to_string(t0) + ", now cycle " +
+                     std::to_string(gpp_.now()) + ")");
     }
     gpp_.spend(poll_gap);
   }
@@ -79,12 +82,14 @@ void OcpDriver::wait_done_irq(u64 timeout) {
     // actually expired (the kernel's message knows neither).
     throw SimError("OcpDriver(" + name_ +
                    ")::wait_done_irq: no interrupt within " +
-                   std::to_string(timeout) + " cycles");
+                   std::to_string(timeout) + " cycles (gave up at cycle " +
+                   std::to_string(gpp_.now()) + ")");
   }
   const u32 ctrl = read_ctrl();
   if ((ctrl & kCtrlErr) != 0) {
     throw SimError("OcpDriver(" + name_ +
-                   "): OCP signalled a microcode fault");
+                   "): OCP signalled a microcode fault at cycle " +
+                   std::to_string(gpp_.now()));
   }
   clear_done();
 }

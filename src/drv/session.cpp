@@ -14,7 +14,13 @@ OcpSession::OcpSession(cpu::Gpp& gpp, mem::Sram& mem, core::Ocp& ocp,
   }
 }
 
+void OcpSession::set_tracer(obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) track_ = tracer_->track("drv." + ocp_.name());
+}
+
 void OcpSession::install(const core::Program& prog, bool timed_program) {
+  const Cycle t0 = gpp_.now();
   const auto check = core::verify(
       prog, static_cast<u32>(ocp_.input_fifos().size()),
       static_cast<u32>(ocp_.output_fifos().size()));
@@ -29,6 +35,11 @@ void OcpSession::install(const core::Program& prog, bool timed_program) {
   }
   drv_.set_bank(1, layout_.in_base);
   drv_.set_bank(2, layout_.out_base);
+  if (tracer_ != nullptr) {
+    tracer_->complete(track_, "install", t0, gpp_.now(),
+                      {obs::arg("words", u64{prog.size()}),
+                       obs::arg("timed", u64{timed_program ? 1 : 0})});
+  }
 }
 
 void OcpSession::put_input(const std::vector<u32>& words) {
@@ -45,7 +56,12 @@ std::vector<u32> OcpSession::get_output() const {
 u64 OcpSession::run_poll(u64 poll_gap, u64 timeout) {
   const Cycle t0 = gpp_.now();
   drv_.start();
-  drv_.wait_done_poll(poll_gap, timeout);
+  const u32 polls = drv_.wait_done_poll(poll_gap, timeout);
+  if (tracer_ != nullptr) {
+    tracer_->complete(track_, "run_poll", t0, gpp_.now(),
+                      {obs::arg("polls", u64{polls}),
+                       obs::arg("poll_gap", poll_gap)});
+  }
   return gpp_.now() - t0;
 }
 
@@ -54,9 +70,15 @@ u64 OcpSession::run_irq(u64 timeout) {
   drv_.enable_irq(true);
   drv_.start();
   drv_.wait_done_irq(timeout);
+  if (tracer_ != nullptr) {
+    tracer_->complete(track_, "run_irq", t0, gpp_.now());
+  }
   return gpp_.now() - t0;
 }
 
-void OcpSession::start_async() { drv_.start(); }
+void OcpSession::start_async() {
+  drv_.start();
+  if (tracer_ != nullptr) tracer_->instant(track_, "start_async");
+}
 
 }  // namespace ouessant::drv

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "drv/ocp_driver.hpp"
+#include "obs/tracer.hpp"
 #include "ouessant/ocp.hpp"
 
 namespace ouessant::drv {
@@ -50,12 +51,19 @@ class OcpSession {
   [[nodiscard]] mem::Sram& memory() { return mem_; }
   [[nodiscard]] core::Ocp& ocp() { return ocp_; }
 
+  /// Attach (or detach, nullptr) an event tracer. install/run_poll/
+  /// run_irq become spans on a track "drv.<ocp name>"; start_async an
+  /// instant (the CPU leaves immediately — there is nothing to span).
+  void set_tracer(obs::EventTracer* tracer);
+
  private:
   cpu::Gpp& gpp_;
   mem::Sram& mem_;
   core::Ocp& ocp_;
   SessionLayout layout_;
   OcpDriver drv_;
+  obs::EventTracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
 };
 
 }  // namespace ouessant::drv

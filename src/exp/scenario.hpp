@@ -21,11 +21,13 @@ namespace ouessant::exp {
 
 /// Per-run context the sweep threads into context-aware scenarios: the
 /// seed the run must use (the spec's default_seed unless the driver's
-/// --seed overrides it) and an optional VCD trace destination ("" = no
-/// tracing). Plain runs (ScenarioSpec::run) never see it.
+/// --seed overrides it) and optional trace destinations ("" = off) — a
+/// VCD waveform path and a Chrome trace-event JSON path. Plain runs
+/// (ScenarioSpec::run) never see it.
 struct RunContext {
   u64 seed = 0;
   std::string trace_path;
+  std::string trace_events_path;
 };
 
 /// One named grid axis. The sweep expands axes in declaration order with

@@ -57,11 +57,21 @@ std::vector<SweepJob> expand_jobs(const Registry& registry,
   for (SweepJob& job : jobs) {
     if (!job.spec->run_ctx) continue;  // plain runs take no context
     job.seed = options.seed;
+    if (options.trace_stem.empty() && options.trace_events_stem.empty()) {
+      continue;
+    }
+    // One per-spec point counter shared by both trace kinds, so the VCD
+    // and the event trace of the same run carry the same suffix.
+    point = (job.spec == last) ? point + 1 : 0;
+    last = job.spec;
+    const std::string suffix =
+        "_" + job.spec->name + "_" + std::to_string(point);
     if (!options.trace_stem.empty()) {
-      point = (job.spec == last) ? point + 1 : 0;
-      last = job.spec;
-      job.trace_path = options.trace_stem + "_" + job.spec->name + "_" +
-                       std::to_string(point) + ".vcd";
+      job.trace_path = options.trace_stem + suffix + ".vcd";
+    }
+    if (!options.trace_events_stem.empty()) {
+      job.trace_events_path =
+          options.trace_events_stem + suffix + ".trace.json";
     }
   }
   return jobs;
@@ -78,6 +88,7 @@ Result run_job(const SweepJob& job) {
       RunContext ctx;
       ctx.seed = job.seed.value_or(job.spec->default_seed);
       ctx.trace_path = job.trace_path;
+      ctx.trace_events_path = job.trace_events_path;
       job.spec->run_ctx(job.params, ctx, r);
     } else {
       job.spec->run(job.params, r);

@@ -32,6 +32,10 @@ struct SweepOptions {
   /// When non-empty, each run_ctx job gets a VCD trace written to
   /// "<stem>_<scenario>_<point>.vcd" (ouessant_bench --trace).
   std::string trace_stem;
+  /// When non-empty, each run_ctx job gets a Chrome trace-event JSON
+  /// (plus a "<...>.metrics.json" time-series) written to
+  /// "<stem>_<scenario>_<point>.trace.json" (--trace-events).
+  std::string trace_events_stem;
 };
 
 /// One expanded (scenario, grid point) work item.
@@ -42,6 +46,8 @@ struct SweepJob {
   std::optional<u64> seed;
   /// Per-job VCD destination ("" = no tracing).
   std::string trace_path;
+  /// Per-job trace-event JSON destination ("" = no tracing).
+  std::string trace_events_path;
 };
 
 struct SweepOutcome {

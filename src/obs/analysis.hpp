@@ -1,0 +1,60 @@
+// Trace analysis: the aggregations behind the `ouessant_trace` CLI.
+//
+// Works on ParsedTrace, so the same breakdowns run on a fresh in-memory
+// trace (tests) or a file written by `ouessant_bench --trace-events`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.hpp"
+#include "util/types.hpp"
+
+namespace ouessant::obs {
+
+/// Aggregate of one (track, span name) pair across all 'X' events.
+struct PhaseStat {
+  std::string track;
+  std::string name;
+  u64 count = 0;
+  u64 total_dur = 0;
+  u64 max_dur = 0;
+};
+
+/// Per-track per-name span totals, sorted by total_dur descending.
+[[nodiscard]] std::vector<PhaseStat> phase_breakdown(const ParsedTrace& t);
+
+/// One job's life as recorded by the svc layer's per-job spans.
+struct JobPath {
+  u64 id = 0;
+  std::string kind;
+  std::string worker;
+  u64 arrival = 0;   ///< span ts
+  u64 wait = 0;      ///< queue wait (args)
+  u64 service = 0;   ///< dispatch -> completion (args)
+  u64 end_to_end = 0;  ///< span dur
+};
+
+/// Jobs reconstructed from the "svc.jobs" track, sorted by end-to-end
+/// latency descending (the critical paths first).
+[[nodiscard]] std::vector<JobPath> job_critical_paths(const ParsedTrace& t);
+
+/// One microcode PC's aggregate cost across controller spans.
+struct PcStat {
+  std::string track;  ///< controller track, e.g. "ocp.idct0.ctrl"
+  u64 pc = 0;
+  std::string mnemonic;  ///< span name of the instruction
+  u64 count = 0;
+  u64 total_dur = 0;
+};
+
+/// Hottest microcode PCs: controller-track spans carrying a "pc" arg,
+/// aggregated per (track, pc) and sorted by total_dur descending.
+[[nodiscard]] std::vector<PcStat> hottest_pcs(const ParsedTrace& t);
+
+/// Full human-readable report (phase breakdown, top-N critical paths,
+/// top-N hottest PCs) as printed by `ouessant_trace`.
+[[nodiscard]] std::string render_report(const ParsedTrace& t,
+                                        std::size_t top_n);
+
+}  // namespace ouessant::obs

@@ -1,0 +1,95 @@
+#include "obs/sampler.hpp"
+
+#include <fstream>
+
+namespace ouessant::obs {
+
+MetricsSampler::MetricsSampler(sim::Kernel& kernel, u64 period)
+    : kernel_(kernel), period_(period) {
+  if (period_ == 0) {
+    throw ConfigError("MetricsSampler: period must be >= 1");
+  }
+  sampler_id_ = kernel_.add_sampler([this](Cycle c) { sample(c); });
+}
+
+MetricsSampler::~MetricsSampler() { kernel_.remove_sampler(sampler_id_); }
+
+void MetricsSampler::reject_if_started(const std::string& name) const {
+  if (!samples_.empty()) {
+    throw SimError("MetricsSampler: column " + name +
+                   " added after sampling started (cycle " +
+                   std::to_string(kernel_.now()) +
+                   "); earlier rows would be misaligned");
+  }
+  for (const std::string& c : columns_) {
+    if (c == name) {
+      throw ConfigError("MetricsSampler: duplicate column " + name);
+    }
+  }
+}
+
+void MetricsSampler::add_gauge(const std::string& name,
+                               std::function<u64()> fn) {
+  reject_if_started(name);
+  // Gauges form the column head; keep stat keys behind them so the
+  // documented column order (gauges, then stats) holds regardless of
+  // registration interleaving.
+  columns_.insert(columns_.begin() + static_cast<std::ptrdiff_t>(gauges_.size()),
+                  name);
+  gauges_.push_back(std::move(fn));
+}
+
+void MetricsSampler::add_stat(const std::string& key) {
+  reject_if_started(key);
+  columns_.push_back(key);
+  stat_keys_.push_back(key);
+}
+
+void MetricsSampler::sample(Cycle cycle) {
+  if (cycle % period_ != 0) return;
+  Sample s;
+  s.cycle = cycle;
+  s.values.reserve(columns_.size());
+  for (const auto& g : gauges_) s.values.push_back(g());
+  for (const std::string& k : stat_keys_) {
+    s.values.push_back(kernel_.stats().get(k));
+  }
+  samples_.push_back(std::move(s));
+}
+
+std::string MetricsSampler::to_json() const {
+  std::string out;
+  out.reserve(128 + samples_.size() * 32);
+  out += "{\n\"schema\": \"ouessant.metrics.v1\",\n\"period\": ";
+  out += std::to_string(period_);
+  out += ",\n\"columns\": [";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += columns_[i];
+    out += '"';
+  }
+  out += "],\n\"samples\": [\n";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += "[";
+    out += std::to_string(samples_[i].cycle);
+    for (const u64 v : samples_[i].values) {
+      out += ", ";
+      out += std::to_string(v);
+    }
+    out += "]";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void MetricsSampler::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw SimError("MetricsSampler: cannot write " + path);
+  }
+  out << to_json();
+}
+
+}  // namespace ouessant::obs

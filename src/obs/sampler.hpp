@@ -1,0 +1,71 @@
+// MetricsSampler: periodic time-series snapshots of live gauges and
+// Stats counters (DESIGN.md §10).
+//
+// Registers one kernel sampler and records a row every N cycles: the
+// configured gauges (queue depth, in-flight jobs, per-OCP busy, bus
+// occupancy — any u64-returning closure) plus any named Stats counters.
+// Like the VCD writer it is passive: samplers run after the commit phase
+// (and for every fast-forwarded cycle), so the simulated clock, memory
+// and Stats are bit-identical with or without a sampler attached — the
+// only cost is host time.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "util/types.hpp"
+
+namespace ouessant::obs {
+
+class MetricsSampler {
+ public:
+  struct Sample {
+    Cycle cycle = 0;
+    std::vector<u64> values;  ///< column order: gauges, then stats keys
+  };
+
+  /// Snapshot every @p period cycles (the first sample lands on the
+  /// first cycle divisible by @p period).
+  MetricsSampler(sim::Kernel& kernel, u64 period);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Add a live gauge column. Columns must be registered before the
+  /// first sample is taken (SimError otherwise — a late column would
+  /// silently misalign every earlier row). Duplicate names rejected.
+  void add_gauge(const std::string& name, std::function<u64()> fn);
+
+  /// Add a Stats counter column sampled via Stats::get(@p key). Same
+  /// registration rules as add_gauge.
+  void add_stat(const std::string& key);
+
+  [[nodiscard]] u64 period() const { return period_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+
+  /// Serialize as ouessant.metrics.v1 JSON (docs/observability.md).
+  [[nodiscard]] std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+ private:
+  void sample(Cycle cycle);
+  void reject_if_started(const std::string& name) const;
+
+  sim::Kernel& kernel_;
+  u64 period_;
+  u64 sampler_id_ = 0;
+  std::vector<std::string> columns_;
+  std::vector<std::function<u64()>> gauges_;  ///< parallel to columns_ head
+  std::vector<std::string> stat_keys_;        ///< columns_ tail
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ouessant::obs

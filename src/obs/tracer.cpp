@@ -1,0 +1,193 @@
+#include "obs/tracer.hpp"
+
+#include <fstream>
+
+namespace ouessant::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (names and args are controlled
+/// identifiers, but a stray quote must not corrupt the file).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_args(std::string& out, const std::vector<Arg>& args) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += escape(args[i].key);
+    out += "\":";
+    if (args[i].is_str) {
+      out += '"';
+      out += escape(args[i].s);
+      out += '"';
+    } else {
+      out += std::to_string(args[i].u);
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TrackId EventTracer::track(const std::string& name) {
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    if (track_names_[i] == name) return static_cast<TrackId>(i);
+  }
+  track_names_.push_back(name);
+  return static_cast<TrackId>(track_names_.size() - 1);
+}
+
+void EventTracer::complete(TrackId t, std::string name, Cycle start,
+                           Cycle end, std::vector<Arg> args) {
+  events_.push_back(Event{.ph = 'X',
+                          .tid = t,
+                          .ts = start,
+                          .dur = end - start,
+                          .flow_id = 0,
+                          .name = std::move(name),
+                          .args = std::move(args)});
+}
+
+void EventTracer::instant(TrackId t, std::string name,
+                          std::vector<Arg> args) {
+  events_.push_back(Event{.ph = 'i',
+                          .tid = t,
+                          .ts = kernel_.now(),
+                          .dur = 0,
+                          .flow_id = 0,
+                          .name = std::move(name),
+                          .args = std::move(args)});
+}
+
+void EventTracer::counter(TrackId t, std::string name, u64 value) {
+  events_.push_back(Event{.ph = 'C',
+                          .tid = t,
+                          .ts = kernel_.now(),
+                          .dur = 0,
+                          .flow_id = 0,
+                          .name = std::move(name),
+                          .args = {arg("value", value)}});
+}
+
+void EventTracer::flow_begin(TrackId t, std::string name, u64 flow_id) {
+  events_.push_back(Event{.ph = 's',
+                          .tid = t,
+                          .ts = kernel_.now(),
+                          .dur = 0,
+                          .flow_id = flow_id,
+                          .name = std::move(name),
+                          .args = {}});
+}
+
+void EventTracer::flow_step(TrackId t, std::string name, u64 flow_id) {
+  events_.push_back(Event{.ph = 't',
+                          .tid = t,
+                          .ts = kernel_.now(),
+                          .dur = 0,
+                          .flow_id = flow_id,
+                          .name = std::move(name),
+                          .args = {}});
+}
+
+void EventTracer::flow_end(TrackId t, std::string name, u64 flow_id) {
+  events_.push_back(Event{.ph = 'f',
+                          .tid = t,
+                          .ts = kernel_.now(),
+                          .dur = 0,
+                          .flow_id = flow_id,
+                          .name = std::move(name),
+                          .args = {}});
+}
+
+std::string EventTracer::to_json() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96);
+  out += "{\n\"traceEvents\": [\n";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"ouessant\"}}";
+  for (std::size_t i = 0; i < track_names_.size(); ++i) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(i);
+    out += ",\"args\":{\"name\":\"";
+    out += escape(track_names_[i]);
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    out += ",\n{\"name\":\"";
+    out += escape(e.name);
+    out += "\",\"cat\":\"";
+    out += (e.ph == 's' || e.ph == 't' || e.ph == 'f') ? "flow" : "sim";
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts);
+    switch (e.ph) {
+      case 'X':
+        out += ",\"dur\":";
+        out += std::to_string(e.dur);
+        break;
+      case 'i':
+        out += ",\"s\":\"t\"";  // instant scope: thread
+        break;
+      case 's':
+      case 't':
+      case 'f':
+        out += ",\"id\":";
+        out += std::to_string(e.flow_id);
+        if (e.ph == 'f') out += ",\"bp\":\"e\"";  // bind to enclosing slice
+        break;
+      default:
+        break;
+    }
+    if (!e.args.empty()) {
+      out += ',';
+      append_args(out, e.args);
+    }
+    out += '}';
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n";
+  out += "\"otherData\": {\"schema\": \"ouessant.trace.v1\", "
+         "\"timestamp_unit\": \"cycle\"}\n}\n";
+  return out;
+}
+
+void EventTracer::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw SimError("EventTracer: cannot write " + path);
+  }
+  out << to_json();
+}
+
+}  // namespace ouessant::obs

@@ -1,0 +1,109 @@
+// Cross-layer event tracer (DESIGN.md §10).
+//
+// Components emit structured, cycle-timestamped events — spans, instants,
+// counters and flows — onto named tracks; the tracer serializes them as
+// Chrome trace-event JSON, which Perfetto / chrome://tracing load
+// directly. Timestamps are sim cycles (the file declares the unit), so a
+// span's length in the viewer is exactly its cycle cost in Table I terms.
+//
+// Cost model: tracing is wired through nullable `obs::EventTracer*`
+// members. When no tracer is attached every instrumentation site is a
+// single pointer compare — the tracer deliberately has NO kernel sampler,
+// so an untraced (or traced!) run's scheduling, cycle counts and Stats
+// are untouched: tracing is passive (asserted by the determinism tests).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "util/types.hpp"
+
+namespace ouessant::obs {
+
+/// Interned track index. Tracks map to Chrome trace "threads": each
+/// component instrumenting itself owns one stably-named track.
+using TrackId = u32;
+
+/// One event argument: a key plus either an unsigned integer or a
+/// string value (everything the instrumentation sites need).
+struct Arg {
+  std::string key;
+  bool is_str = false;
+  u64 u = 0;
+  std::string s;
+};
+
+[[nodiscard]] inline Arg arg(std::string key, u64 v) {
+  return Arg{.key = std::move(key), .is_str = false, .u = v, .s = {}};
+}
+[[nodiscard]] inline Arg arg(std::string key, const std::string& v) {
+  return Arg{.key = std::move(key), .is_str = true, .u = 0, .s = v};
+}
+[[nodiscard]] inline Arg arg(std::string key, const char* v) {
+  return Arg{.key = std::move(key), .is_str = true, .u = 0, .s = v};
+}
+
+class EventTracer {
+ public:
+  /// One raw event. ph follows the Chrome trace-event phase codes:
+  /// 'X' complete span, 'i' instant, 'C' counter, 's'/'t'/'f' flow
+  /// start/step/end.
+  struct Event {
+    char ph = 'X';
+    TrackId tid = 0;
+    Cycle ts = 0;
+    u64 dur = 0;      ///< 'X' only
+    u64 flow_id = 0;  ///< 's'/'t'/'f' only
+    std::string name;
+    std::vector<Arg> args;
+  };
+
+  explicit EventTracer(sim::Kernel& kernel) : kernel_(kernel) {}
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Intern @p name as a track; repeated calls return the same id. Track
+  /// naming is stable: ids are assigned in first-use order, so identical
+  /// runs produce identical files.
+  [[nodiscard]] TrackId track(const std::string& name);
+
+  /// Span covering [@p start, @p end] on the sim clock.
+  void complete(TrackId t, std::string name, Cycle start, Cycle end,
+                std::vector<Arg> args = {});
+
+  /// Point event at the current cycle.
+  void instant(TrackId t, std::string name, std::vector<Arg> args = {});
+
+  /// Counter sample (one series per track/name pair) at the current cycle.
+  void counter(TrackId t, std::string name, u64 value);
+
+  // Flow arrows stitch one job's enqueue -> dispatch -> retire across
+  // tracks; @p flow_id groups the three phases (the svc layer uses the
+  // job id).
+  void flow_begin(TrackId t, std::string name, u64 flow_id);
+  void flow_step(TrackId t, std::string name, u64 flow_id);
+  void flow_end(TrackId t, std::string name, u64 flow_id);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] const std::vector<std::string>& track_names() const {
+    return track_names_;
+  }
+  [[nodiscard]] sim::Kernel& kernel() const { return kernel_; }
+
+  /// Serialize as Chrome trace-event JSON (docs/observability.md has the
+  /// schema notes). Deterministic: byte-identical for identical runs.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json + write to @p path; throws SimError when unwritable.
+  void write_json(const std::string& path) const;
+
+ private:
+  sim::Kernel& kernel_;
+  std::vector<std::string> track_names_;
+  std::vector<Event> events_;
+};
+
+}  // namespace ouessant::obs

@@ -91,7 +91,20 @@ ControllerStats Controller::stats() const {
   return s;
 }
 
+void Controller::set_tracer(obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) track_ = tracer_->track("ctrl." + name());
+}
+
+void Controller::trace_instr_end() {
+  if (tracer_ == nullptr) return;
+  tracer_->complete(track_, isa::mnemonic(cur_.op), instr_begin_,
+                    kernel().now(), {obs::arg("pc", u64{instr_pc_})});
+}
+
 void Controller::issue_fetch() {
+  instr_begin_ = kernel().now();
+  instr_pc_ = pc_;
   iface_.master().start_read(iface_.translate(kProgramBank, pc_), 1);
   state_ = State::kFetch;
 }
@@ -106,7 +119,10 @@ void Controller::next_instruction() {
 }
 
 void Controller::fault(const char* why) {
-  (void)why;  // surfaced through the ERR control bit; why aids debugging
+  if (tracer_ != nullptr) {
+    tracer_->instant(track_, "fault",
+                     {obs::arg("why", why), obs::arg("pc", u64{pc_})});
+  }
   ++stats_.faults;
   iface_.signal_error();
   iface_.set_running(false);
@@ -158,17 +174,20 @@ void Controller::decode_and_issue() {
       break;
     case isa::Opcode::kExecs:
       rac_.start();
+      trace_instr_end();
       next_instruction();
       break;
     case isa::Opcode::kWait:
       state_ = State::kExecWait;
       break;
     case isa::Opcode::kNop:
+      trace_instr_end();
       next_instruction();
       break;
     case isa::Opcode::kIrq:
       ++stats_.progress_irqs;
       iface_.signal_progress();
+      trace_instr_end();
       next_instruction();
       break;
     case isa::Opcode::kLoop: {
@@ -181,6 +200,7 @@ void Controller::decode_and_issue() {
         loop_left_ = cur_.count;
         loop_iter_ = 0;
       }
+      trace_instr_end();
       if (loop_left_ > 0) {
         --loop_left_;
         ++loop_iter_;
@@ -195,6 +215,7 @@ void Controller::decode_and_issue() {
     }
     case isa::Opcode::kEop:
       ++stats_.runs;
+      trace_instr_end();
       iface_.signal_done();
       iface_.set_running(false);
       state_ = State::kIdle;
@@ -236,6 +257,7 @@ void Controller::tick_compute() {
       break;
     case State::kXfer:
       if (!iface_.master().busy()) {
+        trace_instr_end();
         next_instruction();
       } else {
         ++stats_.xfer_cycles;
@@ -243,6 +265,7 @@ void Controller::tick_compute() {
       break;
     case State::kExecWait:
       if (!rac_.busy()) {
+        trace_instr_end();
         next_instruction();
       } else {
         ++stats_.exec_wait_cycles;

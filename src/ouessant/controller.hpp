@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "fifo/width_fifo.hpp"
+#include "obs/tracer.hpp"
 #include "ouessant/interface.hpp"
 #include "ouessant/isa.hpp"
 #include "ouessant/rac_if.hpp"
@@ -71,6 +72,12 @@ class Controller : public sim::Component, public res::ResourceAware {
   // res::ResourceAware
   [[nodiscard]] res::ResourceNode resource_tree() const override;
 
+  /// Attach (or detach, nullptr) an event tracer. Each microcode
+  /// instruction is then emitted as one span (named by its mnemonic,
+  /// covering fetch through completion, annotated with its pc) on a
+  /// track "ctrl.<name>"; faults appear as instants.
+  void set_tracer(obs::EventTracer* tracer);
+
  private:
   enum class State { kIdle, kFetch, kDecode, kXfer, kExecWait };
 
@@ -110,6 +117,7 @@ class Controller : public sim::Component, public res::ResourceAware {
   void next_instruction();
   void decode_and_issue();
   void fault(const char* why);
+  void trace_instr_end();
 
   BusInterface& iface_;
   Rac& rac_;
@@ -133,6 +141,10 @@ class Controller : public sim::Component, public res::ResourceAware {
   FifoSink sink_;
   FifoSource source_;
   ControllerStats stats_;
+  obs::EventTracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  Cycle instr_begin_ = 0;  ///< fetch-issue cycle of the current instruction
+  u32 instr_pc_ = 0;       ///< pc of the current instruction
   Cycle next_expected_tick_ = 0;  // sleep-credit anchor for wait counters
   [[nodiscard]] u64 pending_credit() const;
   void credit_skipped(u64 skipped);

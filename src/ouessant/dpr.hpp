@@ -72,6 +72,17 @@ class ReconfigSlot : public Rac {
   void wake_on_end_op(sim::Component& c) override {
     for (Rac* cand : candidates_) cand->wake_on_end_op(c);
   }
+  /// Busy windows open on the candidates (start() forwards), so the
+  /// slot's busy total is the sum over them.
+  [[nodiscard]] u64 busy_cycles() const override {
+    u64 sum = 0;
+    for (const Rac* cand : candidates_) sum += cand->busy_cycles();
+    return sum;
+  }
+  /// Same forwarding for tracing: spans appear on the candidates' tracks.
+  void set_tracer(obs::EventTracer* tracer) override {
+    for (Rac* cand : candidates_) cand->set_tracer(tracer);
+  }
 
   // sim::Component
   void tick_compute() override;

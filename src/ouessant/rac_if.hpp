@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fifo/width_fifo.hpp"
+#include "obs/tracer.hpp"
 #include "res/estimate.hpp"
 #include "sim/kernel.hpp"
 
@@ -55,14 +56,46 @@ class Rac : public sim::Component, public res::ResourceAware {
   /// the RACs that actually emit the pulse.
   virtual void wake_on_end_op(sim::Component& c) { end_op_waiter_ = &c; }
 
+  /// Total cycles spent with busy() high across all completed operations
+  /// (start_op -> end_op windows; an in-flight op counts on completion).
+  /// Wrappers (ReconfigSlot) override to sum their candidates.
+  [[nodiscard]] virtual u64 busy_cycles() const { return busy_cycles_; }
+
+  /// Attach (or detach, nullptr) an event tracer. Each busy window is
+  /// then emitted as one "op" span on a track named after the RAC.
+  /// Virtual so wrappers (ReconfigSlot) can forward to their candidates,
+  /// where the windows actually open.
+  virtual void set_tracer(obs::EventTracer* tracer) {
+    tracer_ = tracer;
+    if (tracer_ != nullptr) track_ = tracer_->track("rac." + name());
+  }
+
  protected:
+  /// Subclasses call this wherever they raise busy() (start_op), after
+  /// their argument validation — a rejected start opens no window.
+  void note_start_op() {
+    op_open_ = true;
+    op_begin_ = kernel().now();
+  }
+
   /// Subclasses call this wherever they drop busy() (end_op).
   void notify_end_op() {
+    if (op_open_) {
+      const Cycle now = kernel().now();
+      busy_cycles_ += now - op_begin_;
+      if (tracer_ != nullptr) tracer_->complete(track_, "op", op_begin_, now);
+      op_open_ = false;
+    }
     if (end_op_waiter_ != nullptr) end_op_waiter_->wake();
   }
 
  private:
   sim::Component* end_op_waiter_ = nullptr;
+  obs::EventTracer* tracer_ = nullptr;
+  obs::TrackId track_ = 0;
+  bool op_open_ = false;
+  Cycle op_begin_ = 0;
+  u64 busy_cycles_ = 0;
 };
 
 }  // namespace ouessant::core

@@ -60,6 +60,7 @@ void BlockRac::start() {
                    "issued before the previous operation ended)");
   }
   busy_ = true;
+  note_start_op();
   phase_ = Phase::kCollect;
   in_buf_.clear();
   out_buf_.clear();

@@ -50,6 +50,7 @@ void ConfigurableFirRac::start() {
     throw SimError("ConfigurableFirRac " + name() + ": start_op while busy");
   }
   busy_ = true;
+  note_start_op();
   remaining_ = block_len_;
   std::fill(delay_.begin(), delay_.end(), 0);
   // A complete coefficient set waiting in the config FIFO triggers a

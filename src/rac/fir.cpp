@@ -41,6 +41,7 @@ void FirRac::start() {
   if (in_ == nullptr) throw SimError("FirRac " + name() + ": start before bind");
   if (busy_) throw SimError("FirRac " + name() + ": start_op while busy");
   busy_ = true;
+  note_start_op();
   remaining_ = block_len_;
   std::fill(delay_.begin(), delay_.end(), 0);
   wake();

@@ -36,6 +36,7 @@ void VecAddRac::start() {
   if (a_ == nullptr) throw SimError("VecAddRac " + name() + ": start before bind");
   if (busy_) throw SimError("VecAddRac " + name() + ": start_op while busy");
   busy_ = true;
+  note_start_op();
   remaining_ = block_len_;
   wake();
 }

@@ -36,7 +36,17 @@ std::string VcdTrace::make_id(std::size_t index) {
 void VcdTrace::add_signal(const std::string& name, unsigned width,
                           std::function<u64()> fn) {
   if (header_written_) {
-    throw ConfigError("VcdTrace: signals must be added before first tick");
+    // The VCD header (written lazily at the first sample) froze the
+    // variable list — a signal added now would never appear in it.
+    throw SimError("VcdTrace: signal " + name +
+                   " added after the first kernel tick (header already "
+                   "written; sim is at cycle " +
+                   std::to_string(kernel_.now()) + ")");
+  }
+  for (const auto& existing : signals_) {
+    if (existing.name == name) {
+      throw SimError("VcdTrace: duplicate signal name " + name);
+    }
   }
   Signal s;
   s.name = name;

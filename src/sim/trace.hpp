@@ -27,6 +27,8 @@ class VcdTrace {
   VcdTrace& operator=(const VcdTrace&) = delete;
 
   /// Register a signal of @p width bits whose value is produced by @p fn.
+  /// Throws SimError once the header has been written (first kernel
+  /// tick) or when @p name repeats an already-registered signal.
   void add_signal(const std::string& name, unsigned width,
                   std::function<u64()> fn);
 

@@ -71,6 +71,32 @@ u32 Dispatcher::add_worker(core::Ocp& ocp, JobKind kind,
   return static_cast<u32>(workers_.size() - 1);
 }
 
+void Dispatcher::set_tracer(obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    sched_track_ = tracer_->track("svc.sched");
+    jobs_track_ = tracer_->track("svc.jobs");
+    for (auto& w : workers_) {
+      w.track = tracer_->track("svc.worker." + w.session->ocp().name());
+    }
+  }
+  for (auto& w : workers_) w.session->set_tracer(tracer);
+}
+
+void Dispatcher::trace_enqueue(u64 id, JobKind kind) {
+  if (tracer_ == nullptr) return;
+  tracer_->instant(sched_track_, "enqueue",
+                   {obs::arg("id", id), obs::arg("kind", kind_name(kind))});
+  tracer_->flow_begin(sched_track_, "job", id);
+  trace_queue_counters();
+}
+
+void Dispatcher::trace_queue_counters() {
+  if (tracer_ == nullptr) return;
+  tracer_->counter(sched_track_, "queue_depth", queue_.size());
+  tracer_->counter(sched_track_, "in_flight", in_flight_);
+}
+
 void Dispatcher::load_schedule(std::vector<Job> arrivals) {
   if (!std::is_sorted(arrivals.begin(), arrivals.end(),
                       [](const Job& a, const Job& b) {
@@ -87,7 +113,11 @@ void Dispatcher::load_schedule(std::vector<Job> arrivals) {
 bool Dispatcher::submit_now(Job job) {
   job.arrival = gpp_.now();
   charge_enqueue(gpp_);
-  return queue_.push(std::move(job));
+  const u64 id = job.id;
+  const JobKind kind = job.kind;
+  const bool accepted = queue_.push(std::move(job));
+  if (accepted) trace_enqueue(id, kind);
+  return accepted;
 }
 
 void Dispatcher::configure_irqs() {
@@ -132,7 +162,10 @@ void Dispatcher::ingest_arrivals() {
     Job job = std::move(schedule_[next_arrival_]);
     ++next_arrival_;
     charge_enqueue(gpp_);
-    queue_.push(std::move(job));  // reject-on-full counted by the queue
+    const u64 id = job.id;
+    const JobKind kind = job.kind;
+    // reject-on-full counted by the queue
+    if (queue_.push(std::move(job))) trace_enqueue(id, kind);
   }
   arrival_due_ = false;
   if (next_arrival_ < schedule_.size()) {
@@ -173,6 +206,11 @@ void Dispatcher::retire_worker(Worker& w) {
   w.stats.jobs += batch.size();
   in_flight_ -= static_cast<u32>(batch.size());
   charge_retire(gpp_, batch.size());
+  if (tracer_ != nullptr) {
+    tracer_->complete(w.track, "batch", w.busy_since, done_at,
+                      {obs::arg("jobs", u64{batch.size()}),
+                       obs::arg("kind", kind_name(w.kind))});
+  }
 
   for (std::size_t j = 0; j < batch.size(); ++j) {
     Job& job = batch[j];
@@ -181,11 +219,21 @@ void Dispatcher::retire_worker(Worker& w) {
     if (got != reference_output(job.kind, job.payload)) {
       throw SimError("svc: output mismatch for job " +
                      std::to_string(job.id) + " (" + kind_name(job.kind) +
-                     ") on " + w.session->ocp().name());
+                     ") on " + w.session->ocp().name() + " at cycle " +
+                     std::to_string(done_at));
     }
     ++completed_;
+    if (tracer_ != nullptr) {
+      tracer_->complete(
+          jobs_track_, kind_name(job.kind), job.arrival, job.complete,
+          {obs::arg("id", job.id), obs::arg("wait", job.queue_wait()),
+           obs::arg("service", job.service()),
+           obs::arg("worker", w.session->ocp().name())});
+      tracer_->flow_end(jobs_track_, "job", job.id);
+    }
     if (completion_hook_) completion_hook_(job);
   }
+  trace_queue_counters();
 }
 
 void Dispatcher::dispatch_ready() {
@@ -231,6 +279,7 @@ void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
   for (auto& job : batch) {
     job.dispatch = dispatched;
     job.worker = static_cast<int>(wi);
+    if (tracer_ != nullptr) tracer_->flow_step(w.track, "job", job.id);
   }
   w.session->start_async();
   w.busy = true;
@@ -238,6 +287,7 @@ void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
   ++w.stats.launches;
   in_flight_ += static_cast<u32>(batch.size());
   w.batch = std::move(batch);
+  trace_queue_counters();
 }
 
 }  // namespace ouessant::svc

@@ -26,6 +26,7 @@
 #include "cpu/gpp.hpp"
 #include "cpu/irq_controller.hpp"
 #include "drv/session.hpp"
+#include "obs/tracer.hpp"
 #include "sim/kernel.hpp"
 #include "svc/job.hpp"
 
@@ -107,6 +108,15 @@ class Dispatcher : public sim::Component {
   [[nodiscard]] u64 rejected() const { return queue_.rejected(); }
   [[nodiscard]] u32 in_flight() const { return in_flight_; }
 
+  /// Attach (or detach, nullptr) an event tracer; call after the last
+  /// add_worker(). Emits: enqueue instants + queue/in-flight counters on
+  /// "svc.sched", one "batch" span per launch on "svc.worker.<ocp>", one
+  /// per-job span (arrival -> completion, annotated with wait/service
+  /// split) on "svc.jobs", and a flow arrow stitching each job's
+  /// enqueue -> dispatch -> retire across those tracks. Also forwards to
+  /// every worker session (driver spans land on their "drv.*" tracks).
+  void set_tracer(obs::EventTracer* tracer);
+
   // sim::Component (the arrival doorbell).
   void tick_commit() override;
   [[nodiscard]] bool is_quiescent() const override;
@@ -122,6 +132,7 @@ class Dispatcher : public sim::Component {
     bool busy = false;
     Cycle busy_since = 0;
     WorkerStats stats;
+    obs::TrackId track = 0;    ///< "svc.worker.<ocp>" (tracer attached)
   };
 
   void ingest_arrivals();
@@ -129,6 +140,8 @@ class Dispatcher : public sim::Component {
   void dispatch_ready();
   void launch(std::size_t wi, std::vector<Job> batch);
   void retire_worker(Worker& w);
+  void trace_enqueue(u64 id, JobKind kind);
+  void trace_queue_counters();
 
   cpu::Gpp& gpp_;
   mem::Sram& mem_;
@@ -142,6 +155,9 @@ class Dispatcher : public sim::Component {
   u32 in_flight_ = 0;   ///< jobs currently launched on some worker
   u64 completed_ = 0;
   std::function<void(const Job&)> completion_hook_;
+  obs::EventTracer* tracer_ = nullptr;
+  obs::TrackId sched_track_ = 0;  ///< "svc.sched": instants + counters
+  obs::TrackId jobs_track_ = 0;   ///< "svc.jobs": per-job lifetime spans
 };
 
 }  // namespace ouessant::svc

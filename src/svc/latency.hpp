@@ -28,6 +28,10 @@ class LatencyStats {
   /// Emit <prefix>_p50/_p95/_p99/_mean/_max into @p result.
   void add_metrics(exp::Result& result, const std::string& prefix) const;
 
+  /// Raw samples in insertion (job completion) order — the ground truth
+  /// the trace round-trip test compares per-job span durations against.
+  [[nodiscard]] const std::vector<u64>& samples() const { return samples_; }
+
  private:
   std::vector<u64> samples_;
   u64 sum_ = 0;

@@ -107,6 +107,32 @@ void OffloadService::attach_trace(sim::VcdTrace& trace) {
   }
 }
 
+void OffloadService::attach_tracer(obs::EventTracer& tracer) {
+  soc_.bus().set_tracer(&tracer);
+  for (std::size_t i = 0; i < soc_.ocp_count(); ++i) {
+    soc_.ocp(i).controller().set_tracer(&tracer);
+    soc_.ocp(i).rac().set_tracer(&tracer);
+  }
+  // Last, so the scheduler/job/worker tracks land after the hardware
+  // ones and the per-session "drv.*" tracks get wired too.
+  dispatcher_.set_tracer(&tracer);
+}
+
+void OffloadService::attach_metrics(obs::MetricsSampler& sampler) {
+  sampler.add_gauge("queue_depth", [this] {
+    return static_cast<u64>(dispatcher_.queue().size());
+  });
+  sampler.add_gauge("in_flight",
+                    [this] { return static_cast<u64>(dispatcher_.in_flight()); });
+  sampler.add_gauge("bus_granted",
+                    [this] { return static_cast<u64>(soc_.bus().granted_now()); });
+  for (std::size_t i = 0; i < dispatcher_.worker_count(); ++i) {
+    sampler.add_gauge("ocp" + std::to_string(i) + "_busy", [this, i] {
+      return static_cast<u64>(dispatcher_.worker_busy(i));
+    });
+  }
+}
+
 void OffloadService::validate(const WorkloadConfig& workload) const {
   if (workload.jobs == 0) {
     throw ConfigError("OffloadService: workload submits no jobs");

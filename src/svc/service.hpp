@@ -14,6 +14,8 @@
 
 #include "cpu/irq_controller.hpp"
 #include "exp/result.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
 #include "platform/soc.hpp"
 #include "sim/trace.hpp"
 #include "svc/dispatcher.hpp"
@@ -69,6 +71,15 @@ class OffloadService {
   /// Register queue-depth / per-worker-busy / in-flight signals. Must be
   /// called before run() (trace signals must precede the first tick).
   void attach_trace(sim::VcdTrace& trace);
+
+  /// Wire @p tracer through every layer of the stack: dispatcher flows
+  /// and job spans, driver session spans, bus transactions, controller
+  /// instruction spans, RAC busy windows. Call before run().
+  void attach_tracer(obs::EventTracer& tracer);
+
+  /// Register the standard service gauges (queue depth, in-flight,
+  /// per-worker busy, bus occupancy) on @p sampler. Call before run().
+  void attach_metrics(obs::MetricsSampler& sampler);
 
   /// Serve @p workload to completion and report. Single-shot: a service
   /// instance runs exactly one workload (scenarios build a fresh SoC per

@@ -9,9 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "drv/session.hpp"
+#include "obs/collect.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
 #include "ouessant/codegen.hpp"
 #include "platform/soc.hpp"
 #include "rac/dft.hpp"
@@ -45,8 +49,11 @@ void expect_identical(const RunResult& gated, const RunResult& ungated) {
 }
 
 /// E1: 8x8 IDCT, 64 words in/out, overlapped streaming, alternating
-/// poll/IRQ completion, idle gap between invocations.
-RunResult run_e1_idct(bool gating) {
+/// poll/IRQ completion, idle gap between invocations. With @p traced,
+/// the full observability stack rides along (event tracer through every
+/// layer, a metrics sampler, and a closing CycleLedger proof) — which
+/// must not change a single bit of the RunResult.
+RunResult run_e1_idct(bool gating, bool traced = false) {
   platform::Soc soc;
   soc.kernel().set_gating(gating);
   rac::IdctRac idct(soc.kernel(), "idct");
@@ -57,6 +64,17 @@ RunResult run_e1_idct(bool gating) {
                            .out_base = 0x4002'0000,
                            .in_words = 64,
                            .out_words = 64});
+  std::unique_ptr<obs::EventTracer> tracer;
+  std::unique_ptr<obs::MetricsSampler> metrics;
+  if (traced) {
+    tracer = std::make_unique<obs::EventTracer>(soc.kernel());
+    soc.bus().set_tracer(tracer.get());
+    ocp.controller().set_tracer(tracer.get());
+    idct.set_tracer(tracer.get());
+    session.set_tracer(tracer.get());
+    metrics = std::make_unique<obs::MetricsSampler>(soc.kernel(), 32);
+    metrics->add_gauge("rac_busy", [&] { return idct.busy() ? 1 : 0; });
+  }
   session.install(
       core::build_stream_program({.in_words = 64, .out_words = 64,
                                   .burst = 64}));
@@ -74,6 +92,11 @@ RunResult run_e1_idct(bool gating) {
   }
   r.final_cycle = soc.kernel().now();
   r.stats = soc.kernel().stats().all();
+  if (traced) {
+    EXPECT_GT(tracer->event_count(), 0u);
+    EXPECT_FALSE(metrics->samples().empty());
+    obs::validate_soc_ledger(soc);
+  }
   return r;
 }
 
@@ -129,6 +152,23 @@ TEST(Determinism, E3DftGatedMatchesUngated) {
 TEST(Determinism, GatedRunIsRepeatable) {
   // Same seed, same scenario, same kernel mode: byte-identical twice.
   EXPECT_TRUE(run_e1_idct(true) == run_e1_idct(true));
+}
+
+TEST(Determinism, TracedRunIsPassive) {
+  // The observability stack observes; it never perturbs. A run with the
+  // event tracer wired through bus/controller/RAC/driver plus a metrics
+  // sampler must match the bare run bit for bit — including Stats.
+  const RunResult bare = run_e1_idct(true);
+  const RunResult traced = run_e1_idct(true, /*traced=*/true);
+  expect_identical(bare, traced);
+}
+
+TEST(Determinism, TracedUngatedRunIsPassive) {
+  // Same property on the tick-everything scheduler: the sampler's
+  // per-cycle stepping during fast-forward is a host cost only.
+  const RunResult bare = run_e1_idct(false);
+  const RunResult traced = run_e1_idct(false, /*traced=*/true);
+  expect_identical(bare, traced);
 }
 
 }  // namespace

@@ -209,7 +209,7 @@ TEST(Trace, RejectsLateSignalRegistration) {
   sim::VcdTrace trace(k, path);
   trace.add_signal("ok", 1, [] { return 0; });
   k.tick();
-  EXPECT_THROW(trace.add_signal("late", 1, [] { return 0; }), ConfigError);
+  EXPECT_THROW(trace.add_signal("late", 1, [] { return 0; }), SimError);
   std::remove(path.c_str());
 }
 

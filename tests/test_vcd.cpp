@@ -1,0 +1,143 @@
+// VCD writer golden-parse: the header structure, $enddefinitions
+// placement, value-change ordering and wide-signal formatting of
+// sim::VcdTrace, plus the registration discipline (no signals after the
+// header freezes, no duplicate names).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/trace.hpp"
+
+namespace ouessant {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t find_line(const std::vector<std::string>& lines,
+                      const std::string& needle, std::size_t from = 0) {
+  for (std::size_t i = from; i < lines.size(); ++i) {
+    if (lines[i].find(needle) != std::string::npos) return i;
+  }
+  ADD_FAILURE() << "no line containing: " << needle;
+  return lines.size();
+}
+
+TEST(Vcd, GoldenParse) {
+  const std::string path = temp_path("vcd_golden.vcd");
+  sim::Kernel k;
+  {
+    sim::VcdTrace trace(k, path, "dut");
+    trace.add_signal("busy", 1, [&] { return k.now() >= 2 ? 1 : 0; });
+    trace.add_signal("count", 4, [&] { return k.now(); });
+    trace.add_signal("constant", 8, [] { return u64{0xAB}; });
+    k.run(3);
+    trace.close();
+  }
+  const auto lines = read_lines(path);
+  ASSERT_FALSE(lines.empty());
+
+  // Header: declarations in registration order inside one scope, sealed
+  // by $enddefinitions before the first timestamp.
+  const std::size_t scope = find_line(lines, "$scope module dut $end");
+  const std::size_t busy = find_line(lines, "$var wire 1 ! busy $end");
+  const std::size_t count = find_line(lines, "$var wire 4 \" count $end");
+  const std::size_t constant =
+      find_line(lines, "$var wire 8 # constant $end");
+  const std::size_t enddefs = find_line(lines, "$enddefinitions $end");
+  const std::size_t first_stamp = find_line(lines, "#1");
+  EXPECT_LT(scope, busy);
+  EXPECT_LT(busy, count);
+  EXPECT_LT(count, constant);
+  EXPECT_LT(constant, enddefs);
+  EXPECT_LT(enddefs, first_stamp);
+
+  // Timestamps strictly increasing, and every value change belongs to
+  // some timestamp section after the header.
+  std::vector<u64> stamps;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!lines[i].empty() && lines[i][0] == '#') {
+      EXPECT_GT(i, enddefs);
+      stamps.push_back(std::stoull(lines[i].substr(1)));
+    }
+  }
+  ASSERT_EQ(stamps.size(), 3u);  // samples at cycles 1, 2, 3
+  EXPECT_TRUE(std::is_sorted(stamps.begin(), stamps.end()));
+  EXPECT_EQ(stamps.front(), 1u);
+  EXPECT_EQ(stamps.back(), 3u);
+
+  // First sample dumps every signal once; afterwards only changes.
+  const std::size_t stamp2 = find_line(lines, "#2");
+  EXPECT_LT(find_line(lines, "0!"), stamp2);          // busy low at #1
+  EXPECT_LT(find_line(lines, "b0001 \""), stamp2);    // count = 1
+  EXPECT_LT(find_line(lines, "b10101011 #"), stamp2); // constant, width 8
+  // busy rises exactly once, at the #2 sample.
+  const std::size_t rise = find_line(lines, "1!");
+  EXPECT_GT(rise, stamp2);
+  // The constant signal appears exactly once in the whole dump.
+  std::size_t constant_changes = 0;
+  for (std::size_t i = enddefs; i < lines.size(); ++i) {
+    if (lines[i].find(" #") != std::string::npos &&
+        lines[i][0] == 'b') {
+      ++constant_changes;
+    }
+  }
+  EXPECT_EQ(constant_changes, 1u);
+}
+
+TEST(Vcd, WideValueTruncatedToDeclaredWidth) {
+  const std::string path = temp_path("vcd_width.vcd");
+  sim::Kernel k;
+  {
+    sim::VcdTrace trace(k, path, "dut");
+    // A 4-bit signal fed a value wider than its declaration: the dump
+    // must carry exactly the low 4 bits, never more.
+    trace.add_signal("nibble", 4, [] { return u64{0xFF}; });
+    k.run(1);
+    trace.close();
+  }
+  const auto lines = read_lines(path);
+  find_line(lines, "b1111 !");
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.find("b11111111"), std::string::npos) << line;
+  }
+}
+
+TEST(Vcd, LateRegistrationRejectedWithCycle) {
+  sim::Kernel k;
+  sim::VcdTrace trace(k, temp_path("vcd_late.vcd"), "dut");
+  trace.add_signal("early", 1, [] { return u64{0}; });
+  k.run(5);  // first tick writes the header
+  try {
+    trace.add_signal("late", 1, [] { return u64{0}; });
+    FAIL() << "late add_signal did not throw";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("late"), std::string::npos);
+    EXPECT_NE(what.find("cycle 5"), std::string::npos);
+  }
+}
+
+TEST(Vcd, DuplicateSignalNameRejected) {
+  sim::Kernel k;
+  sim::VcdTrace trace(k, temp_path("vcd_dup.vcd"), "dut");
+  trace.add_signal("sig", 1, [] { return u64{0}; });
+  EXPECT_THROW(trace.add_signal("sig", 2, [] { return u64{0}; }), SimError);
+}
+
+}  // namespace
+}  // namespace ouessant

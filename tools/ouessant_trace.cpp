@@ -1,0 +1,70 @@
+// ouessant_trace — inspect a Chrome trace-event JSON written by
+// `ouessant_bench --trace-events` (or any EventTracer::write_json file).
+//
+//   ouessant_trace <trace.json>            per-phase breakdown, top-10
+//                                          job critical paths and hottest
+//                                          microcode PCs
+//   ouessant_trace <trace.json> --top 25   widen the top-N listings
+//
+// The same file loads in Perfetto / chrome://tracing for the visual
+// timeline; this tool is the terminal-side summary.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "obs/analysis.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <trace.json> [--top N]\n", argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top_n = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top") {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || v < 1) {
+        usage(argv[0]);
+        return 2;
+      }
+      top_n = static_cast<std::size_t>(v);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    const ouessant::obs::ParsedTrace trace =
+        ouessant::obs::read_trace(path);
+    std::printf("%s: %zu events on %zu tracks\n\n", path.c_str(),
+                trace.events.size(), trace.track_names.size());
+    std::fputs(ouessant::obs::render_report(trace, top_n).c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ouessant_trace: %s\n", e.what());
+    return 1;
+  }
+}
