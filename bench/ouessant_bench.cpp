@@ -21,6 +21,10 @@
 //                                       + .metrics.json time-series) for
 //                                       every seeded scenario run; view
 //                                       with ouessant_trace or Perfetto
+//   ouessant_bench --faults SPEC        override the fault plan of every
+//                                       fault-aware (serve_faulty)
+//                                       scenario (grammar: docs/robustness.md)
+//   ouessant_bench --help               print this usage on stdout
 //
 // Exit status is non-zero when any scenario run fails an invariant or the
 // --compare-jobs identity check trips.
@@ -42,6 +46,7 @@ using namespace ouessant;
 
 struct Options {
   bool list = false;
+  bool help = false;
   std::string filter;
   int jobs = 1;
   int compare_jobs = 0;  // 0 = off
@@ -49,13 +54,19 @@ struct Options {
   std::optional<ouessant::u64> seed;
   std::string trace_stem;
   std::string trace_events_stem;
+  std::string faults;
 };
 
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--list] [--filter SUBSTR[,SUBSTR...]] [--jobs N]\n"
-               "          [--json PATH] [--compare-jobs N] [--seed U64]\n"
-               "          [--trace STEM] [--trace-events STEM]\n",
+/// The one flag list, printed to stdout for --help (exit 0) and stderr
+/// on a parse error (exit 2). scripts/check_docs.sh scrapes the --help
+/// output to prove EXPERIMENTS.md documents every flag — keep the two
+/// in sync.
+void usage(const char* argv0, std::FILE* to) {
+  std::fprintf(to,
+               "usage: %s [--help] [--list] [--filter SUBSTR[,SUBSTR...]]\n"
+               "          [--jobs N] [--json PATH] [--compare-jobs N]\n"
+               "          [--seed U64] [--trace STEM] [--trace-events STEM]\n"
+               "          [--faults SPEC]\n",
                argv0);
 }
 
@@ -84,6 +95,12 @@ bool parse_args(int argc, char** argv, Options* opt) {
     };
     if (arg == "--list") {
       opt->list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt->help = true;
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->faults = v;
     } else if (arg == "--filter") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -112,7 +129,7 @@ bool parse_args(int argc, char** argv, Options* opt) {
       if (v == nullptr) return false;
       opt->trace_events_stem = v;
     } else {
-      usage(argv[0]);
+      usage(argv[0], stderr);
       return false;
     }
   }
@@ -181,6 +198,10 @@ bool payloads_identical(const std::vector<exp::SweepJob>& jobs,
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, &opt)) return 2;
+  if (opt.help) {
+    usage(argv[0], stdout);
+    return 0;
+  }
 
   exp::Registry registry;
   scenarios::register_all_scenarios(registry);
@@ -206,13 +227,15 @@ int main(int argc, char** argv) {
                      .filter = opt.filter,
                      .seed = opt.seed,
                      .trace_stem = opt.trace_stem,
-                     .trace_events_stem = opt.trace_events_stem});
+                     .trace_events_stem = opt.trace_events_stem,
+                     .faults = opt.faults});
       const auto parallel = exp::run_sweep(
           registry, {.jobs = opt.compare_jobs,
                      .filter = opt.filter,
                      .seed = opt.seed,
                      .trace_stem = opt.trace_stem,
-                     .trace_events_stem = opt.trace_events_stem});
+                     .trace_events_stem = opt.trace_events_stem,
+                     .faults = opt.faults});
       const bool identical =
           payloads_identical(jobs, serial.results, parallel.results);
       const double speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -244,7 +267,8 @@ int main(int argc, char** argv) {
                    .filter = opt.filter,
                    .seed = opt.seed,
                    .trace_stem = opt.trace_stem,
-                   .trace_events_stem = opt.trace_events_stem});
+                   .trace_events_stem = opt.trace_events_stem,
+                   .faults = opt.faults});
     print_tables(registry, outcome.results);
     std::printf("sweep: %zu runs | jobs=%d | %.3fs | %zu failed\n",
                 outcome.results.size(), outcome.jobs, outcome.wall_seconds,

@@ -17,6 +17,7 @@ void register_all_scenarios(exp::Registry& r) {
   register_e12_contention(r);
   register_kernel_guard(r);
   register_serve(r);
+  register_serve_faulty(r);
 }
 
 }  // namespace ouessant::scenarios

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Docs consistency gate (tier-1, wired into run_tier1.sh):
+#   1. every src/ subdirectory must be named in docs/architecture.md
+#      (the "one line per subdirectory" list claims completeness);
+#   2. every flag `ouessant_bench --help` prints must be documented in
+#      EXPERIMENTS.md (the usage string and this check keep each other
+#      honest — adding a flag without documenting it fails tier-1);
+#   3. every repo path a doc references must exist — as-is, or as the
+#      <path>.cpp / <path>.hpp source of a same-named binary target
+#      (docs say `bench/trace_guard`, the file is bench/trace_guard.cpp).
+#
+# Usage: scripts/check_docs.sh [path/to/ouessant_bench]
+#   The bench binary defaults to build/bench/ouessant_bench; check 2 is
+#   skipped (with a warning) if it is missing, so the script can run
+#   before a build without false failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${1:-build/bench/ouessant_bench}"
+DOCS=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+fail=0
+
+echo "-- check 1: src/ subdirectories vs docs/architecture.md"
+# Require the explicit `src/<name>` form — bare layer names occur all
+# over the prose ("fault", "bus"), so only the rooted path counts as
+# documentation.
+for d in src/*/; do
+  sub=$(basename "$d")
+  if ! grep -qE "src/${sub}\b" docs/architecture.md; then
+    echo "FAIL: src/${sub} is not mentioned in docs/architecture.md"
+    fail=1
+  fi
+done
+
+echo "-- check 2: ouessant_bench --help flags vs EXPERIMENTS.md"
+if [[ -x "$BENCH" ]]; then
+  # Scrape '--flag' tokens from the usage text the tool itself prints.
+  flags=$("$BENCH" --help | grep -oE '\--[a-z-]+' | sort -u)
+  for f in $flags; do
+    if ! grep -q -- "$f" EXPERIMENTS.md; then
+      echo "FAIL: flag $f ($BENCH --help) is undocumented in EXPERIMENTS.md"
+      fail=1
+    fi
+  done
+else
+  echo "WARN: $BENCH not built; skipping the flag check"
+fi
+
+echo "-- check 3: doc-referenced paths exist"
+# Candidate paths: top-level-dir-rooted tokens. Strip trailing
+# punctuation and trailing slashes; ignore templated names (<...>).
+refs=$(grep -ohE '\b(src|docs|scripts|bench|tools|tests|examples)/[A-Za-z0-9_./-]+' \
+         "${DOCS[@]}" | sed -e 's/[.,;:)]*$//' -e 's|/$||' | sort -u)
+for p in $refs; do
+  [[ "$p" == *'<'* ]] && continue
+  if [[ ! -e "$p" && ! -e "$p.cpp" && ! -e "$p.hpp" ]]; then
+    echo "FAIL: docs reference $p, which does not exist"
+    fail=1
+  fi
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"

@@ -15,6 +15,9 @@
 #      must be bit-identical (sim clock + Stats::all() + latency
 #      histograms) with traced host time within 2x untraced, and the
 #      written trace must round-trip through the ouessant_trace CLI
+#   6. the docs gate (scripts/check_docs.sh): every src/ subdir is in
+#      docs/architecture.md, every ouessant_bench flag is documented in
+#      EXPERIMENTS.md, every path the docs reference exists
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,9 @@ echo "==== tier-1: plain build + ctest ===="
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==== tier-1: docs consistency gate ===="
+scripts/check_docs.sh build/bench/ouessant_bench
 
 echo "==== tier-1: ASan+UBSan build + ctest ===="
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"

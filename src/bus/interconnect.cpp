@@ -18,6 +18,7 @@ BusMasterPort& InterconnectModel::connect_master(const std::string& name,
   masters_.push_back(std::make_unique<BusMasterPort>(name, priority));
   BusMasterPort& p = *masters_.back();
   p.bus_ = this;
+  p.owner_ = this;
   p.h_beats_ = kernel().stats().intern(this->name() + "." + name + ".beats");
   p.h_transactions_ =
       kernel().stats().intern(this->name() + "." + name + ".transactions");
@@ -166,6 +167,19 @@ void InterconnectModel::tick_compute() {
     return;
   }
 
+  // Injected ERROR response: terminates the transaction like a slave
+  // exception below, but non-fatally — the master observes faulted()
+  // and its OCP escalates through the ERR status bit instead of the
+  // simulation aborting. The error cycle counts as a wait state to keep
+  // beats+grants+waits+stalls == busy_cycles.
+  if (fault_hook_ != nullptr &&
+      fault_hook_->beat_error(m.name_, m.addr_, m.write_, kernel().now())) {
+    ++m.stats_.wait_cycles;
+    note_txn_wait(m);
+    error_response(m);
+    return;
+  }
+
   // Issue the next data beat. A slave exception is the model's ERROR
   // response: it terminates the transfer (so the master port is reusable)
   // and propagates to the simulation driver.
@@ -214,6 +228,52 @@ void InterconnectModel::tick_compute() {
     if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
     throw;
   }
+}
+
+void InterconnectModel::error_response(BusMasterPort& m) {
+  m.active_ = false;
+  m.faulted_ = true;
+  m.sink_ = nullptr;
+  m.source_ = nullptr;
+  if (logging_ || tracer_ != nullptr) {
+    auto it = open_.find(&m);
+    if (it != open_.end()) {
+      it->second.end = kernel().now();
+      if (tracer_ != nullptr) {
+        const TxnRecord& r = it->second;
+        tracer_->complete(
+            track_, "err", r.start, r.end,
+            {obs::arg("master", r.master), obs::arg("addr", u64{r.addr}),
+             obs::arg("beats", u64{r.beats})});
+      }
+      if (logging_) log_.push_back(it->second);
+      open_.erase(it);
+    }
+  }
+  granted_ = nullptr;
+  wait_left_ = 0;
+  beat_in_flight_ = false;
+  if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
+}
+
+void InterconnectModel::abort_master(BusMasterPort& m) {
+  if (!m.active_) return;
+  if (granted_ == &m) {
+    granted_ = nullptr;
+    grant_addr_cycles_left_ = 0;
+    wait_left_ = 0;
+    beat_in_flight_ = false;
+  }
+  m.active_ = false;
+  m.faulted_ = false;
+  m.sink_ = nullptr;
+  m.source_ = nullptr;
+  open_.erase(&m);
+  if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
+}
+
+void BusMasterPort::abort() {
+  if (owner_ != nullptr) owner_->abort_master(*this);
 }
 
 void InterconnectModel::complete_beat(u32 data) {

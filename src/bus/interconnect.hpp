@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bus/types.hpp"
+#include "fault/hooks.hpp"
 #include "obs/tracer.hpp"
 #include "sim/kernel.hpp"
 
@@ -102,6 +103,19 @@ class InterconnectModel : public sim::Component {
   /// the wait-state/stall cycles it absorbed.
   void set_tracer(obs::EventTracer* tracer);
 
+  /// Attach (or detach, nullptr) a fault hook, consulted once per data
+  /// beat. A firing hook turns the beat into a slave ERROR response:
+  /// the transaction terminates, the master port latches faulted(), and
+  /// the error cycle is accounted as a wait state (so the per-master
+  /// one-action-per-busy-cycle identity survives faulty runs). One
+  /// branch per beat when unarmed (passivity discipline).
+  void set_fault_hook(fault::BusFaultHook* hook) { fault_hook_ = hook; }
+
+  /// Abort @p m's in-flight transaction (soft reset): the port is
+  /// deactivated without an error latch and the grant is released if
+  /// @p m holds it. No-op when the port is idle.
+  void abort_master(BusMasterPort& m);
+
   /// Per-category cycle totals summed over every master port. With the
   /// model's one-action-per-busy-cycle invariant,
   ///   beats + grant_cycles + wait_cycles + stall_cycles == busy_cycles()
@@ -117,6 +131,7 @@ class InterconnectModel : public sim::Component {
 
   BusMasterPort* select_master();
   void complete_beat(u32 data);
+  void error_response(BusMasterPort& m);
   void note_txn_wait(BusMasterPort& m);
   void note_txn_stall(BusMasterPort& m);
   [[nodiscard]] u64 pending_idle_credit() const {
@@ -139,6 +154,7 @@ class InterconnectModel : public sim::Component {
   std::size_t rr_next_ = 0;    // round-robin pointer
 
   std::vector<WriteSnooper> snoopers_;
+  fault::BusFaultHook* fault_hook_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;
   bool logging_ = false;

@@ -15,6 +15,8 @@
 
 namespace ouessant::bus {
 
+class InterconnectModel;
+
 /// Response of a slave to a single word access.
 struct SlaveResponse {
   u32 data = 0;         ///< read data (ignored for writes)
@@ -88,6 +90,15 @@ class BusMasterPort {
   /// True while a transaction is queued or in flight.
   [[nodiscard]] bool busy() const { return active_; }
 
+  /// True when the last transaction terminated with a slave ERROR
+  /// response (injected fault). Cleared by the next start_*().
+  [[nodiscard]] bool faulted() const { return faulted_; }
+
+  /// Abort the in-flight transaction, releasing the grant if this port
+  /// holds it. No-op when idle. Used by the controller's soft reset;
+  /// defined in interconnect.cpp (needs the interconnect's grant state).
+  void abort();
+
   /// Read data of the last completed buffered read.
   [[nodiscard]] const std::vector<u32>& rdata() const { return rdata_; }
 
@@ -123,6 +134,7 @@ class BusMasterPort {
     write_ = write;
     beats_ = beats;
     active_ = true;
+    faulted_ = false;
     sink_ = nullptr;
     source_ = nullptr;
     wdata_.clear();
@@ -136,6 +148,7 @@ class BusMasterPort {
   int priority_;
 
   sim::Component* bus_ = nullptr;                // owning interconnect
+  InterconnectModel* owner_ = nullptr;           // same object, typed
   sim::Component* completion_waiter_ = nullptr;  // gated busy()-poller
 
   // Interned kernel counters (<bus>.<port>.beats / .transactions),
@@ -145,6 +158,7 @@ class BusMasterPort {
 
   // Transaction state (owned by the interconnect while active).
   bool active_ = false;
+  bool faulted_ = false;
   Addr addr_ = 0;
   bool write_ = false;
   u32 beats_ = 0;

@@ -1,5 +1,7 @@
 #include "cpu/irq_controller.hpp"
 
+#include <bit>
+
 namespace ouessant::cpu {
 
 IrqController::IrqController(sim::Kernel& kernel, std::string name,
@@ -15,19 +17,41 @@ u32 IrqController::attach(const IrqLine& line) {
   return static_cast<u32>(sources_.size() - 1);
 }
 
-bool IrqController::is_quiescent() const {
+u32 IrqController::sample_sources() const {
   u32 p = 0;
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     if (sources_[i]->raised()) p |= 1u << i;
+  }
+  return p;
+}
+
+bool IrqController::is_quiescent() const {
+  u32 p = sample_sources();
+  if (fault_hook_ != nullptr) {
+    // An unsampled edge needs a tick (the tick consults the hook; doing
+    // it here would burn the hook's RNG outside the deterministic tick
+    // order). Settled sources just apply the recorded suppression.
+    if (p != prev_raw_) return false;
+    p &= ~suppressed_;
   }
   if (p != pending_) return false;
   return cpu_line_.raised() == ((pending_ & mask_) != 0);
 }
 
 void IrqController::tick_compute() {
-  u32 p = 0;
-  for (std::size_t i = 0; i < sources_.size(); ++i) {
-    if (sources_[i]->raised()) p |= 1u << i;
+  u32 p = sample_sources();
+  if (fault_hook_ != nullptr) {
+    u32 rising = p & ~prev_raw_;
+    prev_raw_ = p;
+    while (rising != 0) {
+      const u32 src = static_cast<u32>(std::countr_zero(rising));
+      rising &= rising - 1;
+      if (fault_hook_->drop_assertion(src, kernel().now())) {
+        suppressed_ |= 1u << src;
+      }
+    }
+    suppressed_ &= p;  // a dropped edge lasts until the line falls
+    p &= ~suppressed_;
   }
   pending_ = p;
   if ((pending_ & mask_) != 0) {

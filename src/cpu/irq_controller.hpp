@@ -15,6 +15,7 @@
 
 #include "bus/types.hpp"
 #include "cpu/irq.hpp"
+#include "fault/hooks.hpp"
 #include "res/estimate.hpp"
 #include "sim/kernel.hpp"
 
@@ -59,13 +60,29 @@ class IrqController : public sim::Component,
     return static_cast<u32>(sources_.size());
   }
 
+  /// Attach (or detach, nullptr) a fault hook, consulted once per
+  /// observed rising edge of a source line. A firing hook suppresses
+  /// the source until its line falls — the pending bit never sets, so
+  /// the CPU misses the interrupt (lost-IRQ fault; the driver's
+  /// timeout-then-poll path recovers). One branch per tick when
+  /// unarmed.
+  void set_fault_hook(fault::IrqFaultHook* hook) { fault_hook_ = hook; }
+
   [[nodiscard]] res::ResourceNode resource_tree() const override;
 
  private:
+  /// Raw sampled source state -> effective pending, consuming hook
+  /// decisions for unseen rising edges (tick path only — is_quiescent
+  /// must not draw from the hook's RNG).
+  [[nodiscard]] u32 sample_sources() const;
+
   Addr base_;
   std::vector<const IrqLine*> sources_;
   u32 pending_ = 0;
   u32 mask_ = 0;
+  fault::IrqFaultHook* fault_hook_ = nullptr;
+  u32 prev_raw_ = 0;    ///< last raw sample (hook armed only)
+  u32 suppressed_ = 0;  ///< sources dropped until their line falls
   IrqLine cpu_line_;
 };
 

@@ -2,10 +2,22 @@
 
 namespace ouessant::drv {
 
+using core::kCtrlBusy;
 using core::kCtrlDone;
 using core::kCtrlErr;
 using core::kCtrlIe;
+using core::kCtrlProg;
+using core::kCtrlRst;
 using core::kCtrlStart;
+
+const char* wait_result_name(WaitResult r) {
+  switch (r) {
+    case WaitResult::kDone: return "done";
+    case WaitResult::kErr: return "err";
+    case WaitResult::kTimeout: return "timeout";
+  }
+  return "?";
+}
 
 OcpDriver::OcpDriver(cpu::Gpp& gpp, Addr reg_base, cpu::IrqLine& irq,
                      std::string name)
@@ -49,49 +61,95 @@ void OcpDriver::clear_done() {
   gpp_.write32(base_ + core::kRegCtrl, kCtrlDone | (ie_ ? kCtrlIe : 0));
 }
 
-u32 OcpDriver::wait_done_poll(u64 poll_gap, u64 timeout) {
+void OcpDriver::clear_error() {
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlErr | (ie_ ? kCtrlIe : 0));
+}
+
+WaitResult OcpDriver::wait_done_poll_status(u64 poll_gap, u64 timeout,
+                                            u32* polls_out) {
   const Cycle t0 = gpp_.now();
   u32 polls = 0;
   for (;;) {
     const u32 ctrl = read_ctrl();
     ++polls;
     if ((ctrl & kCtrlErr) != 0) {
-      throw SimError("OcpDriver(" + name_ +
-                     "): OCP signalled a microcode fault at cycle " +
-                     std::to_string(gpp_.now()));
+      if (polls_out != nullptr) *polls_out = polls;
+      return WaitResult::kErr;
     }
     if ((ctrl & kCtrlDone) != 0) break;
     if (gpp_.now() - t0 >= timeout) {
+      if (polls_out != nullptr) *polls_out = polls;
+      return WaitResult::kTimeout;
+    }
+    gpp_.spend(poll_gap);
+  }
+  clear_done();
+  if (polls_out != nullptr) *polls_out = polls;
+  return WaitResult::kDone;
+}
+
+WaitResult OcpDriver::wait_done_irq_status(u64 timeout) {
+  try {
+    gpp_.wait_for_irq(irq_, timeout);
+  } catch (const SimError&) {
+    return WaitResult::kTimeout;
+  }
+  const u32 ctrl = read_ctrl();
+  if ((ctrl & kCtrlErr) != 0) return WaitResult::kErr;
+  clear_done();
+  return WaitResult::kDone;
+}
+
+u32 OcpDriver::wait_done_poll(u64 poll_gap, u64 timeout) {
+  const Cycle t0 = gpp_.now();
+  u32 polls = 0;
+  switch (wait_done_poll_status(poll_gap, timeout, &polls)) {
+    case WaitResult::kDone:
+      return polls;
+    case WaitResult::kErr:
+      throw SimError("OcpDriver(" + name_ +
+                     "): OCP signalled a microcode fault at cycle " +
+                     std::to_string(gpp_.now()));
+    case WaitResult::kTimeout:
       throw SimError("OcpDriver(" + name_ +
                      ")::wait_done_poll: no completion within " +
                      std::to_string(timeout) + " cycles (started cycle " +
                      std::to_string(t0) + ", now cycle " +
                      std::to_string(gpp_.now()) + ")");
-    }
-    gpp_.spend(poll_gap);
   }
-  clear_done();
-  return polls;
+  return polls;  // unreachable
 }
 
 void OcpDriver::wait_done_irq(u64 timeout) {
-  try {
-    gpp_.wait_for_irq(irq_, timeout);
-  } catch (const SimError&) {
-    // Re-throw with the coprocessor identified and the deadline that
-    // actually expired (the kernel's message knows neither).
-    throw SimError("OcpDriver(" + name_ +
-                   ")::wait_done_irq: no interrupt within " +
-                   std::to_string(timeout) + " cycles (gave up at cycle " +
-                   std::to_string(gpp_.now()) + ")");
+  switch (wait_done_irq_status(timeout)) {
+    case WaitResult::kDone:
+      return;
+    case WaitResult::kErr:
+      throw SimError("OcpDriver(" + name_ +
+                     "): OCP signalled a microcode fault at cycle " +
+                     std::to_string(gpp_.now()));
+    case WaitResult::kTimeout:
+      // Identify the coprocessor and the deadline that actually expired
+      // (the kernel's wait_for_irq message knows neither).
+      throw SimError("OcpDriver(" + name_ +
+                     ")::wait_done_irq: no interrupt within " +
+                     std::to_string(timeout) + " cycles (gave up at cycle " +
+                     std::to_string(gpp_.now()) + ")");
   }
-  const u32 ctrl = read_ctrl();
-  if ((ctrl & kCtrlErr) != 0) {
-    throw SimError("OcpDriver(" + name_ +
-                   "): OCP signalled a microcode fault at cycle " +
-                   std::to_string(gpp_.now()));
+}
+
+void OcpDriver::soft_reset(u64 settle) {
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlRst | (ie_ ? kCtrlIe : 0));
+  const Cycle t0 = gpp_.now();
+  constexpr u32 kStatusBits = kCtrlBusy | kCtrlDone | kCtrlErr | kCtrlProg;
+  while ((read_ctrl() & kStatusBits) != 0) {
+    if (gpp_.now() - t0 >= settle) {
+      throw SimError("OcpDriver(" + name_ +
+                     ")::soft_reset: status bits still set after " +
+                     std::to_string(settle) + " cycles");
+    }
+    gpp_.spend(4);
   }
-  clear_done();
 }
 
 }  // namespace ouessant::drv

@@ -6,10 +6,20 @@
 #pragma once
 
 #include "drv/ocp_driver.hpp"
+#include "fault/report.hpp"
 #include "obs/tracer.hpp"
 #include "ouessant/ocp.hpp"
 
 namespace ouessant::drv {
+
+/// What one fault-aware run produced. `ok` runs carry only the cycle
+/// count; failed runs carry a typed FaultReport instead of an escaping
+/// SimError, so service layers can retry without unwinding the stack.
+struct RunOutcome {
+  bool ok = true;
+  u64 cycles = 0;
+  fault::FaultReport report;
+};
 
 struct SessionLayout {
   Addr prog_base = 0;   ///< where the microcode image lives (bank 0)
@@ -46,6 +56,22 @@ class OcpSession {
   /// process other tasks" mode). Pair with driver().wait_done_irq().
   void start_async();
 
+  // -- fault-aware execution ---------------------------------------------
+  /// run_poll that reports ERR / deadline expiry as a RunOutcome instead
+  /// of throwing. Identical bus access sequence to run_poll on the happy
+  /// path (proven by the unarmed bit-identity tests).
+  RunOutcome try_run_poll(u64 poll_gap = 16,
+                          u64 timeout = kDefaultDriverTimeout);
+
+  /// run_irq, fault-aware. A timeout re-reads CTRL before giving up: a
+  /// suppressed interrupt edge with D set is a *recovered* completion
+  /// (outcome ok, report.recovered_irq = true), not a failure.
+  RunOutcome try_run_irq(u64 timeout = kDefaultDriverTimeout);
+
+  /// Clear a latched ERR (if any) and pulse kCtrlRst; afterwards the OCP
+  /// is idle with banks and program intact, ready for a retry launch.
+  void recover();
+
   [[nodiscard]] OcpDriver& driver() { return drv_; }
   [[nodiscard]] const SessionLayout& layout() const { return layout_; }
   [[nodiscard]] mem::Sram& memory() { return mem_; }
@@ -57,6 +83,12 @@ class OcpSession {
   void set_tracer(obs::EventTracer* tracer);
 
  private:
+  /// Fill a FaultReport for a failed wait. kErr backdoor-reads the
+  /// controller's last_fault() — the registers only carry the ERR bit,
+  /// but the report wants when/where/why.
+  [[nodiscard]] fault::FaultReport make_fault_report(WaitResult wr,
+                                                     u64 timeout) const;
+
   cpu::Gpp& gpp_;
   mem::Sram& mem_;
   core::Ocp& ocp_;

@@ -28,6 +28,10 @@ struct RunContext {
   u64 seed = 0;
   std::string trace_path;
   std::string trace_events_path;
+  /// Fault plan spec string (ouessant_bench --faults, fault::FaultPlan
+  /// grammar). "" = the scenario's built-in plan (usually none). Only
+  /// the serve_faulty family consults it.
+  std::string faults;
 };
 
 /// One named grid axis. The sweep expands axes in declaration order with

@@ -57,6 +57,7 @@ std::vector<SweepJob> expand_jobs(const Registry& registry,
   for (SweepJob& job : jobs) {
     if (!job.spec->run_ctx) continue;  // plain runs take no context
     job.seed = options.seed;
+    job.faults = options.faults;
     if (options.trace_stem.empty() && options.trace_events_stem.empty()) {
       continue;
     }
@@ -89,6 +90,7 @@ Result run_job(const SweepJob& job) {
       ctx.seed = job.seed.value_or(job.spec->default_seed);
       ctx.trace_path = job.trace_path;
       ctx.trace_events_path = job.trace_events_path;
+      ctx.faults = job.faults;
       job.spec->run_ctx(job.params, ctx, r);
     } else {
       job.spec->run(job.params, r);

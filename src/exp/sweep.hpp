@@ -36,6 +36,9 @@ struct SweepOptions {
   /// (plus a "<...>.metrics.json" time-series) written to
   /// "<stem>_<scenario>_<point>.trace.json" (--trace-events).
   std::string trace_events_stem;
+  /// Fault plan spec forwarded to every run_ctx job (ouessant_bench
+  /// --faults). "" = scenarios keep their built-in plans.
+  std::string faults;
 };
 
 /// One expanded (scenario, grid point) work item.
@@ -48,6 +51,8 @@ struct SweepJob {
   std::string trace_path;
   /// Per-job trace-event JSON destination ("" = no tracing).
   std::string trace_events_path;
+  /// Fault plan spec override ("" = scenario default).
+  std::string faults;
 };
 
 struct SweepOutcome {

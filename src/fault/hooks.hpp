@@ -1,0 +1,56 @@
+// Injection points the hardware models expose to the fault subsystem.
+//
+// Each component that can misbehave holds one nullable hook pointer and
+// consults it with a single branch on its normal path — the same
+// passivity discipline as obs::EventTracer (an unarmed run must be
+// bit-identical to a build without the hook; test_fault pins this).
+// The hooks live here, in a header with no dependencies beyond util, so
+// bus/cpu/core can include them without linking the fault library.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ouessant::fault {
+
+/// Installed on a bus::InterconnectModel. Consulted once per data-beat
+/// issue; returning true makes the addressed slave respond ERROR, which
+/// terminates the transaction (the master port's faulted() flag latches).
+class BusFaultHook {
+ public:
+  virtual ~BusFaultHook() = default;
+  virtual bool beat_error(const std::string& master, Addr addr, bool write,
+                          Cycle now) = 0;
+};
+
+/// Installed on a core::Controller: microcode bit-flips (applied to the
+/// fetched instruction word before decode) and corrupted output-FIFO
+/// words (applied as the mvfc stream pulls them onto the bus).
+class OcpFaultHook {
+ public:
+  virtual ~OcpFaultHook() = default;
+  virtual u32 corrupt_fetch(u32 ir, u32 pc, Cycle now) = 0;
+  virtual u32 corrupt_output(u32 word, Cycle now) = 0;
+};
+
+/// Installed on a core::Rac. Consulted at every end_op; returning true
+/// swallows the pulse — busy-accounting stays open and the controller's
+/// exec-wait hangs until a kCtrlRst soft reset.
+class RacFaultHook {
+ public:
+  virtual ~RacFaultHook() = default;
+  virtual bool swallow_end_op(Cycle now) = 0;
+};
+
+/// Installed on a cpu::IrqController. Consulted once per observed rising
+/// edge of source @p src; returning true suppresses the assertion until
+/// the source line falls (a lost level interrupt the driver must recover
+/// from by polling).
+class IrqFaultHook {
+ public:
+  virtual ~IrqFaultHook() = default;
+  virtual bool drop_assertion(u32 src, Cycle now) = 0;
+};
+
+}  // namespace ouessant::fault

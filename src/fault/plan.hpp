@@ -1,0 +1,80 @@
+// FaultPlan: the declarative, deterministic description of what to break.
+//
+// A plan is a list of FaultSpecs, each naming an injection site plus
+// either an exact sim cycle ("fire at the first opportunity at or after
+// cycle N") or a seeded per-opportunity probability. The Injector
+// evaluates specs with one xoshiro stream per spec, derived from the
+// plan seed — so on the single-threaded simulator the same seed and the
+// same workload produce a bit-identical fault schedule (test_fault pins
+// this).
+//
+// Plans come from two places: the `--faults SPEC` flag of ouessant_bench
+// (parse(), grammar in docs/robustness.md) and programmatic builders in
+// scenarios/tests (add()/make helpers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ouessant::fault {
+
+/// Default plan seed (decorrelated from svc::kDefaultServiceSeed so a
+/// workload and its fault schedule never share a stream).
+inline constexpr u64 kDefaultFaultSeed = 0xFA17'5EEDull;
+
+enum class FaultKind : u8 {
+  kBusError = 0,  ///< slave ERROR response on a data beat of an OCP master
+  kRacHang,       ///< end_op swallowed: RAC never reports completion
+  kFifoCorrupt,   ///< output-FIFO word XORed as mvfc drains it
+  kCtrlFlip,      ///< fetched microcode word XORed before decode
+  kIrqDrop,       ///< rising IRQ edge suppressed at the controller
+};
+inline constexpr std::size_t kNumFaultKinds = 5;
+
+/// Spec-grammar site name ("bus_err", "rac_hang", ...).
+[[nodiscard]] const char* kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBusError;
+  int ocp = -1;       ///< target OCP index; -1 matches every OCP
+  Cycle at = 0;       ///< >0: fire at the first opportunity at/after this
+  double prob = 0.0;  ///< at==0: per-opportunity Bernoulli probability
+  u32 count = 0;      ///< max firings; 0 = once for at-specs, unlimited else
+  u32 bit = 31;       ///< XOR bit for kCtrlFlip/kFifoCorrupt (31 flips the
+                      ///< opcode field into unassigned space, see isa.hpp)
+
+  /// Firing budget with the defaulting rule applied.
+  [[nodiscard]] u64 budget() const {
+    if (count > 0) return count;
+    return at > 0 ? 1 : ~u64{0};
+  }
+};
+
+struct FaultPlan {
+  u64 seed = kDefaultFaultSeed;
+  std::vector<FaultSpec> specs;
+
+  /// A plan with no specs is unarmed: components keep their hooks null
+  /// and the run must be bit-identical to one without a plan.
+  [[nodiscard]] bool armed() const { return !specs.empty(); }
+
+  /// Builder: append a spec (validating it) and return *this for
+  /// chaining.
+  FaultPlan& add(const FaultSpec& spec);
+
+  /// Parse the --faults grammar (docs/robustness.md):
+  ///   plan   := clause (';' clause)*
+  ///   clause := 'seed=' u64 | site ('@' field (',' field)*)?
+  ///   site   := 'bus_err'|'rac_hang'|'fifo_corrupt'|'ctrl_flip'|'irq_drop'
+  ///   field  := 'ocp='int | 'at='cycle | 'p='prob | 'count='n | 'bit='b
+  /// e.g. "seed=7;bus_err@ocp=0,p=0.001;rac_hang@at=150000,ocp=1".
+  /// Throws ConfigError on anything it does not understand.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+  /// Canonical spec string (round-trips through parse()).
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace ouessant::fault

@@ -27,6 +27,7 @@ Controller::Controller(sim::Kernel& kernel, std::string name,
 }
 
 bool Controller::is_quiescent() const {
+  if (iface_.reset_pending()) return false;  // must tick to perform it
   switch (state_) {
     case State::kIdle:
       return !iface_.start_pending();
@@ -36,7 +37,11 @@ bool Controller::is_quiescent() const {
     case State::kDecode:
       return false;
     case State::kExecWait:
-      return rac_.busy();
+      // exec_pending (not busy): a hung RAC never wakes us — the only
+      // exit is the kCtrlRst write, whose wake arrives via
+      // wake_on_start. Gating through the hang keeps the driver's
+      // timeout polling cheap.
+      return rac_.exec_pending();
   }
   return false;
 }
@@ -119,6 +124,7 @@ void Controller::next_instruction() {
 }
 
 void Controller::fault(const char* why) {
+  last_fault_ = FaultInfo{kernel().now(), pc_, why};
   if (tracer_ != nullptr) {
     tracer_->instant(track_, "fault",
                      {obs::arg("why", why), obs::arg("pc", u64{pc_})});
@@ -127,6 +133,26 @@ void Controller::fault(const char* why) {
   iface_.signal_error();
   iface_.set_running(false);
   state_ = State::kIdle;
+}
+
+void Controller::do_soft_reset() {
+  // Abort in the hardware order: master transaction first (releases the
+  // bus grant), then the datapath FIFOs, then a hung RAC op. Banks and
+  // program size live in the interface and survive.
+  if (iface_.master().busy()) iface_.master().abort();
+  for (fifo::WidthFifo* f : in_fifos_) f->flush();
+  for (fifo::WidthFifo* f : out_fifos_) f->flush();
+  rac_.soft_reset();
+  loop_active_ = false;
+  loop_iter_ = 0;
+  loop_left_ = 0;
+  state_ = State::kIdle;
+  iface_.set_running(false);
+  iface_.ack_reset();
+  if (tracer_ != nullptr) {
+    tracer_->instant(track_, "soft_reset", {obs::arg("pc", u64{pc_})});
+  }
+  ++stats_.idle_cycles;  // the reset cycle itself
 }
 
 void Controller::decode_and_issue() {
@@ -227,6 +253,10 @@ void Controller::tick_compute() {
   const u64 skipped = pending_credit();
   next_expected_tick_ = kernel().now() + 1;
   if (skipped > 0) credit_skipped(skipped);
+  if (iface_.reset_pending()) {
+    do_soft_reset();
+    return;
+  }
   switch (state_) {
     case State::kIdle:
       if (iface_.start_pending()) {
@@ -246,7 +276,14 @@ void Controller::tick_compute() {
       break;
     case State::kFetch:
       if (!iface_.master().busy()) {
+        if (iface_.master().faulted()) {
+          fault("bus error on instruction fetch");
+          return;
+        }
         ir_ = iface_.master().rdata0();
+        if (fault_hook_ != nullptr) {
+          ir_ = fault_hook_->corrupt_fetch(ir_, pc_, kernel().now());
+        }
         state_ = State::kDecode;
       } else {
         ++stats_.fetch_cycles;
@@ -257,6 +294,10 @@ void Controller::tick_compute() {
       break;
     case State::kXfer:
       if (!iface_.master().busy()) {
+        if (iface_.master().faulted()) {
+          fault("bus error during data transfer");
+          return;
+        }
         trace_instr_end();
         next_instruction();
       } else {
@@ -264,7 +305,7 @@ void Controller::tick_compute() {
       }
       break;
     case State::kExecWait:
-      if (!rac_.busy()) {
+      if (!rac_.exec_pending()) {
         trace_instr_end();
         next_instruction();
       } else {

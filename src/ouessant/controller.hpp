@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/hooks.hpp"
 #include "fifo/width_fifo.hpp"
 #include "obs/tracer.hpp"
 #include "ouessant/interface.hpp"
@@ -22,6 +23,7 @@
 #include "ouessant/rac_if.hpp"
 #include "res/estimate.hpp"
 #include "sim/kernel.hpp"
+#include "util/fault_info.hpp"
 
 namespace ouessant::core {
 
@@ -78,6 +80,17 @@ class Controller : public sim::Component, public res::ResourceAware {
   /// track "ctrl.<name>"; faults appear as instants.
   void set_tracer(obs::EventTracer* tracer);
 
+  /// Attach (or detach, nullptr) a fault hook: fetched words pass
+  /// through corrupt_fetch() before decode (microcode bit-flips) and
+  /// mvfc-drained words through corrupt_output(). One branch each when
+  /// unarmed.
+  void set_fault_hook(fault::OcpFaultHook* hook) { fault_hook_ = hook; }
+
+  /// When/where/why of the most recent fault (empty reason when this
+  /// controller never faulted). Recovery layers backdoor-read this to
+  /// fill FaultReport — the hardware registers only carry the ERR bit.
+  [[nodiscard]] const FaultInfo& last_fault() const { return last_fault_; }
+
  private:
   enum class State { kIdle, kFetch, kDecode, kXfer, kExecWait };
 
@@ -105,7 +118,11 @@ class Controller : public sim::Component, public res::ResourceAware {
     [[nodiscard]] bool beat_ready() const override { return !f_->empty(); }
     u32 take_beat() override {
       ++c_.stats_.words_from_rac;
-      return static_cast<u32>(f_->read());
+      u32 word = static_cast<u32>(f_->read());
+      if (c_.fault_hook_ != nullptr) {
+        word = c_.fault_hook_->corrupt_output(word, c_.kernel().now());
+      }
+      return word;
     }
 
    private:
@@ -117,6 +134,7 @@ class Controller : public sim::Component, public res::ResourceAware {
   void next_instruction();
   void decode_and_issue();
   void fault(const char* why);
+  void do_soft_reset();
   void trace_instr_end();
 
   BusInterface& iface_;
@@ -141,6 +159,8 @@ class Controller : public sim::Component, public res::ResourceAware {
   FifoSink sink_;
   FifoSource source_;
   ControllerStats stats_;
+  FaultInfo last_fault_;
+  fault::OcpFaultHook* fault_hook_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
   obs::TrackId track_ = 0;
   Cycle instr_begin_ = 0;  ///< fetch-issue cycle of the current instruction

@@ -5,15 +5,15 @@ namespace ouessant::core {
 EmuResult emulate(const Program& prog, const EmuConfig& cfg,
                   std::map<Addr, u32>& memory, const EmuRac& rac) {
   EmuResult r;
-  auto fault = [&r](const std::string& why) {
+  u32 pc = 0;
+  auto fault = [&r, &pc](const std::string& why) {
     r.ok = false;
-    r.fault = why;
+    r.fault = FaultInfo{r.instructions, pc, why};
   };
 
   std::vector<std::deque<u32>> in_fifos(cfg.num_in_fifos);
   std::vector<std::deque<u32>> out_fifos(cfg.num_out_fifos);
 
-  u32 pc = 0;
   bool loop_active = false;
   u32 loop_left = 0;
   u32 loop_iter = 0;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ouessant/program.hpp"
+#include "util/fault_info.hpp"
 
 namespace ouessant::core {
 
@@ -27,8 +28,12 @@ struct EmuConfig {
 };
 
 struct EmuResult {
-  bool ok = true;              ///< false when the run faulted
-  std::string fault;           ///< human-readable fault reason
+  bool ok = true;    ///< false when the run faulted
+  /// When/where/why execution faulted (FaultInfo::cycle holds the
+  /// instruction count at the fault — the untimed model has no clock).
+  /// Same shape the Controller and FaultReport use, so differential
+  /// tests can compare fault sites directly.
+  FaultInfo fault;
   u64 instructions = 0;
   u64 rac_ops = 0;
   u64 irqs = 0;  ///< progress interrupts (IRQ instruction)

@@ -33,6 +33,18 @@ u32 BusInterface::read_ctrl() const {
 
 void BusInterface::write_ctrl(u32 value) {
   ie_ = (value & kCtrlIe) != 0;
+  if ((value & kCtrlRst) != 0) {
+    // Soft reset: clear every status bit and latch the pulse for the
+    // controller, which performs the actual abort (bus transaction,
+    // FIFOs, RAC) on its next tick. Banks/prog_size survive.
+    reset_pending_ = true;
+    start_pending_ = false;
+    done_ = false;
+    error_ = false;
+    progress_ = false;
+    irq_.clear();
+    if (start_waiter_ != nullptr) start_waiter_->wake();
+  }
   if ((value & kCtrlDone) != 0) {  // W1C
     done_ = false;
     irq_.clear();

@@ -57,6 +57,12 @@ class BusInterface : public bus::BusSlave, public res::ResourceAware {
   /// standalone autostart) — lets the controller gate its clock in idle.
   void wake_on_start(sim::Component& c) { start_waiter_ = &c; }
   void ack_start();                       ///< controller consumed S
+  /// RST was written and the controller has not consumed it yet. The
+  /// controller handles the reset at the top of its next tick (its
+  /// start_waiter_ wake fires on the write, so a gated controller sees
+  /// it immediately).
+  [[nodiscard]] bool reset_pending() const { return reset_pending_; }
+  void ack_reset() { reset_pending_ = false; }
   void set_running(bool running) { running_ = running; }
   [[nodiscard]] bool running() const { return running_; }
   void signal_done();                     ///< EOP: set D, raise IRQ if IE
@@ -90,6 +96,7 @@ class BusInterface : public bus::BusSlave, public res::ResourceAware {
   u32 prog_size_ = 0;
   bool ie_ = false;
   bool start_pending_ = false;
+  bool reset_pending_ = false;
   bool autostart_armed_ = false;
   bool auto_restart_ = false;
   bool running_ = false;

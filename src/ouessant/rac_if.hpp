@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/hooks.hpp"
 #include "fifo/width_fifo.hpp"
 #include "obs/tracer.hpp"
 #include "res/estimate.hpp"
@@ -70,6 +71,31 @@ class Rac : public sim::Component, public res::ResourceAware {
     if (tracer_ != nullptr) track_ = tracer_->track("rac." + name());
   }
 
+  /// Attach (or detach, nullptr) a fault hook. A firing hook swallows
+  /// the end_op pulse: busy() may fall, but the op window stays open and
+  /// hung() latches — the controller's exec-wait blocks on
+  /// exec_pending() until a kCtrlRst soft reset. Hooks act on the RAC
+  /// instance bound to the OCP (a ReconfigSlot wrapper's candidates emit
+  /// their own pulses and are not intercepted).
+  void set_fault_hook(fault::RacFaultHook* hook) { fault_hook_ = hook; }
+
+  /// What the controller's exec-wait actually waits out: the RAC's busy
+  /// window, extended by a swallowed end_op.
+  [[nodiscard]] bool exec_pending() const { return busy() || hung_; }
+  [[nodiscard]] bool hung() const { return hung_; }
+
+  /// kCtrlRst: drop a hung operation. Closes the open busy window at the
+  /// reset cycle (so cycle attribution stays exact) and clears hung_.
+  virtual void soft_reset() {
+    hung_ = false;
+    if (op_open_) {
+      const Cycle now = kernel().now();
+      busy_cycles_ += now - op_begin_;
+      if (tracer_ != nullptr) tracer_->complete(track_, "op", op_begin_, now);
+      op_open_ = false;
+    }
+  }
+
  protected:
   /// Subclasses call this wherever they raise busy() (start_op), after
   /// their argument validation — a rejected start opens no window.
@@ -80,6 +106,10 @@ class Rac : public sim::Component, public res::ResourceAware {
 
   /// Subclasses call this wherever they drop busy() (end_op).
   void notify_end_op() {
+    if (fault_hook_ != nullptr && fault_hook_->swallow_end_op(kernel().now())) {
+      hung_ = true;  // pulse lost: window stays open, waiter not woken
+      return;
+    }
     if (op_open_) {
       const Cycle now = kernel().now();
       busy_cycles_ += now - op_begin_;
@@ -92,8 +122,10 @@ class Rac : public sim::Component, public res::ResourceAware {
  private:
   sim::Component* end_op_waiter_ = nullptr;
   obs::EventTracer* tracer_ = nullptr;
+  fault::RacFaultHook* fault_hook_ = nullptr;
   obs::TrackId track_ = 0;
   bool op_open_ = false;
+  bool hung_ = false;
   Cycle op_begin_ = 0;
   u64 busy_cycles_ = 0;
 };

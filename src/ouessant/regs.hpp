@@ -19,14 +19,20 @@ inline constexpr Addr kRegSpanBytes = 0x28;  ///< 10 registers * 4 bytes
 /// Byte offset of bank register @p n (n < 8). Bank 7 sits at 0x24.
 constexpr Addr bank_reg(u32 n) { return kRegBank0 + n * 4; }
 
-// Control register bits. S/IE/D are the paper's three; BUSY and ERR are
-// read-only status extensions of this implementation.
+// Control register bits. S/IE/D are the paper's three; BUSY, ERR, PROG
+// and RST are status/recovery extensions of this implementation.
 inline constexpr u32 kCtrlStart = 1u << 0;  ///< S: start the coprocessor
 inline constexpr u32 kCtrlIe = 1u << 1;     ///< IE: enable interrupt
 inline constexpr u32 kCtrlDone = 1u << 2;   ///< D: processing finished (W1C)
 inline constexpr u32 kCtrlBusy = 1u << 3;   ///< controller running (RO)
 inline constexpr u32 kCtrlErr = 1u << 4;    ///< microcode fault (W1C)
 inline constexpr u32 kCtrlProg = 1u << 5;   ///< progress signal (irq, W1C)
+/// RST: soft-reset pulse (self-clearing, reads as 0). Aborts the
+/// controller, flushes the FIFOs, drops a hung RAC op and clears every
+/// status bit — but keeps the configuration registers (banks, program
+/// size), so a retry can relaunch the resident program immediately. The
+/// recovery half of the fault model (docs/robustness.md).
+inline constexpr u32 kCtrlRst = 1u << 6;
 
 /// By convention the microcode program lives in bank 0 (Fig. 4 uses
 /// BANK1/BANK2 for data); the controller fetches instruction @c pc from

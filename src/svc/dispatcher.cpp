@@ -149,8 +149,13 @@ bool Dispatcher::is_quiescent() const {
 
 void Dispatcher::service_once() {
   ingest_arrivals();
+  if (policy_.armed()) {
+    check_watchdogs();
+    requeue_retries();
+  }
   retire_completions();
   dispatch_ready();
+  if (policy_.armed()) fail_unservable();
 }
 
 void Dispatcher::ingest_arrivals() {
@@ -193,8 +198,20 @@ void Dispatcher::retire_completions() {
 
 void Dispatcher::retire_worker(Worker& w) {
   auto& drv = w.session->driver();
-  if (!drv.done_bit_set()) return;  // spurious (level raced with ack)
-  drv.clear_done();
+  if (policy_.armed()) {
+    // Same single CTRL read as the unarmed path, but ERR diverts into
+    // the recovery machinery instead of staying invisible.
+    const u32 ctrl = drv.read_ctrl();
+    if ((ctrl & core::kCtrlErr) != 0) {
+      handle_worker_fault(w, fault::FaultClass::kErrBit);
+      return;
+    }
+    if ((ctrl & core::kCtrlDone) == 0) return;  // spurious
+    drv.clear_done();
+  } else {
+    if (!drv.done_bit_set()) return;  // spurious (level raced with ack)
+    drv.clear_done();
+  }
   const Cycle done_at = gpp_.now();
 
   const u32 block = block_words(w.kind);
@@ -212,15 +229,32 @@ void Dispatcher::retire_worker(Worker& w) {
                        obs::arg("kind", kind_name(w.kind))});
   }
 
+  bool batch_faulted = false;
+  u64 mismatches = 0;
   for (std::size_t j = 0; j < batch.size(); ++j) {
     Job& job = batch[j];
     job.complete = done_at;
     const auto got = mem_.dump(out_base + j * block * 4, block);
     if (got != reference_output(job.kind, job.payload)) {
-      throw SimError("svc: output mismatch for job " +
-                     std::to_string(job.id) + " (" + kind_name(job.kind) +
-                     ") on " + w.session->ocp().name() + " at cycle " +
-                     std::to_string(done_at));
+      if (!policy_.armed()) {
+        throw SimError("svc: output mismatch for job " +
+                       std::to_string(job.id) + " (" + kind_name(job.kind) +
+                       ") on " + w.session->ocp().name() + " at cycle " +
+                       std::to_string(done_at));
+      }
+      // Corrupted output (fifo_corrupt): only the mismatching job
+      // retries; its batch siblings completed with good data.
+      batch_faulted = true;
+      ++mismatches;
+      if (tracer_ != nullptr) {
+        tracer_->instant(
+            w.track, "fault",
+            {obs::arg("class",
+                      fault::class_name(fault::FaultClass::kVerifyMismatch)),
+             obs::arg("id", job.id)});
+      }
+      fault_job(std::move(job), fault::FaultClass::kVerifyMismatch, done_at);
+      continue;
     }
     ++completed_;
     if (tracer_ != nullptr) {
@@ -233,13 +267,23 @@ void Dispatcher::retire_worker(Worker& w) {
     }
     if (completion_hook_) completion_hook_(job);
   }
+  if (policy_.armed()) {
+    if (batch_faulted) {
+      ++faults_;
+      ++w.stats.faults;
+      w.stats.jobs -= mismatches;  // mismatched jobs were not completed
+      penalize_worker(w);
+    } else {
+      w.consecutive_faults = 0;
+    }
+  }
   trace_queue_counters();
 }
 
 void Dispatcher::dispatch_ready() {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = workers_[i];
-    if (w.busy) continue;
+    if (w.busy || w.quarantined) continue;
     auto batch = queue_.take(w.kind, w.max_batch);
     if (batch.empty()) continue;
     launch(i, std::move(batch));
@@ -287,7 +331,205 @@ void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
   ++w.stats.launches;
   in_flight_ += static_cast<u32>(batch.size());
   w.batch = std::move(batch);
+  if (policy_.watchdog_cycles > 0) {
+    wake_at(w.busy_since + policy_.watchdog_cycles);
+  }
   trace_queue_counters();
+}
+
+// ------------------------------------------------------ fault handling --
+
+bool Dispatcher::watchdog_due() const {
+  if (policy_.watchdog_cycles == 0) return false;
+  for (const auto& w : workers_) {
+    if (w.busy && kernel().now() >= w.busy_since + policy_.watchdog_cycles) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Dispatcher::check_watchdogs() {
+  if (policy_.watchdog_cycles == 0) return;
+  for (auto& w : workers_) {
+    if (!w.busy) continue;
+    if (gpp_.now() < w.busy_since + policy_.watchdog_cycles) continue;
+    // One timed CTRL read decides: completion whose interrupt edge was
+    // lost, a latched fault, or a genuine hang.
+    const u32 ctrl = w.session->driver().read_ctrl();
+    if ((ctrl & core::kCtrlDone) != 0) {
+      ++irq_recoveries_;
+      if (tracer_ != nullptr) {
+        tracer_->instant(w.track, "irq_recovered",
+                         {obs::arg("kind", kind_name(w.kind))});
+      }
+      retire_worker(w);  // re-reads CTRL; D is still set
+    } else if ((ctrl & core::kCtrlErr) != 0) {
+      handle_worker_fault(w, fault::FaultClass::kErrBit);
+    } else {
+      handle_worker_fault(w, fault::FaultClass::kTimeout);
+    }
+  }
+}
+
+void Dispatcher::handle_worker_fault(Worker& w, fault::FaultClass cls) {
+  ++faults_;
+  ++w.stats.faults;
+  FaultInfo info;
+  if (cls == fault::FaultClass::kErrBit) {
+    info = w.session->ocp().controller().last_fault();
+    if (info.empty()) info = FaultInfo{gpp_.now(), 0, "ERR set"};
+  } else {
+    info = FaultInfo{gpp_.now(), w.session->ocp().controller().pc(),
+                     "watchdog deadline (" +
+                         std::to_string(policy_.watchdog_cycles) +
+                         " cycles busy)"};
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(w.track, "fault",
+                     {obs::arg("class", fault::class_name(cls)),
+                      obs::arg("why", info.reason),
+                      obs::arg("jobs", u64{w.batch.size()})});
+  }
+
+  // Timed recovery sequence (ERR W1C + RST pulse + settle polls). The
+  // resident program survives the soft reset, so installed_batch stays.
+  w.session->recover();
+  const Cycle now = gpp_.now();
+  w.stats.busy_cycles += now - w.busy_since;  // recovery bills the worker
+  if (tracer_ != nullptr) {
+    tracer_->complete(w.track, "batch", w.busy_since, now,
+                      {obs::arg("jobs", u64{w.batch.size()}),
+                       obs::arg("kind", kind_name(w.kind)),
+                       obs::arg("aborted", u64{1})});
+  }
+  std::vector<Job> batch = std::move(w.batch);
+  w.batch.clear();
+  w.busy = false;
+  in_flight_ -= static_cast<u32>(batch.size());
+  charge_retire(gpp_, batch.size());
+  for (auto& job : batch) fault_job(std::move(job), cls, now);
+  penalize_worker(w);
+  trace_queue_counters();
+}
+
+void Dispatcher::penalize_worker(Worker& w) {
+  ++w.consecutive_faults;
+  if (policy_.quarantine_after > 0 && !w.quarantined &&
+      w.consecutive_faults >= policy_.quarantine_after) {
+    w.quarantined = true;
+    w.quarantine_since = gpp_.now();
+    if (tracer_ != nullptr) {
+      tracer_->instant(w.track, "quarantine",
+                       {obs::arg("consecutive", u64{w.consecutive_faults})});
+    }
+  }
+}
+
+void Dispatcher::fault_job(Job job, fault::FaultClass cls, Cycle now) {
+  ++job.attempts;
+  if (job.attempts < policy_.max_attempts) {
+    ++retries_;
+    const Cycle ready = now + policy_.backoff(job.attempts);
+    if (tracer_ != nullptr) {
+      tracer_->instant(sched_track_, "retry",
+                       {obs::arg("id", job.id),
+                        obs::arg("attempt", u64{job.attempts}),
+                        obs::arg("class", fault::class_name(cls))});
+    }
+    const auto it = std::upper_bound(
+        retry_queue_.begin(), retry_queue_.end(), ready,
+        [](Cycle r, const PendingRetry& p) { return r < p.ready_at; });
+    retry_queue_.insert(it, PendingRetry{ready, std::move(job)});
+    wake_at(ready);
+  } else {
+    fail_job(job, cls);
+  }
+}
+
+void Dispatcher::fail_job(const Job& job, fault::FaultClass cls) {
+  ++failed_;
+  if (tracer_ != nullptr) {
+    tracer_->instant(jobs_track_, "job_failed",
+                     {obs::arg("id", job.id),
+                      obs::arg("attempts", u64{job.attempts}),
+                      obs::arg("class", fault::class_name(cls))});
+    tracer_->flow_end(jobs_track_, "job", job.id);
+  }
+  // No completion_hook_: a failed job never completed. Closed-loop
+  // generators must not rely on the hook for liveness under faults
+  // (serve_faulty runs open-loop).
+}
+
+void Dispatcher::requeue_retries() {
+  while (retry_due()) {
+    if (queue_.size() >= queue_.depth()) {
+      // Full queue: postpone instead of burning an attempt on a
+      // guaranteed reject. The backoff keeps the retry alive until
+      // dispatches drain the queue.
+      PendingRetry p = std::move(retry_queue_.front());
+      retry_queue_.erase(retry_queue_.begin());
+      p.ready_at = gpp_.now() + policy_.backoff_base;
+      const auto it = std::upper_bound(
+          retry_queue_.begin(), retry_queue_.end(), p.ready_at,
+          [](Cycle r, const PendingRetry& q) { return r < q.ready_at; });
+      wake_at(p.ready_at);
+      retry_queue_.insert(it, std::move(p));
+      break;
+    }
+    Job job = std::move(retry_queue_.front().job);
+    retry_queue_.erase(retry_queue_.begin());
+    charge_enqueue(gpp_);
+    const u64 id = job.id;
+    const JobKind kind = job.kind;
+    if (queue_.push(std::move(job))) trace_enqueue(id, kind);
+  }
+  if (!retry_queue_.empty()) wake_at(retry_queue_.front().ready_at);
+}
+
+void Dispatcher::fail_unservable() {
+  bool any_quarantined = false;
+  for (const auto& w : workers_) any_quarantined |= w.quarantined;
+  if (!any_quarantined) return;
+
+  for (std::size_t k = 0; k < kNumJobKinds; ++k) {
+    const auto kind = static_cast<JobKind>(k);
+    bool has_worker = false;
+    bool servable = false;
+    for (const auto& w : workers_) {
+      if (w.kind != kind) continue;
+      has_worker = true;
+      servable |= !w.quarantined;
+    }
+    // Kinds with no worker at all are the caller's configuration
+    // problem, same as before faults existed — only drain kinds whose
+    // entire worker set got quarantined, so finished() stays reachable.
+    if (!has_worker || servable) continue;
+    for (;;) {
+      auto doomed = queue_.take(kind, ~u32{0});
+      if (doomed.empty()) break;
+      for (const auto& job : doomed) {
+        fail_job(job, fault::FaultClass::kTimeout);
+      }
+    }
+    for (std::size_t i = retry_queue_.size(); i-- > 0;) {
+      if (retry_queue_[i].job.kind != kind) continue;
+      fail_job(retry_queue_[i].job, fault::FaultClass::kTimeout);
+      retry_queue_.erase(retry_queue_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+u32 Dispatcher::quarantined_count() const {
+  u32 n = 0;
+  for (const auto& w : workers_) n += w.quarantined ? 1 : 0;
+  return n;
+}
+
+u64 Dispatcher::worker_quarantined_cycles(std::size_t i, Cycle wall) const {
+  const Worker& w = workers_.at(i);
+  return w.quarantined ? wall - w.quarantine_since : 0;
 }
 
 }  // namespace ouessant::svc

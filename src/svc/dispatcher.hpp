@@ -26,6 +26,7 @@
 #include "cpu/gpp.hpp"
 #include "cpu/irq_controller.hpp"
 #include "drv/session.hpp"
+#include "fault/report.hpp"
 #include "obs/tracer.hpp"
 #include "sim/kernel.hpp"
 #include "svc/job.hpp"
@@ -38,6 +39,35 @@ struct WorkerStats {
   u64 launches = 0;      ///< start bits issued (batches)
   u64 installs = 0;      ///< timed program (re)installs
   u64 busy_cycles = 0;   ///< cycles between start and acknowledged done
+  u64 faults = 0;        ///< faulted batches charged to this worker
+};
+
+/// Fault-handling policy for the dispatch loop (docs/robustness.md).
+/// Default-constructed it is unarmed: armed() is false and the
+/// dispatcher's behaviour — every timed bus access included — is
+/// bit-identical to the pre-fault service loop.
+struct RetryPolicy {
+  u32 max_attempts = 1;      ///< total tries per job (1 = no retry)
+  u64 backoff_base = 2048;   ///< cycles before the first retry
+  u32 backoff_mult = 2;      ///< exponential factor per further attempt
+  u32 quarantine_after = 0;  ///< consecutive faulted batches before a
+                             ///< worker is quarantined (0 = never)
+  u64 watchdog_cycles = 0;   ///< busy deadline before the CPU polls a
+                             ///< silent worker (0 = off; hangs and
+                             ///< suppressed IRQs need this to be caught)
+
+  [[nodiscard]] bool armed() const {
+    return max_attempts > 1 || quarantine_after > 0 || watchdog_cycles > 0;
+  }
+
+  /// Backoff before retry number @p attempt (1-based: the first retry
+  /// waits backoff(1) == backoff_base cycles, the next one mult times
+  /// that, and so on).
+  [[nodiscard]] u64 backoff(u32 attempt) const {
+    u64 d = backoff_base;
+    for (u32 i = 1; i < attempt; ++i) d *= backoff_mult;
+    return d;
+  }
 };
 
 class Dispatcher : public sim::Component {
@@ -70,6 +100,12 @@ class Dispatcher : public sim::Component {
     completion_hook_ = std::move(fn);
   }
 
+  /// Arm the fault-handling policy (retry/backoff, watchdog,
+  /// quarantine). Call before the run loop; an unarmed policy (the
+  /// default) leaves every timed access sequence untouched.
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return policy_; }
+
   /// Timed IRQ setup: unmask every attached source at the controller and
   /// enable the per-OCP interrupt in each driver. First timed accesses
   /// of a run — call after VCD signals are attached, before the loop.
@@ -79,17 +115,20 @@ class Dispatcher : public sim::Component {
   /// ready jobs to idle workers. All timed, on the host stack.
   void service_once();
 
-  /// True when the CPU has service work: an arrival is due or a worker
-  /// finished. Pure function of component state (run_until-safe).
+  /// True when the CPU has service work: an arrival is due, a worker
+  /// finished, a backed-off retry matured, or a watchdog deadline
+  /// passed. Pure function of component state (run_until-safe; the
+  /// matching wake_at timers are armed when each deadline is set).
   [[nodiscard]] bool service_due() const {
-    return arrival_due_ || irq_ctl_.cpu_line().raised();
+    return arrival_due_ || irq_ctl_.cpu_line().raised() || retry_due() ||
+           watchdog_due();
   }
 
   /// All submitted work accounted for: every scheduled arrival ingested,
-  /// queue drained, no batch in flight.
+  /// queue drained, no batch in flight, no retry backing off.
   [[nodiscard]] bool finished() const {
     return next_arrival_ >= schedule_.size() && queue_.empty() &&
-           in_flight_ == 0;
+           in_flight_ == 0 && retry_queue_.empty();
   }
 
   // -- introspection (trace signals, report) ---------------------------
@@ -107,6 +146,20 @@ class Dispatcher : public sim::Component {
   [[nodiscard]] u64 completed() const { return completed_; }
   [[nodiscard]] u64 rejected() const { return queue_.rejected(); }
   [[nodiscard]] u32 in_flight() const { return in_flight_; }
+
+  // -- fault-aware introspection ---------------------------------------
+  [[nodiscard]] u64 faults() const { return faults_; }
+  [[nodiscard]] u64 retries() const { return retries_; }
+  [[nodiscard]] u64 failed() const { return failed_; }
+  [[nodiscard]] u64 irq_recoveries() const { return irq_recoveries_; }
+  [[nodiscard]] u32 quarantined_count() const;
+  [[nodiscard]] bool worker_quarantined(std::size_t i) const {
+    return workers_.at(i).quarantined;
+  }
+  /// Cycles worker @p i has sat quarantined as of @p wall (0 when it
+  /// never was) — the CycleLedger's kWait share for service workers.
+  [[nodiscard]] u64 worker_quarantined_cycles(std::size_t i,
+                                              Cycle wall) const;
 
   /// Attach (or detach, nullptr) an event tracer; call after the last
   /// add_worker(). Emits: enqueue instants + queue/in-flight counters on
@@ -131,8 +184,17 @@ class Dispatcher : public sim::Component {
     u32 installed_batch = 0;   ///< batch size the resident program serves
     bool busy = false;
     Cycle busy_since = 0;
+    u32 consecutive_faults = 0;  ///< faulted batches since the last success
+    bool quarantined = false;    ///< permanently sidelined for this run
+    Cycle quarantine_since = 0;
     WorkerStats stats;
     obs::TrackId track = 0;    ///< "svc.worker.<ocp>" (tracer attached)
+  };
+
+  /// A job waiting out its retry backoff.
+  struct PendingRetry {
+    Cycle ready_at = 0;
+    Job job;
   };
 
   void ingest_arrivals();
@@ -142,6 +204,20 @@ class Dispatcher : public sim::Component {
   void retire_worker(Worker& w);
   void trace_enqueue(u64 id, JobKind kind);
   void trace_queue_counters();
+
+  // -- fault handling (all early-return when policy_ is unarmed) --------
+  [[nodiscard]] bool retry_due() const {
+    return !retry_queue_.empty() &&
+           retry_queue_.front().ready_at <= kernel().now();
+  }
+  [[nodiscard]] bool watchdog_due() const;
+  void check_watchdogs();
+  void requeue_retries();
+  void fail_unservable();
+  void handle_worker_fault(Worker& w, fault::FaultClass cls);
+  void penalize_worker(Worker& w);
+  void fault_job(Job job, fault::FaultClass cls, Cycle now);
+  void fail_job(const Job& job, fault::FaultClass cls);
 
   cpu::Gpp& gpp_;
   mem::Sram& mem_;
@@ -154,6 +230,12 @@ class Dispatcher : public sim::Component {
   bool arrival_due_ = false;
   u32 in_flight_ = 0;   ///< jobs currently launched on some worker
   u64 completed_ = 0;
+  RetryPolicy policy_;
+  std::vector<PendingRetry> retry_queue_;  ///< sorted by ready_at
+  u64 faults_ = 0;           ///< worker fault events (batch granularity)
+  u64 retries_ = 0;          ///< retry launches scheduled
+  u64 failed_ = 0;           ///< jobs given up on (budget / unservable)
+  u64 irq_recoveries_ = 0;   ///< completions found by the watchdog poll
   std::function<void(const Job&)> completion_hook_;
   obs::EventTracer* tracer_ = nullptr;
   obs::TrackId sched_track_ = 0;  ///< "svc.sched": instants + counters

@@ -55,6 +55,7 @@ struct Job {
   Cycle dispatch = 0;  ///< cycle the CPU started the launch sequence
   Cycle complete = 0;  ///< cycle the completion was acknowledged
   int worker = -1;     ///< OCP index that served the job
+  u32 attempts = 0;    ///< completed tries (fault-aware runs; 0 = first)
 
   [[nodiscard]] u64 queue_wait() const { return dispatch - arrival; }
   [[nodiscard]] u64 service() const { return complete - dispatch; }

@@ -57,6 +57,15 @@ void ServiceReport::add_to(exp::Result& result) const {
   wait.add_metrics(result, "wait");
   service.add_metrics(result, "svc");
   e2e.add_metrics(result, "e2e");
+  if (fault_aware) {
+    result.add_metric("availability", availability());
+    result.add_metric("injected", injected);
+    result.add_metric("faults", faults);
+    result.add_metric("retries", retries);
+    result.add_metric("failed", failed);
+    result.add_metric("irq_recoveries", irq_recoveries);
+    result.add_metric("quarantined", static_cast<u64>(quarantined));
+  }
   for (std::size_t i = 0; i < workers.size(); ++i) {
     const double pct =
         makespan() > 0 ? static_cast<double>(workers[i].busy_cycles) * 100.0 /
@@ -92,6 +101,16 @@ OffloadService::OffloadService(ServiceConfig cfg)
                                               .out_words = words},
                            spec.max_batch);
   }
+
+  if (cfg_.faults.armed()) {
+    injector_ = std::make_unique<fault::Injector>(cfg_.faults);
+    injector_->arm_bus(soc_.bus());
+    injector_->arm_irq(irq_ctl_);
+    for (std::size_t i = 0; i < soc_.ocp_count(); ++i) {
+      injector_->arm_ocp(static_cast<u32>(i), soc_.ocp(i));
+    }
+  }
+  dispatcher_.set_retry_policy(cfg_.retry);
 }
 
 void OffloadService::attach_trace(sim::VcdTrace& trace) {
@@ -207,6 +226,15 @@ ServiceReport OffloadService::run(const WorkloadConfig& workload) {
   rep.completed = dispatcher_.completed();
   rep.rejected = dispatcher_.rejected();
   rep.peak_depth = dispatcher_.queue().peak_depth();
+  rep.fault_aware = cfg_.faults.armed() || cfg_.retry.armed();
+  if (rep.fault_aware) {
+    rep.injected = injector_ != nullptr ? injector_->injected() : 0;
+    rep.faults = dispatcher_.faults();
+    rep.retries = dispatcher_.retries();
+    rep.failed = dispatcher_.failed();
+    rep.irq_recoveries = dispatcher_.irq_recoveries();
+    rep.quarantined = dispatcher_.quarantined_count();
+  }
   for (std::size_t i = 0; i < dispatcher_.worker_count(); ++i) {
     const WorkerStats& ws = dispatcher_.worker_stats(i);
     rep.workers.push_back(ws);

@@ -14,6 +14,7 @@
 
 #include "cpu/irq_controller.hpp"
 #include "exp/result.hpp"
+#include "fault/injector.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
 #include "platform/soc.hpp"
@@ -41,6 +42,13 @@ struct ServiceConfig {
   std::size_t queue_depth = 64;
   /// Per-wait deadlock guard handed to Kernel::run_until.
   u64 timeout_cycles = 10'000'000;
+  /// Fault injection plan; unarmed (no specs) by default. When armed,
+  /// hooks are installed on the bus, the IRQ controller and every OCP
+  /// before the first tick (docs/robustness.md).
+  fault::FaultPlan faults{};
+  /// Dispatcher fault-handling policy; unarmed by default. Arm it
+  /// whenever faults is armed, or injected faults become run aborts.
+  RetryPolicy retry{};
 };
 
 struct ServiceReport {
@@ -57,7 +65,25 @@ struct ServiceReport {
   LatencyStats e2e;      ///< arrival -> acknowledged completion
   std::vector<WorkerStats> workers;
 
+  // Fault accounting (populated — and emitted by add_to — only when the
+  // run was fault-aware, so unarmed runs keep their metric schema).
+  bool fault_aware = false;
+  u64 injected = 0;         ///< faults the injector actually fired
+  u64 faults = 0;           ///< worker fault events the dispatcher saw
+  u64 retries = 0;          ///< retry launches scheduled
+  u64 failed = 0;           ///< jobs given up on
+  u64 irq_recoveries = 0;   ///< completions rescued by the watchdog poll
+  u32 quarantined = 0;      ///< workers sidelined at end of run
+
   [[nodiscard]] u64 makespan() const { return end - start; }
+
+  /// Fraction of intended jobs that completed with verified payloads —
+  /// the serve_faulty family's availability metric.
+  [[nodiscard]] double availability() const {
+    return jobs > 0 ? static_cast<double>(completed) /
+                          static_cast<double>(jobs)
+                    : 0.0;
+  }
 
   /// Flatten into the metric schema EXPERIMENTS.md documents for
   /// serve_* rows (counts, histograms, throughput, per-OCP utilization).
@@ -88,6 +114,10 @@ class OffloadService {
 
   [[nodiscard]] platform::Soc& soc() { return soc_; }
   [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
+  /// The armed injector, or nullptr when cfg.faults was empty.
+  [[nodiscard]] const fault::Injector* injector() const {
+    return injector_.get();
+  }
 
  private:
   void validate(const WorkloadConfig& workload) const;
@@ -97,6 +127,7 @@ class OffloadService {
   cpu::IrqController irq_ctl_;
   Dispatcher dispatcher_;
   std::vector<std::unique_ptr<core::Rac>> racs_;
+  std::unique_ptr<fault::Injector> injector_;
   bool ran_ = false;
 };
 

@@ -150,7 +150,7 @@ TEST_P(FuzzDifferential, HardwareMatchesEmulator) {
   for (u32 i = 0; i < kBankWords; ++i) memory[kBank1 + i * 4] = bank1[i];
   const core::EmuResult emu =
       core::emulate(g.program, cfg, memory, block_passthrough(g.block_words));
-  ASSERT_TRUE(emu.ok) << emu.fault << "\n" << g.program.listing();
+  ASSERT_TRUE(emu.ok) << emu.fault.to_string() << "\n" << g.program.listing();
 
   // ---------------- compare --------------------------------------------
   // Every output-bank address the emulator wrote must match the SoC SRAM.
@@ -180,7 +180,7 @@ TEST(Emulator, PassthroughSmoke) {
   cfg.banks = {0, 0x100, 0x200, 0, 0, 0, 0, 0};
   std::map<Addr, u32> mem{{0x100, 10}, {0x104, 11}, {0x108, 12}, {0x10C, 13}};
   const auto r = core::emulate(p, cfg, mem, core::passthrough_emu_rac());
-  ASSERT_TRUE(r.ok) << r.fault;
+  ASSERT_TRUE(r.ok) << r.fault.to_string();
   EXPECT_EQ(mem[0x200], 10u);
   EXPECT_EQ(mem[0x20C], 13u);
   EXPECT_EQ(r.rac_ops, 1u);
@@ -194,7 +194,8 @@ TEST(Emulator, DetectsDeadlockingPrograms) {
   std::map<Addr, u32> mem;
   const auto r = core::emulate(p, cfg, mem, core::passthrough_emu_rac());
   EXPECT_FALSE(r.ok);
-  EXPECT_NE(r.fault.find("underflow"), std::string::npos);
+  EXPECT_NE(r.fault.reason.find("underflow"), std::string::npos);
+  EXPECT_EQ(r.fault.pc, 0u);  // faulting instruction is the first mvfc
 }
 
 TEST(Emulator, DetectsRunaway) {
@@ -214,7 +215,7 @@ TEST(Emulator, LoopAutoIncrementSemantics) {
   std::map<Addr, u32> mem;
   for (u32 i = 0; i < 6; ++i) mem[0x100 + i * 4] = 100 + i;
   const auto r = core::emulate(p, cfg, mem, core::passthrough_emu_rac());
-  ASSERT_TRUE(r.ok) << r.fault;
+  ASSERT_TRUE(r.ok) << r.fault.to_string();
   for (u32 i = 0; i < 6; ++i) {
     EXPECT_EQ(mem[0x200 + i * 4], 100 + i) << i;  // contiguous walk
   }
