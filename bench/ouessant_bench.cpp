@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "exp/param.hpp"
 #include "exp/sweep.hpp"
 #include "scenarios.hpp"
 
@@ -174,6 +175,17 @@ std::string fmt_ratio(double v) {
   return buf;
 }
 
+/// True when at least one registered scenario passes @p filter. A filter
+/// that matches nothing is a user error (typo, stale name): running an
+/// empty sweep and exiting 0 would let a CI guard silently guard nothing.
+bool any_scenario_matches(const exp::Registry& registry,
+                          const std::string& filter) {
+  for (const auto& spec : registry.scenarios()) {
+    if (exp::matches_filter(spec, filter)) return true;
+  }
+  return false;
+}
+
 /// Payload identity between two equally-expanded sweeps, skipping
 /// scenarios whose metrics read the host clock.
 bool payloads_identical(const std::vector<exp::SweepJob>& jobs,
@@ -211,10 +223,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!opt.filter.empty() && !any_scenario_matches(registry, opt.filter)) {
+    std::fprintf(stderr,
+                 "ouessant_bench: no scenarios matched --filter \"%s\"\n"
+                 "available scenarios:\n",
+                 opt.filter.c_str());
+    for (const auto& spec : registry.scenarios()) {
+      std::fprintf(stderr, "  %s\n", spec.name.c_str());
+    }
+    return 2;
+  }
+
   const unsigned host_cpus = std::thread::hardware_concurrency();
   std::vector<std::string> meta;
   meta.push_back("\"host_cpus\": " + std::to_string(host_cpus));
-  meta.push_back("\"filter\": \"" + opt.filter + "\"");
+  // All free-form strings go through exp::json_escape — a filter (or any
+  // future meta value) containing a quote or backslash must not corrupt
+  // the document.
+  meta.push_back("\"filter\": \"" + exp::json_escape(opt.filter) + "\"");
   if (opt.seed) {
     meta.push_back("\"seed\": " + std::to_string(*opt.seed));
   }

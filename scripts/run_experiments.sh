@@ -26,6 +26,14 @@ JOBS="${JOBS:-$DEFAULT_JOBS}"
 # percentile), so reviewers diff BENCH_serve.json on its own.
 ./build/bench/ouessant_bench --filter serve --compare-jobs "$JOBS" \
   --json BENCH_serve.json | tee build/experiment-logs/serve.txt
+# Raw-simulator-speed baseline for run_tier1.sh's speed guard: host
+# cycles/sec with the batched bus windows and decode cache on vs forced
+# off. Re-recording on a new reference host is how the guard's floor is
+# moved; meta.host_cpus records what produced it.
+./build/bench/ouessant_bench --filter sim_speed \
+  --json BENCH_speed.json | tee build/experiment-logs/speed.txt
+
 echo
 echo "transcript in build/experiment-logs/sweep.txt, results in BENCH_sweep.json"
 echo "service scenarios in build/experiment-logs/serve.txt, results in BENCH_serve.json"
+echo "speed baseline in build/experiment-logs/speed.txt, results in BENCH_speed.json"

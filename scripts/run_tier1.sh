@@ -18,6 +18,9 @@
 #   6. the docs gate (scripts/check_docs.sh): every src/ subdir is in
 #      docs/architecture.md, every ouessant_bench flag is documented in
 #      EXPERIMENTS.md, every path the docs reference exists
+#   7. the raw-speed guard: the sim_speed scenario (batched bus windows +
+#      decode cache on vs off) must stay within 2x of the committed
+#      BENCH_speed.json cycles/sec baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -59,6 +62,31 @@ echo "==== tier-1: kernel throughput guard ===="
   --json build/bench/BENCH_kernel.json
 echo "guard record:"
 cat build/bench/BENCH_kernel.json
+
+echo "==== tier-1: raw simulator speed guard ===="
+# The sim_speed scenario re-proves the batched-bus + decode-cache
+# optimizations are invisible to the simulated clock, then measures host
+# cycles/sec. Compare against the committed baseline: a host can easily
+# be 2x slower than the one that recorded BENCH_speed.json, but a
+# per-workload opt_cps below half the recorded value on top of that
+# means the fast paths stopped engaging — fail loudly.
+./build/bench/ouessant_bench --filter sim_speed \
+  --json build/bench/BENCH_speed.json
+python3 - BENCH_speed.json build/bench/BENCH_speed.json <<'EOF'
+import json, sys
+def cps(path):
+    doc = json.load(open(path))
+    return {r["params"]["workload"]: r["metrics"]["opt_cps"]
+            for r in doc["results"]}
+base, now = cps(sys.argv[1]), cps(sys.argv[2])
+bad = [w for w, v in base.items() if now.get(w, 0.0) < v / 2.0]
+for w in sorted(base):
+    print(f"  {w:12s} baseline {base[w]:12.0f} cps | now "
+          f"{now.get(w, 0.0):12.0f} cps")
+if bad:
+    sys.exit(f"speed guard: opt_cps regressed >2x on {', '.join(bad)}")
+print("speed guard OK")
+EOF
 
 echo "==== tier-1: trace-overhead guard + ouessant_trace round-trip ===="
 cmake --build build -j --target trace_guard ouessant_trace

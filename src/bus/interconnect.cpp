@@ -118,12 +118,22 @@ void InterconnectModel::note_txn_stall(BusMasterPort& m) {
 }
 
 bool InterconnectModel::is_quiescent() const {
+  if (batch_active_) return true;  // window end is armed in the wake heap
   if (granted_ != nullptr) return false;
   return std::none_of(masters_.begin(), masters_.end(),
                       [](const auto& m) { return m->active_; });
 }
 
 void InterconnectModel::tick_compute() {
+  if (batch_active_) {
+    // Mid-window ticks (another master's begin() woke us) are no-ops:
+    // per-beat, that master would simply wait out the grant too. The
+    // accounting below must not run — the window already owns these
+    // cycles.
+    if (kernel().now() < batch_end_) return;
+    finish_batch();
+    return;
+  }
   // Credit cycles spent clock-gated: the bus only sleeps while idle, so
   // every skipped cycle is an idle cycle the seed sweep would have
   // counted one by one.
@@ -147,6 +157,7 @@ void InterconnectModel::tick_compute() {
                                   .write = granted_->write_,
                                   .beats = granted_->beats_};
     }
+    if (try_batch_chunk()) return;
   }
   ++busy_cycles_;
   BusMasterPort& m = *granted_;
@@ -230,6 +241,128 @@ void InterconnectModel::tick_compute() {
   }
 }
 
+bool InterconnectModel::try_batch_chunk() {
+  // Observers see per-beat state: any armed instrument keeps the
+  // per-beat loop (passivity discipline — instrumented runs may differ
+  // in host behavior, unarmed runs stay bit-identical either way).
+  if (!batching_enabled_ || logging_ || tracer_ != nullptr ||
+      fault_hook_ != nullptr || !snoopers_.empty()) {
+    return false;
+  }
+  if (!kernel().gating() || kernel().has_samplers()) return false;
+  // cost >= 2 below needs at least one address-phase cycle, so the
+  // window's final tick is strictly after the grant tick.
+  if (cfg_.address_phase_cycles == 0) return false;
+  BusMasterPort& m = *granted_;
+  const u32 chunk = grant_beats_left_;
+  // Every beat of the chunk must decode into one slave mapping — a hole
+  // mid-chunk must raise its bus error on the exact per-beat cycle.
+  const Mapping* map = nullptr;
+  for (const auto& mm : map_) {
+    if (m.addr_ >= mm.base && static_cast<u64>(m.addr_) + 4ull * chunk <=
+                                  static_cast<u64>(mm.base) + mm.size) {
+      map = &mm;
+      break;
+    }
+  }
+  if (map == nullptr) return false;
+  // Only pure-storage slaves may run their accesses early; a register
+  // file's side effects (start bits, IRQ acks) must land on the exact
+  // per-beat cycle.
+  if (!map->slave->batchable_slave()) return false;
+  // Streamed endpoints must promise the whole chunk without a stall.
+  if (m.write_ && m.source_ != nullptr && m.source_->bulk_ready(chunk) < chunk) {
+    return false;
+  }
+  if (!m.write_ && m.sink_ != nullptr && m.sink_->bulk_space(chunk) < chunk) {
+    return false;
+  }
+
+  // Run the chunk's slave accesses eagerly, accumulating the cycles the
+  // per-beat loop would spend: one address phase per grant, then one
+  // cycle per beat plus its wait states. A slave throw lands on the
+  // beat-issue cycle (which per-beat counts busy before throwing).
+  u64 cost = cfg_.address_phase_cycles;
+  batch_beats_ = 0;
+  batch_waits_ = 0;
+  batch_error_ = nullptr;
+  for (u32 i = 0; i < chunk; ++i) {
+    const Addr a = m.addr_ + 4u * batch_beats_;
+    try {
+      if (m.write_) {
+        u32 data = 0;
+        if (m.source_ != nullptr) {
+          m.source_->bulk_take(1, &data);  // consumed before the slave
+                                           // access, as take_beat() is
+        } else {
+          data = m.wdata_[m.wdata_index_ + batch_beats_];
+        }
+        const u32 ws = map->slave->write_word(a, data);
+        batch_waits_ += ws;
+        cost += 1 + ws;
+      } else {
+        const SlaveResponse resp = map->slave->read_word(a);
+        if (m.sink_ != nullptr) {
+          m.sink_->bulk_put(1, &resp.data);
+        } else {
+          m.rdata_.push_back(resp.data);
+        }
+        batch_waits_ += resp.wait_states;
+        cost += 1 + resp.wait_states;
+      }
+      ++batch_beats_;
+    } catch (...) {
+      batch_error_ = std::current_exception();
+      cost += 1;
+      break;
+    }
+  }
+  busy_cycles_ += cost;
+  batch_active_ = true;
+  batch_end_ = kernel().now() + cost - 1;
+  next_expected_tick_ = batch_end_ + 1;
+  ++batched_chunks_;
+  wake_at(batch_end_);
+  return true;
+}
+
+void InterconnectModel::finish_batch() {
+  batch_active_ = false;
+  next_expected_tick_ = kernel().now() + 1;
+  BusMasterPort& m = *granted_;
+  m.stats_.grant_cycles += cfg_.address_phase_cycles;
+  m.stats_.wait_cycles += batch_waits_;
+  m.stats_.beats += batch_beats_;
+  if (batch_beats_ > 0) kernel().stats().add(m.h_beats_, batch_beats_);
+  if (m.write_ && m.source_ == nullptr) m.wdata_index_ += batch_beats_;
+  m.addr_ += 4u * batch_beats_;
+  m.beats_ -= batch_beats_;
+  grant_beats_left_ -= batch_beats_;
+  if (batch_error_ != nullptr) {
+    // Replay the per-beat loop's catch: deactivate, release, wake, and
+    // re-raise on the very cycle the per-beat slave access would throw.
+    std::exception_ptr err = batch_error_;
+    batch_error_ = nullptr;
+    m.active_ = false;
+    granted_ = nullptr;
+    wait_left_ = 0;
+    beat_in_flight_ = false;
+    open_.erase(&m);
+    if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
+    std::rethrow_exception(err);
+  }
+  if (m.beats_ == 0) {
+    m.active_ = false;
+    if (m.completion_waiter_ != nullptr) m.completion_waiter_->wake();
+    ++m.stats_.transactions;
+    kernel().stats().add(m.h_transactions_);
+    granted_ = nullptr;
+  } else if (grant_beats_left_ == 0) {
+    // Burst split: release and re-arbitrate next cycle, as per-beat does.
+    granted_ = nullptr;
+  }
+}
+
 void InterconnectModel::error_response(BusMasterPort& m) {
   m.active_ = false;
   m.faulted_ = true;
@@ -259,6 +392,23 @@ void InterconnectModel::error_response(BusMasterPort& m) {
 void InterconnectModel::abort_master(BusMasterPort& m) {
   if (!m.active_) return;
   if (granted_ == &m) {
+    if (batch_active_) {
+      // An abort can only be issued by host code or another component,
+      // neither of which can observe a batch window mid-flight (the
+      // aborting master's controller sleeps through it, and host resets
+      // arrive over this very bus). Defensively settle the window's
+      // already-executed beats before dropping the grant, so the
+      // per-master stats never lose accesses the slaves did see.
+      batch_active_ = false;
+      m.stats_.grant_cycles += cfg_.address_phase_cycles;
+      m.stats_.wait_cycles += batch_waits_;
+      m.stats_.beats += batch_beats_;
+      if (batch_beats_ > 0) kernel().stats().add(m.h_beats_, batch_beats_);
+      if (m.write_ && m.source_ == nullptr) m.wdata_index_ += batch_beats_;
+      m.addr_ += 4u * batch_beats_;
+      m.beats_ -= batch_beats_;
+      batch_error_ = nullptr;
+    }
     granted_ = nullptr;
     grant_addr_cycles_left_ = 0;
     wait_left_ = 0;

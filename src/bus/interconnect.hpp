@@ -11,6 +11,7 @@
 // per cycle, which is what the paper's Leon3/AMBA2 platform provides.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -70,6 +71,8 @@ class InterconnectModel : public sim::Component {
   /// Quiescent whenever no master holds or requests the bus: the only
   /// effect of a tick in that state is counting an idle cycle, which the
   /// sleep-credit below reproduces. BusMasterPort::begin() wakes us.
+  /// Also quiescent while sleeping out a batched burst window (the
+  /// wake_at() arming the window's final cycle is already in the heap).
   [[nodiscard]] bool is_quiescent() const override;
 
   // Introspection.
@@ -122,6 +125,24 @@ class InterconnectModel : public sim::Component {
   /// — the identity the CycleLedger builds Table I's transfer column on.
   [[nodiscard]] MasterStats master_totals() const;
 
+  /// Batched burst windows on/off (default: on). When on, a grant whose
+  /// chunk has no observer armed — no transaction log, tracer, fault
+  /// hook, write snooper, or kernel sampler — and whose beats all decode
+  /// into one slave mapping (with any streamed endpoint promising the
+  /// whole chunk stall-free, see BeatSource::bulk_ready) is completed as
+  /// ONE event: the slave accesses run eagerly at the grant tick, the
+  /// bus sleeps to the cycle the final per-beat tick would have landed
+  /// on, and every counter, data word, and completion wake is
+  /// bit-identical to per-beat ticking. Off (or any armed observer)
+  /// keeps the seed's per-beat loop — the differential-test reference.
+  void set_batching(bool on) { batching_enabled_ = on; }
+  [[nodiscard]] bool batching() const { return batching_enabled_; }
+
+  /// Grant chunks completed through the batched fast path (diagnostics;
+  /// tests assert 0 here to prove an armed observer forced per-beat
+  /// ticking, and > 0 to prove batching engaged).
+  [[nodiscard]] u64 batched_chunks() const { return batched_chunks_; }
+
  private:
   struct Mapping {
     Addr base;
@@ -130,6 +151,8 @@ class InterconnectModel : public sim::Component {
   };
 
   BusMasterPort* select_master();
+  bool try_batch_chunk();
+  void finish_batch();
   void complete_beat(u32 data);
   void error_response(BusMasterPort& m);
   void note_txn_wait(BusMasterPort& m);
@@ -163,6 +186,19 @@ class InterconnectModel : public sim::Component {
   u64 busy_cycles_ = 0;
   u64 idle_cycles_ = 0;
   Cycle next_expected_tick_ = 0;  // sleep-credit anchor for idle_cycles_
+
+  // Batched burst window (see set_batching). While batch_active_, the
+  // chunk's slave accesses have already run; the grant is held and the
+  // deferred per-master accounting is applied by finish_batch() on the
+  // tick at batch_end_ — the same cycle the per-beat loop would have
+  // completed the final beat on.
+  bool batching_enabled_ = true;
+  bool batch_active_ = false;
+  Cycle batch_end_ = 0;
+  u32 batch_beats_ = 0;   // beats completed eagerly in this window
+  u64 batch_waits_ = 0;   // wait states absorbed in this window
+  std::exception_ptr batch_error_;  // slave throw, re-raised at its cycle
+  u64 batched_chunks_ = 0;
 };
 
 /// AMBA2 AHB-class bus: bursts up to 256 beats per grant, one address

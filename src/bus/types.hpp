@@ -35,25 +35,66 @@ class BusSlave {
   /// Word write; returns the number of wait states.
   virtual u32 write_word(Addr addr, u32 data) = 0;
 
+  /// True when this slave is pure storage with no simulation side
+  /// channels: an access mutates nothing outside the slave itself — no
+  /// component wakes, no IRQ edges, no registers another component
+  /// polls. Only such slaves may be accessed eagerly by the
+  /// interconnect's batched burst path; register files (OCP interfaces,
+  /// IRQ controllers, DMA engines) return the conservative default and
+  /// keep exact per-beat access timing.
+  [[nodiscard]] virtual bool batchable_slave() const { return false; }
+
   [[nodiscard]] virtual std::string slave_name() const = 0;
 };
 
 /// Per-beat data producer for streamed write bursts (e.g. the OCP pulling
 /// words out of a RAC output FIFO while mastering the bus).
+///
+/// The bulk_* pair lets the interconnect's batched-burst fast path drain
+/// a whole grant's worth of beats in one tick. bulk_ready(want) answers
+/// "if the bus took `want` beats on `want` consecutive cycles starting
+/// now, with nothing else running, would every take_beat() succeed
+/// without a stall — and would the result be bit-identical to doing so?"
+/// A source that cannot promise that (another component drains/fills the
+/// backing store concurrently, a fault hook rewrites beats, or it simply
+/// does not implement bulk transfers) returns 0 and the bus falls back
+/// to per-beat ticking. The default is that conservative 0.
 class BeatSource {
  public:
   virtual ~BeatSource() = default;
   [[nodiscard]] virtual bool beat_ready() const = 0;
   virtual u32 take_beat() = 0;
+
+  /// Beats deliverable back-to-back right now (0 = use per-beat path).
+  [[nodiscard]] virtual u32 bulk_ready(u32 want) const {
+    (void)want;
+    return 0;
+  }
+  /// Take @p n beats at once; only called after bulk_ready(n) >= n.
+  virtual void bulk_take(u32 n, u32* out) {
+    for (u32 i = 0; i < n; ++i) out[i] = take_beat();
+  }
 };
 
 /// Per-beat data consumer for streamed read bursts (e.g. the OCP pushing
-/// words into a RAC input FIFO as they arrive from memory).
+/// words into a RAC input FIFO as they arrive from memory). See
+/// BeatSource for the bulk_* contract; bulk_space() is the mirror image
+/// ("would `want` put_beat() calls on consecutive cycles all succeed?").
 class BeatSink {
  public:
   virtual ~BeatSink() = default;
   [[nodiscard]] virtual bool beat_space() const = 0;
   virtual void put_beat(u32 data) = 0;
+
+  /// Beats acceptable back-to-back right now (0 = use per-beat path).
+  [[nodiscard]] virtual u32 bulk_space(u32 want) const {
+    (void)want;
+    return 0;
+  }
+  /// Accept @p n beats at once; only called after bulk_space(n) >= n.
+  virtual void bulk_put(u32 n, const u32* data) {
+    for (u32 i = 0; i < n; ++i) put_beat(data[i]);
+  }
 };
 
 /// Statistics a master port accumulates over its lifetime.

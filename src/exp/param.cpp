@@ -6,6 +6,36 @@
 
 namespace ouessant::exp {
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 i64 Value::as_int() const {
   if (kind_ != Kind::kInt) {
     throw ConfigError("exp::Value: not an integer (holds \"" + str() + "\")");
@@ -51,35 +81,8 @@ std::string Value::json() const {
       std::snprintf(buf, sizeof buf, "%.17g", d_);
       return buf;
     }
-    case Kind::kStr: {
-      std::string out = "\"";
-      for (const char c : s_) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-              char buf[8];
-              std::snprintf(buf, sizeof buf, "\\u%04x", c);
-              out += buf;
-            } else {
-              out += c;
-            }
-        }
-      }
-      out += '"';
-      return out;
-    }
+    case Kind::kStr:
+      return '"' + json_escape(s_) + '"';
   }
   return "null";
 }

@@ -59,6 +59,48 @@ u64 WidthFifo::read() {
   return v;
 }
 
+u32 WidthFifo::bulk_writable(u32 want) const {
+  if (wrote_this_cycle_ || read_this_cycle_ || has_pending_write_ ||
+      pending_pop_) {
+    return 0;
+  }
+  // Back-to-back writes succeed while the registered level never exceeds
+  // capacity - wr_width at write time: level_ + n * wr_width <= capacity.
+  const u32 space = cfg_.capacity_bits - level_;
+  return std::min<u32>(want, space / cfg_.wr_width);
+}
+
+u32 WidthFifo::bulk_readable(u32 want) const {
+  if (wrote_this_cycle_ || read_this_cycle_ || has_pending_write_ ||
+      pending_pop_) {
+    return 0;
+  }
+  return std::min<u32>(want, level_ / cfg_.rd_width);
+}
+
+void WidthFifo::bulk_write(const u64* values, u32 n) {
+  if (bulk_writable(n) < n) {
+    throw SimError("WidthFifo " + name() + ": bulk_write beyond capacity");
+  }
+  for (u32 i = 0; i < n; ++i) storage_.push(values[i], cfg_.wr_width);
+  writes_ += n;
+  level_ = static_cast<u32>(storage_.size_bits());
+  // With no concurrent pops the level is monotone across the burst, so
+  // the per-cycle high-water mark equals the final level.
+  max_level_ = std::max(max_level_, level_);
+  if (n > 0) notify_waiters();
+}
+
+void WidthFifo::bulk_read(u64* out, u32 n) {
+  if (bulk_readable(n) < n) {
+    throw SimError("WidthFifo " + name() + ": bulk_read beyond contents");
+  }
+  for (u32 i = 0; i < n; ++i) out[i] = storage_.pop(cfg_.rd_width);
+  reads_ += n;
+  level_ = static_cast<u32>(storage_.size_bits());
+  if (n > 0) notify_waiters();
+}
+
 void WidthFifo::add_waiter(sim::Component& c) {
   if (std::find(waiters_.begin(), waiters_.end(), &c) == waiters_.end()) {
     waiters_.push_back(&c);

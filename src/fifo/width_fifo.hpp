@@ -47,6 +47,25 @@ class WidthFifo : public sim::Component, public res::ResourceAware {
   /// Pop one rd_width chunk (compute phase; at most once per cycle).
   u64 read();
 
+  // -- bulk (batched-burst) access --------------------------------------
+  // The interconnect's batched-burst path applies a whole grant's worth
+  // of port accesses in one tick. Each bulk call is semantically n
+  // single-cycle accesses on n consecutive cycles with no other port
+  // activity: the final storage, level, and lifetime counters are
+  // bit-identical to the per-cycle sequence. Callers must size the bulk
+  // with bulk_writable()/bulk_readable() first; both report 0 while an
+  // access is already pending this cycle (mixed per-cycle + bulk use in
+  // one cycle has no hardware meaning).
+
+  /// Chunks writable back-to-back right now (capped at @p want).
+  [[nodiscard]] u32 bulk_writable(u32 want) const;
+  /// Chunks readable back-to-back right now (capped at @p want).
+  [[nodiscard]] u32 bulk_readable(u32 want) const;
+  /// Write @p n wr_width chunks, committing immediately.
+  void bulk_write(const u64* values, u32 n);
+  /// Pop @p n rd_width chunks into @p out, committing immediately.
+  void bulk_read(u64* out, u32 n);
+
   // -- status ----------------------------------------------------------
   /// Bits currently stored (registered view).
   [[nodiscard]] u32 level_bits() const { return level_; }

@@ -24,6 +24,12 @@ class Sram : public bus::BusSlave {
   // bus::BusSlave
   bus::SlaveResponse read_word(Addr addr) override;
   u32 write_word(Addr addr, u32 data) override;
+  /// Pure storage — accesses touch only data_ and the read/write
+  /// counters, so the interconnect may run a whole burst's accesses
+  /// eagerly (batched burst windows) without anything observing the
+  /// difference. Rom inherits this: its write_word throws, and the
+  /// batched path re-raises on the exact per-beat cycle.
+  [[nodiscard]] bool batchable_slave() const override { return true; }
   [[nodiscard]] std::string slave_name() const override { return name_; }
 
   // Host-side (testbench) backdoor access — no simulated time.

@@ -143,6 +143,7 @@ void Controller::do_soft_reset() {
   for (fifo::WidthFifo* f : in_fifos_) f->flush();
   for (fifo::WidthFifo* f : out_fifos_) f->flush();
   rac_.soft_reset();
+  flush_decode_cache();
   loop_active_ = false;
   loop_iter_ = 0;
   loop_left_ = 0;
@@ -157,12 +158,26 @@ void Controller::do_soft_reset() {
 
 void Controller::decode_and_issue() {
   ++stats_.decode_cycles;
-  const auto decoded = isa::decode(ir_);
-  if (!decoded) {
-    fault("unassigned opcode");
-    return;
+  // Fibonacci hash: encodings put the offset field in the high half of
+  // the word, so a shift-XOR fold of the low bits would alias every
+  // unrolled mvtc/mvfc of a stream program onto a handful of slots.
+  static_assert(kDecodeCacheSize == 64, "index takes the top 6 bits");
+  DecodeEntry& slot = decode_cache_[(ir_ * 0x9E3779B1u) >> 26];
+  if (decode_cache_enabled_ && slot.valid && slot.word == ir_) {
+    ++decode_hits_;
+    cur_ = slot.instr;
+  } else {
+    const auto decoded = isa::decode(ir_);
+    if (!decoded) {
+      fault("unassigned opcode");
+      return;
+    }
+    cur_ = *decoded;
+    if (decode_cache_enabled_) {
+      ++decode_misses_;
+      slot = DecodeEntry{.word = ir_, .valid = true, .instr = cur_};
+    }
   }
-  cur_ = *decoded;
   if (isa_level_ == IsaLevel::kV1 && !isa::is_v1_opcode(cur_.op)) {
     fault("v2 instruction on a v1 controller");
     return;

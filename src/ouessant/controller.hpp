@@ -12,6 +12,7 @@
 // the hardware counterpart of the static Program verifier.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <vector>
 
@@ -91,10 +92,26 @@ class Controller : public sim::Component, public res::ResourceAware {
   /// fill FaultReport — the hardware registers only carry the ERR bit.
   [[nodiscard]] const FaultInfo& last_fault() const { return last_fault_; }
 
+  /// Decoded-microcode cache on/off (default: on). isa::decode is a pure
+  /// function of the 32-bit word, so the word-keyed cache can never go
+  /// stale; the off switch exists for differential determinism tests.
+  /// The cache is flushed on program start and soft reset regardless
+  /// (hygiene: entries never outlive the program that fetched them).
+  void set_decode_cache(bool on) {
+    decode_cache_enabled_ = on;
+    if (!on) flush_decode_cache();
+  }
+  [[nodiscard]] u64 decode_cache_hits() const { return decode_hits_; }
+  [[nodiscard]] u64 decode_cache_misses() const { return decode_misses_; }
+
  private:
   enum class State { kIdle, kFetch, kDecode, kXfer, kExecWait };
 
   /// BeatSink pushing arriving bus words into an input FIFO (mvtc).
+  /// Bulk transfers are offered only while the RAC is idle (a busy RAC
+  /// drains the FIFO concurrently, making per-beat interleaving
+  /// observable — e.g. an execs-then-mvtc pipelined program) and no
+  /// fault hook is armed.
   class FifoSink : public bus::BeatSink {
    public:
     explicit FifoSink(Controller& c) : c_(c) {}
@@ -104,6 +121,17 @@ class Controller : public sim::Component, public res::ResourceAware {
       f_->write(data);
       ++c_.stats_.words_to_rac;
     }
+    [[nodiscard]] u32 bulk_space(u32 want) const override {
+      if (c_.rac_.exec_pending() || c_.fault_hook_ != nullptr) return 0;
+      return f_->bulk_writable(want);
+    }
+    void bulk_put(u32 n, const u32* data) override {
+      for (u32 i = 0; i < n; ++i) {
+        const u64 v = data[i];
+        f_->bulk_write(&v, 1);
+      }
+      c_.stats_.words_to_rac += n;
+    }
 
    private:
     Controller& c_;
@@ -111,6 +139,8 @@ class Controller : public sim::Component, public res::ResourceAware {
   };
 
   /// BeatSource pulling outgoing bus words from an output FIFO (mvfc).
+  /// Same bulk gating as FifoSink; an armed hook must corrupt beats one
+  /// by one, so it forces the per-beat path.
   class FifoSource : public bus::BeatSource {
    public:
     explicit FifoSource(Controller& c) : c_(c) {}
@@ -123,6 +153,18 @@ class Controller : public sim::Component, public res::ResourceAware {
         word = c_.fault_hook_->corrupt_output(word, c_.kernel().now());
       }
       return word;
+    }
+    [[nodiscard]] u32 bulk_ready(u32 want) const override {
+      if (c_.rac_.exec_pending() || c_.fault_hook_ != nullptr) return 0;
+      return f_->bulk_readable(want);
+    }
+    void bulk_take(u32 n, u32* out) override {
+      for (u32 i = 0; i < n; ++i) {
+        u64 v = 0;
+        f_->bulk_read(&v, 1);
+        out[i] = static_cast<u32>(v);
+      }
+      c_.stats_.words_from_rac += n;
     }
 
    private:
@@ -147,6 +189,22 @@ class Controller : public sim::Component, public res::ResourceAware {
   u32 pc_ = 0;
   u32 ir_ = 0;
   isa::Instruction cur_{};
+
+  // Decoded-microcode cache: direct-mapped, keyed on the raw program
+  // word (faulting words are not cached — the fault path re-decodes).
+  struct DecodeEntry {
+    u32 word = 0;
+    bool valid = false;
+    isa::Instruction instr{};
+  };
+  static constexpr std::size_t kDecodeCacheSize = 64;
+  std::array<DecodeEntry, kDecodeCacheSize> decode_cache_{};
+  bool decode_cache_enabled_ = true;
+  u64 decode_hits_ = 0;
+  u64 decode_misses_ = 0;
+  void flush_decode_cache() {
+    for (DecodeEntry& e : decode_cache_) e.valid = false;
+  }
 
   // Single hardware loop register (v2 LOOP). While a loop is active,
   // mvtc/mvfc offsets auto-increment by (iteration * burst length) —

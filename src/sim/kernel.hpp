@@ -147,6 +147,12 @@ class Kernel {
   u64 add_sampler(std::function<void(Cycle)> fn);
   void remove_sampler(u64 id);
 
+  /// True while any sampler is registered. Samplers observe component
+  /// state on every cycle, so event-batching optimizations (the
+  /// interconnect's burst windows) must fall back to per-cycle ticking
+  /// whenever one is attached.
+  [[nodiscard]] bool has_samplers() const { return !samplers_.empty(); }
+
   [[nodiscard]] std::size_t component_count() const { return live_count_; }
 
   /// Quiescence scheduling on/off. Off reproduces the seed kernel's
