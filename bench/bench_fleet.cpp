@@ -1,0 +1,93 @@
+// FLEET (fleet shard layer) — warm-boot cloning under measurement.
+//
+// One scenario, fleet_warmboot: boot a template service stack cold,
+// serve a warm-up workload, snapshot it, then fork >= 8 shards from the
+// image (construction + restore + warm begin) and drive them
+// round-robin, each with its own workload seed. The run records the
+// aggregated fleet metrics (total throughput, availability, merged
+// end-to-end histogram), the image size, and the wall-time comparison
+// that justifies the machinery: cold_boot_ms (template build + warm-up)
+// vs fork_ms_per_shard (what each additional fleet member actually
+// paid). run_fleet's built-in reproducibility check — a second clone at
+// shard 0's seed must replay its report bit-for-bit — is a hard pass
+// condition here.
+//
+// Host wall-clock readings make this scenario non-deterministic in the
+// --compare-jobs sense; the simulated-side metrics are still seeded and
+// exactly repeatable.
+#include "scenarios.hpp"
+
+#include "fleet/fleet.hpp"
+
+namespace ouessant::scenarios {
+namespace {
+
+void run_warmboot(const exp::ParamMap& params, const exp::RunContext& ctx,
+                  exp::Result& result) {
+  fleet::FleetConfig cfg;
+  cfg.shards = params.get_u32("shards");
+  cfg.base_seed = ctx.seed;
+  cfg.service.ocps = {svc::OcpSpec{.kind = svc::JobKind::kIdct, .max_batch = 2},
+                      svc::OcpSpec{.kind = svc::JobKind::kDft, .max_batch = 2},
+                      svc::OcpSpec{.kind = svc::JobKind::kFir, .max_batch = 2}};
+  cfg.service.queue_depth = 128;
+  // Warm-up: enough traffic to install every worker's microcode,
+  // exercise each IRQ path and reach steady state before the image is
+  // taken — the serving time a forked shard gets for free.
+  cfg.warmup.jobs = 240;
+  cfg.warmup.mean_gap = 200.0;
+  cfg.warmup.kinds = {svc::JobKind::kIdct, svc::JobKind::kDft,
+                      svc::JobKind::kFir};
+  // Per-shard serving load (seed overridden per shard by run_fleet).
+  cfg.shard_load = cfg.warmup;
+  cfg.shard_load.jobs = 96;
+  cfg.shard_load.high_fraction = 0.25;
+
+  const fleet::FleetReport rep = fleet::run_fleet(cfg);
+
+  result.add_metric("shards", static_cast<u64>(rep.shards));
+  result.add_metric("total_jobs", rep.total_jobs);
+  result.add_metric("completed", rep.total_completed);
+  result.add_metric("rejected", rep.total_rejected);
+  result.add_metric("availability_pct", 100.0 * rep.availability());
+  result.add_metric("throughput_jpmc", rep.throughput_jpmc);
+  rep.merged_e2e.add_metrics(result, "e2e");
+  result.add_metric("snapshot_bytes", rep.snapshot_bytes);
+  result.add_metric("cold_boot_ms", rep.cold_boot_ms);
+  result.add_metric("fork_ms_per_shard", rep.fork_ms_per_shard);
+  result.add_metric("warmboot_speedup",
+                    rep.fork_ms_per_shard > 0.0
+                        ? rep.cold_boot_ms / rep.fork_ms_per_shard
+                        : 0.0);
+  result.add_metric("reproducible", static_cast<u64>(rep.reproducible));
+
+  if (!rep.reproducible) {
+    result.fail("shard replay at the fixed seed diverged from shard 0");
+  }
+  if (rep.total_completed + rep.total_rejected + rep.total_failed !=
+      rep.total_jobs) {
+    result.fail("fleet lost jobs");
+  }
+  for (const fleet::ShardResult& shard : rep.shard_results) {
+    if (shard.report.completed == 0) {
+      result.fail("shard " + std::to_string(shard.index) +
+                  " completed nothing");
+    }
+  }
+}
+
+}  // namespace
+
+void register_fleet_warmboot(exp::Registry& r) {
+  r.add(exp::ScenarioSpec{
+      .name = "fleet_warmboot",
+      .experiment = "FLEET",
+      .title = "warm-boot >= 8 shards from one snapshot, serve round-robin",
+      .grid = {{.name = "shards", .values = {8, 16}}},
+      .deterministic = false,  // cold_boot_ms / fork_ms read the host clock
+      .default_seed = 0xF1EE'7000ull,
+      .run_ctx = run_warmboot,
+  });
+}
+
+}  // namespace ouessant::scenarios

@@ -27,6 +27,7 @@
 #include "obs/collect.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
+#include "snap/snapshot.hpp"
 #include "svc/service.hpp"
 
 namespace ouessant::scenarios {
@@ -59,7 +60,23 @@ void serve_point(svc::ServiceConfig cfg, svc::WorkloadConfig wl,
     service.attach_metrics(*metrics);
   }
   wl.seed = ctx.seed;
-  const svc::ServiceReport rep = service.run(wl);
+  svc::ServiceReport rep;
+  if (!ctx.restore_path.empty()) {
+    // Warm boot: resident microcode, IRQ masks and caches come from the
+    // snapshot; only this run's counters start at zero. The snapshot
+    // must have been taken from the same service configuration
+    // (restore validates the fingerprint and throws otherwise).
+    service.restore(snap::Snapshot::load_file(ctx.restore_path));
+    service.begin(wl, /*warm=*/true);
+    while (!service.step()) {
+    }
+    rep = service.finish();
+  } else {
+    rep = service.run(wl);
+  }
+  if (!ctx.snapshot_path.empty()) {
+    service.snapshot().save_file(ctx.snapshot_path);
+  }
   rep.add_to(result);
   obs::validate_soc_ledger(service.soc());
   if (tracer != nullptr) {

@@ -24,6 +24,13 @@
 //   ouessant_bench --faults SPEC        override the fault plan of every
 //                                       fault-aware (serve_faulty)
 //                                       scenario (grammar: docs/robustness.md)
+//   ouessant_bench --snapshot STEM      write STEM_<scenario>_<point>.snap
+//                                       (final service state) for every
+//                                       snapshot-aware (serve_*) run
+//   ouessant_bench --restore FILE       warm-boot every snapshot-aware run
+//                                       from FILE instead of cold-booting;
+//                                       use --filter to select the
+//                                       configuration FILE was saved from
 //   ouessant_bench --help               print this usage on stdout
 //
 // Exit status is non-zero when any scenario run fails an invariant or the
@@ -56,6 +63,8 @@ struct Options {
   std::string trace_stem;
   std::string trace_events_stem;
   std::string faults;
+  std::string snapshot_stem;
+  std::string restore_path;
 };
 
 /// The one flag list, printed to stdout for --help (exit 0) and stderr
@@ -67,7 +76,7 @@ void usage(const char* argv0, std::FILE* to) {
                "usage: %s [--help] [--list] [--filter SUBSTR[,SUBSTR...]]\n"
                "          [--jobs N] [--json PATH] [--compare-jobs N]\n"
                "          [--seed U64] [--trace STEM] [--trace-events STEM]\n"
-               "          [--faults SPEC]\n",
+               "          [--faults SPEC] [--snapshot STEM] [--restore FILE]\n",
                argv0);
 }
 
@@ -129,6 +138,14 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->trace_events_stem = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->snapshot_stem = v;
+    } else if (arg == "--restore") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->restore_path = v;
     } else {
       usage(argv[0], stderr);
       return false;
@@ -254,14 +271,18 @@ int main(int argc, char** argv) {
                      .seed = opt.seed,
                      .trace_stem = opt.trace_stem,
                      .trace_events_stem = opt.trace_events_stem,
-                     .faults = opt.faults});
+                     .faults = opt.faults,
+                     .snapshot_stem = opt.snapshot_stem,
+                     .restore_path = opt.restore_path});
       const auto parallel = exp::run_sweep(
           registry, {.jobs = opt.compare_jobs,
                      .filter = opt.filter,
                      .seed = opt.seed,
                      .trace_stem = opt.trace_stem,
                      .trace_events_stem = opt.trace_events_stem,
-                     .faults = opt.faults});
+                     .faults = opt.faults,
+                     .snapshot_stem = opt.snapshot_stem,
+                     .restore_path = opt.restore_path});
       const bool identical =
           payloads_identical(jobs, serial.results, parallel.results);
       const double speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -294,7 +315,9 @@ int main(int argc, char** argv) {
                    .seed = opt.seed,
                    .trace_stem = opt.trace_stem,
                    .trace_events_stem = opt.trace_events_stem,
-                   .faults = opt.faults});
+                   .faults = opt.faults,
+                   .snapshot_stem = opt.snapshot_stem,
+                   .restore_path = opt.restore_path});
     print_tables(registry, outcome.results);
     std::printf("sweep: %zu runs | jobs=%d | %.3fs | %zu failed\n",
                 outcome.results.size(), outcome.jobs, outcome.wall_seconds,

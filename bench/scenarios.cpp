@@ -19,6 +19,7 @@ void register_all_scenarios(exp::Registry& r) {
   register_speed(r);
   register_serve(r);
   register_serve_faulty(r);
+  register_fleet_warmboot(r);
 }
 
 }  // namespace ouessant::scenarios

@@ -32,8 +32,16 @@ JOBS="${JOBS:-$DEFAULT_JOBS}"
 # moved; meta.host_cpus records what produced it.
 ./build/bench/ouessant_bench --filter sim_speed \
   --json BENCH_speed.json | tee build/experiment-logs/speed.txt
+# The fleet warm-boot record: >= 8 shards forked from one snapshot per
+# point, with the cold-boot vs per-shard-fork wall-time comparison and
+# the fixed-seed shard-replay check (docs/fleet.md). Host wall times
+# make it non-deterministic, so it gets its own artifact instead of
+# riding in the compare-jobs sweep.
+./build/bench/ouessant_bench --filter fleet_warmboot \
+  --json BENCH_fleet.json | tee build/experiment-logs/fleet.txt
 
 echo
 echo "transcript in build/experiment-logs/sweep.txt, results in BENCH_sweep.json"
 echo "service scenarios in build/experiment-logs/serve.txt, results in BENCH_serve.json"
 echo "speed baseline in build/experiment-logs/speed.txt, results in BENCH_speed.json"
+echo "fleet warm-boot record in build/experiment-logs/fleet.txt, results in BENCH_fleet.json"

@@ -21,6 +21,10 @@
 #   7. the raw-speed guard: the sim_speed scenario (batched bus windows +
 #      decode cache on vs off) must stay within 2x of the committed
 #      BENCH_speed.json cycles/sec baseline
+#   8. the snapshot-determinism stage: the mid-run restore bit-identity
+#      proofs (E1, serve, fault-armed) re-run on the sanitizer build,
+#      then the bench-level --snapshot/--restore flow round-trips a
+#      serve_mixed image through disk
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +44,19 @@ cmake -B build-san -S . \
   -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
 cmake --build build-san -j
 ctest --test-dir build-san --output-on-failure -j "$(nproc)"
+
+echo "==== tier-1: snapshot determinism (ASan+UBSan) ===="
+# Snapshot at cycle C, restore into a fresh stack, run to the end: the
+# bit-identity proofs of tests/test_snapshot.cpp, on the build where a
+# stale pointer or type-punned read in a restore path would be fatal.
+./build-san/tests/test_snapshot --gtest_filter='MidRun.*:Fleet.*'
+# And the on-disk flow end to end: save a serve_mixed image with
+# --snapshot, warm-boot a second run from it with --restore.
+./build-san/bench/ouessant_bench --filter serve_mixed \
+  --snapshot build-san/bench/tier1 > /dev/null
+./build-san/bench/ouessant_bench --filter serve_mixed \
+  --restore build-san/bench/tier1_serve_mixed_0.snap > /dev/null
+echo "snapshot determinism OK"
 
 echo "==== tier-1: TSan parallel sweep ===="
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"

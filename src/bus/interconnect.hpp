@@ -68,6 +68,13 @@ class InterconnectModel : public sim::Component {
 
   // sim::Component
   void tick_compute() override;
+  /// Serializes the grant window, any open batched-burst window, and
+  /// every master port's transaction state (streamed endpoints as
+  /// attachment flags — see BusMasterPort::restore_stream). A pending
+  /// batch_error_ (a slave exception awaiting its per-beat cycle) is not
+  /// serializable and makes save_state throw.
+  void save_state(snap::StateWriter& w) const override;
+  void restore_state(snap::StateReader& r) override;
   /// Quiescent whenever no master holds or requests the bus: the only
   /// effect of a tick in that state is counting an idle cycle, which the
   /// sleep-credit below reproduces. BusMasterPort::begin() wakes us.
@@ -199,6 +206,9 @@ class InterconnectModel : public sim::Component {
   u64 batch_waits_ = 0;   // wait states absorbed in this window
   std::exception_ptr batch_error_;  // slave throw, re-raised at its cycle
   u64 batched_chunks_ = 0;
+  // Interned "<name>.batched_chunks" — the diagnostic above, published
+  // to Stats so sweeps and traces report it without poking the object.
+  sim::Stats::Handle h_batched_chunks_;
 };
 
 /// AMBA2 AHB-class bus: bursts up to 256 beats per grant, one address

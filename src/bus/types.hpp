@@ -157,6 +157,16 @@ class BusMasterPort {
   /// component gated while polling busy() observes the completion edge.
   void wake_on_complete(sim::Component& c) { completion_waiter_ = &c; }
 
+  /// Snapshot-restore hook: reattach the streamed endpoints of an
+  /// in-flight transaction. A snapshot records only *whether* a sink or
+  /// source was attached (they are wiring, not state); the component
+  /// that issued the streamed transfer (the OCP controller) re-selects
+  /// its FIFO adapter and calls this during its own restore_state().
+  void restore_stream(BeatSink* sink, BeatSource* source) {
+    sink_ = sink;
+    source_ = source;
+  }
+
  private:
   friend class InterconnectModel;
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bus/interconnect.hpp"
+#include "snap/state.hpp"
 #include "util/types.hpp"
 
 namespace ouessant::cpu {
@@ -70,6 +71,12 @@ class DCache {
   /// Software cache maintenance (the non-snooping fallback §IV alludes
   /// to): drop every line.
   void invalidate_all();
+
+  // Snapshot hooks — not a sim::Component (host-stack state machine);
+  // the Gpp embeds these in the SoC section. Lines are saved as
+  // (valid, tag, words) so warm-boot clones keep their working set.
+  void save_state(snap::StateWriter& w) const;
+  void restore_state(snap::StateReader& r);
 
  private:
   struct Line {

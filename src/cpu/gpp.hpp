@@ -29,6 +29,7 @@
 #include "cpu/dcache.hpp"
 #include "cpu/irq.hpp"
 #include "sim/kernel.hpp"
+#include "snap/state.hpp"
 
 namespace ouessant::cpu {
 
@@ -133,6 +134,13 @@ class Gpp {
   [[nodiscard]] u64 compute_cycles() const { return compute_cycles_; }
   [[nodiscard]] u64 bus_cycles() const { return bus_cycles_; }
   [[nodiscard]] u64 idle_cycles() const { return idle_cycles_; }
+
+  // -- snapshot hooks ----------------------------------------------------
+  // Not a sim::Component (the Gpp runs on the host call stack); the Soc
+  // embeds these in its own section. Only legal between blocking calls —
+  // i.e. when no driver code is mid-transaction.
+  void save_state(snap::StateWriter& w) const;
+  void restore_state(snap::StateReader& r);
 
  private:
   void run_transaction();

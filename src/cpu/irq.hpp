@@ -28,6 +28,11 @@ class IrqLine {
   }
   [[nodiscard]] bool raised() const { return level_; }
 
+  /// Snapshot-restore: set the level without notifying watchers (the
+  /// kernel restore pass rebuilds the awake set afterwards; a spurious
+  /// edge here would wake components the snapshot recorded asleep).
+  void restore_level(bool level) { level_ = level; }
+
   /// Wake @p watcher on every subsequent level change. Idempotent.
   void watch(sim::Component& watcher) const {
     if (std::find(watchers_.begin(), watchers_.end(), &watcher) ==

@@ -53,6 +53,11 @@ class IrqController : public sim::Component,
   /// the source lines: re-sampling would change nothing. Any watched
   /// line edge or a MASK write wakes us.
   [[nodiscard]] bool is_quiescent() const override;
+  /// Registered pending/mask/suppression state plus the aggregated CPU
+  /// line level (restored without notifying watchers). Source lines
+  /// belong to the peripherals that own them.
+  void save_state(snap::StateWriter& w) const override;
+  void restore_state(snap::StateReader& r) override;
 
   [[nodiscard]] u32 pending() const { return pending_; }
   [[nodiscard]] u32 mask() const { return mask_; }

@@ -152,4 +152,12 @@ void OcpDriver::soft_reset(u64 settle) {
   }
 }
 
+void OcpDriver::save_state(snap::StateWriter& w) const {
+  w.write_bool("ie", ie_);
+}
+
+void OcpDriver::restore_state(snap::StateReader& r) {
+  ie_ = r.read_bool("ie");
+}
+
 }  // namespace ouessant::drv

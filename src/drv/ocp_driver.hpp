@@ -11,6 +11,7 @@
 #include "mem/sram.hpp"
 #include "ouessant/program.hpp"
 #include "ouessant/regs.hpp"
+#include "snap/state.hpp"
 
 namespace ouessant::drv {
 
@@ -96,6 +97,12 @@ class OcpDriver {
   [[nodiscard]] cpu::Gpp& gpp() { return gpp_; }
   [[nodiscard]] Addr reg_base() const { return base_; }
   [[nodiscard]] const std::string& name() const { return name_; }
+
+  // -- snapshot hooks ------------------------------------------------------
+  // Host-stack object (not a sim::Component): the session/service layer
+  // embeds these. The driver's only mutable state is its shadow of IE.
+  void save_state(snap::StateWriter& w) const;
+  void restore_state(snap::StateReader& r);
 
  private:
   cpu::Gpp& gpp_;

@@ -32,6 +32,15 @@ struct RunContext {
   /// grammar). "" = the scenario's built-in plan (usually none). Only
   /// the serve_faulty family consults it.
   std::string faults;
+  /// Snapshot destination ("" = off): snapshot-aware scenarios (the
+  /// serve_* family) save their final service state here after the run
+  /// (ouessant_bench --snapshot STEM).
+  std::string snapshot_path;
+  /// Snapshot source ("" = cold boot): snapshot-aware scenarios
+  /// warm-boot from this file — the stack must have been built from the
+  /// same configuration, or restore throws SnapshotError
+  /// (ouessant_bench --restore FILE).
+  std::string restore_path;
 };
 
 /// One named grid axis. The sweep expands axes in declaration order with

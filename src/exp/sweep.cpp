@@ -58,11 +58,14 @@ std::vector<SweepJob> expand_jobs(const Registry& registry,
     if (!job.spec->run_ctx) continue;  // plain runs take no context
     job.seed = options.seed;
     job.faults = options.faults;
-    if (options.trace_stem.empty() && options.trace_events_stem.empty()) {
+    job.restore_path = options.restore_path;
+    if (options.trace_stem.empty() && options.trace_events_stem.empty() &&
+        options.snapshot_stem.empty()) {
       continue;
     }
-    // One per-spec point counter shared by both trace kinds, so the VCD
-    // and the event trace of the same run carry the same suffix.
+    // One per-spec point counter shared by all artifact kinds, so the
+    // VCD, event trace and snapshot of the same run carry the same
+    // suffix.
     point = (job.spec == last) ? point + 1 : 0;
     last = job.spec;
     const std::string suffix =
@@ -73,6 +76,9 @@ std::vector<SweepJob> expand_jobs(const Registry& registry,
     if (!options.trace_events_stem.empty()) {
       job.trace_events_path =
           options.trace_events_stem + suffix + ".trace.json";
+    }
+    if (!options.snapshot_stem.empty()) {
+      job.snapshot_path = options.snapshot_stem + suffix + ".snap";
     }
   }
   return jobs;
@@ -91,6 +97,8 @@ Result run_job(const SweepJob& job) {
       ctx.trace_path = job.trace_path;
       ctx.trace_events_path = job.trace_events_path;
       ctx.faults = job.faults;
+      ctx.snapshot_path = job.snapshot_path;
+      ctx.restore_path = job.restore_path;
       job.spec->run_ctx(job.params, ctx, r);
     } else {
       job.spec->run(job.params, r);

@@ -39,6 +39,13 @@ struct SweepOptions {
   /// Fault plan spec forwarded to every run_ctx job (ouessant_bench
   /// --faults). "" = scenarios keep their built-in plans.
   std::string faults;
+  /// When non-empty, each run_ctx job gets a snapshot destination
+  /// "<stem>_<scenario>_<point>.snap" (ouessant_bench --snapshot).
+  std::string snapshot_stem;
+  /// Snapshot file every run_ctx job warm-boots from (ouessant_bench
+  /// --restore). "" = cold boot. Only meaningful with a --filter that
+  /// selects the configuration the snapshot was taken from.
+  std::string restore_path;
 };
 
 /// One expanded (scenario, grid point) work item.
@@ -53,6 +60,10 @@ struct SweepJob {
   std::string trace_events_path;
   /// Fault plan spec override ("" = scenario default).
   std::string faults;
+  /// Per-job snapshot destination ("" = off).
+  std::string snapshot_path;
+  /// Snapshot file to warm-boot from ("" = cold boot).
+  std::string restore_path;
 };
 
 struct SweepOutcome {

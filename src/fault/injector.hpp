@@ -19,6 +19,7 @@
 #include "fault/hooks.hpp"
 #include "fault/plan.hpp"
 #include "ouessant/ocp.hpp"
+#include "snap/state.hpp"
 #include "util/rng.hpp"
 
 namespace ouessant::fault {
@@ -53,6 +54,15 @@ class Injector : public BusFaultHook, public IrqFaultHook {
   [[nodiscard]] const std::vector<Record>& log() const { return log_; }
   [[nodiscard]] u64 injected() const { return log_.size(); }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  // -- snapshot hooks ---------------------------------------------------
+  // Host-stack object; the service/test embedding it drives these. The
+  // plan itself is configuration: the target injector must be built from
+  // the same plan (spec count is validated). Per-spec fired counts and
+  // RNG stream positions plus the log make a restored run fire the
+  // remaining faults exactly where the uninterrupted one would.
+  void save_state(snap::StateWriter& w) const;
+  void restore_state(snap::StateReader& r);
 
   // -- BusFaultHook -----------------------------------------------------
   bool beat_error(const std::string& master, Addr addr, bool write,

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "util/types.hpp"
 
@@ -26,6 +27,26 @@ class BitQueue {
   [[nodiscard]] std::size_t size_bits() const { return bits_.size(); }
   [[nodiscard]] bool empty() const { return bits_.empty(); }
   void clear() { bits_.clear(); }
+
+  /// Snapshot support: dense word image of the queue, oldest bit in bit
+  /// 0 of word 0, zero-padded in the final word.
+  [[nodiscard]] std::vector<u32> pack_words() const {
+    std::vector<u32> words((bits_.size() + 31) / 32, 0);
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i] != 0) words[i / 32] |= (u32{1} << (i % 32));
+    }
+    return words;
+  }
+
+  /// Inverse of pack_words(): replace the contents with @p bit_count
+  /// bits unpacked from @p words.
+  void unpack_words(const std::vector<u32>& words, std::size_t bit_count) {
+    bits_.clear();
+    for (std::size_t i = 0; i < bit_count; ++i) {
+      bits_.push_back(
+          static_cast<u8>((words[i / 32] >> (i % 32)) & 1u));
+    }
+  }
 
  private:
   std::deque<u8> bits_;  // one entry per bit, front = oldest

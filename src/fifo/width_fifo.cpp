@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/state.hpp"
+
 namespace ouessant::fifo {
 
 WidthFifo::WidthFifo(sim::Kernel& kernel, std::string name,
@@ -144,6 +146,40 @@ void WidthFifo::tick_commit() {
   read_this_cycle_ = false;
   if (changed) notify_waiters();  // un-gate producers/consumers blocked
                                   // on the registered flags
+}
+
+void WidthFifo::save_state(snap::StateWriter& w) const {
+  w.write_u64("stored_bits", storage_.size_bits());
+  w.write_words32("storage", storage_.pack_words());
+  w.write_u32("level", level_);
+  w.write_bool("wrote_this_cycle", wrote_this_cycle_);
+  w.write_bool("read_this_cycle", read_this_cycle_);
+  w.write_u64("pending_write", pending_write_);
+  w.write_bool("has_pending_write", has_pending_write_);
+  w.write_bool("pending_pop", pending_pop_);
+  w.write_u64("writes", writes_);
+  w.write_u64("reads", reads_);
+  w.write_u32("max_level", max_level_);
+}
+
+void WidthFifo::restore_state(snap::StateReader& r) {
+  const u64 stored_bits = r.read_u64("stored_bits");
+  const std::vector<u32> words = r.read_words32("storage");
+  if (words.size() != (stored_bits + 31) / 32 ||
+      stored_bits > cfg_.capacity_bits) {
+    throw snap::SnapshotError("WidthFifo " + name() +
+                              ": inconsistent storage image");
+  }
+  storage_.unpack_words(words, static_cast<std::size_t>(stored_bits));
+  level_ = r.read_u32("level");
+  wrote_this_cycle_ = r.read_bool("wrote_this_cycle");
+  read_this_cycle_ = r.read_bool("read_this_cycle");
+  pending_write_ = r.read_u64("pending_write");
+  has_pending_write_ = r.read_bool("has_pending_write");
+  pending_pop_ = r.read_bool("pending_pop");
+  writes_ = r.read_u64("writes");
+  reads_ = r.read_u64("reads");
+  max_level_ = r.read_u32("max_level");
 }
 
 res::ResourceNode WidthFifo::resource_tree() const {

@@ -88,6 +88,8 @@ class WidthFifo : public sim::Component, public res::ResourceAware {
 
   // sim::Component
   void tick_commit() override;
+  void save_state(snap::StateWriter& w) const override;
+  void restore_state(snap::StateReader& r) override;
   /// Quiescent whenever no access is pending: commit would only clear
   /// already-clear flags and recompute an unchanged level. write()/read()
   /// wake the FIFO for the cycle they occur in.

@@ -1,0 +1,108 @@
+#include "fleet/fleet.hpp"
+
+#include <chrono>
+#include <memory>
+
+namespace ouessant::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+/// Build a shard stack and warm-boot it from @p image with @p seed.
+std::unique_ptr<svc::OffloadService> fork_shard(const FleetConfig& cfg,
+                                                const snap::Snapshot& image,
+                                                u64 seed) {
+  auto shard = std::make_unique<svc::OffloadService>(cfg.service);
+  shard->restore(image);
+  svc::WorkloadConfig load = cfg.shard_load;
+  load.seed = seed;
+  shard->begin(load, /*warm=*/true);
+  return shard;
+}
+
+}  // namespace
+
+FleetReport run_fleet(const FleetConfig& cfg) {
+  if (cfg.shards == 0) {
+    throw ConfigError("run_fleet: shards must be >= 1");
+  }
+  FleetReport fleet;
+  fleet.shards = cfg.shards;
+
+  // Cold boot: build the template stack and serve the warm-up workload.
+  // This is the path every shard would pay without snapshots.
+  const auto cold_t0 = Clock::now();
+  svc::OffloadService tmpl(cfg.service);
+  tmpl.run(cfg.warmup);
+  fleet.cold_boot_ms = ms_since(cold_t0);
+
+  const snap::Snapshot image = tmpl.snapshot();
+  fleet.snapshot_bytes = image.serialize().size();
+
+  // Fork the shards. Each is an independent stack with its own kernel;
+  // construction + restore is the whole warm-boot cost.
+  std::vector<std::unique_ptr<svc::OffloadService>> shards;
+  shards.reserve(cfg.shards);
+  const auto fork_t0 = Clock::now();
+  for (u32 i = 0; i < cfg.shards; ++i) {
+    shards.push_back(fork_shard(cfg, image, cfg.base_seed + i));
+  }
+  fleet.fork_ms_per_shard =
+      ms_since(fork_t0) / static_cast<double>(cfg.shards);
+
+  // Round-robin drive: one service pass per shard per lap. Simulated
+  // clocks are independent, so the interleaving is pure host
+  // scheduling — no shard can observe another.
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    for (auto& shard : shards) {
+      if (!shard->finished()) all_done &= shard->step();
+    }
+  }
+
+  for (u32 i = 0; i < cfg.shards; ++i) {
+    ShardResult res;
+    res.index = i;
+    res.seed = cfg.base_seed + i;
+    res.report = shards[i]->finish();
+    fleet.total_jobs += res.report.jobs;
+    fleet.total_completed += res.report.completed;
+    fleet.total_rejected += res.report.rejected;
+    fleet.total_failed += res.report.failed;
+    if (res.report.makespan() > 0) {
+      fleet.throughput_jpmc +=
+          static_cast<double>(res.report.completed) * 1e6 /
+          static_cast<double>(res.report.makespan());
+    }
+    for (u64 s : res.report.e2e.samples()) fleet.merged_e2e.add(s);
+    fleet.shard_results.push_back(std::move(res));
+  }
+
+  if (cfg.verify_reproducible) {
+    // A second clone with shard 0's seed must reproduce shard 0's run
+    // bit-for-bit: same completions, same makespan, same latency
+    // samples in the same order.
+    auto redo = fork_shard(cfg, image, cfg.base_seed);
+    while (!redo->step()) {
+    }
+    const svc::ServiceReport again = redo->finish();
+    const svc::ServiceReport& first = fleet.shard_results.front().report;
+    fleet.reproducible = again.completed == first.completed &&
+                         again.rejected == first.rejected &&
+                         again.start == first.start &&
+                         again.end == first.end &&
+                         again.e2e.samples() == first.e2e.samples() &&
+                         again.wait.samples() == first.wait.samples();
+  }
+
+  return fleet;
+}
+
+}  // namespace ouessant::fleet

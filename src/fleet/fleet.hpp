@@ -1,0 +1,79 @@
+// Fleet shard layer (ROADMAP: fleet-scale serving) — the first payoff
+// of whole-stack snapshot/restore.
+//
+// One *template* service stack is booted cold and driven through a
+// warm-up workload; its snapshot then seeds M independent shards
+// (SoC + service stacks), each warm-booted from the same image with its
+// own workload seed. The shards are driven round-robin on the host —
+// every simulated clock is independent, so interleaving order cannot
+// change any shard's result — and their reports are aggregated into
+// fleet metrics: total throughput, availability, a merged latency
+// histogram, and the warm-fork vs cold-boot wall-time comparison that
+// justifies the machinery.
+#pragma once
+
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace ouessant::fleet {
+
+struct FleetConfig {
+  /// Shape of every stack in the fleet (template and shards alike —
+  /// warm-boot requires identical construction).
+  svc::ServiceConfig service{};
+  /// Workload the template serves before the snapshot is taken: it
+  /// installs the resident microcode, configures IRQs and warms the
+  /// caches the shards inherit.
+  svc::WorkloadConfig warmup{};
+  /// Per-shard workload; `seed` is overridden with base_seed + index.
+  svc::WorkloadConfig shard_load{};
+  u32 shards = 8;
+  u64 base_seed = 0xF1EE'7000ull;
+  /// Re-run shard 0 from a second clone of the same image and check the
+  /// two reports are bit-identical (fixed-seed reproducibility proof).
+  bool verify_reproducible = true;
+};
+
+/// One shard's outcome.
+struct ShardResult {
+  u32 index = 0;
+  u64 seed = 0;
+  svc::ServiceReport report;
+};
+
+struct FleetReport {
+  u32 shards = 0;
+  u64 total_jobs = 0;
+  u64 total_completed = 0;
+  u64 total_rejected = 0;
+  u64 total_failed = 0;
+  /// Completed / intended across the whole fleet.
+  [[nodiscard]] double availability() const {
+    return total_jobs > 0 ? static_cast<double>(total_completed) /
+                                static_cast<double>(total_jobs)
+                          : 0.0;
+  }
+  /// Sum of per-shard throughputs (jobs per million simulated cycles) —
+  /// shards run concurrently in the fleet fiction, so rates add.
+  double throughput_jpmc = 0.0;
+  /// End-to-end latency samples merged across every shard.
+  svc::LatencyStats merged_e2e;
+
+  // Host wall time: what the snapshot machinery buys.
+  double cold_boot_ms = 0.0;       ///< build + warm up the template
+  double fork_ms_per_shard = 0.0;  ///< mean build + restore per shard
+  u64 snapshot_bytes = 0;          ///< serialized image size
+
+  /// Shard-0 double-run check result (true when not requested).
+  bool reproducible = true;
+
+  std::vector<ShardResult> shard_results;
+};
+
+/// Boot the template, snapshot it, fork and serve cfg.shards shards
+/// round-robin, aggregate. Throws ConfigError on a config the service
+/// layer rejects and SnapshotError if the image fails validation.
+[[nodiscard]] FleetReport run_fleet(const FleetConfig& cfg);
+
+}  // namespace ouessant::fleet

@@ -59,6 +59,30 @@ void Sram::fill(u32 value) {
   for (auto& w : data_) w = value;
 }
 
+void Sram::save_state(snap::StateWriter& w) const {
+  w.write_string("name", name_);
+  w.write_u64("reads", reads_);
+  w.write_u64("writes", writes_);
+  w.write_words32("data", data_);
+}
+
+void Sram::restore_state(snap::StateReader& r) {
+  const std::string saved = r.read_string("name");
+  if (saved != name_) {
+    throw snap::SnapshotError("Sram " + name_ + ": snapshot is for '" +
+                              saved + "'");
+  }
+  reads_ = r.read_u64("reads");
+  writes_ = r.read_u64("writes");
+  std::vector<u32> data = r.read_words32("data");
+  if (data.size() != data_.size()) {
+    throw snap::SnapshotError(
+        "Sram " + name_ + ": snapshot holds " + std::to_string(data.size()) +
+        " words, memory has " + std::to_string(data_.size()));
+  }
+  data_ = std::move(data);
+}
+
 Rom::Rom(std::string name, Addr base, std::vector<u32> contents, u32 read_wait)
     : Sram(std::move(name), base, static_cast<u32>(contents.size() * 4),
            read_wait, 0) {

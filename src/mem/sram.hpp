@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bus/types.hpp"
+#include "snap/state.hpp"
 
 namespace ouessant::mem {
 
@@ -45,6 +46,12 @@ class Sram : public bus::BusSlave {
   }
   [[nodiscard]] u64 reads() const { return reads_; }
   [[nodiscard]] u64 writes() const { return writes_; }
+
+  /// Snapshot hooks. Not a sim::Component, so Soc drives these directly
+  /// (the "soc" section). Contents are run-length encoded — a mostly
+  /// untouched 16 MB SRAM serializes in a few bytes.
+  void save_state(snap::StateWriter& w) const;
+  void restore_state(snap::StateReader& r);
 
  protected:
   [[nodiscard]] u32 index_for(Addr addr, const char* what) const;

@@ -60,6 +60,14 @@ class Controller : public sim::Component, public res::ResourceAware {
   /// (start write wakes us), fetch/xfer (bus completion), exec-wait (RAC
   /// end_op). Never quiescent in decode — it always does work.
   [[nodiscard]] bool is_quiescent() const override;
+  /// Serializes the FSM, loop register, counters, the bus interface's
+  /// register file (the interface is not a Component — this section
+  /// carries it), and the valid decode-cache entries as (slot, word)
+  /// pairs re-decoded on restore (isa::decode is pure in the word, so
+  /// hit/miss counters stay bit-exact). A restored mid-transfer (kXfer)
+  /// state reattaches the streamed FIFO endpoint to the master port.
+  void save_state(snap::StateWriter& w) const override;
+  void restore_state(snap::StateReader& r) override;
 
   /// Snapshot of the counters with cycles spent clock-gated folded into
   /// the current wait state's counter (so a reading taken while the
@@ -202,6 +210,10 @@ class Controller : public sim::Component, public res::ResourceAware {
   bool decode_cache_enabled_ = true;
   u64 decode_hits_ = 0;
   u64 decode_misses_ = 0;
+  // Interned "<name>.decode_hits"/"<name>.decode_misses" — published to
+  // Stats so sweeps and traces report cache effectiveness.
+  sim::Stats::Handle h_decode_hits_;
+  sim::Stats::Handle h_decode_misses_;
   void flush_decode_cache() {
     for (DecodeEntry& e : decode_cache_) e.valid = false;
   }

@@ -1,5 +1,7 @@
 #include "ouessant/interface.hpp"
 
+#include <algorithm>
+
 #include "ouessant/isa.hpp"
 
 namespace ouessant::core {
@@ -156,6 +158,42 @@ res::ResourceNode BusInterface::resource_tree() const {
   n.children.push_back({"translation", xlate, {}});
   n.children.push_back({"bus_fsms", fsms, {}});
   return n;
+}
+
+void BusInterface::save_state(snap::StateWriter& w) const {
+  std::vector<u32> banks(banks_.begin(), banks_.end());
+  w.write_words32("banks", banks);
+  w.write_u32("prog_size", prog_size_);
+  w.write_bool("ie", ie_);
+  w.write_bool("start_pending", start_pending_);
+  w.write_bool("reset_pending", reset_pending_);
+  w.write_bool("autostart_armed", autostart_armed_);
+  w.write_bool("auto_restart", auto_restart_);
+  w.write_bool("running", running_);
+  w.write_bool("done", done_);
+  w.write_bool("error", error_);
+  w.write_bool("progress", progress_);
+  w.write_bool("irq_level", irq_.raised());
+}
+
+void BusInterface::restore_state(snap::StateReader& r) {
+  const std::vector<u32> banks = r.read_words32("banks");
+  if (banks.size() != banks_.size()) {
+    throw snap::SnapshotError("BusInterface " + name_ +
+                              ": bank register count mismatch");
+  }
+  std::copy(banks.begin(), banks.end(), banks_.begin());
+  prog_size_ = r.read_u32("prog_size");
+  ie_ = r.read_bool("ie");
+  start_pending_ = r.read_bool("start_pending");
+  reset_pending_ = r.read_bool("reset_pending");
+  autostart_armed_ = r.read_bool("autostart_armed");
+  auto_restart_ = r.read_bool("auto_restart");
+  running_ = r.read_bool("running");
+  done_ = r.read_bool("done");
+  error_ = r.read_bool("error");
+  progress_ = r.read_bool("progress");
+  irq_.restore_level(r.read_bool("irq_level"));
 }
 
 }  // namespace ouessant::core

@@ -16,6 +16,7 @@
 #include "bus/types.hpp"
 #include "cpu/irq.hpp"
 #include "sim/kernel.hpp"
+#include "snap/state.hpp"
 #include "ouessant/regs.hpp"
 #include "res/estimate.hpp"
 
@@ -82,6 +83,13 @@ class BusInterface : public bus::BusSlave, public res::ResourceAware {
 
   // -- res::ResourceAware -------------------------------------------------
   [[nodiscard]] res::ResourceNode resource_tree() const override;
+
+  // -- snapshot hooks -----------------------------------------------------
+  // Not a sim::Component (the slave FSM has no clocked state of its
+  // own); the controller embeds these in its own section. The IRQ line
+  // level is restored without notifying watchers.
+  void save_state(snap::StateWriter& w) const;
+  void restore_state(snap::StateReader& r);
 
  private:
   [[nodiscard]] u32 reg_index(Addr addr, const char* what) const;

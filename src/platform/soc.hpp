@@ -15,6 +15,7 @@
 #include "cpu/gpp.hpp"
 #include "mem/sram.hpp"
 #include "ouessant/ocp.hpp"
+#include "snap/snapshot.hpp"
 
 namespace ouessant::platform {
 
@@ -69,6 +70,19 @@ class Soc {
   [[nodiscard]] double us(u64 cycles) const {
     return static_cast<double>(cycles) / cfg_.clock_mhz;
   }
+
+  // -- snapshot / warm-boot cloning ---------------------------------------
+  /// Serialize the whole stack: the kernel's clock + Stats + every
+  /// registered component, plus a "soc" section with the configuration
+  /// fingerprint (bus kind, SRAM geometry, OCP count), the SRAM
+  /// contents and the CPU's accounting. Only legal between ticks with
+  /// no driver code mid-transaction.
+  [[nodiscard]] snap::Snapshot snapshot() const;
+  /// Restore this Soc from @p snap. The target must be built from the
+  /// same SocConfig shape (fingerprint is validated first); afterwards
+  /// clocks, Stats and all component state are bit-identical to the
+  /// saved stack — running both forward produces identical histories.
+  void restore(const snap::Snapshot& snap);
 
  private:
   SocConfig cfg_;

@@ -41,6 +41,8 @@ class ConfigurableFirRac : public core::Rac {
 
   // sim::Component
   void tick_compute() override;
+  void save_state(snap::StateWriter& w) const override;
+  void restore_state(snap::StateReader& r) override;
   /// Quiescent while idle or blocked on the phase's FIFOs.
   [[nodiscard]] bool is_quiescent() const override {
     switch (phase_) {

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "snap/snapshot.hpp"
+#include "snap/state.hpp"
 
 namespace ouessant::sim {
 
@@ -250,6 +255,156 @@ void Kernel::remove_sampler(u64 id) {
       std::remove_if(samplers_.begin(), samplers_.end(),
                      [id](const auto& p) { return p.first == id; }),
       samplers_.end());
+}
+
+void Kernel::save_to(snap::Snapshot& snap) const {
+  if (in_tick_) {
+    throw snap::SnapshotError("Kernel::save_to: snapshots are only legal "
+                              "between ticks");
+  }
+  std::unordered_set<std::string> seen;
+  for (const Component* c : components_) {
+    if (c == nullptr) continue;
+    if (!seen.insert(c->name()).second) {
+      throw snap::SnapshotError("Kernel::save_to: duplicate component name '" +
+                                c->name() + "' (snapshots key on names)");
+    }
+  }
+
+  snap::StateWriter w;
+  w.write_u64("cycle", cycle_);
+
+  const auto counters = stats_.all();
+  w.write_u32("stat_count", static_cast<u32>(counters.size()));
+  for (const auto& [key, value] : counters) {
+    w.write_string("stat", key);
+    w.write_u64("value", value);
+  }
+
+  w.write_u32("component_count", static_cast<u32>(seen.size()));
+  for (const Component* c : components_) {
+    if (c == nullptr) continue;
+    w.write_string("component", c->name());
+    w.write_bool("awake", c->awake_);
+  }
+
+  // Armed one-shot timers. Entries nulled by component removal are
+  // dropped; duplicates are kept (spurious wakes are harmless).
+  u32 timers = 0;
+  for (const auto& [cycle, c] : wake_heap_) {
+    if (c != nullptr) ++timers;
+  }
+  w.write_u32("timer_count", timers);
+  for (const auto& [cycle, c] : wake_heap_) {
+    if (c == nullptr) continue;
+    w.write_u64("due", cycle);
+    w.write_string("component", c->name());
+  }
+  snap.add("kernel", 1, w.take());
+
+  for (const Component* c : components_) {
+    if (c == nullptr) continue;
+    snap::StateWriter cw;
+    c->save_state(cw);
+    snap.add("c:" + c->name(), 1, cw.take());
+  }
+}
+
+void Kernel::restore_from(const snap::Snapshot& snap) {
+  if (in_tick_) {
+    throw snap::SnapshotError("Kernel::restore_from: restores are only "
+                              "legal between ticks");
+  }
+  std::unordered_map<std::string, Component*> by_name;
+  for (Component* c : components_) {
+    if (c == nullptr) continue;
+    if (!by_name.emplace(c->name(), c).second) {
+      throw snap::SnapshotError(
+          "Kernel::restore_from: duplicate component name '" + c->name() +
+          "'");
+    }
+  }
+
+  const snap::Section& ks = snap.section("kernel");
+  if (ks.version != 1) {
+    throw snap::SnapshotError("kernel section version " +
+                              std::to_string(ks.version) + " unsupported");
+  }
+  snap::StateReader r(ks.bytes, "kernel");
+  const Cycle saved_cycle = r.read_u64("cycle");
+
+  const u32 stat_count = r.read_u32("stat_count");
+  std::vector<std::pair<std::string, u64>> counters;
+  counters.reserve(stat_count);
+  for (u32 i = 0; i < stat_count; ++i) {
+    std::string key = r.read_string("stat");
+    const u64 value = r.read_u64("value");
+    counters.emplace_back(std::move(key), value);
+  }
+
+  const u32 comp_count = r.read_u32("component_count");
+  if (comp_count != by_name.size()) {
+    throw snap::SnapshotError(
+        "Kernel::restore_from: snapshot has " + std::to_string(comp_count) +
+        " components, this kernel has " + std::to_string(by_name.size()) +
+        " (stacks must be constructed identically)");
+  }
+  std::vector<std::pair<Component*, bool>> awake_flags;
+  awake_flags.reserve(comp_count);
+  for (u32 i = 0; i < comp_count; ++i) {
+    const std::string name = r.read_string("component");
+    const bool awake = r.read_bool("awake");
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw snap::SnapshotError("Kernel::restore_from: snapshot component '" +
+                                name + "' is not registered here");
+    }
+    awake_flags.emplace_back(it->second, awake);
+  }
+
+  const u32 timer_count = r.read_u32("timer_count");
+  std::vector<std::pair<Cycle, Component*>> timers;
+  timers.reserve(timer_count);
+  for (u32 i = 0; i < timer_count; ++i) {
+    const Cycle due = r.read_u64("due");
+    const std::string name = r.read_string("component");
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw snap::SnapshotError("Kernel::restore_from: wake timer names "
+                                "unknown component '" + name + "'");
+    }
+    timers.emplace_back(due, it->second);
+  }
+  r.expect_end();
+
+  // Commit: from here on the kernel mutates. Clock and Stats first so
+  // components restoring against kernel().now() see the saved instant.
+  cycle_ = saved_cycle;
+  stats_.clear();
+  for (const auto& [key, value] : counters) stats_.set(key, value);
+
+  for (Component* c : components_) {
+    if (c == nullptr) continue;
+    const snap::Section& cs = snap.section("c:" + c->name());
+    if (cs.version != 1) {
+      throw snap::SnapshotError("component section '" + c->name() +
+                                "' version " + std::to_string(cs.version) +
+                                " unsupported");
+    }
+    snap::StateReader cr(cs.bytes, "c:" + c->name());
+    c->restore_state(cr);
+    cr.expect_end();
+  }
+
+  // Scheduler state last: restore_state() calls may have issued stray
+  // wake()s — overwrite them with the saved awake set and timer heap.
+  awake_count_ = 0;
+  for (auto& [c, awake] : awake_flags) {
+    c->awake_ = awake;
+    if (awake) ++awake_count_;
+  }
+  wake_heap_ = std::move(timers);
+  std::make_heap(wake_heap_.begin(), wake_heap_.end(), HeapOrder{});
 }
 
 }  // namespace ouessant::sim

@@ -48,6 +48,12 @@
 #include "sim/stats.hpp"
 #include "util/types.hpp"
 
+namespace ouessant::snap {
+class Snapshot;
+class StateReader;
+class StateWriter;
+}  // namespace ouessant::snap
+
 namespace ouessant::sim {
 
 class Kernel;
@@ -81,6 +87,22 @@ class Component {
   /// cycle is not in the future). The timer is one-shot; spurious extra
   /// wake-ups are harmless by the quiescence contract.
   void wake_at(Cycle cycle);
+
+  /// Serialize this component's architectural state (everything a tick
+  /// reads or writes) as a tagged field stream. The default saves
+  /// nothing — correct only for genuinely stateless components.
+  /// Together with restore_state() this is the uniform snapshot
+  /// protocol: restoring a saved stream into an identically-configured
+  /// component must make subsequent simulation bit-identical to the
+  /// original run. Host-side telemetry (tracers, samplers, scheduler
+  /// stats) is deliberately outside the protocol.
+  virtual void save_state(snap::StateWriter&) const {}
+
+  /// Inverse of save_state(). Called between ticks on a freshly
+  /// constructed (same config) component; must consume exactly the
+  /// fields save_state() wrote, in order. Wiring (pointers, waiter
+  /// lists) is reconstructed by construction, not restored.
+  virtual void restore_state(snap::StateReader&) {}
 
   /// True while the kernel clocks this component (diagnostics).
   [[nodiscard]] bool awake() const { return awake_; }
@@ -169,6 +191,18 @@ class Kernel {
   [[nodiscard]] std::vector<std::string> awake_names() const;
 
   [[nodiscard]] const SchedulerStats& sched_stats() const { return sched_; }
+
+  /// Write the kernel's own state (clock, Stats, per-component awake
+  /// flags, armed wake timers) plus one "c:<name>" section per
+  /// registered component into @p snap. Requires unique component names
+  /// and may only run between ticks.
+  void save_to(snap::Snapshot& snap) const;
+
+  /// Restore a snapshot taken by save_to() into this kernel, whose
+  /// registered components must match the snapshot by name (same stack
+  /// construction). Resets the clock, Stats, awake flags and wake heap
+  /// to the saved instant; scheduler telemetry restarts from zero.
+  void restore_from(const snap::Snapshot& snap);
 
  private:
   friend class Component;

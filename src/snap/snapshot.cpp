@@ -1,0 +1,207 @@
+#include "snap/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace ouessant::snap {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'O', 'S', 'N', 'P'};
+
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB8'8320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+void put_u16(std::vector<u8>& out, u16 v) {
+  out.push_back(static_cast<u8>(v));
+  out.push_back(static_cast<u8>(v >> 8));
+}
+
+void put_u32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<u8>& out, u64 v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+/// Bounds-checked cursor over a raw image; all failures throw with the
+/// byte offset so a truncated or bit-flipped file is diagnosable.
+struct Cursor {
+  const std::vector<u8>& buf;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SnapshotError("snapshot image at byte " + std::to_string(pos) +
+                        ": " + why);
+  }
+  void need(std::size_t n) const {
+    if (pos + n > buf.size()) fail("truncated");
+  }
+  u16 u16_() {
+    need(2);
+    const u16 v = static_cast<u16>(buf[pos] | (buf[pos + 1] << 8));
+    pos += 2;
+    return v;
+  }
+  u32 u32_() {
+    need(4);
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(buf[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+  u64 u64_() {
+    need(8);
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(buf[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+};
+
+}  // namespace
+
+u32 crc32(const std::vector<u8>& data) {
+  static const std::array<u32, 256> table = make_crc_table();
+  u32 c = 0xFFFF'FFFFu;
+  for (u8 b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFF'FFFFu;
+}
+
+void Snapshot::add(std::string name, u32 version, std::vector<u8> bytes) {
+  if (has(name)) {
+    throw SnapshotError("snapshot: duplicate section '" + name + "'");
+  }
+  sections_.push_back(
+      Section{std::move(name), version, std::move(bytes)});
+}
+
+bool Snapshot::has(std::string_view name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+const Section& Snapshot::section(std::string_view name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) return s;
+  }
+  throw SnapshotError("snapshot: missing section '" + std::string(name) +
+                      "'");
+}
+
+std::vector<u8> Snapshot::serialize() const {
+  std::vector<u8> out;
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<u32>(sections_.size()));
+  for (const Section& s : sections_) {
+    if (s.name.size() > 0xFFFF) {
+      throw SnapshotError("snapshot: section name too long: " + s.name);
+    }
+    put_u16(out, static_cast<u16>(s.name.size()));
+    out.insert(out.end(), s.name.begin(), s.name.end());
+    put_u32(out, s.version);
+    put_u64(out, s.bytes.size());
+    out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+  }
+  put_u32(out, crc32(out));
+  return out;
+}
+
+Snapshot Snapshot::deserialize(const std::vector<u8>& image) {
+  // CRC first: distinguish "corrupted" from "structurally wrong" in the
+  // error message, and never parse garbage framing.
+  if (image.size() < kMagic.size() + 4 + 4 + 4) {
+    throw SnapshotError("snapshot image too short (" +
+                        std::to_string(image.size()) + " bytes)");
+  }
+  std::vector<u8> body(image.begin(), image.end() - 4);
+  u32 stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<u32>(image[image.size() - 4 + i]) << (8 * i);
+  }
+  if (crc32(body) != stored_crc) {
+    throw SnapshotError("snapshot CRC mismatch (corrupted image)");
+  }
+
+  Cursor c{body};
+  c.need(kMagic.size());
+  for (char m : kMagic) {
+    if (body[c.pos++] != static_cast<u8>(m)) {
+      c.fail("bad magic (not an Ouessant snapshot)");
+    }
+  }
+  const u32 version = c.u32_();
+  if (version != kFormatVersion) {
+    throw SnapshotError("snapshot format version " + std::to_string(version) +
+                        " unsupported (this build reads version " +
+                        std::to_string(kFormatVersion) + ")");
+  }
+  const u32 count = c.u32_();
+  Snapshot snap;
+  for (u32 i = 0; i < count; ++i) {
+    const u16 name_len = c.u16_();
+    c.need(name_len);
+    std::string name(reinterpret_cast<const char*>(body.data() + c.pos),
+                     name_len);
+    c.pos += name_len;
+    const u32 sec_version = c.u32_();
+    const u64 size = c.u64_();
+    c.need(size);
+    std::vector<u8> bytes(body.begin() + static_cast<std::ptrdiff_t>(c.pos),
+                          body.begin() +
+                              static_cast<std::ptrdiff_t>(c.pos + size));
+    c.pos += size;
+    snap.add(std::move(name), sec_version, std::move(bytes));
+  }
+  if (c.pos != body.size()) {
+    c.fail("trailing bytes after last section");
+  }
+  return snap;
+}
+
+void Snapshot::save_file(const std::string& path) const {
+  const std::vector<u8> image = serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw SimError("snapshot: cannot open '" + path + "' for writing");
+  }
+  const std::size_t n = std::fwrite(image.data(), 1, image.size(), f);
+  const bool ok = (n == image.size()) && (std::fclose(f) == 0);
+  if (!ok) {
+    throw SimError("snapshot: short write to '" + path + "'");
+  }
+}
+
+Snapshot Snapshot::load_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SimError("snapshot: cannot open '" + path + "'");
+  }
+  std::vector<u8> image;
+  std::array<u8, 65536> chunk;
+  std::size_t n = 0;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
+    image.insert(image.end(), chunk.begin(), chunk.begin() + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw SimError("snapshot: read error on '" + path + "'");
+  }
+  return deserialize(image);
+}
+
+}  // namespace ouessant::snap

@@ -1,0 +1,77 @@
+// The versioned snapshot container: named sections + integrity trailer.
+//
+// A Snapshot is an ordered set of named sections, each carrying its own
+// schema version and an opaque byte payload (produced by a StateWriter).
+// The kernel writes one section per component plus a "kernel" section;
+// higher layers (Soc, OffloadService, Injector) add theirs on top. The
+// container is what goes to disk:
+//
+//   "OSNP" magic            (4 bytes)
+//   format version          (u32, currently 1)
+//   section count           (u32)
+//   sections: name_len:u16 name version:u32 size:u64 payload
+//   CRC-32 of everything above (u32, polynomial 0xEDB88320)
+//
+// Compatibility rules (docs/fleet.md): the container format version
+// gates parsing outright; per-section versions let an individual
+// component evolve its schema and reject (or migrate) old payloads
+// without invalidating the whole container format.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snap/state.hpp"
+#include "util/types.hpp"
+
+namespace ouessant::snap {
+
+/// Container format version written after the magic. Bump only when the
+/// container layout itself changes.
+inline constexpr u32 kFormatVersion = 1;
+
+/// One named, versioned state payload.
+struct Section {
+  std::string name;
+  u32 version = 1;
+  std::vector<u8> bytes;
+};
+
+/// CRC-32 (IEEE, reflected, poly 0xEDB88320) of @p data. Used as the
+/// snapshot trailer; exposed for tests.
+u32 crc32(const std::vector<u8>& data);
+
+class Snapshot {
+ public:
+  /// Adds a section; duplicate names throw (component names are unique
+  /// per kernel, so a duplicate means two stacks wrote into one
+  /// snapshot).
+  void add(std::string name, u32 version, std::vector<u8> bytes);
+
+  bool has(std::string_view name) const;
+
+  /// Section lookup; throws SnapshotError when absent (a restore asking
+  /// for a component the snapshot does not contain).
+  const Section& section(std::string_view name) const;
+
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// Flat byte image (magic + version + sections + CRC trailer).
+  std::vector<u8> serialize() const;
+
+  /// Parses @p image, validating magic, format version, section
+  /// framing, and the CRC trailer. Throws SnapshotError on any defect.
+  static Snapshot deserialize(const std::vector<u8>& image);
+
+  /// Writes serialize() to @p path; throws SimError on I/O failure.
+  void save_file(const std::string& path) const;
+
+  /// Reads @p path and deserializes it.
+  static Snapshot load_file(const std::string& path);
+
+ private:
+  std::vector<Section> sections_;
+};
+
+}  // namespace ouessant::snap

@@ -1,0 +1,277 @@
+#include "snap/state.hpp"
+
+#include <cstring>
+
+namespace ouessant::snap {
+
+namespace {
+
+const char* tag_name(Tag t) {
+  switch (t) {
+    case Tag::kBool: return "bool";
+    case Tag::kU8: return "u8";
+    case Tag::kU32: return "u32";
+    case Tag::kU64: return "u64";
+    case Tag::kDouble: return "double";
+    case Tag::kString: return "string";
+    case Tag::kWords32: return "words32";
+    case Tag::kWords64: return "words64";
+    case Tag::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+constexpr u32 kLiteralBit = 0x8000'0000u;
+constexpr u32 kMaxBlockWords = 0x7fff'ffffu;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StateWriter
+
+void StateWriter::field(Tag tag, std::string_view name) {
+  if (name.size() > 255) {
+    throw SnapshotError("snapshot field name too long: " +
+                        std::string(name));
+  }
+  buf_.push_back(static_cast<u8>(tag));
+  buf_.push_back(static_cast<u8>(name.size()));
+  buf_.insert(buf_.end(), name.begin(), name.end());
+}
+
+void StateWriter::raw_u32(u32 v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void StateWriter::raw_u64(u64 v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void StateWriter::write_bool(std::string_view name, bool v) {
+  field(Tag::kBool, name);
+  buf_.push_back(v ? 1 : 0);
+}
+
+void StateWriter::write_u8(std::string_view name, u8 v) {
+  field(Tag::kU8, name);
+  buf_.push_back(v);
+}
+
+void StateWriter::write_u32(std::string_view name, u32 v) {
+  field(Tag::kU32, name);
+  raw_u32(v);
+}
+
+void StateWriter::write_u64(std::string_view name, u64 v) {
+  field(Tag::kU64, name);
+  raw_u64(v);
+}
+
+void StateWriter::write_double(std::string_view name, double v) {
+  field(Tag::kDouble, name);
+  u64 bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  raw_u64(bits);
+}
+
+void StateWriter::write_string(std::string_view name, std::string_view v) {
+  field(Tag::kString, name);
+  raw_u32(static_cast<u32>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void StateWriter::write_words32(std::string_view name,
+                                const std::vector<u32>& v) {
+  field(Tag::kWords32, name);
+  raw_u32(static_cast<u32>(v.size()));
+  // Greedy RLE: runs of >= 4 equal words become a run block, everything
+  // between them a literal block. The 4-word threshold keeps a literal
+  // stream from degenerating into per-word blocks.
+  std::size_t i = 0;
+  std::size_t lit_begin = 0;
+  auto flush_literal = [&](std::size_t end) {
+    std::size_t b = lit_begin;
+    while (b < end) {
+      const std::size_t n = std::min<std::size_t>(end - b, kMaxBlockWords);
+      raw_u32(kLiteralBit | static_cast<u32>(n));
+      for (std::size_t k = 0; k < n; ++k) raw_u32(v[b + k]);
+      b += n;
+    }
+  };
+  while (i < v.size()) {
+    std::size_t run = 1;
+    while (i + run < v.size() && v[i + run] == v[i] &&
+           run < kMaxBlockWords) {
+      ++run;
+    }
+    if (run >= 4) {
+      flush_literal(i);
+      raw_u32(static_cast<u32>(run));
+      raw_u32(v[i]);
+      i += run;
+      lit_begin = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literal(v.size());
+}
+
+void StateWriter::write_words64(std::string_view name,
+                                const std::vector<u64>& v) {
+  field(Tag::kWords64, name);
+  raw_u32(static_cast<u32>(v.size()));
+  for (u64 w : v) raw_u64(w);
+}
+
+void StateWriter::write_bytes(std::string_view name,
+                              const std::vector<u8>& v) {
+  field(Tag::kBytes, name);
+  raw_u32(static_cast<u32>(v.size()));
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+// ---------------------------------------------------------------------------
+// StateReader
+
+StateReader::StateReader(std::vector<u8> bytes, std::string context)
+    : buf_(std::move(bytes)), context_(std::move(context)) {}
+
+void StateReader::fail(const std::string& why) const {
+  throw SnapshotError("snapshot [" + context_ + "] at byte " +
+                      std::to_string(pos_) + ": " + why);
+}
+
+void StateReader::need(std::size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    fail("truncated (need " + std::to_string(n) + " bytes, have " +
+         std::to_string(buf_.size() - pos_) + ")");
+  }
+}
+
+u8 StateReader::raw_u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+u32 StateReader::raw_u32() {
+  need(4);
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+u64 StateReader::raw_u64() {
+  need(8);
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+void StateReader::expect_field(Tag tag, std::string_view name) {
+  const u8 got_tag = raw_u8();
+  const u8 name_len = raw_u8();
+  need(name_len);
+  const std::string_view got_name(
+      reinterpret_cast<const char*>(buf_.data() + pos_), name_len);
+  if (got_tag != static_cast<u8>(tag) || got_name != name) {
+    fail("expected " + std::string(tag_name(tag)) + " '" +
+         std::string(name) + "', found tag " + std::to_string(got_tag) +
+         " '" + std::string(got_name) + "'");
+  }
+  pos_ += name_len;
+}
+
+bool StateReader::read_bool(std::string_view name) {
+  expect_field(Tag::kBool, name);
+  const u8 v = raw_u8();
+  if (v > 1) fail("bool '" + std::string(name) + "' holds " +
+                  std::to_string(v));
+  return v != 0;
+}
+
+u8 StateReader::read_u8(std::string_view name) {
+  expect_field(Tag::kU8, name);
+  return raw_u8();
+}
+
+u32 StateReader::read_u32(std::string_view name) {
+  expect_field(Tag::kU32, name);
+  return raw_u32();
+}
+
+u64 StateReader::read_u64(std::string_view name) {
+  expect_field(Tag::kU64, name);
+  return raw_u64();
+}
+
+double StateReader::read_double(std::string_view name) {
+  expect_field(Tag::kDouble, name);
+  const u64 bits = raw_u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string StateReader::read_string(std::string_view name) {
+  expect_field(Tag::kString, name);
+  const u32 len = raw_u32();
+  need(len);
+  std::string v(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+  pos_ += len;
+  return v;
+}
+
+std::vector<u32> StateReader::read_words32(std::string_view name) {
+  expect_field(Tag::kWords32, name);
+  const u32 count = raw_u32();
+  std::vector<u32> v;
+  v.reserve(count);
+  while (v.size() < count) {
+    const u32 block = raw_u32();
+    if ((block & kLiteralBit) != 0) {
+      const u32 n = block & kMaxBlockWords;
+      if (v.size() + n > count) fail("RLE literal overruns word count");
+      for (u32 k = 0; k < n; ++k) v.push_back(raw_u32());
+    } else {
+      if (block == 0 || v.size() + block > count) {
+        fail("RLE run overruns word count");
+      }
+      const u32 value = raw_u32();
+      v.insert(v.end(), block, value);
+    }
+  }
+  return v;
+}
+
+std::vector<u64> StateReader::read_words64(std::string_view name) {
+  expect_field(Tag::kWords64, name);
+  const u32 count = raw_u32();
+  need(static_cast<std::size_t>(count) * 8);
+  std::vector<u64> v;
+  v.reserve(count);
+  for (u32 i = 0; i < count; ++i) v.push_back(raw_u64());
+  return v;
+}
+
+std::vector<u8> StateReader::read_bytes(std::string_view name) {
+  expect_field(Tag::kBytes, name);
+  const u32 len = raw_u32();
+  need(len);
+  std::vector<u8> v(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return v;
+}
+
+void StateReader::expect_end() const {
+  if (pos_ != buf_.size()) {
+    fail("unconsumed trailing state (" +
+         std::to_string(buf_.size() - pos_) + " bytes)");
+  }
+}
+
+}  // namespace ouessant::snap

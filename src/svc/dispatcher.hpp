@@ -173,6 +173,18 @@ class Dispatcher : public sim::Component {
   // sim::Component (the arrival doorbell).
   void tick_commit() override;
   [[nodiscard]] bool is_quiescent() const override;
+  /// Queue contents, schedule position, per-worker in-flight batches and
+  /// stats, retry backlog, and the run counters. Worker count/kind must
+  /// match the image (same ServiceConfig); sessions carry only their
+  /// driver's IE shadow. The retry policy and hooks are host wiring.
+  void save_state(snap::StateWriter& w) const override;
+  void restore_state(snap::StateReader& r) override;
+
+  /// Warm-boot: zero every per-run counter (queue accept/reject, worker
+  /// stats, fault accounting) while keeping the warm microstate —
+  /// resident programs (installed_batch), IRQ configuration, cache
+  /// contents — so a cloned shard's report covers only its own run.
+  void reset_run_counters();
 
  private:
   struct Worker {

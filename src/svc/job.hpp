@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "snap/state.hpp"
 #include "util/types.hpp"
 
 namespace ouessant::svc {
@@ -62,6 +63,11 @@ struct Job {
   [[nodiscard]] u64 end_to_end() const { return complete - arrival; }
 };
 
+/// Serialize / reconstruct one Job (fields are sequential, so lists
+/// repeat them: a count field then save_job per element).
+void save_job(snap::StateWriter& w, const Job& job);
+[[nodiscard]] Job load_job(snap::StateReader& r);
+
 /// Bounded multi-class FIFO. push() rejects (and counts) when the queue
 /// is at depth; take() hands the Dispatcher up to @p max_batch jobs of
 /// one kind in (priority class, FIFO) order — the batching path pops
@@ -83,6 +89,15 @@ class JobQueue {
   [[nodiscard]] u64 accepted() const { return accepted_; }
   [[nodiscard]] u64 rejected() const { return rejected_; }
   [[nodiscard]] std::size_t peak_depth() const { return peak_; }
+
+  /// Warm-boot: zero the accepted/rejected counters and re-anchor the
+  /// peak at the current occupancy, so a cloned shard reports only its
+  /// own run. Queued jobs are untouched.
+  void reset_counters();
+
+  // Snapshot hooks (host-stack object; the Dispatcher embeds these).
+  void save_state(snap::StateWriter& w) const;
+  void restore_state(snap::StateReader& r);
 
  private:
   std::size_t depth_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exp/result.hpp"
+#include "snap/state.hpp"
 #include "util/types.hpp"
 
 namespace ouessant::svc {
@@ -31,6 +32,11 @@ class LatencyStats {
   /// Raw samples in insertion (job completion) order — the ground truth
   /// the trace round-trip test compares per-job span durations against.
   [[nodiscard]] const std::vector<u64>& samples() const { return samples_; }
+
+  // Snapshot hooks: the sample vector is the whole state (sum_ is
+  // recomputed on restore, so it can never drift from the samples).
+  void save_state(snap::StateWriter& w, const std::string& name) const;
+  void restore_state(snap::StateReader& r, const std::string& name);
 
  private:
   std::vector<u64> samples_;

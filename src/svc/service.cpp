@@ -174,75 +174,180 @@ void OffloadService::validate(const WorkloadConfig& workload) const {
   }
 }
 
-ServiceReport OffloadService::run(const WorkloadConfig& workload) {
-  if (ran_) {
-    throw ConfigError("OffloadService: run() is single-shot");
-  }
-  ran_ = true;
-  validate(workload);
-
-  sim::Kernel& kernel = soc_.kernel();
-  cpu::Gpp& gpp = soc_.cpu();
-  ServiceReport rep;
-  rep.jobs = workload.jobs;
-
-  dispatcher_.configure_irqs();  // first timed accesses of the run
-
-  util::Rng rng(workload.seed);
-  u64 issued = 0;
-  rep.start = gpp.now();
-
-  dispatcher_.set_completion_hook([&](const Job& job) {
-    rep.wait.add(job.queue_wait());
-    rep.service.add(job.service());
-    rep.e2e.add(job.end_to_end());
+void OffloadService::install_completion_hook() {
+  dispatcher_.set_completion_hook([this](const Job& job) {
+    rep_.wait.add(job.queue_wait());
+    rep_.service.add(job.service());
+    rep_.e2e.add(job.end_to_end());
     // Closed loop: the client whose job just finished submits its next
     // one immediately (zero think time — a pure throughput probe).
-    if (workload.mode == LoadMode::kClosedLoop && issued < workload.jobs) {
-      dispatcher_.submit_now(make_job(issued++, gpp.now(), workload, rng));
+    if (workload_.mode == LoadMode::kClosedLoop && issued_ < workload_.jobs) {
+      dispatcher_.submit_now(
+          make_job(issued_++, soc_.cpu().now(), workload_, rng_));
     }
   });
+}
+
+void OffloadService::begin(const WorkloadConfig& workload, bool warm) {
+  if (ran_ || began_) {
+    throw ConfigError("OffloadService: run()/begin() is single-shot");
+  }
+  ran_ = true;
+  began_ = true;
+  validate(workload);
+  workload_ = workload;
+  rng_ = util::Rng(workload.seed);
+  issued_ = 0;
+  rep_ = ServiceReport{};
+  rep_.jobs = workload.jobs;
+
+  cpu::Gpp& gpp = soc_.cpu();
+  if (warm) {
+    // A warm-booted clone inherits the IRQ configuration, the resident
+    // microcode and the cache contents from the snapshot; only the
+    // accounting restarts.
+    dispatcher_.reset_run_counters();
+  } else {
+    dispatcher_.configure_irqs();  // first timed accesses of the run
+  }
+  rep_.start = gpp.now();
+
+  install_completion_hook();
 
   if (workload.mode == LoadMode::kOpenLoop) {
-    dispatcher_.load_schedule(
-        open_loop_arrivals(workload, rng, gpp.now() + 1));
-    issued = workload.jobs;
+    dispatcher_.load_schedule(open_loop_arrivals(workload, rng_, gpp.now() + 1));
+    issued_ = workload.jobs;
   } else {
-    const u32 initial =
-        std::min<u64>(workload.clients, workload.jobs);
+    const u32 initial = std::min<u64>(workload.clients, workload.jobs);
     for (u32 c = 0; c < initial; ++c) {
-      dispatcher_.submit_now(make_job(issued++, gpp.now(), workload, rng));
+      dispatcher_.submit_now(make_job(issued_++, gpp.now(), workload, rng_));
     }
   }
+}
 
-  while (!dispatcher_.finished()) {
-    dispatcher_.service_once();
-    if (dispatcher_.finished()) break;
-    kernel.run_until([this] { return dispatcher_.service_due(); },
-                     cfg_.timeout_cycles);
-  }
+bool OffloadService::step() {
+  if (!began_) throw ConfigError("OffloadService: step() before begin()");
+  if (dispatcher_.finished()) return true;
+  dispatcher_.service_once();
+  if (dispatcher_.finished()) return true;
+  soc_.kernel().run_until([this] { return dispatcher_.service_due(); },
+                          cfg_.timeout_cycles);
+  return dispatcher_.finished();
+}
 
-  rep.end = gpp.now();
-  rep.completed = dispatcher_.completed();
-  rep.rejected = dispatcher_.rejected();
-  rep.peak_depth = dispatcher_.queue().peak_depth();
-  rep.fault_aware = cfg_.faults.armed() || cfg_.retry.armed();
-  if (rep.fault_aware) {
-    rep.injected = injector_ != nullptr ? injector_->injected() : 0;
-    rep.faults = dispatcher_.faults();
-    rep.retries = dispatcher_.retries();
-    rep.failed = dispatcher_.failed();
-    rep.irq_recoveries = dispatcher_.irq_recoveries();
-    rep.quarantined = dispatcher_.quarantined_count();
+ServiceReport OffloadService::finish() {
+  if (!began_) throw ConfigError("OffloadService: finish() before begin()");
+  began_ = false;
+
+  rep_.end = soc_.cpu().now();
+  rep_.completed = dispatcher_.completed();
+  rep_.rejected = dispatcher_.rejected();
+  rep_.peak_depth = dispatcher_.queue().peak_depth();
+  rep_.fault_aware = cfg_.faults.armed() || cfg_.retry.armed();
+  if (rep_.fault_aware) {
+    rep_.injected = injector_ != nullptr ? injector_->injected() : 0;
+    rep_.faults = dispatcher_.faults();
+    rep_.retries = dispatcher_.retries();
+    rep_.failed = dispatcher_.failed();
+    rep_.irq_recoveries = dispatcher_.irq_recoveries();
+    rep_.quarantined = dispatcher_.quarantined_count();
   }
   for (std::size_t i = 0; i < dispatcher_.worker_count(); ++i) {
     const WorkerStats& ws = dispatcher_.worker_stats(i);
-    rep.workers.push_back(ws);
-    rep.batches += ws.launches;
-    rep.installs += ws.installs;
+    rep_.workers.push_back(ws);
+    rep_.batches += ws.launches;
+    rep_.installs += ws.installs;
   }
-  dispatcher_.set_completion_hook(nullptr);  // rng/rep go out of scope
-  return rep;
+  dispatcher_.set_completion_hook(nullptr);
+  return std::move(rep_);
+}
+
+ServiceReport OffloadService::run(const WorkloadConfig& workload) {
+  begin(workload);
+  while (!step()) {
+  }
+  return finish();
+}
+
+snap::Snapshot OffloadService::snapshot() const {
+  snap::Snapshot s = soc_.snapshot();
+
+  snap::StateWriter w;
+  w.write_bool("began", began_);
+  w.write_u8("mode", static_cast<u8>(workload_.mode));
+  w.write_u32("jobs", workload_.jobs);
+  w.write_double("mean_gap", workload_.mean_gap);
+  w.write_u32("clients", workload_.clients);
+  std::vector<u32> kinds;
+  kinds.reserve(workload_.kinds.size());
+  for (JobKind k : workload_.kinds) kinds.push_back(static_cast<u32>(k));
+  w.write_words32("kinds", kinds);
+  w.write_double("high_fraction", workload_.high_fraction);
+  w.write_u64("seed", workload_.seed);
+
+  const auto rng = rng_.state();
+  w.write_words32("rng", {rng[0], rng[1], rng[2], rng[3]});
+  w.write_u64("issued", issued_);
+  w.write_u64("rep_jobs", rep_.jobs);
+  w.write_u64("rep_start", rep_.start);
+  rep_.wait.save_state(w, "wait");
+  rep_.service.save_state(w, "service");
+  rep_.e2e.save_state(w, "e2e");
+  w.write_bool("has_injector", injector_ != nullptr);
+  if (injector_) injector_->save_state(w);
+  s.add("svc", 1, w.take());
+  return s;
+}
+
+void OffloadService::restore(const snap::Snapshot& snap) {
+  if (ran_ || began_) {
+    throw ConfigError("OffloadService: restore() needs a fresh instance");
+  }
+  const snap::Section& sec = snap.section("svc");
+  if (sec.version != 1) {
+    throw snap::SnapshotError("svc: unsupported section version " +
+                              std::to_string(sec.version));
+  }
+  // The SoC restore validates the fingerprint and walks every kernel
+  // component — the dispatcher and IRQ controller included.
+  soc_.restore(snap);
+
+  snap::StateReader r(sec.bytes, "svc");
+  began_ = r.read_bool("began");
+  ran_ = began_;
+  workload_.mode = static_cast<LoadMode>(r.read_u8("mode"));
+  workload_.jobs = r.read_u32("jobs");
+  workload_.mean_gap = r.read_double("mean_gap");
+  workload_.clients = r.read_u32("clients");
+  workload_.kinds.clear();
+  for (u32 k : r.read_words32("kinds")) {
+    if (k >= kNumJobKinds) {
+      throw snap::SnapshotError("svc: bad workload kind " + std::to_string(k));
+    }
+    workload_.kinds.push_back(static_cast<JobKind>(k));
+  }
+  workload_.high_fraction = r.read_double("high_fraction");
+  workload_.seed = r.read_u64("seed");
+
+  const std::vector<u32> rng = r.read_words32("rng");
+  if (rng.size() != 4) throw snap::SnapshotError("svc: bad rng state width");
+  rng_.restore_state({rng[0], rng[1], rng[2], rng[3]});
+  issued_ = r.read_u64("issued");
+  rep_ = ServiceReport{};
+  rep_.jobs = r.read_u64("rep_jobs");
+  rep_.start = r.read_u64("rep_start");
+  rep_.wait.restore_state(r, "wait");
+  rep_.service.restore_state(r, "service");
+  rep_.e2e.restore_state(r, "e2e");
+  const bool has_injector = r.read_bool("has_injector");
+  if (has_injector != (injector_ != nullptr)) {
+    throw snap::SnapshotError(
+        "svc: injector presence differs between image and target");
+  }
+  if (injector_) injector_->restore_state(r);
+  r.expect_end();
+
+  if (began_) install_completion_hook();
 }
 
 }  // namespace ouessant::svc

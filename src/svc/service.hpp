@@ -109,8 +109,38 @@ class OffloadService {
 
   /// Serve @p workload to completion and report. Single-shot: a service
   /// instance runs exactly one workload (scenarios build a fresh SoC per
-  /// grid point, as the parallel sweep requires).
+  /// grid point, as the parallel sweep requires). Equivalent to
+  /// begin(); while (!step()) {} finish().
   ServiceReport run(const WorkloadConfig& workload);
+
+  // -- incremental run protocol (fleet shards interleave many stacks) ---
+  /// The setup half of run(): validate, configure IRQs, generate the
+  /// workload, seed the initial submissions. With @p warm the timed IRQ
+  /// configuration is skipped (a warm-booted clone inherits it from the
+  /// snapshot) and every per-run counter is zeroed, so the report covers
+  /// only this run — while resident microcode, cache contents and IRQ
+  /// masks stay, which is the warm-boot win.
+  void begin(const WorkloadConfig& workload, bool warm = false);
+  /// One service pass plus one sleep-until-due. Returns true when all
+  /// submitted work is accounted for.
+  bool step();
+  [[nodiscard]] bool finished() const {
+    return began_ && dispatcher_.finished();
+  }
+  /// Close out the run and build the report. Single-shot per begin().
+  ServiceReport finish();
+
+  // -- snapshot / warm-boot cloning -------------------------------------
+  /// Snapshot the entire service stack: the SoC walk (which includes
+  /// the IRQ controller and dispatcher — they are kernel components)
+  /// plus a "svc" section carrying the host-side run state (workload,
+  /// RNG stream, issue counter, report accumulators, injector streams).
+  /// Legal between steps, never inside one.
+  [[nodiscard]] snap::Snapshot snapshot() const;
+  /// Restore into a service built from the same ServiceConfig. If a run
+  /// was in progress at save time the restored instance continues it:
+  /// step() until finished(), then finish().
+  void restore(const snap::Snapshot& snap);
 
   [[nodiscard]] platform::Soc& soc() { return soc_; }
   [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
@@ -121,6 +151,7 @@ class OffloadService {
 
  private:
   void validate(const WorkloadConfig& workload) const;
+  void install_completion_hook();
 
   ServiceConfig cfg_;
   platform::Soc soc_;
@@ -129,6 +160,13 @@ class OffloadService {
   std::vector<std::unique_ptr<core::Rac>> racs_;
   std::unique_ptr<fault::Injector> injector_;
   bool ran_ = false;
+
+  // In-progress run state (begin .. finish), snapshot-carried.
+  WorkloadConfig workload_;
+  util::Rng rng_;
+  u64 issued_ = 0;
+  ServiceReport rep_;
+  bool began_ = false;
 };
 
 }  // namespace ouessant::svc

@@ -3,6 +3,8 @@
 // implementation differences.
 #pragma once
 
+#include <array>
+
 #include "util/types.hpp"
 
 namespace ouessant::util {
@@ -45,6 +47,16 @@ class Rng {
   double uniform() { return next_u32() * (1.0 / 4294967296.0); }
 
   bool chance(double p) { return uniform() < p; }
+
+  /// Snapshot-restore access to the raw 128-bit generator state: a
+  /// restored Rng continues the exact stream the saved one would have
+  /// produced.
+  [[nodiscard]] std::array<u32, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void restore_state(const std::array<u32, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static constexpr u32 rotl(u32 x, int k) { return (x << k) | (x >> (32 - k)); }

@@ -39,6 +39,23 @@ struct RunResult {
   }
 };
 
+/// The published speed counters are configuration-dependent by design:
+/// bus batching only engages under gating, and a wired tracer forces the
+/// per-beat path. Capture Stats without them so the bit-identity checks
+/// compare what must actually be invariant.
+std::map<std::string, u64> stats_without_speed_counters(
+    const sim::Stats& stats) {
+  std::map<std::string, u64> all = stats.all();
+  for (auto it = all.begin(); it != all.end();) {
+    const std::string& key = it->first;
+    const bool speed_counter = key.ends_with(".batched_chunks") ||
+                               key.ends_with(".decode_hits") ||
+                               key.ends_with(".decode_misses");
+    it = speed_counter ? all.erase(it) : std::next(it);
+  }
+  return all;
+}
+
 void expect_identical(const RunResult& gated, const RunResult& ungated) {
   EXPECT_EQ(gated.final_cycle, ungated.final_cycle);
   EXPECT_EQ(gated.invocation_cycles, ungated.invocation_cycles);
@@ -91,7 +108,7 @@ RunResult run_e1_idct(bool gating, bool traced = false) {
     soc.cpu().spend(777);  // inter-frame idle: gated run fast-forwards here
   }
   r.final_cycle = soc.kernel().now();
-  r.stats = soc.kernel().stats().all();
+  r.stats = stats_without_speed_counters(soc.kernel().stats());
   if (traced) {
     EXPECT_GT(tracer->event_count(), 0u);
     EXPECT_FALSE(metrics->samples().empty());
@@ -131,7 +148,7 @@ RunResult run_e3_dft(bool gating) {
     soc.cpu().spend(5000);
   }
   r.final_cycle = soc.kernel().now();
-  r.stats = soc.kernel().stats().all();
+  r.stats = stats_without_speed_counters(soc.kernel().stats());
   return r;
 }
 

@@ -1,0 +1,481 @@
+// The snapshot subsystem, bottom to top:
+//
+//   1. State streams: every tagged field type round-trips; wrong name,
+//      wrong tag, truncation and trailing garbage all throw
+//      SnapshotError naming the field.
+//   2. Container: serialize/deserialize round-trips; corrupted bytes,
+//      short images, bad magic and a format-version skew are rejected
+//      before any component sees a byte.
+//   3. Per-component round-trips: SRAM contents + counters, RNG
+//      streams, latency histograms restore to equal objects.
+//   4. The correctness bar of the refactor — snapshot at cycle C,
+//      restore into a fresh stack, run to the end, and the clocks,
+//      Stats::all(), outputs and latency histograms are bit-identical
+//      to the run that never stopped: proven for E1 (IDCT sessions), a
+//      serve_* service run, and a fault-armed run (injector RNG
+//      streams and firing log resume exactly).
+//   5. Warm-boot guard rails: restore into a differently-shaped stack
+//      throws instead of corrupting, and the fleet layer's fixed-seed
+//      shard replay reproduces bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "drv/session.hpp"
+#include "fleet/fleet.hpp"
+#include "mem/sram.hpp"
+#include "ouessant/codegen.hpp"
+#include "platform/soc.hpp"
+#include "rac/idct.hpp"
+#include "snap/snapshot.hpp"
+#include "snap/state.hpp"
+#include "svc/service.hpp"
+#include "util/rng.hpp"
+
+namespace ouessant {
+namespace {
+
+using snap::Snapshot;
+using snap::SnapshotError;
+using snap::StateReader;
+using snap::StateWriter;
+
+// ---------------------------------------------------------------- streams --
+
+TEST(StateStream, EveryFieldTypeRoundTrips) {
+  StateWriter w;
+  w.write_bool("flag", true);
+  w.write_u8("byte", 0xAB);
+  w.write_u32("word", 0xDEAD'BEEF);
+  w.write_u64("dword", 0x0123'4567'89AB'CDEFull);
+  w.write_double("real", -1.25);
+  w.write_string("label", "ouessant");
+  w.write_words32("w32", {0, 0, 0, 7, 7, 7, 1, 2, 3});
+  w.write_words64("w64", {1ull << 40, 2, 3});
+  w.write_bytes("blob", {0x00, 0xFF, 0x42});
+
+  StateReader r(w.take(), "test");
+  EXPECT_TRUE(r.read_bool("flag"));
+  EXPECT_EQ(r.read_u8("byte"), 0xAB);
+  EXPECT_EQ(r.read_u32("word"), 0xDEAD'BEEFu);
+  EXPECT_EQ(r.read_u64("dword"), 0x0123'4567'89AB'CDEFull);
+  EXPECT_EQ(r.read_double("real"), -1.25);
+  EXPECT_EQ(r.read_string("label"), "ouessant");
+  EXPECT_EQ(r.read_words32("w32"), (std::vector<u32>{0, 0, 0, 7, 7, 7, 1, 2, 3}));
+  EXPECT_EQ(r.read_words64("w64"), (std::vector<u64>{1ull << 40, 2, 3}));
+  EXPECT_EQ(r.read_bytes("blob"), (std::vector<u8>{0x00, 0xFF, 0x42}));
+  r.expect_end();
+}
+
+TEST(StateStream, Words32RleHandlesRunsAndLiterals) {
+  // Mostly-zero with literal islands — the SRAM shape the RLE exists for.
+  std::vector<u32> v(4096, 0);
+  v[100] = 1;
+  v[101] = 2;
+  for (std::size_t i = 2000; i < 2100; ++i) v[i] = 0x5555'5555;
+  v.back() = 9;
+  StateWriter w;
+  w.write_words32("mem", v);
+  EXPECT_LT(w.bytes().size(), v.size());  // actually compressed
+  StateReader r(w.take(), "test");
+  EXPECT_EQ(r.read_words32("mem"), v);
+}
+
+TEST(StateStream, WrongNameWrongTagAndTruncationThrow) {
+  StateWriter w;
+  w.write_u32("a", 1);
+  const std::vector<u8> bytes = w.take();
+
+  StateReader wrong_name(bytes, "test");
+  EXPECT_THROW((void)wrong_name.read_u32("b"), SnapshotError);
+
+  StateReader wrong_tag(bytes, "test");
+  EXPECT_THROW((void)wrong_tag.read_u64("a"), SnapshotError);
+
+  std::vector<u8> cut(bytes.begin(), bytes.end() - 2);
+  StateReader truncated(cut, "test");
+  EXPECT_THROW((void)truncated.read_u32("a"), SnapshotError);
+
+  StateReader leftover(bytes, "test");
+  EXPECT_THROW(leftover.expect_end(), SnapshotError);
+}
+
+// -------------------------------------------------------------- container --
+
+Snapshot two_section_snapshot() {
+  Snapshot s;
+  StateWriter a;
+  a.write_u32("x", 42);
+  s.add("alpha", 1, a.take());
+  StateWriter b;
+  b.write_string("y", "beta-state");
+  s.add("beta", 3, b.take());
+  return s;
+}
+
+/// Re-seal @p image with a freshly computed CRC trailer, so tests can
+/// corrupt specific header bytes without also tripping the CRC check.
+std::vector<u8> reseal(std::vector<u8> image) {
+  image.resize(image.size() - 4);
+  const u32 crc = snap::crc32(image);
+  for (int i = 0; i < 4; ++i) {
+    image.push_back(static_cast<u8>(crc >> (8 * i)));
+  }
+  return image;
+}
+
+TEST(Container, SerializeDeserializeRoundTrips) {
+  const Snapshot s = two_section_snapshot();
+  const Snapshot t = Snapshot::deserialize(s.serialize());
+  ASSERT_EQ(t.sections().size(), 2u);
+  EXPECT_TRUE(t.has("alpha"));
+  EXPECT_EQ(t.section("beta").version, 3u);
+  StateReader r(t.section("beta").bytes, "beta");
+  EXPECT_EQ(r.read_string("y"), "beta-state");
+}
+
+TEST(Container, DuplicateAndMissingSectionsThrow) {
+  Snapshot s = two_section_snapshot();
+  EXPECT_THROW(s.add("alpha", 1, {}), SnapshotError);
+  EXPECT_THROW((void)s.section("gamma"), SnapshotError);
+}
+
+TEST(Container, CorruptedByteIsRejected) {
+  std::vector<u8> image = two_section_snapshot().serialize();
+  image[image.size() / 2] ^= 0x01;
+  EXPECT_THROW((void)Snapshot::deserialize(image), SnapshotError);
+}
+
+TEST(Container, ShortImageIsRejected) {
+  const std::vector<u8> image = two_section_snapshot().serialize();
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, image.size() / 2,
+                           image.size() - 1}) {
+    const std::vector<u8> cut(image.begin(), image.begin() + keep);
+    EXPECT_THROW((void)Snapshot::deserialize(cut), SnapshotError) << keep;
+  }
+}
+
+TEST(Container, BadMagicIsRejected) {
+  std::vector<u8> image = two_section_snapshot().serialize();
+  image[0] = 'X';
+  EXPECT_THROW((void)Snapshot::deserialize(reseal(image)), SnapshotError);
+}
+
+TEST(Container, FormatVersionSkewIsRejected) {
+  std::vector<u8> image = two_section_snapshot().serialize();
+  image[4] = static_cast<u8>(snap::kFormatVersion + 1);  // version u32, LE
+  EXPECT_THROW((void)Snapshot::deserialize(reseal(image)), SnapshotError);
+}
+
+TEST(Container, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "snapshot_roundtrip.snap";
+  two_section_snapshot().save_file(path);
+  const Snapshot t = Snapshot::load_file(path);
+  EXPECT_TRUE(t.has("alpha"));
+  EXPECT_THROW((void)Snapshot::load_file(path + ".does-not-exist"), SimError);
+}
+
+// ----------------------------------------------------- component round-trips
+
+TEST(ComponentState, SramRestoresContentsAndCounters) {
+  mem::Sram a("sram", 0x4000'0000, 1u << 16, 1, 0);
+  a.poke(0x4000'0000, 0x1111'2222);
+  a.load(0x4000'1000, {1, 2, 3, 4, 5});
+  (void)a.read_word(0x4000'1000);
+  (void)a.write_word(0x4000'2000, 77);
+
+  StateWriter w;
+  a.save_state(w);
+  mem::Sram b("sram", 0x4000'0000, 1u << 16, 1, 0);
+  StateReader r(w.take(), "sram");
+  b.restore_state(r);
+  r.expect_end();
+
+  EXPECT_EQ(b.dump(0x4000'0000, 1u << 14), a.dump(0x4000'0000, 1u << 14));
+  EXPECT_EQ(b.reads(), a.reads());
+  EXPECT_EQ(b.writes(), a.writes());
+}
+
+TEST(ComponentState, RngStreamResumesExactly) {
+  util::Rng a(12345);
+  for (int i = 0; i < 17; ++i) (void)a.next_u32();
+  const auto state = a.state();
+  util::Rng b(999);  // different seed, state overwritten by restore
+  b.restore_state(state);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32()) << i;
+  }
+}
+
+TEST(ComponentState, LatencyStatsRestoreToEqualHistograms) {
+  svc::LatencyStats a;
+  for (u64 s : {5ull, 1ull, 100ull, 42ull, 42ull, 7ull}) a.add(s);
+  StateWriter w;
+  a.save_state(w, "e2e");
+  svc::LatencyStats b;
+  StateReader r(w.take(), "test");
+  b.restore_state(r, "e2e");
+  EXPECT_EQ(b.samples(), a.samples());
+  EXPECT_EQ(b.mean(), a.mean());
+  EXPECT_EQ(b.percentile(95), a.percentile(95));
+}
+
+// ------------------------------------------------- E1 mid-run bit-identity --
+
+/// The E1 stack of tests/test_determinism.cpp: SoC + IDCT OCP + session.
+struct E1Stack {
+  platform::Soc soc;
+  rac::IdctRac idct;
+  core::Ocp& ocp;
+  drv::OcpSession session;
+
+  E1Stack()
+      : idct(soc.kernel(), "idct"),
+        ocp(soc.add_ocp(idct)),
+        session(soc.cpu(), soc.sram(), ocp,
+                {.prog_base = 0x4000'0000,
+                 .in_base = 0x4001'0000,
+                 .out_base = 0x4002'0000,
+                 .in_words = 64,
+                 .out_words = 64}) {}
+
+  void install() {
+    session.install(core::build_stream_program(
+        {.in_words = 64, .out_words = 64, .burst = 64}));
+  }
+
+  /// Invocations [@p first, @p last): alternating poll/IRQ completion
+  /// with an idle gap, same recipe as run_e1_idct.
+  void run_frames(int first, int last, util::Rng& rng,
+                  std::vector<u32>* output) {
+    for (int i = first; i < last; ++i) {
+      std::vector<u32> in(64);
+      for (auto& word : in) {
+        word = static_cast<u32>(rng.range(-1024, 1023));
+      }
+      session.put_input(in);
+      if (i % 2 == 0) {
+        session.run_poll();
+      } else {
+        session.run_irq();
+      }
+      const auto out = session.get_output();
+      output->insert(output->end(), out.begin(), out.end());
+      soc.cpu().spend(777);
+    }
+  }
+};
+
+TEST(MidRun, E1RestoredRunIsBitIdentical) {
+  // Straight run: 4 invocations; snapshot taken (passively) after 2.
+  E1Stack a;
+  a.install();
+  util::Rng rng_a(21);
+  std::vector<u32> out_a;
+  a.run_frames(0, 2, rng_a, &out_a);
+
+  Snapshot image = a.soc.snapshot();
+  {
+    // The session's driver shadow and the workload RNG live outside the
+    // SoC walk — carry them as extra sections, as a host harness would.
+    StateWriter w;
+    a.session.driver().save_state(w);
+    image.add("test_drv", 1, w.take());
+    StateWriter w2;
+    const auto st = rng_a.state();
+    w2.write_words32("rng", {st[0], st[1], st[2], st[3]});
+    image.add("test_rng", 1, w2.take());
+  }
+  // Serialize/deserialize in the middle: what continues is the on-disk
+  // image, not the live object.
+  const Snapshot reloaded = Snapshot::deserialize(image.serialize());
+
+  a.run_frames(2, 4, rng_a, &out_a);
+  const Cycle end_a = a.soc.kernel().now();
+  const std::map<std::string, u64> stats_a = a.soc.kernel().stats().all();
+
+  // Restored run: fresh identical stack, restore, run the back half.
+  E1Stack b;
+  b.soc.restore(reloaded);
+  {
+    StateReader r(reloaded.section("test_drv").bytes, "test_drv");
+    b.session.driver().restore_state(r);
+    r.expect_end();
+    StateReader r2(reloaded.section("test_rng").bytes, "test_rng");
+    const std::vector<u32> st = r2.read_words32("rng");
+    ASSERT_EQ(st.size(), 4u);
+    r2.expect_end();
+    util::Rng rng_b(0);
+    rng_b.restore_state({st[0], st[1], st[2], st[3]});
+    std::vector<u32> out_b;
+    b.run_frames(2, 4, rng_b, &out_b);
+    // Bit-identity, speed counters included: both runs share one
+    // configuration, and the counters themselves are snapshot-carried.
+    EXPECT_EQ(b.soc.kernel().now(), end_a);
+    EXPECT_EQ(b.soc.kernel().stats().all(), stats_a);
+    EXPECT_EQ(out_b,
+              std::vector<u32>(out_a.begin() + out_a.size() / 2, out_a.end()));
+  }
+}
+
+TEST(MidRun, SocFingerprintMismatchIsRejectedBeforeMutation) {
+  platform::Soc a;
+  a.cpu().spend(100);
+  const Snapshot snap = a.snapshot();
+
+  platform::Soc smaller({.sram_bytes = 8u << 20});
+  EXPECT_THROW(smaller.restore(snap), SnapshotError);
+
+  // An extra OCP changes the component walk — also a fingerprint reject.
+  platform::Soc with_ocp;
+  rac::IdctRac idct(with_ocp.kernel(), "idct");
+  (void)with_ocp.add_ocp(idct);
+  EXPECT_THROW(with_ocp.restore(snap), SnapshotError);
+  // The reject must come before any mutation: the target still runs.
+  with_ocp.cpu().spend(10);
+  EXPECT_EQ(with_ocp.kernel().now(), 10u);
+}
+
+// ------------------------------------------- service mid-run bit-identity --
+
+svc::ServiceConfig serve_config(bool faulty) {
+  svc::ServiceConfig cfg;
+  cfg.ocps = {svc::OcpSpec{.kind = svc::JobKind::kIdct, .max_batch = 2},
+              svc::OcpSpec{.kind = svc::JobKind::kDft, .max_batch = 2}};
+  cfg.queue_depth = 64;
+  if (faulty) {
+    cfg.faults.add({.kind = fault::FaultKind::kBusError, .prob = 0.002})
+        .add({.kind = fault::FaultKind::kIrqDrop, .prob = 0.05});
+    cfg.retry = svc::RetryPolicy{.max_attempts = 4,
+                                 .backoff_base = 2048,
+                                 .watchdog_cycles = 16'384};
+  }
+  return cfg;
+}
+
+svc::WorkloadConfig serve_workload() {
+  svc::WorkloadConfig wl;
+  wl.jobs = 60;
+  wl.mean_gap = 250.0;
+  wl.kinds = {svc::JobKind::kIdct, svc::JobKind::kDft};
+  wl.high_fraction = 0.25;
+  wl.seed = svc::kDefaultServiceSeed;
+  return wl;
+}
+
+void expect_reports_identical(const svc::ServiceReport& a,
+                              const svc::ServiceReport& b) {
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.wait.samples(), b.wait.samples());
+  EXPECT_EQ(a.service.samples(), b.service.samples());
+  EXPECT_EQ(a.e2e.samples(), b.e2e.samples());
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retries, b.retries);
+}
+
+/// Shared skeleton for the plain and fault-armed cases: begin a run,
+/// step it partway, snapshot, let the original run to the end, then
+/// restore the image into a fresh stack and finish there. Everything
+/// observable must be bit-identical.
+void check_serve_midrun(bool faulty) {
+  svc::OffloadService a(serve_config(faulty));
+  a.begin(serve_workload());
+  for (int i = 0; i < 5 && !a.step(); ++i) {
+  }
+  ASSERT_FALSE(a.finished()) << "workload too small: nothing left to resume";
+  const std::vector<u8> image = a.snapshot().serialize();
+  while (!a.step()) {
+  }
+  const svc::ServiceReport rep_a = a.finish();
+  const Cycle end_a = a.soc().kernel().now();
+  const std::map<std::string, u64> stats_a = a.soc().kernel().stats().all();
+
+  svc::OffloadService b(serve_config(faulty));
+  b.restore(Snapshot::deserialize(image));
+  while (!b.step()) {
+  }
+  const svc::ServiceReport rep_b = b.finish();
+
+  expect_reports_identical(rep_a, rep_b);
+  EXPECT_EQ(b.soc().kernel().now(), end_a);
+  EXPECT_EQ(b.soc().kernel().stats().all(), stats_a);
+
+  if (faulty) {
+    // The injector's xoshiro streams and firing log resumed exactly:
+    // the full logs agree event for event.
+    ASSERT_NE(a.injector(), nullptr);
+    ASSERT_NE(b.injector(), nullptr);
+    const auto& log_a = a.injector()->log();
+    const auto& log_b = b.injector()->log();
+    ASSERT_EQ(log_a.size(), log_b.size());
+    for (std::size_t i = 0; i < log_a.size(); ++i) {
+      EXPECT_EQ(log_a[i].cycle, log_b[i].cycle) << i;
+      EXPECT_EQ(log_a[i].kind, log_b[i].kind) << i;
+      EXPECT_EQ(log_a[i].ocp, log_b[i].ocp) << i;
+      EXPECT_EQ(log_a[i].spec_index, log_b[i].spec_index) << i;
+    }
+  }
+}
+
+TEST(MidRun, ServeRestoredRunIsBitIdentical) { check_serve_midrun(false); }
+
+TEST(MidRun, FaultArmedRestoredRunIsBitIdentical) { check_serve_midrun(true); }
+
+TEST(MidRun, RestoreIntoDifferentlyShapedServiceThrows) {
+  svc::OffloadService a(serve_config(false));
+  a.begin(serve_workload());
+  (void)a.step();
+  const Snapshot image = a.snapshot();
+
+  svc::ServiceConfig other;
+  other.ocps = {svc::OcpSpec{.kind = svc::JobKind::kIdct, .max_batch = 2}};
+  svc::OffloadService b(std::move(other));
+  EXPECT_THROW(b.restore(image), SnapshotError);
+
+  // Injector presence is part of the shape too.
+  svc::OffloadService c(serve_config(true));
+  EXPECT_THROW(c.restore(image), SnapshotError);
+}
+
+// -------------------------------------------------------------- fleet layer
+
+TEST(Fleet, WarmBootedShardsServeAndReproduce) {
+  fleet::FleetConfig cfg;
+  cfg.shards = 3;
+  cfg.service.ocps = {svc::OcpSpec{.kind = svc::JobKind::kIdct,
+                                   .max_batch = 2}};
+  cfg.service.queue_depth = 64;
+  cfg.warmup.jobs = 8;
+  cfg.warmup.mean_gap = 300.0;
+  cfg.shard_load.jobs = 24;
+  cfg.shard_load.mean_gap = 300.0;
+
+  const fleet::FleetReport rep = fleet::run_fleet(cfg);
+  EXPECT_EQ(rep.shards, 3u);
+  EXPECT_EQ(rep.total_jobs, 3u * 24u);
+  EXPECT_EQ(rep.total_completed + rep.total_rejected + rep.total_failed,
+            rep.total_jobs);
+  EXPECT_GT(rep.total_completed, 0u);
+  EXPECT_EQ(rep.merged_e2e.count(), rep.total_completed);
+  EXPECT_GT(rep.snapshot_bytes, 0u);
+  EXPECT_TRUE(rep.reproducible);  // fixed-seed shard replay is bit-exact
+  ASSERT_EQ(rep.shard_results.size(), 3u);
+  // Distinct seeds: shard runs are not clones of each other.
+  EXPECT_NE(rep.shard_results[0].report.e2e.samples(),
+            rep.shard_results[1].report.e2e.samples());
+}
+
+TEST(Fleet, RejectsEmptyFleet) {
+  fleet::FleetConfig cfg;
+  cfg.shards = 0;
+  EXPECT_THROW((void)fleet::run_fleet(cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace ouessant
