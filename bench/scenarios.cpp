@@ -20,6 +20,7 @@ void register_all_scenarios(exp::Registry& r) {
   register_serve(r);
   register_serve_faulty(r);
   register_fleet_warmboot(r);
+  register_dpr_farm(r);
 }
 
 }  // namespace ouessant::scenarios

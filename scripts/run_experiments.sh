@@ -39,6 +39,26 @@ JOBS="${JOBS:-$DEFAULT_JOBS}"
 # riding in the compare-jobs sweep.
 ./build/bench/ouessant_bench --filter fleet_warmboot \
   --json BENCH_fleet.json | tee build/experiment-logs/fleet.txt
+# The reconfigurable-slot-farm record (docs/reconfiguration.md):
+# demand-shift adaptation by policy, farm sizing, and the shared-vs-free
+# configuration-port ablation. The guard below is the subsystem's
+# headline claim: on the shifted demand mix the demand-driven scheduler
+# must beat the static residency on availability — if it ever stops
+# doing so, the artifact fails rather than quietly recording a loss.
+./build/bench/ouessant_bench --filter DPRF \
+  --json BENCH_dpr.json | tee build/experiment-logs/dpr.txt
+python3 - BENCH_dpr.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+av = {r["params"]["policy"]: r["metrics"]["completed"] / r["metrics"]["jobs"]
+      for r in doc["results"] if r["scenario"] == "dpr_adapt"}
+print(f"dpr_adapt availability: " +
+      ", ".join(f"{p}={av[p]:.3f}" for p in sorted(av)))
+if av["hysteresis"] <= av["static"]:
+    sys.exit("dpr guard: the swap scheduler lost to static slot "
+             f"assignment ({av['hysteresis']:.3f} <= {av['static']:.3f})")
+print("dpr guard OK: scheduler beats static on the shifted mix")
+EOF
 
 echo
 echo "transcript in build/experiment-logs/sweep.txt, results in BENCH_sweep.json"

@@ -25,6 +25,10 @@
 #      proofs (E1, serve, fault-armed) re-run on the sanitizer build,
 #      then the bench-level --snapshot/--restore flow round-trips a
 #      serve_mixed image through disk
+#   9. the slot-farm stage: test_dpr on the sanitizer build (exact ICAP
+#      cycle accounting, preemptive swaps, cache LRU), then the DPRF
+#      scenarios with a guard that the demand-driven swap scheduler
+#      beats static slot assignment on the shifted demand mix
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +61,28 @@ echo "==== tier-1: snapshot determinism (ASan+UBSan) ===="
 ./build-san/bench/ouessant_bench --filter serve_mixed \
   --restore build-san/bench/tier1_serve_mixed_0.snap > /dev/null
 echo "snapshot determinism OK"
+
+echo "==== tier-1: reconfigurable slot farm (DPRF) ===="
+# The exact ICAP-timing and swap-scheduler proofs on the sanitizer build
+# (a use-after-free during a preemptive swap would be fatal here), then
+# the subsystem's headline claim on the plain build: under the shifted
+# demand mix the demand-driven scheduler must beat static residency.
+# The committed BENCH_dpr.json is refreshed by scripts/run_experiments.sh.
+./build-san/tests/test_dpr
+./build/bench/ouessant_bench --filter DPRF \
+  --json build/bench/BENCH_dpr.json > /dev/null
+python3 - build/bench/BENCH_dpr.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+av = {r["params"]["policy"]: r["metrics"]["completed"] / r["metrics"]["jobs"]
+      for r in doc["results"] if r["scenario"] == "dpr_adapt"}
+print("  dpr_adapt availability: " +
+      ", ".join(f"{p}={av[p]:.3f}" for p in sorted(av)))
+if av["hysteresis"] <= av["static"]:
+    sys.exit("dpr guard: the swap scheduler lost to static slot "
+             f"assignment ({av['hysteresis']:.3f} <= {av['static']:.3f})")
+print("dpr guard OK")
+EOF
 
 echo "==== tier-1: TSan parallel sweep ===="
 TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"

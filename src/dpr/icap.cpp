@@ -1,0 +1,219 @@
+#include "dpr/icap.hpp"
+
+#include <algorithm>
+
+namespace ouessant::dpr {
+
+namespace {
+const bus::MasterStats kZeroStats{};
+}  // namespace
+
+IcapPort::IcapPort(sim::Kernel& kernel, std::string name,
+                   bus::InterconnectModel& bus, IcapPortConfig cfg)
+    : sim::Component(kernel, std::move(name)),
+      cfg_(cfg),
+      cycles_per_word_(std::max<u32>(1, 4 / std::max<u32>(
+                                            1, cfg.icap.bytes_per_cycle))) {
+  if (cfg_.icap.bytes_per_cycle == 0) {
+    throw ConfigError("IcapPort " + this->name() + ": zero ICAP rate");
+  }
+  if (cfg_.burst_words == 0) {
+    throw ConfigError("IcapPort " + this->name() + ": zero burst length");
+  }
+  if (cfg_.mode == IcapMode::kBusMaster) {
+    port_ = &bus.connect_master(this->name(), cfg_.master_priority);
+    port_->wake_on_complete(*this);
+  }
+}
+
+const bus::MasterStats& IcapPort::master_stats() const {
+  return port_ != nullptr ? port_->stats() : kZeroStats;
+}
+
+void IcapPort::set_tracer(obs::EventTracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) track_ = tracer_->track("dpr." + name());
+}
+
+void IcapPort::start_load(Addr src, u32 bytes, bool from_cache, u32 token,
+                          std::string label) {
+  if (busy()) {
+    throw SimError("IcapPort " + name() +
+                   ": load started while streaming (one configuration "
+                   "port — serialize swaps)");
+  }
+  if (bytes == 0 || bytes % 4 != 0) {
+    throw SimError("IcapPort " + name() + ": bitstream length " +
+                   std::to_string(bytes) + " is not a word multiple");
+  }
+  src_ = src;
+  bytes_ = bytes;
+  words_ = bytes / 4;
+  words_done_ = 0;
+  from_cache_ = from_cache;
+  token_ = token;
+  label_ = std::move(label);
+  load_begin_ = kernel().now();
+  next_accept_ = 0;
+  if (cfg_.mode == IcapMode::kBusMaster && !from_cache) {
+    state_ = State::kStream;
+    wake();  // the next tick issues the first burst
+  } else {
+    // Cache-fed (or free-mode) load: full ICAP rate, no bus traffic —
+    // the same bytes/rate countdown ReconfigSlot::swap_cycles charges.
+    state_ = State::kDirect;
+    phase_end_ = kernel().now() + stream_cycles_for(bytes);
+    wake_at(phase_end_);
+  }
+}
+
+bool IcapPort::beat_space() const {
+  return cycles_per_word_ == 1 || kernel().now() >= next_accept_;
+}
+
+void IcapPort::put_beat(u32 /*data*/) {
+  // Bitstream words configure frames; the simulation needs only their
+  // count. A narrow ICAP (bytes_per_cycle < 4) back-pressures the bus.
+  ++words_done_;
+  if (cycles_per_word_ > 1) {
+    next_accept_ = kernel().now() + cycles_per_word_;
+  }
+}
+
+u32 IcapPort::bulk_space(u32 want) const {
+  // Full-width ICAP keeps up with one word per cycle indefinitely, so
+  // the batched-burst fast path may drain a whole chunk eagerly. A
+  // narrower port must stall the bus per beat — exact timing needs the
+  // per-beat path.
+  return cycles_per_word_ == 1 ? want : 0;
+}
+
+void IcapPort::issue_chunk() {
+  const u32 chunk = std::min(cfg_.burst_words, words_ - words_done_);
+  port_->start_read_stream(src_ + static_cast<Addr>(words_done_) * 4, chunk,
+                           *this);
+}
+
+void IcapPort::enter_overhead() {
+  state_ = State::kOverhead;
+  phase_end_ = kernel().now() + cfg_.icap.swap_overhead_cycles;
+  if (cfg_.icap.swap_overhead_cycles == 0) {
+    complete_load();
+  } else {
+    wake_at(phase_end_);
+  }
+}
+
+void IcapPort::complete_load() {
+  const Cycle now = kernel().now();
+  busy_cycles_total_ += now - load_begin_;
+  overhead_cycles_total_ += cfg_.icap.swap_overhead_cycles;
+  if (state_ == State::kOverhead && (from_cache_ || port_ == nullptr)) {
+    direct_stream_cycles_ += stream_cycles_for(bytes_);
+  }
+  bytes_streamed_ += bytes_;
+  ++loads_;
+  state_ = State::kIdle;
+  if (tracer_ != nullptr) {
+    tracer_->complete(track_, "swap", load_begin_, now,
+                      {obs::arg("target", label_), obs::arg("bytes", u64{bytes_}),
+                       obs::arg("cached", u64{from_cache_ ? 1 : 0})});
+  }
+  if (done_fn_) done_fn_(token_);
+}
+
+void IcapPort::tick_compute() {
+  switch (state_) {
+    case State::kIdle:
+      return;
+    case State::kStream:
+      if (port_->busy()) return;  // burst in flight; completion wakes us
+      if (port_->faulted()) {
+        throw SimError("IcapPort " + name() +
+                       ": bus error while fetching a bitstream at cycle " +
+                       std::to_string(kernel().now()));
+      }
+      if (words_done_ < words_) {
+        issue_chunk();
+      } else {
+        enter_overhead();
+      }
+      return;
+    case State::kDirect:
+      if (kernel().now() < phase_end_) return;
+      enter_overhead();
+      return;
+    case State::kOverhead:
+      if (kernel().now() < phase_end_) return;
+      complete_load();
+      return;
+  }
+}
+
+bool IcapPort::is_quiescent() const {
+  switch (state_) {
+    case State::kIdle:
+      return true;  // start_load wakes us
+    case State::kStream:
+      // Asleep while the burst runs (the port's completion wake ends
+      // that); awake on the hand-off ticks that issue the next chunk.
+      return port_->busy();
+    case State::kDirect:
+    case State::kOverhead:
+      return true;  // wake_at(phase_end_) is armed
+  }
+  return true;
+}
+
+void IcapPort::save_state(snap::StateWriter& w) const {
+  w.write_u8("state", static_cast<u8>(state_));
+  w.write_u64("src", src_);
+  w.write_u32("words", words_);
+  w.write_u32("words_done", words_done_);
+  w.write_u32("bytes", bytes_);
+  w.write_bool("from_cache", from_cache_);
+  w.write_u32("token", token_);
+  w.write_string("label", label_);
+  w.write_u64("load_begin", load_begin_);
+  w.write_u64("phase_end", phase_end_);
+  w.write_u64("next_accept", next_accept_);
+  w.write_u64("loads", loads_);
+  w.write_u64("bytes_streamed", bytes_streamed_);
+  w.write_u64("busy_cycles_total", busy_cycles_total_);
+  w.write_u64("direct_stream_cycles", direct_stream_cycles_);
+  w.write_u64("overhead_cycles_total", overhead_cycles_total_);
+}
+
+void IcapPort::restore_state(snap::StateReader& r) {
+  state_ = static_cast<State>(r.read_u8("state"));
+  src_ = r.read_u64("src");
+  words_ = r.read_u32("words");
+  words_done_ = r.read_u32("words_done");
+  bytes_ = r.read_u32("bytes");
+  from_cache_ = r.read_bool("from_cache");
+  token_ = r.read_u32("token");
+  label_ = r.read_string("label");
+  load_begin_ = r.read_u64("load_begin");
+  phase_end_ = r.read_u64("phase_end");
+  next_accept_ = r.read_u64("next_accept");
+  loads_ = r.read_u64("loads");
+  bytes_streamed_ = r.read_u64("bytes_streamed");
+  busy_cycles_total_ = r.read_u64("busy_cycles_total");
+  direct_stream_cycles_ = r.read_u64("direct_stream_cycles");
+  overhead_cycles_total_ = r.read_u64("overhead_cycles_total");
+  if (state_ == State::kStream && port_ != nullptr && port_->busy()) {
+    // The bus restored the in-flight burst with a sink-attached flag;
+    // re-select ourselves as that sink (wiring is not serialized).
+    port_->restore_stream(this, nullptr);
+  }
+  // Re-arm the timers the image implies (belt and braces — the kernel
+  // rebuilds its own timer heap from its section).
+  if (state_ == State::kDirect || state_ == State::kOverhead) {
+    wake_at(phase_end_);
+  } else if (state_ == State::kStream && port_ != nullptr &&
+             !port_->busy()) {
+    wake();  // between chunks: the next tick issues the next burst
+  }
+}
+
+}  // namespace ouessant::dpr

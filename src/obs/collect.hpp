@@ -24,6 +24,7 @@
 
 #include "bus/interconnect.hpp"
 #include "cpu/gpp.hpp"
+#include "dpr/icap.hpp"
 #include "obs/ledger.hpp"
 #include "ouessant/controller.hpp"
 #include "ouessant/rac_if.hpp"
@@ -75,6 +76,24 @@ inline CycleLedger::TrackId collect_rac(CycleLedger& ledger,
   return id;
 }
 
+/// The configuration port: streaming beats are kTransfer (bus-fed loads
+/// count them at the master port, cache-fed / free-mode loads in the
+/// direct-stream counter), per-swap grant + decouple/flush/reset
+/// overhead is kControl, bus contention is kWait, the rest idles. The
+/// port's bus traffic is ALSO visible in the bus track's master totals —
+/// that is the point: reconfiguration spends shared-interconnect cycles.
+inline CycleLedger::TrackId collect_icap(CycleLedger& ledger,
+                                         const dpr::IcapPort& p, Cycle wall) {
+  const bus::MasterStats& m = p.master_stats();
+  const auto id = ledger.add_track("icap." + p.name());
+  ledger.credit(id, Category::kTransfer, m.beats + p.direct_stream_cycles());
+  ledger.credit(id, Category::kControl,
+                m.grant_cycles + p.overhead_cycles_total());
+  ledger.credit(id, Category::kWait, m.wait_cycles + m.stall_cycles);
+  ledger.close_track(id, wall, Category::kIdle);
+  return id;
+}
+
 /// Collect every standard track of @p soc (bus, cpu, each OCP's
 /// controller and RAC) against the current kernel cycle.
 inline void collect_soc(CycleLedger& ledger, platform::Soc& soc) {
@@ -93,6 +112,17 @@ inline void collect_soc(CycleLedger& ledger, platform::Soc& soc) {
 inline CycleLedger validate_soc_ledger(platform::Soc& soc) {
   CycleLedger ledger;
   collect_soc(ledger, soc);
+  ledger.validate(soc.kernel().now());
+  return ledger;
+}
+
+/// Same, plus the configuration port's track — the DPR scenarios prove
+/// their decomposition including reconfiguration traffic.
+inline CycleLedger validate_soc_ledger(platform::Soc& soc,
+                                       const dpr::IcapPort& icap) {
+  CycleLedger ledger;
+  collect_soc(ledger, soc);
+  collect_icap(ledger, icap, soc.kernel().now());
   ledger.validate(soc.kernel().now());
   return ledger;
 }

@@ -6,30 +6,44 @@ namespace ouessant::core {
 
 namespace {
 
-bool specs_equal(const std::vector<Rac::FifoSpec>& a,
-                 const std::vector<Rac::FifoSpec>& b) {
+/// The fixed static interface: pin count and RAC-side widths must agree;
+/// capacities are enveloped by the slot, not matched.
+bool shapes_equal(const std::vector<Rac::FifoSpec>& a,
+                  const std::vector<Rac::FifoSpec>& b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i].rac_width != b[i].rac_width ||
-        a[i].capacity_bits != b[i].capacity_bits) {
-      return false;
-    }
+    if (a[i].rac_width != b[i].rac_width) return false;
   }
   return true;
+}
+
+std::vector<Rac::FifoSpec> envelope_specs(const std::vector<Rac*>& cands,
+                                          bool inputs) {
+  auto specs = inputs ? cands[0]->input_specs() : cands[0]->output_specs();
+  for (std::size_t i = 1; i < cands.size(); ++i) {
+    const auto other =
+        inputs ? cands[i]->input_specs() : cands[i]->output_specs();
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      specs[j].capacity_bits =
+          std::max(specs[j].capacity_bits, other[j].capacity_bits);
+    }
+  }
+  return specs;
 }
 
 }  // namespace
 
 void ReconfigSlot::check_specs_match(const std::vector<Rac*>& candidates) {
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    if (!specs_equal(candidates[0]->input_specs(),
-                     candidates[i]->input_specs()) ||
-        !specs_equal(candidates[0]->output_specs(),
-                     candidates[i]->output_specs())) {
+    if (!shapes_equal(candidates[0]->input_specs(),
+                      candidates[i]->input_specs()) ||
+        !shapes_equal(candidates[0]->output_specs(),
+                      candidates[i]->output_specs())) {
       throw ConfigError(
           "ReconfigSlot: candidate '" + candidates[i]->name() +
           "' does not match the slot's fixed FIFO interface (all partial "
-          "bitstreams must conform to the static region pins)");
+          "bitstreams must conform to the static region pins: same FIFO "
+          "count and RAC-side widths)");
     }
   }
 }
@@ -85,12 +99,39 @@ void ReconfigSlot::request_swap(std::size_t index) {
   wake();
 }
 
+bool ReconfigSlot::begin_external_swap(std::size_t index) {
+  if (index >= candidates_.size()) {
+    throw SimError("ReconfigSlot " + name() + ": no such candidate");
+  }
+  if (busy()) {
+    throw SimError("ReconfigSlot " + name() +
+                   ": swap requested while the region is active (quiesce "
+                   "the accelerator first)");
+  }
+  if (index == active_) return false;  // already loaded
+  target_ = index;
+  external_swap_ = true;
+  external_begin_ = kernel().now();
+  ++swaps_;
+  return true;
+}
+
+void ReconfigSlot::finish_external_swap() {
+  if (!external_swap_) {
+    throw SimError("ReconfigSlot " + name() +
+                   ": finish_external_swap without a pending swap");
+  }
+  active_ = target_;
+  external_swap_ = false;
+  reconfig_cycles_total_ += kernel().now() - external_begin_;
+}
+
 std::vector<Rac::FifoSpec> ReconfigSlot::input_specs() const {
-  return candidates_[0]->input_specs();
+  return envelope_specs(candidates_, /*inputs=*/true);
 }
 
 std::vector<Rac::FifoSpec> ReconfigSlot::output_specs() const {
-  return candidates_[0]->output_specs();
+  return envelope_specs(candidates_, /*inputs=*/false);
 }
 
 void ReconfigSlot::bind(std::vector<fifo::WidthFifo*> in,
@@ -135,6 +176,48 @@ void ReconfigSlot::tick_compute() {
     } else {
       wake_at(kernel().now() + reconfig_left_);
       countdown_timer_armed_ = true;
+    }
+  }
+}
+
+void ReconfigSlot::save_state(snap::StateWriter& w) const {
+  save_base_state(w);
+  w.write_u32("active", static_cast<u32>(active_));
+  w.write_u32("target", static_cast<u32>(target_));
+  w.write_u32("reconfig_left", reconfig_left_);
+  w.write_u64("swaps", swaps_);
+  w.write_u64("reconfig_cycles_total", reconfig_cycles_total_);
+  w.write_bool("countdown_timer_armed", countdown_timer_armed_);
+  w.write_u64("next_expected_tick", next_expected_tick_);
+  w.write_bool("external_swap", external_swap_);
+  w.write_u64("external_begin", external_begin_);
+}
+
+void ReconfigSlot::restore_state(snap::StateReader& r) {
+  restore_base_state(r);
+  const u32 active = r.read_u32("active");
+  const u32 target = r.read_u32("target");
+  if (active >= candidates_.size() || target >= candidates_.size()) {
+    throw snap::SnapshotError("ReconfigSlot " + name() +
+                              ": image candidate index out of range");
+  }
+  active_ = active;
+  target_ = target;
+  reconfig_left_ = r.read_u32("reconfig_left");
+  swaps_ = r.read_u64("swaps");
+  reconfig_cycles_total_ = r.read_u64("reconfig_cycles_total");
+  countdown_timer_armed_ = r.read_bool("countdown_timer_armed");
+  next_expected_tick_ = r.read_u64("next_expected_tick");
+  external_swap_ = r.read_bool("external_swap");
+  external_begin_ = r.read_u64("external_begin");
+  // Re-arm the countdown the image implies (the kernel rebuilds its own
+  // timer heap; belt and braces for hand-assembled restores). The
+  // completion cycle is the last countdown tick plus the remainder.
+  if (reconfig_left_ > 0) {
+    if (countdown_timer_armed_) {
+      wake_at(next_expected_tick_ - 1 + reconfig_left_);
+    } else {
+      wake();
     }
   }
 }

@@ -4,12 +4,24 @@
 //
 // ReconfigSlot models a reconfigurable region hosting one of several
 // pre-implemented RACs ("partial bitstreams"). The static side of the
-// region — the FIFO interface the OCP wires up — is fixed, so every
-// candidate must expose identical FIFO specs; swapping then only requires
-// streaming the new bitstream through the configuration port (ICAP),
-// which takes bitstream_bytes / icap_bytes_per_cycle cycles at the system
-// clock. During reconfiguration the slot reports busy and start_op is a
-// fault, exactly like real DPR flows gate the region.
+// region — the FIFO interface the OCP wires up — is fixed: every
+// candidate must expose the same pin shape (FIFO count and RAC-side
+// width), and the region's FIFOs are sized to the capacity envelope (the
+// element-wise max over candidates), so every partial bitstream fits the
+// static pins. Swapping streams the new bitstream through the
+// configuration port; two flows exist:
+//
+//   * request_swap(): the seed's free-ICAP countdown — the slot itself
+//     counts bitstream_bytes / icap_bytes_per_cycle cycles down with no
+//     bus traffic (e7_dpr's model, kept bit-identical).
+//   * begin_external_swap()/finish_external_swap(): the region only
+//     gates itself; an external configuration port (dpr::IcapPort)
+//     streams the bitstream over the shared bus and commits the swap on
+//     completion — reconfiguration that genuinely contends with OCP
+//     transfers.
+//
+// During reconfiguration the slot reports busy and start_op is a fault,
+// exactly like real DPR flows gate the region.
 #pragma once
 
 #include <vector>
@@ -27,9 +39,10 @@ struct IcapConfig {
 
 class ReconfigSlot : public Rac {
  public:
-  /// @p candidates must all expose identical input/output FIFO specs
-  /// (the fixed static interface of the region). Candidate 0 is loaded
-  /// at construction ("initial configuration").
+  /// @p candidates must all expose the same pin shape (FIFO count and
+  /// RAC-side width — the fixed static interface of the region);
+  /// capacities may differ and are enveloped. Candidate 0 is loaded at
+  /// construction ("initial configuration").
   ReconfigSlot(sim::Kernel& kernel, std::string name,
                std::vector<Rac*> candidates, IcapConfig icap = {});
 
@@ -38,14 +51,30 @@ class ReconfigSlot : public Rac {
   /// RAC is busy (a real flow must quiesce the region first).
   void request_swap(std::size_t index);
 
-  [[nodiscard]] bool reconfiguring() const { return reconfig_left_ > 0; }
+  // -- externally-driven reconfiguration (dpr::IcapPort flow) -----------
+  /// Gate the region for a swap to candidate @p index whose bitstream an
+  /// external configuration port streams. Validates like request_swap();
+  /// false when @p index is already active (no swap needed). While
+  /// pending, busy() is high and start() faults, but the slot itself
+  /// does no timed work — the streaming cost lives on the port.
+  bool begin_external_swap(std::size_t index);
+  /// Commit the externally-streamed swap at the current cycle: the
+  /// target becomes active and the gated window is folded into
+  /// reconfig_cycles_total().
+  void finish_external_swap();
+  [[nodiscard]] bool external_swap_pending() const { return external_swap_; }
+
+  [[nodiscard]] bool reconfiguring() const {
+    return reconfig_left_ > 0 || external_swap_;
+  }
   [[nodiscard]] std::size_t active_index() const { return active_; }
   [[nodiscard]] std::size_t candidate_count() const {
     return candidates_.size();
   }
+  [[nodiscard]] Rac& candidate(std::size_t i) { return *candidates_.at(i); }
   [[nodiscard]] u64 swaps() const { return swaps_; }
-  /// Total cycles spent streaming bitstreams, with cycles the countdown
-  /// spent clock-gated folded in.
+  /// Total cycles spent streaming bitstreams (or externally gated), with
+  /// cycles the countdown spent clock-gated folded in.
   [[nodiscard]] u64 reconfig_cycles_total() const {
     return reconfig_cycles_total_ +
            (reconfig_left_ > 0 ? pending_credit() : 0);
@@ -60,6 +89,8 @@ class ReconfigSlot : public Rac {
   [[nodiscard]] static u32 bitstream_bytes_for(const res::ResourceEstimate& e);
 
   // -- core::Rac (delegating to the active candidate) -------------------
+  /// Region pins: the capacity envelope over candidates (the static-side
+  /// FIFOs must hold the largest candidate's blocks).
   [[nodiscard]] std::vector<FifoSpec> input_specs() const override;
   [[nodiscard]] std::vector<FifoSpec> output_specs() const override;
   void bind(std::vector<fifo::WidthFifo*> in,
@@ -83,16 +114,31 @@ class ReconfigSlot : public Rac {
   void set_tracer(obs::EventTracer* tracer) override {
     for (Rac* cand : candidates_) cand->set_tracer(tracer);
   }
+  /// A controller reset on a DPR region genuinely aborts the resident
+  /// accelerator: the decouple logic isolates the region, so whatever
+  /// the candidate had in flight is gone (slot preemption relies on
+  /// this — the quiesce sequence must leave the region idle).
+  void soft_reset() override {
+    Rac::soft_reset();
+    for (Rac* cand : candidates_) cand->abort_op();
+  }
 
   // sim::Component
   void tick_compute() override;
-  /// Quiescent when no reconfiguration is in flight (request_swap wakes
-  /// us) or once the countdown has armed its completion timer. The brief
-  /// window between request_swap and the first countdown tick stays
-  /// awake so that tick can arm the timer.
+  /// Quiescent when no countdown is in flight (request_swap wakes us) or
+  /// once the countdown has armed its completion timer. The brief window
+  /// between request_swap and the first countdown tick stays awake so
+  /// that tick can arm the timer. An external swap never ticks here (the
+  /// configuration port does the timed work), so it stays quiescent.
   [[nodiscard]] bool is_quiescent() const override {
     return reconfig_left_ == 0 || countdown_timer_armed_;
   }
+  /// Active/target index, countdown remainder, sleep-credit anchor, the
+  /// external-swap gate, and the swap counters — a mid-reconfiguration
+  /// snapshot resumes the countdown exactly. Candidate RACs are kernel
+  /// components and carry their own state.
+  void save_state(snap::StateWriter& w) const override;
+  void restore_state(snap::StateReader& r) override;
 
   /// Region resources: the max over candidates (the region must fit the
   /// largest bitstream) plus the static decoupling logic.
@@ -110,6 +156,8 @@ class ReconfigSlot : public Rac {
   u64 reconfig_cycles_total_ = 0;
   bool countdown_timer_armed_ = false;
   Cycle next_expected_tick_ = 0;  // sleep-credit anchor for the countdown
+  bool external_swap_ = false;    // region gated, port streams the image
+  Cycle external_begin_ = 0;
   [[nodiscard]] u64 pending_credit() const {
     const Cycle now = kernel().now();
     return now > next_expected_tick_ ? now - next_expected_tick_ : 0;

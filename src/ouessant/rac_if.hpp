@@ -97,6 +97,15 @@ class Rac : public sim::Component, public res::ResourceAware {
     }
   }
 
+  /// Hard abort: discard any operation genuinely in flight and return to
+  /// idle (busy() low, no pending output). soft_reset() only settles the
+  /// bookkeeping of a *hung* op — one whose datapath already finished —
+  /// because that is all the plain reset path ever interrupts. Slot
+  /// preemption (docs/reconfiguration.md) stops an accelerator mid-op,
+  /// so the region's decouple logic needs a true abort. Subclasses with
+  /// mid-op state must override; the default covers stateless RACs.
+  virtual void abort_op() { soft_reset(); }
+
  protected:
   /// Snapshot helpers for the base-class op bookkeeping (open busy
   /// window, hang latch, busy-cycle total). Subclass save_state()

@@ -68,6 +68,16 @@ void BlockRac::start() {
   wake();
 }
 
+void BlockRac::abort_op() {
+  core::Rac::soft_reset();  // close the open busy window, clear hung_
+  phase_ = Phase::kIdle;
+  busy_ = false;
+  in_buf_.clear();
+  out_buf_.clear();
+  emit_index_ = 0;
+  compute_left_ = 0;
+}
+
 void BlockRac::save_state(snap::StateWriter& w) const {
   save_base_state(w);
   w.write_u8("phase", static_cast<u8>(phase_));

@@ -115,9 +115,20 @@ bool Dispatcher::submit_now(Job job) {
   charge_enqueue(gpp_);
   const u64 id = job.id;
   const JobKind kind = job.kind;
+  if (!servable(kind)) {
+    queue_.refuse();
+    return false;
+  }
   const bool accepted = queue_.push(std::move(job));
   if (accepted) trace_enqueue(id, kind);
   return accepted;
+}
+
+bool Dispatcher::servable(JobKind kind) const {
+  for (const auto& w : workers_) {
+    if (w.kind == kind) return true;
+  }
+  return slots_ != nullptr && slots_->serves(kind);
 }
 
 void Dispatcher::configure_irqs() {
@@ -154,6 +165,12 @@ void Dispatcher::service_once() {
     requeue_retries();
   }
   retire_completions();
+  if (slots_ != nullptr) {
+    // After retires (freed workers may be retargeted), before dispatches
+    // (so work lands on the post-swap assignment, not the stale one).
+    slots_due_ = false;
+    slots_->direct();
+  }
   dispatch_ready();
   if (policy_.armed()) fail_unservable();
 }
@@ -169,6 +186,12 @@ void Dispatcher::ingest_arrivals() {
     charge_enqueue(gpp_);
     const u64 id = job.id;
     const JobKind kind = job.kind;
+    if (!servable(kind)) {
+      // A kind no worker will ever serve (static farm, image never
+      // loaded): refuse at the door rather than strand it in the queue.
+      queue_.refuse();
+      continue;
+    }
     // reject-on-full counted by the queue
     if (queue_.push(std::move(job))) trace_enqueue(id, kind);
   }
@@ -283,7 +306,7 @@ void Dispatcher::retire_worker(Worker& w) {
 void Dispatcher::dispatch_ready() {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = workers_[i];
-    if (w.busy || w.quarantined) continue;
+    if (w.busy || w.quarantined || w.reconfiguring) continue;
     auto batch = queue_.take(w.kind, w.max_batch);
     if (batch.empty()) continue;
     launch(i, std::move(batch));
@@ -335,6 +358,57 @@ void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
     wake_at(w.busy_since + policy_.watchdog_cycles);
   }
   trace_queue_counters();
+}
+
+// ------------------------------------------------------ slot farm hooks --
+
+u32 Dispatcher::preempt_worker(std::size_t i) {
+  Worker& w = workers_.at(i);
+  if (!w.busy) return 0;
+  if (tracer_ != nullptr) {
+    tracer_->instant(w.track, "preempt",
+                     {obs::arg("kind", kind_name(w.kind)),
+                      obs::arg("jobs", u64{w.batch.size()})});
+  }
+  // Timed quiesce: the same RST pulse + settle polling the fault path
+  // uses — the region must be provably idle before the bitstream moves.
+  w.session->recover();
+  const Cycle now = gpp_.now();
+  w.stats.busy_cycles += now - w.busy_since;
+  if (tracer_ != nullptr) {
+    tracer_->complete(w.track, "batch", w.busy_since, now,
+                      {obs::arg("jobs", u64{w.batch.size()}),
+                       obs::arg("kind", kind_name(w.kind)),
+                       obs::arg("preempted", u64{1})});
+  }
+  std::vector<Job> batch = std::move(w.batch);
+  w.batch.clear();
+  w.busy = false;
+  in_flight_ -= static_cast<u32>(batch.size());
+  charge_retire(gpp_, batch.size());
+  // Head of the queue, original order, no attempts bump: the jobs did
+  // nothing wrong and must not lose their place.
+  for (std::size_t j = batch.size(); j-- > 0;) {
+    queue_.requeue(std::move(batch[j]));
+  }
+  trace_queue_counters();
+  return static_cast<u32>(batch.size());
+}
+
+void Dispatcher::retarget_worker(std::size_t i, JobKind kind) {
+  Worker& w = workers_.at(i);
+  if (w.busy) {
+    throw SimError("Dispatcher: retarget of busy worker " +
+                   w.session->ocp().name() + " (preempt first)");
+  }
+  if (!w.retargetable) {
+    throw SimError("Dispatcher: worker " + w.session->ocp().name() +
+                   " is not slot-backed");
+  }
+  // block_words is kind-invariant, so the resident v2-loop program still
+  // matches and installed_batch survives (same warm-microcode rule the
+  // fault path relies on).
+  w.kind = kind;
 }
 
 // ------------------------------------------------------ fault handling --
@@ -534,6 +608,9 @@ void Dispatcher::save_state(snap::StateWriter& w) const {
     w.write_u32("consecutive_faults", wk.consecutive_faults);
     w.write_bool("quarantined", wk.quarantined);
     w.write_u64("quarantine_since", wk.quarantine_since);
+    // Slot-backed workers only, so farm-less images stay byte-identical
+    // to the pre-farm format.
+    if (wk.retargetable) w.write_bool("reconfiguring", wk.reconfiguring);
     w.write_u64("jobs", wk.stats.jobs);
     w.write_u64("launches", wk.stats.launches);
     w.write_u64("installs", wk.stats.installs);
@@ -563,6 +640,7 @@ void Dispatcher::save_state(snap::StateWriter& w) const {
   w.write_u64("retries", retries_);
   w.write_u64("failed", failed_);
   w.write_u64("irq_recoveries", irq_recoveries_);
+  if (slots_ != nullptr) w.write_bool("slots_due", slots_due_);
 }
 
 void Dispatcher::restore_state(snap::StateReader& r) {
@@ -577,8 +655,14 @@ void Dispatcher::restore_state(snap::StateReader& r) {
   for (Worker& wk : workers_) {
     const u8 kind = r.read_u8("kind");
     if (kind != static_cast<u8>(wk.kind)) {
-      throw snap::SnapshotError("Dispatcher " + name() +
-                                ": worker kind mismatch");
+      // A slot-backed worker's kind is runtime state — adopt the
+      // image's assignment (the ReconfigSlot section restores the
+      // matching active candidate). Static workers still reject.
+      if (!wk.retargetable || kind >= kNumJobKinds) {
+        throw snap::SnapshotError("Dispatcher " + name() +
+                                  ": worker kind mismatch");
+      }
+      wk.kind = static_cast<JobKind>(kind);
     }
     wk.session->driver().restore_state(r);
     wk.installed_batch = r.read_u32("installed_batch");
@@ -587,6 +671,7 @@ void Dispatcher::restore_state(snap::StateReader& r) {
     wk.consecutive_faults = r.read_u32("consecutive_faults");
     wk.quarantined = r.read_bool("quarantined");
     wk.quarantine_since = r.read_u64("quarantine_since");
+    if (wk.retargetable) wk.reconfiguring = r.read_bool("reconfiguring");
     wk.stats.jobs = r.read_u64("jobs");
     wk.stats.launches = r.read_u64("launches");
     wk.stats.installs = r.read_u64("installs");
@@ -618,6 +703,7 @@ void Dispatcher::restore_state(snap::StateReader& r) {
   retries_ = r.read_u64("retries");
   failed_ = r.read_u64("failed");
   irq_recoveries_ = r.read_u64("irq_recoveries");
+  if (slots_ != nullptr) slots_due_ = r.read_bool("slots_due");
 
   // Re-arm the deadline timers the image implies (wake_at state is
   // rebuilt by the kernel from its own section; these are belt and

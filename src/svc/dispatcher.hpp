@@ -70,6 +70,26 @@ struct RetryPolicy {
   }
 };
 
+/// What the dispatcher knows about a slot-farm scheduler (implemented by
+/// svc::SlotManager; an interface so the two headers don't cycle). The
+/// dispatcher calls direct() once per service pass — after completions
+/// retire, before ready jobs dispatch — so freed workers can be
+/// retargeted before new work lands on them.
+class SlotDirector {
+ public:
+  virtual ~SlotDirector() = default;
+  /// One scheduling pass (host stack; timed quiesce sequences allowed).
+  virtual void direct() = 0;
+  /// True while a bitstream is streaming — finished() waits it out so
+  /// every swap's cycles are fully accounted at end of run.
+  [[nodiscard]] virtual bool swap_in_flight() const = 0;
+  /// True when the farm can ever serve @p kind. Adaptive policies serve
+  /// every candidate (a swap brings it in on demand); a static farm
+  /// serves only what is resident — jobs for anything else are refused
+  /// at submission, like a fixed-function device returning ENOSYS.
+  [[nodiscard]] virtual bool serves(JobKind kind) const = 0;
+};
+
 class Dispatcher : public sim::Component {
  public:
   /// @p irq_ctl_base: where @p irq_ctl is mapped on the bus (the
@@ -92,6 +112,11 @@ class Dispatcher : public sim::Component {
   /// Host-stack submission at now() (closed-loop clients). Charges the
   /// CPU enqueue cost; false when the queue rejected the job.
   bool submit_now(Job job);
+
+  /// True when some worker has @p kind now, or the slot farm can swap
+  /// it in. Unservable jobs are refused at the door (counted with the
+  /// queue's rejects) instead of stranding in the queue forever.
+  [[nodiscard]] bool servable(JobKind kind) const;
 
   /// Called once per completed job, after its timestamps and worker
   /// index are final — the closed-loop generator's resubmission hook and
@@ -116,20 +141,56 @@ class Dispatcher : public sim::Component {
   void service_once();
 
   /// True when the CPU has service work: an arrival is due, a worker
-  /// finished, a backed-off retry matured, or a watchdog deadline
-  /// passed. Pure function of component state (run_until-safe; the
-  /// matching wake_at timers are armed when each deadline is set).
+  /// finished, a backed-off retry matured, a watchdog deadline passed,
+  /// or a slot swap completed. Pure function of component state
+  /// (run_until-safe; the matching wake_at timers are armed when each
+  /// deadline is set, and the swap-completion flag is raised inside the
+  /// ICAP port's tick).
   [[nodiscard]] bool service_due() const {
     return arrival_due_ || irq_ctl_.cpu_line().raised() || retry_due() ||
-           watchdog_due();
+           watchdog_due() || slots_due_;
   }
 
   /// All submitted work accounted for: every scheduled arrival ingested,
-  /// queue drained, no batch in flight, no retry backing off.
+  /// queue drained, no batch in flight, no retry backing off, no
+  /// bitstream mid-stream.
   [[nodiscard]] bool finished() const {
     return next_arrival_ >= schedule_.size() && queue_.empty() &&
-           in_flight_ == 0 && retry_queue_.empty();
+           in_flight_ == 0 && retry_queue_.empty() &&
+           (slots_ == nullptr || !slots_->swap_in_flight());
   }
+
+  // -- slot farm hooks (svc::SlotManager; docs/reconfiguration.md) ------
+  /// Attach the slot-farm scheduler. service_once() then consults it
+  /// every pass, and finished() waits out in-flight swaps.
+  void set_slot_director(SlotDirector* d) { slots_ = d; }
+  /// Raised from the ICAP completion callback (inside a tick) so the
+  /// host loop wakes and the freed slot gets work immediately.
+  void note_slots_due() { slots_due_ = true; }
+  /// Mark worker @p i as slot-backed: its kind may change at runtime
+  /// (retarget_worker) and a snapshot restore adopts the image's kind
+  /// instead of rejecting the mismatch.
+  void mark_worker_retargetable(std::size_t i) {
+    workers_.at(i).retargetable = true;
+  }
+  /// Gate / un-gate worker @p i while its region reconfigures: a gated
+  /// worker is skipped by dispatch_ready().
+  void set_worker_reconfiguring(std::size_t i, bool on) {
+    workers_.at(i).reconfiguring = on;
+  }
+  [[nodiscard]] bool worker_reconfiguring(std::size_t i) const {
+    return workers_.at(i).reconfiguring;
+  }
+  /// Quiesce a busy worker for a swap: timed recovery sequence (the same
+  /// RST + settle the fault path uses), then its in-flight batch goes
+  /// back to the *head* of the queue — no attempts bump, preemption is
+  /// the scheduler's doing, not the job's failure. Returns the number of
+  /// re-queued jobs (0 when the worker was idle).
+  u32 preempt_worker(std::size_t i);
+  /// Point an idle worker at a new job kind (the slot finished swapping).
+  /// Every kind shares block_words, so the resident batch program stays
+  /// valid and installed_batch survives the retarget.
+  void retarget_worker(std::size_t i, JobKind kind);
 
   // -- introspection (trace signals, report) ---------------------------
   [[nodiscard]] const JobQueue& queue() const { return queue_; }
@@ -199,6 +260,8 @@ class Dispatcher : public sim::Component {
     u32 consecutive_faults = 0;  ///< faulted batches since the last success
     bool quarantined = false;    ///< permanently sidelined for this run
     Cycle quarantine_since = 0;
+    bool retargetable = false;   ///< slot-backed: kind may change at runtime
+    bool reconfiguring = false;  ///< region mid-swap: no dispatches
     WorkerStats stats;
     obs::TrackId track = 0;    ///< "svc.worker.<ocp>" (tracer attached)
   };
@@ -248,6 +311,8 @@ class Dispatcher : public sim::Component {
   u64 retries_ = 0;          ///< retry launches scheduled
   u64 failed_ = 0;           ///< jobs given up on (budget / unservable)
   u64 irq_recoveries_ = 0;   ///< completions found by the watchdog poll
+  SlotDirector* slots_ = nullptr;  ///< slot-farm scheduler (optional)
+  bool slots_due_ = false;   ///< a swap completed since the last pass
   std::function<void(const Job&)> completion_hook_;
   obs::EventTracer* tracer_ = nullptr;
   obs::TrackId sched_track_ = 0;  ///< "svc.sched": instants + counters

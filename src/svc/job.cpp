@@ -59,9 +59,22 @@ std::vector<Job> JobQueue::take(JobKind kind, u32 max_batch) {
   return out;
 }
 
+void JobQueue::requeue(Job job) {
+  classes_[static_cast<std::size_t>(job.prio)].push_front(std::move(job));
+  peak_ = std::max(peak_, size());
+}
+
 std::size_t JobQueue::size() const {
   std::size_t n = 0;
   for (const auto& cls : classes_) n += cls.size();
+  return n;
+}
+
+std::size_t JobQueue::size_of_kind(JobKind kind) const {
+  std::size_t n = 0;
+  for (const auto& cls : classes_) {
+    for (const Job& job : cls) n += job.kind == kind ? 1 : 0;
+  }
   return n;
 }
 

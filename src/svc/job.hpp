@@ -83,7 +83,23 @@ class JobQueue {
   /// within a class. Empty when no queued job matches.
   [[nodiscard]] std::vector<Job> take(JobKind kind, u32 max_batch);
 
+  /// Put a previously-taken job back at the *head* of its class (slot
+  /// preemption: the job was admitted once and must not lose its place
+  /// or be re-counted). Bypasses the depth bound — the transient
+  /// overshoot equals the preempted batch, which was queue-resident
+  /// before it dispatched.
+  void requeue(Job job);
+
+  /// Count a job refused *before* it reached the queue (no worker — and
+  /// no reconfigurable slot — can ever serve its kind, so admitting it
+  /// would strand it). Shares the rejected counter with reject-on-full:
+  /// both are jobs the service turned away at the door.
+  void refuse() { ++rejected_; }
+
   [[nodiscard]] std::size_t size() const;
+  /// Queued jobs of @p kind across both classes — the swap scheduler's
+  /// demand signal.
+  [[nodiscard]] std::size_t size_of_kind(JobKind kind) const;
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] std::size_t depth() const { return depth_; }
   [[nodiscard]] u64 accepted() const { return accepted_; }

@@ -19,6 +19,12 @@ constexpr Addr kWorkerStride = 0x0010'0000;
 constexpr Addr kWorkerInOff = 0x0004'0000;
 constexpr Addr kWorkerOutOff = 0x0008'0000;
 
+/// The bitstream repository sits above the worker windows, in the top
+/// 4 MiB of the 16 MiB SRAM — the ICAP fetches partial bitstreams from
+/// here over the shared bus.
+constexpr Addr kBitstreamBase = 0x40C0'0000;
+constexpr u32 kBitstreamSpan = 0x0040'0000;
+
 std::unique_ptr<core::Rac> make_rac(sim::Kernel& kernel, JobKind kind,
                                     const std::string& name) {
   switch (kind) {
@@ -57,6 +63,15 @@ void ServiceReport::add_to(exp::Result& result) const {
   wait.add_metrics(result, "wait");
   service.add_metrics(result, "svc");
   e2e.add_metrics(result, "e2e");
+  if (farm) {
+    result.add_metric("swaps", swaps_completed);
+    result.add_metric("swaps_started", swaps_started);
+    result.add_metric("preemptions", preemptions);
+    result.add_metric("preempted_jobs", preempted_jobs);
+    result.add_metric("icap_busy_cycles", icap_busy_cycles);
+    result.add_metric("bs_cache_hits", cache_hits);
+    result.add_metric("bs_cache_misses", cache_misses);
+  }
   if (fault_aware) {
     result.add_metric("availability", availability());
     result.add_metric("injected", injected);
@@ -81,7 +96,7 @@ OffloadService::OffloadService(ServiceConfig cfg)
       irq_ctl_(soc_.kernel(), "svc_irqctl", kSvcIrqCtlBase),
       dispatcher_(soc_.kernel(), "svc_dispatcher", soc_.cpu(), soc_.sram(),
                   irq_ctl_, kSvcIrqCtlBase, cfg_.queue_depth) {
-  if (cfg_.ocps.empty()) {
+  if (cfg_.ocps.empty() && !cfg_.slots.enabled()) {
     throw ConfigError("OffloadService: at least one OCP worker required");
   }
   soc_.bus().connect_slave(irq_ctl_, kSvcIrqCtlBase, cpu::kIrqCtlSpanBytes);
@@ -102,6 +117,8 @@ OffloadService::OffloadService(ServiceConfig cfg)
                            spec.max_batch);
   }
 
+  if (cfg_.slots.enabled()) build_slot_farm();
+
   if (cfg_.faults.armed()) {
     injector_ = std::make_unique<fault::Injector>(cfg_.faults);
     injector_->arm_bus(soc_.bus());
@@ -111,6 +128,100 @@ OffloadService::OffloadService(ServiceConfig cfg)
     }
   }
   dispatcher_.set_retry_policy(cfg_.retry);
+}
+
+void OffloadService::build_slot_farm() {
+  const SlotFarmConfig& fc = cfg_.slots;
+  if (fc.candidates.empty()) {
+    throw ConfigError("OffloadService: slot farm needs candidate kinds");
+  }
+  if (!fc.initial.empty() && fc.initial.size() != fc.count) {
+    throw ConfigError("OffloadService: slots.initial must name every slot");
+  }
+  const std::size_t total = cfg_.ocps.size() + fc.count;
+  if (kWorkerBase + static_cast<Addr>(total) * kWorkerStride >
+      kBitstreamBase) {
+    throw ConfigError(
+        "OffloadService: worker windows would overlap the bitstream store");
+  }
+
+  bitstreams_ = std::make_unique<dpr::BitstreamStore>(soc_.sram(),
+                                                      kBitstreamBase,
+                                                      kBitstreamSpan);
+  icap_ = std::make_unique<dpr::IcapPort>(
+      soc_.kernel(), "svc_icap", soc_.bus(),
+      dpr::IcapPortConfig{.icap = fc.icap,
+                          .mode = fc.shared_icap ? dpr::IcapMode::kBusMaster
+                                                 : dpr::IcapMode::kFree,
+                          .burst_words = fc.icap_burst_words});
+  if (fc.cache_bytes > 0) {
+    bitstream_cache_ = std::make_unique<dpr::BitstreamCache>(
+        soc_.kernel(), "svc_icap_cache", fc.cache_bytes);
+  }
+  slot_mgr_ = std::make_unique<SlotManager>(soc_.kernel(), "svc_slots",
+                                            dispatcher_, *icap_, *bitstreams_,
+                                            bitstream_cache_.get(), fc);
+
+  for (u32 si = 0; si < fc.count; ++si) {
+    const JobKind initial = fc.initial.empty()
+                                ? fc.candidates[si % fc.candidates.size()]
+                                : fc.initial[si];
+    // Candidate 0 is the region's initial configuration — rotate the
+    // candidate list so each slot boots resident on its initial kind.
+    std::size_t pivot = fc.candidates.size();
+    for (std::size_t j = 0; j < fc.candidates.size(); ++j) {
+      if (fc.candidates[j] == initial) {
+        pivot = j;
+        break;
+      }
+    }
+    if (pivot == fc.candidates.size()) {
+      throw ConfigError(
+          "OffloadService: slot initial kind is not a farm candidate");
+    }
+    std::vector<JobKind> kinds;
+    kinds.reserve(fc.candidates.size());
+    for (std::size_t j = 0; j < fc.candidates.size(); ++j) {
+      kinds.push_back(fc.candidates[(pivot + j) % fc.candidates.size()]);
+    }
+
+    const std::string base_name = "svc_slot" + std::to_string(si);
+    std::vector<core::Rac*> cands;
+    for (JobKind k : kinds) {
+      racs_.push_back(make_rac(soc_.kernel(), k,
+                               base_name + "_" + kind_name(k)));
+      cands.push_back(racs_.back().get());
+    }
+    regions_.push_back(std::make_unique<core::ReconfigSlot>(
+        soc_.kernel(), base_name, cands, fc.icap));
+    core::Ocp& ocp = soc_.add_ocp(*regions_.back());
+
+    const std::size_t wi = cfg_.ocps.size() + si;
+    const Addr base = kWorkerBase + static_cast<Addr>(wi) * kWorkerStride;
+    const u32 words = fc.max_batch * block_words(initial);
+    const u32 worker =
+        dispatcher_.add_worker(ocp, initial,
+                               drv::SessionLayout{.prog_base = base,
+                                                  .in_base = base + kWorkerInOff,
+                                                  .out_base = base + kWorkerOutOff,
+                                                  .in_words = words,
+                                                  .out_words = words},
+                               fc.max_batch);
+
+    // One partial bitstream per (slot, candidate): bitstreams are
+    // region-specific, so two slots hosting the same kind carry distinct
+    // images (and distinct cache entries).
+    std::vector<u32> images;
+    images.reserve(kinds.size());
+    for (std::size_t j = 0; j < kinds.size(); ++j) {
+      images.push_back(bitstreams_->add_image(
+          base_name + "." + kind_name(kinds[j]),
+          core::ReconfigSlot::bitstream_bytes_for(
+              cands[j]->resource_tree().total())));
+    }
+    slot_mgr_->add_slot(*regions_.back(), worker, std::move(kinds),
+                        std::move(images));
+  }
 }
 
 void OffloadService::attach_trace(sim::VcdTrace& trace) {
@@ -132,6 +243,7 @@ void OffloadService::attach_tracer(obs::EventTracer& tracer) {
     soc_.ocp(i).controller().set_tracer(&tracer);
     soc_.ocp(i).rac().set_tracer(&tracer);
   }
+  if (icap_ != nullptr) icap_->set_tracer(&tracer);
   // Last, so the scheduler/job/worker tracks land after the hardware
   // ones and the per-session "drv.*" tracks get wired too.
   dispatcher_.set_tracer(&tracer);
@@ -164,6 +276,11 @@ void OffloadService::validate(const WorkloadConfig& workload) const {
         break;
       }
     }
+    // A slot farm accepts any *candidate* kind: an adaptive policy swaps
+    // the region in when demand appears; a static farm refuses the jobs
+    // at submission (the measured ablation baseline — a fixed-function
+    // device returning ENOSYS, not a configuration error).
+    if (!served && slot_mgr_ != nullptr) served = slot_mgr_->candidate(kind);
     if (!served) {
       throw ConfigError(std::string("OffloadService: no worker serves ") +
                         kind_name(kind) + " jobs — they would wait forever");
@@ -179,6 +296,7 @@ void OffloadService::install_completion_hook() {
     rep_.wait.add(job.queue_wait());
     rep_.service.add(job.service());
     rep_.e2e.add(job.end_to_end());
+    if (job_observer_) job_observer_(job);
     // Closed loop: the client whose job just finished submits its next
     // one immediately (zero think time — a pure throughput probe).
     if (workload_.mode == LoadMode::kClosedLoop && issued_ < workload_.jobs) {
@@ -207,6 +325,7 @@ void OffloadService::begin(const WorkloadConfig& workload, bool warm) {
     // microcode and the cache contents from the snapshot; only the
     // accounting restarts.
     dispatcher_.reset_run_counters();
+    if (slot_mgr_ != nullptr) slot_mgr_->reset_run_counters();
   } else {
     dispatcher_.configure_irqs();  // first timed accesses of the run
   }
@@ -243,6 +362,18 @@ ServiceReport OffloadService::finish() {
   rep_.completed = dispatcher_.completed();
   rep_.rejected = dispatcher_.rejected();
   rep_.peak_depth = dispatcher_.queue().peak_depth();
+  rep_.farm = slot_mgr_ != nullptr;
+  if (rep_.farm) {
+    rep_.swaps_started = slot_mgr_->swaps_started();
+    rep_.swaps_completed = slot_mgr_->swaps_completed();
+    rep_.preemptions = slot_mgr_->preemptions();
+    rep_.preempted_jobs = slot_mgr_->preempted_jobs();
+    rep_.icap_busy_cycles = icap_->busy_cycles_total();
+    if (bitstream_cache_ != nullptr) {
+      rep_.cache_hits = bitstream_cache_->hits();
+      rep_.cache_misses = bitstream_cache_->misses();
+    }
+  }
   rep_.fault_aware = cfg_.faults.armed() || cfg_.retry.armed();
   if (rep_.fault_aware) {
     rep_.injected = injector_ != nullptr ? injector_->injected() : 0;
@@ -264,6 +395,40 @@ ServiceReport OffloadService::finish() {
 
 ServiceReport OffloadService::run(const WorkloadConfig& workload) {
   begin(workload);
+  while (!step()) {
+  }
+  return finish();
+}
+
+ServiceReport OffloadService::run_schedule(std::vector<Job> arrivals) {
+  if (ran_ || began_) {
+    throw ConfigError("OffloadService: run()/begin() is single-shot");
+  }
+  if (arrivals.empty()) {
+    throw ConfigError("OffloadService: run_schedule with no jobs");
+  }
+  // Synthesize the workload descriptor the report/validate paths expect.
+  WorkloadConfig w;
+  w.mode = LoadMode::kOpenLoop;
+  w.jobs = static_cast<u32>(arrivals.size());
+  w.kinds.clear();
+  for (const Job& job : arrivals) {
+    if (std::find(w.kinds.begin(), w.kinds.end(), job.kind) == w.kinds.end()) {
+      w.kinds.push_back(job.kind);
+    }
+  }
+  validate(w);
+  ran_ = true;
+  began_ = true;
+  workload_ = w;
+  rng_ = util::Rng(w.seed);
+  issued_ = w.jobs;
+  rep_ = ServiceReport{};
+  rep_.jobs = w.jobs;
+  dispatcher_.configure_irqs();
+  rep_.start = soc_.cpu().now();
+  install_completion_hook();
+  dispatcher_.load_schedule(std::move(arrivals));
   while (!step()) {
   }
   return finish();

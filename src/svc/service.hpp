@@ -21,6 +21,7 @@
 #include "sim/trace.hpp"
 #include "svc/dispatcher.hpp"
 #include "svc/latency.hpp"
+#include "svc/slots.hpp"
 #include "svc/workload.hpp"
 
 namespace ouessant::svc {
@@ -49,6 +50,11 @@ struct ServiceConfig {
   /// Dispatcher fault-handling policy; unarmed by default. Arm it
   /// whenever faults is armed, or injected faults become run aborts.
   RetryPolicy retry{};
+  /// Reconfigurable slot farm (docs/reconfiguration.md). Disabled by
+  /// default; when enabled, `count` extra workers are added after the
+  /// static `ocps`, each hosting a ReconfigSlot the SlotManager may
+  /// retarget as the demand mix shifts.
+  SlotFarmConfig slots{};
 };
 
 struct ServiceReport {
@@ -64,6 +70,17 @@ struct ServiceReport {
   LatencyStats service;  ///< dispatch -> acknowledged completion
   LatencyStats e2e;      ///< arrival -> acknowledged completion
   std::vector<WorkerStats> workers;
+
+  // Slot-farm accounting (populated — and emitted by add_to — only when
+  // the service carries a farm, so farm-less runs keep their schema).
+  bool farm = false;
+  u64 swaps_started = 0;
+  u64 swaps_completed = 0;
+  u64 preemptions = 0;       ///< busy workers quiesced for a swap
+  u64 preempted_jobs = 0;    ///< jobs re-queued by those preemptions
+  u64 icap_busy_cycles = 0;  ///< wall cycles the configuration port ran
+  u64 cache_hits = 0;        ///< bitstream staging cache (0/0 = no cache)
+  u64 cache_misses = 0;
 
   // Fault accounting (populated — and emitted by add_to — only when the
   // run was fault-aware, so unarmed runs keep their metric schema).
@@ -113,6 +130,19 @@ class OffloadService {
   /// begin(); while (!step()) {} finish().
   ServiceReport run(const WorkloadConfig& workload);
 
+  /// Open-loop run over an explicit, pre-built arrival schedule — phased
+  /// demand mixes the WorkloadConfig generator cannot express (the
+  /// dpr_adapt scenario's mid-run shift onto an unprovisioned kind).
+  /// Jobs must be sorted by arrival with payloads filled in (make_job /
+  /// phased_arrivals).
+  ServiceReport run_schedule(std::vector<Job> arrivals);
+
+  /// Called once per completed job (after the report recorded it) — the
+  /// per-phase metric hook phased scenarios use. Set before run().
+  void set_job_observer(std::function<void(const Job&)> fn) {
+    job_observer_ = std::move(fn);
+  }
+
   // -- incremental run protocol (fleet shards interleave many stacks) ---
   /// The setup half of run(): validate, configure IRQs, generate the
   /// workload, seed the initial submissions. With @p warm the timed IRQ
@@ -148,10 +178,17 @@ class OffloadService {
   [[nodiscard]] const fault::Injector* injector() const {
     return injector_.get();
   }
+  /// The slot farm's pieces, or nullptr when cfg.slots is disabled.
+  [[nodiscard]] SlotManager* slot_manager() { return slot_mgr_.get(); }
+  [[nodiscard]] dpr::IcapPort* icap() { return icap_.get(); }
+  [[nodiscard]] dpr::BitstreamCache* bitstream_cache() {
+    return bitstream_cache_.get();
+  }
 
  private:
   void validate(const WorkloadConfig& workload) const;
   void install_completion_hook();
+  void build_slot_farm();
 
   ServiceConfig cfg_;
   platform::Soc soc_;
@@ -159,6 +196,14 @@ class OffloadService {
   Dispatcher dispatcher_;
   std::vector<std::unique_ptr<core::Rac>> racs_;
   std::unique_ptr<fault::Injector> injector_;
+  // Slot farm (cfg_.slots.enabled() only; construction order matters:
+  // store -> port -> cache -> regions/workers -> manager).
+  std::unique_ptr<dpr::BitstreamStore> bitstreams_;
+  std::unique_ptr<dpr::IcapPort> icap_;
+  std::unique_ptr<dpr::BitstreamCache> bitstream_cache_;
+  std::vector<std::unique_ptr<core::ReconfigSlot>> regions_;
+  std::unique_ptr<SlotManager> slot_mgr_;
+  std::function<void(const Job&)> job_observer_;
   bool ran_ = false;
 
   // In-progress run state (begin .. finish), snapshot-carried.

@@ -47,6 +47,51 @@ std::vector<Job> open_loop_arrivals(const WorkloadConfig& cfg,
   return jobs;
 }
 
+std::vector<Job> phased_arrivals(const std::vector<WorkloadPhase>& phases,
+                                 u64 seed, Cycle start) {
+  util::Rng rng(seed);
+  std::vector<Job> jobs;
+  Cycle t = start;
+  u64 id = 0;
+  for (const WorkloadPhase& ph : phases) {
+    if (ph.mix.empty()) {
+      throw ConfigError("WorkloadPhase: empty kind mix");
+    }
+    if (!(ph.mean_gap >= 1.0)) {
+      throw ConfigError("WorkloadPhase: mean_gap must be >= 1 cycle");
+    }
+    double wsum = 0.0;
+    for (const auto& [kind, weight] : ph.mix) {
+      if (!(weight >= 0.0)) {
+        throw ConfigError("WorkloadPhase: negative kind weight");
+      }
+      wsum += weight;
+    }
+    if (!(wsum > 0.0)) {
+      throw ConfigError("WorkloadPhase: zero total kind weight");
+    }
+    for (u32 i = 0; i < ph.jobs; ++i) {
+      const double u = rng.uniform();
+      const double gap = -std::log(1.0 - u) * ph.mean_gap;
+      t += std::max<Cycle>(1, static_cast<Cycle>(gap));
+      double pick = rng.uniform() * wsum;
+      JobKind kind = ph.mix.back().first;
+      for (const auto& [k, weight] : ph.mix) {
+        if (pick < weight) {
+          kind = k;
+          break;
+        }
+        pick -= weight;
+      }
+      WorkloadConfig one;
+      one.kinds = {kind};
+      one.high_fraction = ph.high_fraction;
+      jobs.push_back(make_job(id++, t, one, rng));
+    }
+  }
+  return jobs;
+}
+
 std::vector<u32> reference_output(JobKind kind,
                                   const std::vector<u32>& payload) {
   const u32 words = block_words(kind);

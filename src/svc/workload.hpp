@@ -50,6 +50,23 @@ struct WorkloadConfig {
                                                   util::Rng& rng,
                                                   Cycle start);
 
+/// One phase of a phased open-loop schedule: @p jobs Poisson arrivals at
+/// @p mean_gap whose kinds are drawn by weight from @p mix — the
+/// demand-shift workloads the slot-farm scenarios run (a uniform
+/// WorkloadConfig cannot express a 90/10 -> 10/90 swing).
+struct WorkloadPhase {
+  u32 jobs = 0;
+  double mean_gap = 600.0;
+  std::vector<std::pair<JobKind, double>> mix;  ///< kind -> weight (> 0 sum)
+  double high_fraction = 0.0;
+};
+
+/// Concatenate @p phases into one schedule starting at @p start, all
+/// randomness from a single Rng seeded with @p seed (deterministic), job
+/// ids sequential across phases. Feed to OffloadService::run_schedule.
+[[nodiscard]] std::vector<Job> phased_arrivals(
+    const std::vector<WorkloadPhase>& phases, u64 seed, Cycle start);
+
 /// Bit-exact software model of what the matching RAC produces for
 /// @p payload — the check the service verifies completions against.
 [[nodiscard]] std::vector<u32> reference_output(

@@ -109,9 +109,25 @@ TEST(Dpr, SwapWhileActiveFaults) {
 TEST(Dpr, CandidatesMustMatchTheRegionPins) {
   sim::Kernel k;
   rac::PassthroughRac a(k, "a", 32, 32);
-  rac::PassthroughRac b(k, "b", 64, 32);  // different FIFO sizing
+  rac::PassthroughRac b(k, "b", 32, 48);  // different RAC-side pin width
   EXPECT_THROW(core::ReconfigSlot(k, "slot", {&a, &b}), ConfigError);
   EXPECT_THROW(core::ReconfigSlot(k, "slot", {}), ConfigError);
+}
+
+TEST(Dpr, FifoCapacitiesAreEnvelopedNotMatched) {
+  // Same pin shape, different depths: the static region's FIFOs must be
+  // sized to the largest candidate, so construction succeeds and the
+  // specs report the element-wise max.
+  sim::Kernel k;
+  rac::PassthroughRac a(k, "a", 32, 32);
+  rac::PassthroughRac b(k, "b", 64, 32);  // twice the chunks -> deeper FIFO
+  core::ReconfigSlot slot(k, "slot", {&a, &b});
+  const auto in = slot.input_specs();
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].rac_width, 32u);
+  EXPECT_EQ(in[0].capacity_bits,
+            std::max(a.input_specs()[0].capacity_bits,
+                     b.input_specs()[0].capacity_bits));
 }
 
 TEST(Dpr, RegionEnvelopeIsMaxOverCandidates) {

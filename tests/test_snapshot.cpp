@@ -427,6 +427,60 @@ TEST(MidRun, ServeRestoredRunIsBitIdentical) { check_serve_midrun(false); }
 
 TEST(MidRun, FaultArmedRestoredRunIsBitIdentical) { check_serve_midrun(true); }
 
+TEST(MidRun, MidSwapRestoredFarmRunIsBitIdentical) {
+  // Snapshot taken while a bitstream is *in flight* on the ICAP: the
+  // restored stack must resume the partial stream (words_done, the
+  // bus-side burst state, the gated worker, the slot's swap target) and
+  // finish bit-identically to the run that never stopped.
+  const auto farm_config = [] {
+    svc::ServiceConfig cfg;
+    cfg.ocps.clear();
+    cfg.queue_depth = 64;
+    cfg.slots.count = 1;
+    cfg.slots.candidates = {svc::JobKind::kIdct, svc::JobKind::kDft};
+    cfg.slots.initial = {svc::JobKind::kIdct};
+    cfg.slots.policy = svc::SwapPolicy::kGreedyQueueDepth;
+    return cfg;
+  };
+  const auto farm_workload = [] {
+    svc::WorkloadConfig wl;
+    wl.jobs = 24;
+    wl.mean_gap = 400.0;
+    wl.kinds = {svc::JobKind::kIdct, svc::JobKind::kDft};
+    wl.seed = svc::kDefaultServiceSeed;
+    return wl;
+  };
+
+  svc::OffloadService a(farm_config());
+  a.begin(farm_workload());
+  while (!a.finished() && !a.slot_manager()->swap_in_flight()) {
+    (void)a.step();
+  }
+  ASSERT_TRUE(a.slot_manager()->swap_in_flight())
+      << "workload never triggered a swap — nothing mid-flight to test";
+  ASSERT_TRUE(a.icap()->busy());
+  const std::vector<u8> image = a.snapshot().serialize();
+  while (!a.step()) {
+  }
+  const svc::ServiceReport rep_a = a.finish();
+  const Cycle end_a = a.soc().kernel().now();
+  const std::map<std::string, u64> stats_a = a.soc().kernel().stats().all();
+
+  svc::OffloadService b(farm_config());
+  b.restore(Snapshot::deserialize(image));
+  ASSERT_TRUE(b.slot_manager()->swap_in_flight());
+  while (!b.step()) {
+  }
+  const svc::ServiceReport rep_b = b.finish();
+
+  expect_reports_identical(rep_a, rep_b);
+  EXPECT_EQ(rep_a.swaps_completed, rep_b.swaps_completed);
+  EXPECT_EQ(rep_a.preemptions, rep_b.preemptions);
+  EXPECT_GE(rep_a.swaps_completed, 1u);
+  EXPECT_EQ(b.soc().kernel().now(), end_a);
+  EXPECT_EQ(b.soc().kernel().stats().all(), stats_a);
+}
+
 TEST(MidRun, RestoreIntoDifferentlyShapedServiceThrows) {
   svc::OffloadService a(serve_config(false));
   a.begin(serve_workload());
