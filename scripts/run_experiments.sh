@@ -32,12 +32,16 @@ JOBS="${JOBS:-$DEFAULT_JOBS}"
 # moved; meta.host_cpus records what produced it.
 ./build/bench/ouessant_bench --filter sim_speed \
   --json BENCH_speed.json | tee build/experiment-logs/speed.txt
-# The fleet warm-boot record: >= 8 shards forked from one snapshot per
-# point, with the cold-boot vs per-shard-fork wall-time comparison and
-# the fixed-seed shard-replay check (docs/fleet.md). Host wall times
-# make it non-deterministic, so it gets its own artifact instead of
-# riding in the compare-jobs sweep.
-./build/bench/ouessant_bench --filter fleet_warmboot \
+# The fleet record (docs/fleet.md): fleet_warmboot — >= 8 shards forked
+# from one snapshot per point, with the cold-boot vs per-shard-fork
+# wall-time comparison and the fixed-seed shard-replay check — plus
+# fleet_slo, the fault-armed fleet under full observability (SLO
+# burn-rate alerts, flight-recorder dumps, sketch-derived quantiles).
+# Host wall times make both non-deterministic, so the family gets its
+# own artifact instead of riding in the compare-jobs sweep. fleet_slo
+# also leaves build/bench/fleet_slo.slo.json and the per-shard
+# *.flight.json dumps behind for `ouessant_trace slo` / `flight`.
+./build/bench/ouessant_bench --filter FLEET \
   --json BENCH_fleet.json | tee build/experiment-logs/fleet.txt
 # The reconfigurable-slot-farm record (docs/reconfiguration.md):
 # demand-shift adaptation by policy, farm sizing, and the shared-vs-free

@@ -29,6 +29,14 @@
 #      cycle accounting, preemptive swaps, cache LRU), then the DPRF
 #      scenarios with a guard that the demand-driven swap scheduler
 #      beats static slot assignment on the shifted demand mix
+#  10. the fleet-observability stage: a 16-shard fault-armed fleet run
+#      twice, unarmed vs fully armed (sampling profiler + quantile
+#      sketches + SLO monitors + flight recorders) — every shard must be
+#      bit-identical and the armed run within 1.5x unarmed host time;
+#      then a python guard re-checks the sketch quantiles against the
+#      exact histogram within the documented relative-error bound, and
+#      an auto-dumped flight trace must round-trip through
+#      `ouessant_trace flight`
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -136,6 +144,43 @@ cmake --build build -j --target trace_guard ouessant_trace
 ./build/bench/trace_guard build/bench/trace_guard.trace.json
 ./build/tools/ouessant_trace build/bench/trace_guard.trace.json --top 5 \
   > /dev/null
+./build/tools/ouessant_trace build/bench/trace_guard.trace.json --json \
+  --top 5 > /dev/null
+./build/tools/ouessant_trace metrics \
+  build/bench/trace_guard.trace.json.metrics.json > /dev/null
 echo "trace round-trip OK"
+
+echo "==== tier-1: fleet observability guard ===="
+# Armed-vs-unarmed bit-identity on a 16-shard fault-armed fleet, the
+# 1.5x host budget, and the sketch-vs-exact quantile table (checked
+# below against the documented bound). The armed fleet's hung RAC makes
+# every shard dump a flight trace; shard 0's must parse back through
+# the flight subcommand.
+cmake --build build -j --target fleet_obs_guard
+./build/bench/fleet_obs_guard build/bench/fleet_obs_guard.json \
+  build/bench/fleet_obs_guard
+python3 - build/bench/fleet_obs_guard.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+alpha = doc["alpha"]
+bad = []
+for q in doc["quantiles"]:
+    # DDSketch guarantee: |sketch - exact| <= alpha * exact, plus one
+    # cycle of integer-rounding slack.
+    err = abs(q["sketch"] - q["exact"])
+    bound = alpha * q["exact"] + 1.0
+    print(f"  p{q['p']:<5} sketch {q['sketch']:8d} exact {q['exact']:8d} "
+          f"|err| {err:.0f} (bound {bound:.1f})")
+    if err > bound:
+        bad.append(q["p"])
+if bad:
+    sys.exit(f"sketch guard: quantiles {bad} outside the alpha={alpha} bound")
+print(f"sketch guard OK ({doc['count']} samples within alpha={alpha})")
+EOF
+./build/tools/ouessant_trace flight \
+  build/bench/fleet_obs_guard_shard0.flight.json --top 5 > /dev/null
+./build/tools/ouessant_trace slo build/bench/fleet_slo.slo.json \
+  > /dev/null 2>&1 || true  # rendered when the FLEET sweep has run
+echo "fleet observability guard OK"
 
 echo "tier-1 OK"

@@ -150,4 +150,43 @@ std::string render_report(const ParsedTrace& t, std::size_t top_n) {
   return out;
 }
 
+std::string render_json(const ParsedTrace& t, std::size_t top_n) {
+  std::string out;
+  out += "{\n\"schema\": \"ouessant.analysis.v1\",\n";
+  out += "\"phases\": [";
+  const std::vector<PhaseStat> phases = phase_breakdown(t);
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseStat& st = phases[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"track\": \"" + st.track + "\", \"span\": \"" + st.name +
+           "\", \"count\": " + std::to_string(st.count) +
+           ", \"total_cycles\": " + std::to_string(st.total_dur) +
+           ", \"max_cycles\": " + std::to_string(st.max_dur) + "}";
+  }
+  out += "\n],\n\"critical_paths\": [";
+  const std::vector<JobPath> jobs = job_critical_paths(t);
+  for (std::size_t i = 0; i < jobs.size() && i < top_n; ++i) {
+    const JobPath& j = jobs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"job\": " + std::to_string(j.id) + ", \"kind\": \"" + j.kind +
+           "\", \"worker\": \"" + j.worker +
+           "\", \"arrival\": " + std::to_string(j.arrival) +
+           ", \"wait\": " + std::to_string(j.wait) +
+           ", \"service\": " + std::to_string(j.service) +
+           ", \"e2e\": " + std::to_string(j.end_to_end) + "}";
+  }
+  out += "\n],\n\"hottest_pcs\": [";
+  const std::vector<PcStat> pcs = hottest_pcs(t);
+  for (std::size_t i = 0; i < pcs.size() && i < top_n; ++i) {
+    const PcStat& st = pcs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"track\": \"" + st.track +
+           "\", \"pc\": " + std::to_string(st.pc) + ", \"op\": \"" +
+           st.mnemonic + "\", \"count\": " + std::to_string(st.count) +
+           ", \"total_cycles\": " + std::to_string(st.total_dur) + "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
 }  // namespace ouessant::obs

@@ -57,4 +57,10 @@ struct PcStat {
 [[nodiscard]] std::string render_report(const ParsedTrace& t,
                                         std::size_t top_n);
 
+/// The same report as machine-readable `ouessant.analysis.v1` JSON —
+/// `ouessant_trace --json`, so CI and scripts consume breakdowns
+/// without scraping the table layout.
+[[nodiscard]] std::string render_json(const ParsedTrace& t,
+                                      std::size_t top_n);
+
 }  // namespace ouessant::obs

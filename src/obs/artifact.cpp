@@ -1,0 +1,25 @@
+#include "obs/artifact.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#include "util/types.hpp"
+
+namespace ouessant::obs {
+
+std::ofstream open_artifact(const std::string& path, const char* who) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    // Best-effort: an unwritable parent surfaces as the open failure
+    // below, with the writer's name attached.
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw SimError(std::string(who) + ": cannot write " + path);
+  }
+  return out;
+}
+
+}  // namespace ouessant::obs

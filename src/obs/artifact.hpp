@@ -1,0 +1,22 @@
+// Shared open-for-write helper for every obs artifact serializer
+// (traces, flight dumps, metrics files, SLO reports).
+//
+// Artifact paths are usually relative stems ("build/bench/run42"), and
+// the writer runs from whatever working directory the harness chose —
+// the bench driver from the repo root, ctest from its own binary dir.
+// A missing parent directory is therefore an environment detail, not
+// an error: create it, then open. A genuinely unwritable path still
+// throws SimError naming the writer and the path.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace ouessant::obs {
+
+/// Open `path` for writing, creating missing parent directories first.
+/// Throws SimError("<who>: cannot write <path>") if the open fails.
+[[nodiscard]] std::ofstream open_artifact(const std::string& path,
+                                          const char* who);
+
+}  // namespace ouessant::obs

@@ -1,0 +1,31 @@
+#include "obs/profile.hpp"
+
+namespace ouessant::obs {
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer util::Rng seeds with. One
+/// multiply-xorshift round is enough to decorrelate sequential job ids
+/// so 1-in-N selection is not periodic in arrival order.
+u64 mix(u64 x) {
+  x += 0x9E37'79B9'7F4A'7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D0'49BB'1331'11EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SamplingProfiler::SamplingProfiler(EventTracer& tracer, ProfileConfig cfg)
+    : tracer_(tracer), cfg_(cfg) {
+  if (cfg_.period < 1) {
+    throw SimError("SamplingProfiler: period must be >= 1");
+  }
+}
+
+bool SamplingProfiler::sampled(u64 job_id) const {
+  if (cfg_.period == 1) return true;
+  return mix(job_id ^ cfg_.seed) % cfg_.period == 0;
+}
+
+}  // namespace ouessant::obs

@@ -1,6 +1,10 @@
 #include "obs/sampler.hpp"
 
+#include <cctype>
 #include <fstream>
+#include <sstream>
+
+#include "obs/artifact.hpp"
 
 namespace ouessant::obs {
 
@@ -29,19 +33,27 @@ void MetricsSampler::reject_if_started(const std::string& name) const {
 }
 
 void MetricsSampler::add_gauge(const std::string& name,
-                               std::function<u64()> fn) {
+                               std::function<u64()> fn,
+                               const std::string& unit,
+                               const std::string& desc) {
   reject_if_started(name);
   // Gauges form the column head; keep stat keys behind them so the
   // documented column order (gauges, then stats) holds regardless of
-  // registration interleaving.
-  columns_.insert(columns_.begin() + static_cast<std::ptrdiff_t>(gauges_.size()),
-                  name);
+  // registration interleaving. units_/descs_ mirror columns_.
+  const auto at = static_cast<std::ptrdiff_t>(gauges_.size());
+  columns_.insert(columns_.begin() + at, name);
+  units_.insert(units_.begin() + at, unit);
+  descs_.insert(descs_.begin() + at, desc);
   gauges_.push_back(std::move(fn));
 }
 
-void MetricsSampler::add_stat(const std::string& key) {
+void MetricsSampler::add_stat(const std::string& key,
+                              const std::string& unit,
+                              const std::string& desc) {
   reject_if_started(key);
   columns_.push_back(key);
+  units_.push_back(unit);
+  descs_.push_back(desc);
   stat_keys_.push_back(key);
 }
 
@@ -69,6 +81,23 @@ std::string MetricsSampler::to_json() const {
     out += columns_[i];
     out += '"';
   }
+  // Units/descriptions registry: parallel to columns, so a consumer can
+  // zip the three arrays. Kept as separate arrays (not objects) to
+  // preserve the compact row-array sample encoding below.
+  out += "],\n\"units\": [";
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += units_[i];
+    out += '"';
+  }
+  out += "],\n\"descriptions\": [";
+  for (std::size_t i = 0; i < descs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    out += descs_[i];
+    out += '"';
+  }
   out += "],\n\"samples\": [\n";
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     if (i > 0) out += ",\n";
@@ -85,11 +114,155 @@ std::string MetricsSampler::to_json() const {
 }
 
 void MetricsSampler::write_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw SimError("MetricsSampler: cannot write " + path);
-  }
+  std::ofstream out = open_artifact(path, "MetricsSampler");
   out << to_json();
+}
+
+// ----------------------------------------------------------------- parser
+
+namespace {
+
+/// Minimal JSON cursor for the metrics.v1 subset (mirrors the
+/// trace-reader and slo.v1 parsers: objects, arrays, strings,
+/// non-negative integers).
+class Cursor {
+ public:
+  Cursor(std::string text, std::string context)
+      : text_(std::move(text)), context_(std::move(context)) {}
+
+  void ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() {
+    ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  [[nodiscard]] bool accept(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+  u64 number() {
+    ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[end]))) {
+      ++end;
+    }
+    if (end == pos_) fail("expected a number");
+    const u64 v = std::stoull(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SimError(context_ + ": " + why + " at offset " +
+                   std::to_string(pos_));
+  }
+
+ private:
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+std::vector<std::string> string_array(Cursor& cur) {
+  std::vector<std::string> out;
+  cur.expect('[');
+  if (cur.accept(']')) return out;
+  do {
+    out.push_back(cur.string());
+  } while (cur.accept(','));
+  cur.expect(']');
+  return out;
+}
+
+}  // namespace
+
+MetricsSampler::File read_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SimError("read_metrics: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  Cursor cur(ss.str(), "read_metrics(" + path + ")");
+
+  MetricsSampler::File file;
+  bool saw_schema = false;
+  cur.expect('{');
+  while (true) {
+    const std::string key = cur.string();
+    cur.expect(':');
+    if (key == "schema") {
+      const std::string schema = cur.string();
+      if (schema != "ouessant.metrics.v1") {
+        cur.fail("unsupported schema \"" + schema + "\"");
+      }
+      saw_schema = true;
+    } else if (key == "period") {
+      file.period = cur.number();
+    } else if (key == "columns") {
+      file.columns = string_array(cur);
+    } else if (key == "units") {
+      file.units = string_array(cur);
+    } else if (key == "descriptions") {
+      file.descriptions = string_array(cur);
+    } else if (key == "samples") {
+      cur.expect('[');
+      if (!cur.accept(']')) {
+        do {
+          cur.expect('[');
+          MetricsSampler::Sample s;
+          s.cycle = cur.number();
+          while (cur.accept(',')) s.values.push_back(cur.number());
+          cur.expect(']');
+          file.samples.push_back(std::move(s));
+        } while (cur.accept(','));
+        cur.expect(']');
+      }
+    } else {
+      cur.fail("unknown field \"" + key + "\"");
+    }
+    if (!cur.accept(',')) break;
+  }
+  cur.expect('}');
+  if (!saw_schema) {
+    cur.fail("missing \"schema\" field (not an ouessant.metrics.v1 file?)");
+  }
+  if (file.units.size() != file.columns.size() ||
+      file.descriptions.size() != file.columns.size()) {
+    throw SimError("read_metrics(" + path +
+                   "): units/descriptions arrays do not match columns");
+  }
+  for (const MetricsSampler::Sample& s : file.samples) {
+    if (s.values.size() != file.columns.size()) {
+      throw SimError("read_metrics(" + path + "): row at cycle " +
+                     std::to_string(s.cycle) +
+                     " does not match the column registry");
+    }
+  }
+  return file;
 }
 
 }  // namespace ouessant::obs

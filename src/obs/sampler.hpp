@@ -37,15 +37,28 @@ class MetricsSampler {
   /// Add a live gauge column. Columns must be registered before the
   /// first sample is taken (SimError otherwise — a late column would
   /// silently misalign every earlier row). Duplicate names rejected.
-  void add_gauge(const std::string& name, std::function<u64()> fn);
+  /// @p unit and @p desc land in the metrics.v1 header registry so
+  /// consumers (ouessant_trace, dashboards) can label axes without a
+  /// side-channel schema.
+  void add_gauge(const std::string& name, std::function<u64()> fn,
+                 const std::string& unit = "", const std::string& desc = "");
 
   /// Add a Stats counter column sampled via Stats::get(@p key). Same
-  /// registration rules as add_gauge.
-  void add_stat(const std::string& key);
+  /// registration rules as add_gauge. Stats counters are monotonic
+  /// event counts, so the unit defaults to "count".
+  void add_stat(const std::string& key, const std::string& unit = "count",
+                const std::string& desc = "");
 
   [[nodiscard]] u64 period() const { return period_; }
   [[nodiscard]] const std::vector<std::string>& columns() const {
     return columns_;
+  }
+  /// Parallel to columns(): per-column unit / description strings.
+  [[nodiscard]] const std::vector<std::string>& units() const {
+    return units_;
+  }
+  [[nodiscard]] const std::vector<std::string>& descriptions() const {
+    return descs_;
   }
   [[nodiscard]] const std::vector<Sample>& samples() const {
     return samples_;
@@ -55,6 +68,15 @@ class MetricsSampler {
   [[nodiscard]] std::string to_json() const;
   void write_json(const std::string& path) const;
 
+  /// A metrics.v1 file read back: header registry + sample rows.
+  struct File {
+    u64 period = 0;
+    std::vector<std::string> columns;
+    std::vector<std::string> units;         ///< parallel to columns
+    std::vector<std::string> descriptions;  ///< parallel to columns
+    std::vector<Sample> samples;
+  };
+
  private:
   void sample(Cycle cycle);
   void reject_if_started(const std::string& name) const;
@@ -63,9 +85,17 @@ class MetricsSampler {
   u64 period_;
   u64 sampler_id_ = 0;
   std::vector<std::string> columns_;
+  std::vector<std::string> units_;  ///< parallel to columns_
+  std::vector<std::string> descs_;  ///< parallel to columns_
   std::vector<std::function<u64()>> gauges_;  ///< parallel to columns_ head
   std::vector<std::string> stat_keys_;        ///< columns_ tail
   std::vector<Sample> samples_;
 };
+
+/// Parse an ouessant.metrics.v1 file back (the `ouessant_trace metrics`
+/// subcommand — prints each column with its registered unit). Throws
+/// SimError on malformed or wrong-schema input, including rows whose
+/// width disagrees with the column registry.
+[[nodiscard]] MetricsSampler::File read_metrics(const std::string& path);
 
 }  // namespace ouessant::obs

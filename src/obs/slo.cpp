@@ -1,0 +1,311 @@
+#include "obs/slo.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/artifact.hpp"
+
+namespace ouessant::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- monitor
+
+SloMonitor::SloMonitor(SloConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.classes.empty()) {
+    throw SimError("SloMonitor: at least one tenant class is required");
+  }
+  if (cfg_.short_window == 0 || cfg_.long_window < cfg_.short_window) {
+    throw SimError("SloMonitor: windows must satisfy long >= short >= 1");
+  }
+  for (const SloObjective& o : cfg_.classes) {
+    if (!(o.target > 0.0) || !(o.target < 1.0)) {
+      throw SimError("SloMonitor: target must be in (0, 1) for class " +
+                     o.name);
+    }
+  }
+  state_.resize(cfg_.classes.size());
+  for (std::size_t i = 0; i < cfg_.classes.size(); ++i) {
+    state_[i].agg.name = cfg_.classes[i].name;
+    state_[i].agg.latency_cycles = cfg_.classes[i].latency_cycles;
+    state_[i].agg.target = cfg_.classes[i].target;
+  }
+}
+
+void SloMonitor::Window::push(Cycle cycle, bool good, u64 span) {
+  entries.emplace_back(cycle, good);
+  if (!good) ++bad;
+  while (!entries.empty() && entries.front().first + span < cycle) {
+    if (!entries.front().second) --bad;
+    entries.pop_front();
+  }
+}
+
+double SloMonitor::Window::burn(double target) const {
+  if (entries.empty()) return 0.0;
+  const double bad_frac =
+      static_cast<double>(bad) / static_cast<double>(entries.size());
+  return bad_frac / (1.0 - target);
+}
+
+void SloMonitor::record(u32 cls, Cycle cycle, bool good) {
+  if (cls >= state_.size()) {
+    throw SimError("SloMonitor: tenant class out of range");
+  }
+  ClassState& st = state_[cls];
+  const double target = cfg_.classes[cls].target;
+  st.agg.jobs += 1;
+  if (good) st.agg.good += 1;
+  st.long_w.push(cycle, good, cfg_.long_window);
+  st.short_w.push(cycle, good, cfg_.short_window);
+  const double long_burn = st.long_w.burn(target);
+  const double short_burn = st.short_w.burn(target);
+  if (long_burn > st.agg.worst_burn) st.agg.worst_burn = long_burn;
+  const bool firing = long_burn >= cfg_.burn_threshold &&
+                      short_burn >= cfg_.burn_threshold;
+  if (firing && !st.alerting) {
+    st.agg.alerts += 1;
+    if (st.agg.alerts == 1) st.agg.first_alert = cycle;
+  }
+  st.alerting = firing;
+}
+
+SloReport SloMonitor::report() const {
+  SloReport rep;
+  rep.long_window = cfg_.long_window;
+  rep.short_window = cfg_.short_window;
+  rep.burn_threshold = cfg_.burn_threshold;
+  rep.shards = 1;
+  for (const ClassState& st : state_) rep.classes.push_back(st.agg);
+  return rep;
+}
+
+// ----------------------------------------------------------------- report
+
+void SloReport::merge(const SloReport& other) {
+  if (classes.empty() && shards == 0) {
+    *this = other;
+    return;
+  }
+  if (other.long_window != long_window ||
+      other.short_window != short_window ||
+      other.burn_threshold != burn_threshold ||
+      other.classes.size() != classes.size()) {
+    throw SimError("SloReport::merge: window/class configuration mismatch");
+  }
+  shards += other.shards;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    SloClassReport& c = classes[i];
+    const SloClassReport& o = other.classes[i];
+    if (c.name != o.name || c.latency_cycles != o.latency_cycles ||
+        c.target != o.target) {
+      throw SimError("SloReport::merge: objective mismatch for class " +
+                     c.name);
+    }
+    c.jobs += o.jobs;
+    c.good += o.good;
+    if (o.alerts > 0 && (c.alerts == 0 || o.first_alert < c.first_alert)) {
+      c.first_alert = o.first_alert;
+    }
+    c.alerts += o.alerts;
+    if (o.worst_burn > c.worst_burn) c.worst_burn = o.worst_burn;
+  }
+}
+
+std::string SloReport::to_json() const {
+  std::string out;
+  out += "{\n\"schema\": \"ouessant.slo.v1\",\n";
+  out += "\"long_window\": " + std::to_string(long_window) + ",\n";
+  out += "\"short_window\": " + std::to_string(short_window) + ",\n";
+  out += "\"burn_threshold\": " + fmt_double(burn_threshold) + ",\n";
+  out += "\"shards\": " + std::to_string(shards) + ",\n";
+  out += "\"classes\": [";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const SloClassReport& c = classes[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"name\": \"" + escape(c.name) + "\", ";
+    out += "\"latency_cycles\": " + std::to_string(c.latency_cycles) + ", ";
+    out += "\"target\": " + fmt_double(c.target) + ", ";
+    out += "\"jobs\": " + std::to_string(c.jobs) + ", ";
+    out += "\"good\": " + std::to_string(c.good) + ", ";
+    out += "\"alerts\": " + std::to_string(c.alerts) + ", ";
+    out += "\"first_alert_cycle\": " + std::to_string(c.first_alert) + ", ";
+    out += "\"worst_burn\": " + fmt_double(c.worst_burn) + "}";
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+void SloReport::write_json(const std::string& path) const {
+  std::ofstream out = open_artifact(path, "SloReport");
+  out << to_json();
+}
+
+// ----------------------------------------------------------------- parser
+
+namespace {
+
+/// Minimal JSON cursor for the slo.v1 subset (mirrors the trace-reader
+/// parser: objects, arrays, strings, non-negative numbers).
+class Cursor {
+ public:
+  Cursor(std::string text, std::string context)
+      : text_(std::move(text)), context_(std::move(context)) {}
+
+  void ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() {
+    ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  [[nodiscard]] bool accept(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+  double number() {
+    ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '.' || text_[end] == '-' || text_[end] == '+' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) fail("expected a number");
+    const double v = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+  [[noreturn]] void fail(const std::string& why) const {
+    throw SimError(context_ + ": " + why + " at offset " +
+                   std::to_string(pos_));
+  }
+
+ private:
+  std::string text_;
+  std::size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace
+
+SloReport read_slo_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw SimError("read_slo_report: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  Cursor cur(ss.str(), "read_slo_report(" + path + ")");
+
+  SloReport rep;
+  bool saw_schema = false;
+  cur.expect('{');
+  while (true) {
+    const std::string key = cur.string();
+    cur.expect(':');
+    if (key == "schema") {
+      const std::string schema = cur.string();
+      if (schema != "ouessant.slo.v1") {
+        cur.fail("unsupported schema \"" + schema + "\"");
+      }
+      saw_schema = true;
+    } else if (key == "long_window") {
+      rep.long_window = static_cast<u64>(cur.number());
+    } else if (key == "short_window") {
+      rep.short_window = static_cast<u64>(cur.number());
+    } else if (key == "burn_threshold") {
+      rep.burn_threshold = cur.number();
+    } else if (key == "shards") {
+      rep.shards = static_cast<u64>(cur.number());
+    } else if (key == "classes") {
+      cur.expect('[');
+      if (!cur.accept(']')) {
+        do {
+          cur.expect('{');
+          SloClassReport c;
+          do {
+            const std::string f = cur.string();
+            cur.expect(':');
+            if (f == "name") {
+              c.name = cur.string();
+            } else if (f == "latency_cycles") {
+              c.latency_cycles = static_cast<u64>(cur.number());
+            } else if (f == "target") {
+              c.target = cur.number();
+            } else if (f == "jobs") {
+              c.jobs = static_cast<u64>(cur.number());
+            } else if (f == "good") {
+              c.good = static_cast<u64>(cur.number());
+            } else if (f == "alerts") {
+              c.alerts = static_cast<u64>(cur.number());
+            } else if (f == "first_alert_cycle") {
+              c.first_alert = static_cast<u64>(cur.number());
+            } else if (f == "worst_burn") {
+              c.worst_burn = cur.number();
+            } else {
+              cur.fail("unknown class field \"" + f + "\"");
+            }
+          } while (cur.accept(','));
+          cur.expect('}');
+          rep.classes.push_back(std::move(c));
+        } while (cur.accept(','));
+        cur.expect(']');
+      }
+    } else {
+      cur.fail("unknown field \"" + key + "\"");
+    }
+    if (!cur.accept(',')) break;
+  }
+  cur.expect('}');
+  if (!saw_schema) {
+    cur.fail("missing \"schema\" field (not an ouessant.slo.v1 file?)");
+  }
+  return rep;
+}
+
+}  // namespace ouessant::obs

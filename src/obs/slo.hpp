@@ -1,0 +1,125 @@
+// SLO monitor: per-tenant-class objectives with multi-window burn-rate
+// alerts (docs/observability.md "Fleet-scale observability").
+//
+// Each tenant class (the svc layer maps job priorities onto classes)
+// carries an objective: a latency threshold and a target fraction of
+// jobs that must meet it. A job is GOOD when it completed within the
+// threshold, BAD otherwise (failed jobs are bad by definition). The
+// monitor evaluates compliance over two sliding sim-time windows — a
+// long window that smooths noise and a short window that reacts fast —
+// and fires an alert on the rising edge of BOTH windows' burn rate
+// crossing the threshold: the standard multi-window guard against both
+// flappy alerts (short window alone) and slow pages (long alone).
+//
+// Burn rate = bad_fraction / (1 - target): 1.0 means errors arrive at
+// exactly the rate that exhausts the error budget over the window; 10
+// means ten times faster.
+//
+// Memory is O(jobs inside the long window), never O(total jobs):
+// entries are evicted as the window slides, so an always-on monitor is
+// fleet-affordable. Reports merge across shards (count addition) into
+// the `ouessant.slo.v1` JSON document ouessant_trace renders.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ouessant::obs {
+
+/// One tenant class's objective.
+struct SloObjective {
+  std::string name;        ///< render label ("high", "normal", ...)
+  u64 latency_cycles = 0;  ///< e2e threshold defining a good job
+  double target = 0.999;   ///< fraction of jobs that must be good
+};
+
+struct SloConfig {
+  std::vector<SloObjective> classes;
+  u64 long_window = 2'000'000;  ///< cycles
+  u64 short_window = 250'000;   ///< cycles
+  double burn_threshold = 2.0;  ///< alert when BOTH windows burn >= this
+};
+
+/// Per-class aggregate, mergeable across shards.
+struct SloClassReport {
+  std::string name;
+  u64 latency_cycles = 0;
+  double target = 0.0;
+  u64 jobs = 0;
+  u64 good = 0;
+  u64 alerts = 0;          ///< rising-edge alert count
+  Cycle first_alert = 0;   ///< earliest alert cycle (valid when alerts > 0)
+  double worst_burn = 0.0; ///< max long-window burn rate observed
+
+  [[nodiscard]] double availability() const {
+    return jobs > 0 ? static_cast<double>(good) / static_cast<double>(jobs)
+                    : 1.0;
+  }
+  [[nodiscard]] bool met() const { return availability() >= target; }
+};
+
+struct SloReport {
+  u64 long_window = 0;
+  u64 short_window = 0;
+  double burn_threshold = 0.0;
+  u64 shards = 0;  ///< monitors folded into this report
+  std::vector<SloClassReport> classes;
+
+  /// Fold @p other in: counts add, first_alert takes the minimum,
+  /// worst_burn the maximum. Class lists and window config must match.
+  void merge(const SloReport& other);
+
+  /// Serialize as `ouessant.slo.v1` JSON (deterministic field order).
+  [[nodiscard]] std::string to_json() const;
+  void write_json(const std::string& path) const;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig cfg);
+
+  /// Record one job outcome for tenant class @p cls at sim-time
+  /// @p cycle (its completion or failure cycle; must be monotonically
+  /// non-decreasing per monitor). @p good: met the class objective.
+  void record(u32 cls, Cycle cycle, bool good);
+
+  /// Convenience: classify a completed job's e2e latency against the
+  /// class objective and record it.
+  void record_latency(u32 cls, Cycle cycle, u64 e2e) {
+    record(cls, cycle, e2e <= cfg_.classes.at(cls).latency_cycles);
+  }
+
+  [[nodiscard]] const SloConfig& config() const { return cfg_; }
+  /// Snapshot the aggregates into a mergeable, serializable report
+  /// (shards = 1).
+  [[nodiscard]] SloReport report() const;
+
+ private:
+  struct Window {
+    std::deque<std::pair<Cycle, bool>> entries;  ///< (cycle, good)
+    u64 bad = 0;
+
+    void push(Cycle cycle, bool good, u64 span);
+    [[nodiscard]] double burn(double target) const;
+  };
+
+  struct ClassState {
+    Window long_w;
+    Window short_w;
+    bool alerting = false;
+    SloClassReport agg;
+  };
+
+  SloConfig cfg_;
+  std::vector<ClassState> state_;
+};
+
+/// Parse an `ouessant.slo.v1` file back into a report (the
+/// `ouessant_trace slo` subcommand). Throws SimError on malformed or
+/// wrong-schema input.
+[[nodiscard]] SloReport read_slo_report(const std::string& path);
+
+}  // namespace ouessant::obs

@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "obs/artifact.hpp"
+
 namespace ouessant::obs {
 
 namespace {
@@ -68,7 +70,7 @@ TrackId EventTracer::track(const std::string& name) {
 
 void EventTracer::complete(TrackId t, std::string name, Cycle start,
                            Cycle end, std::vector<Arg> args) {
-  events_.push_back(Event{.ph = 'X',
+  record(Event{.ph = 'X',
                           .tid = t,
                           .ts = start,
                           .dur = end - start,
@@ -79,7 +81,7 @@ void EventTracer::complete(TrackId t, std::string name, Cycle start,
 
 void EventTracer::instant(TrackId t, std::string name,
                           std::vector<Arg> args) {
-  events_.push_back(Event{.ph = 'i',
+  record(Event{.ph = 'i',
                           .tid = t,
                           .ts = kernel_.now(),
                           .dur = 0,
@@ -89,7 +91,7 @@ void EventTracer::instant(TrackId t, std::string name,
 }
 
 void EventTracer::counter(TrackId t, std::string name, u64 value) {
-  events_.push_back(Event{.ph = 'C',
+  record(Event{.ph = 'C',
                           .tid = t,
                           .ts = kernel_.now(),
                           .dur = 0,
@@ -99,7 +101,7 @@ void EventTracer::counter(TrackId t, std::string name, u64 value) {
 }
 
 void EventTracer::flow_begin(TrackId t, std::string name, u64 flow_id) {
-  events_.push_back(Event{.ph = 's',
+  record(Event{.ph = 's',
                           .tid = t,
                           .ts = kernel_.now(),
                           .dur = 0,
@@ -109,7 +111,7 @@ void EventTracer::flow_begin(TrackId t, std::string name, u64 flow_id) {
 }
 
 void EventTracer::flow_step(TrackId t, std::string name, u64 flow_id) {
-  events_.push_back(Event{.ph = 't',
+  record(Event{.ph = 't',
                           .tid = t,
                           .ts = kernel_.now(),
                           .dur = 0,
@@ -119,13 +121,20 @@ void EventTracer::flow_step(TrackId t, std::string name, u64 flow_id) {
 }
 
 void EventTracer::flow_end(TrackId t, std::string name, u64 flow_id) {
-  events_.push_back(Event{.ph = 'f',
+  record(Event{.ph = 'f',
                           .tid = t,
                           .ts = kernel_.now(),
                           .dur = 0,
                           .flow_id = flow_id,
                           .name = std::move(name),
                           .args = {}});
+}
+
+std::vector<const EventTracer::Event*> EventTracer::chronological() const {
+  std::vector<const Event*> out;
+  out.reserve(events_.size());
+  for (const Event& e : events_) out.push_back(&e);
+  return out;
 }
 
 std::string EventTracer::to_json() const {
@@ -141,7 +150,8 @@ std::string EventTracer::to_json() const {
     out += escape(track_names_[i]);
     out += "\"}}";
   }
-  for (const Event& e : events_) {
+  for (const Event* ep : chronological()) {
+    const Event& e = *ep;
     out += ",\n{\"name\":\"";
     out += escape(e.name);
     out += "\",\"cat\":\"";
@@ -183,10 +193,7 @@ std::string EventTracer::to_json() const {
 }
 
 void EventTracer::write_json(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    throw SimError("EventTracer: cannot write " + path);
-  }
+  std::ofstream out = open_artifact(path, "EventTracer");
   out << to_json();
 }
 

@@ -60,6 +60,7 @@ class EventTracer {
   };
 
   explicit EventTracer(sim::Kernel& kernel) : kernel_(kernel) {}
+  virtual ~EventTracer() = default;
 
   EventTracer(const EventTracer&) = delete;
   EventTracer& operator=(const EventTracer&) = delete;
@@ -100,10 +101,22 @@ class EventTracer {
   /// to_json + write to @p path; throws SimError when unwritable.
   void write_json(const std::string& path) const;
 
+ protected:
+  /// Every emit path funnels through here. Subclasses override to bound
+  /// retention (obs::FlightRecorder keeps a ring instead of the full
+  /// append-only log).
+  virtual void record(Event e) { events_.push_back(std::move(e)); }
+
+  /// Events in timestamp order for serialization. The base class stores
+  /// them in emission order, which IS cycle order; a ring overrides this
+  /// to un-rotate its buffer.
+  [[nodiscard]] virtual std::vector<const Event*> chronological() const;
+
+  std::vector<Event> events_;
+
  private:
   sim::Kernel& kernel_;
   std::vector<std::string> track_names_;
-  std::vector<Event> events_;
 };
 
 }  // namespace ouessant::obs

@@ -83,8 +83,33 @@ void Dispatcher::set_tracer(obs::EventTracer* tracer) {
   for (auto& w : workers_) w.session->set_tracer(tracer);
 }
 
+void Dispatcher::set_job_sampler(const obs::SamplingProfiler* prof) {
+  sampler_ = prof;
+  if (prof == nullptr) return;
+  // Job-level hooks only: the worker sessions (driver spans) and queue
+  // counters stay detached — sampled tracing is the subset that stays
+  // affordable with hundreds of shards, and a sampled job's events
+  // (enqueue instant, flow arrows, dispatch/retire spans) are coherent
+  // end-to-end because job_traced() is a pure function of the id.
+  tracer_ = &prof->tracer();
+  sched_track_ = tracer_->track("svc.sched");
+  jobs_track_ = tracer_->track("svc.jobs");
+  for (auto& w : workers_) {
+    w.track = tracer_->track("svc.worker." + w.session->ocp().name());
+  }
+}
+
+bool Dispatcher::batch_traced(const std::vector<Job>& batch) const {
+  if (tracer_ == nullptr) return false;
+  if (sampler_ == nullptr) return true;
+  for (const Job& j : batch) {
+    if (sampler_->sampled(j.id)) return true;
+  }
+  return false;
+}
+
 void Dispatcher::trace_enqueue(u64 id, JobKind kind) {
-  if (tracer_ == nullptr) return;
+  if (!job_traced(id)) return;
   tracer_->instant(sched_track_, "enqueue",
                    {obs::arg("id", id), obs::arg("kind", kind_name(kind))});
   tracer_->flow_begin(sched_track_, "job", id);
@@ -92,7 +117,10 @@ void Dispatcher::trace_enqueue(u64 id, JobKind kind) {
 }
 
 void Dispatcher::trace_queue_counters() {
-  if (tracer_ == nullptr) return;
+  // Counter series are full-rate by nature; under a sampling profiler
+  // they are dropped entirely rather than emitted at a misleading
+  // sampled rate.
+  if (tracer_ == nullptr || sampler_ != nullptr) return;
   tracer_->counter(sched_track_, "queue_depth", queue_.size());
   tracer_->counter(sched_track_, "in_flight", in_flight_);
 }
@@ -246,7 +274,7 @@ void Dispatcher::retire_worker(Worker& w) {
   w.stats.jobs += batch.size();
   in_flight_ -= static_cast<u32>(batch.size());
   charge_retire(gpp_, batch.size());
-  if (tracer_ != nullptr) {
+  if (batch_traced(batch)) {
     tracer_->complete(w.track, "batch", w.busy_since, done_at,
                       {obs::arg("jobs", u64{batch.size()}),
                        obs::arg("kind", kind_name(w.kind))});
@@ -280,7 +308,7 @@ void Dispatcher::retire_worker(Worker& w) {
       continue;
     }
     ++completed_;
-    if (tracer_ != nullptr) {
+    if (job_traced(job.id)) {
       tracer_->complete(
           jobs_track_, kind_name(job.kind), job.arrival, job.complete,
           {obs::arg("id", job.id), obs::arg("wait", job.queue_wait()),
@@ -346,7 +374,7 @@ void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
   for (auto& job : batch) {
     job.dispatch = dispatched;
     job.worker = static_cast<int>(wi);
-    if (tracer_ != nullptr) tracer_->flow_step(w.track, "job", job.id);
+    if (job_traced(job.id)) tracer_->flow_step(w.track, "job", job.id);
   }
   w.session->start_async();
   w.busy = true;
@@ -459,6 +487,11 @@ void Dispatcher::handle_worker_fault(Worker& w, fault::FaultClass cls) {
                          std::to_string(policy_.watchdog_cycles) +
                          " cycles busy)"};
   }
+  if (flight_ != nullptr && cls == fault::FaultClass::kTimeout) {
+    // A hang is exactly the moment the ring was kept for: latch it so
+    // the owning layer dumps the post-mortem window.
+    flight_->trigger("watchdog:" + w.session->ocp().name());
+  }
   if (tracer_ != nullptr) {
     tracer_->instant(w.track, "fault",
                      {obs::arg("class", fault::class_name(cls)),
@@ -497,6 +530,9 @@ void Dispatcher::penalize_worker(Worker& w) {
       tracer_->instant(w.track, "quarantine",
                        {obs::arg("consecutive", u64{w.consecutive_faults})});
     }
+    if (flight_ != nullptr) {
+      flight_->trigger("quarantine:" + w.session->ocp().name());
+    }
   }
 }
 
@@ -523,7 +559,7 @@ void Dispatcher::fault_job(Job job, fault::FaultClass cls, Cycle now) {
 
 void Dispatcher::fail_job(const Job& job, fault::FaultClass cls) {
   ++failed_;
-  if (tracer_ != nullptr) {
+  if (job_traced(job.id)) {
     tracer_->instant(jobs_track_, "job_failed",
                      {obs::arg("id", job.id),
                       obs::arg("attempts", u64{job.attempts}),
@@ -533,6 +569,7 @@ void Dispatcher::fail_job(const Job& job, fault::FaultClass cls) {
   // No completion_hook_: a failed job never completed. Closed-loop
   // generators must not rely on the hook for liveness under faults
   // (serve_faulty runs open-loop).
+  if (failure_hook_) failure_hook_(job);
 }
 
 void Dispatcher::requeue_retries() {

@@ -27,6 +27,8 @@
 #include "cpu/irq_controller.hpp"
 #include "drv/session.hpp"
 #include "fault/report.hpp"
+#include "obs/flight.hpp"
+#include "obs/profile.hpp"
 #include "obs/tracer.hpp"
 #include "sim/kernel.hpp"
 #include "svc/job.hpp"
@@ -123,6 +125,13 @@ class Dispatcher : public sim::Component {
   /// the service's latency recorder.
   void set_completion_hook(std::function<void(const Job&)> fn) {
     completion_hook_ = std::move(fn);
+  }
+
+  /// Called once per job given up on (retry budget exhausted or its
+  /// kind became unservable) — the SLO layer counts these as bad
+  /// events; the completion hook never sees them.
+  void set_failure_hook(std::function<void(const Job&)> fn) {
+    failure_hook_ = std::move(fn);
   }
 
   /// Arm the fault-handling policy (retry/backoff, watchdog,
@@ -231,6 +240,22 @@ class Dispatcher : public sim::Component {
   /// every worker session (driver spans land on their "drv.*" tracks).
   void set_tracer(obs::EventTracer* tracer);
 
+  /// Attach a sampling profiler: the job-level trace hooks (enqueue
+  /// instants, flow arrows, dispatch/retire spans) arm for the
+  /// profiler's 1-in-N job subset only, writing into the profiler's
+  /// tracer. Unlike set_tracer this does NOT forward to the worker
+  /// sessions or emit queue counters — sampled tracing is the
+  /// fleet-affordable subset (docs/observability.md). Purely host-side:
+  /// sim clocks are bit-identical armed or not.
+  void set_job_sampler(const obs::SamplingProfiler* prof);
+
+  /// Attach a flight recorder for fault triggers: the dispatcher calls
+  /// trigger() when it quarantines a worker or a watchdog deadline
+  /// expires, latching the ring for a post-mortem dump. Independent of
+  /// set_tracer — the recorder is typically wired to the hardware
+  /// layers while the dispatcher only marks the moments that matter.
+  void set_flight_recorder(obs::FlightRecorder* flight) { flight_ = flight; }
+
   // sim::Component (the arrival doorbell).
   void tick_commit() override;
   [[nodiscard]] bool is_quiescent() const override;
@@ -271,6 +296,15 @@ class Dispatcher : public sim::Component {
     Cycle ready_at = 0;
     Job job;
   };
+
+  /// Job-coherent sampling gate: true when @p id's events should be
+  /// emitted (tracer attached, and either no profiler or the job is in
+  /// the sampled subset).
+  [[nodiscard]] bool job_traced(u64 id) const {
+    return tracer_ != nullptr &&
+           (sampler_ == nullptr || sampler_->sampled(id));
+  }
+  [[nodiscard]] bool batch_traced(const std::vector<Job>& batch) const;
 
   void ingest_arrivals();
   void retire_completions();
@@ -314,7 +348,10 @@ class Dispatcher : public sim::Component {
   SlotDirector* slots_ = nullptr;  ///< slot-farm scheduler (optional)
   bool slots_due_ = false;   ///< a swap completed since the last pass
   std::function<void(const Job&)> completion_hook_;
+  std::function<void(const Job&)> failure_hook_;
   obs::EventTracer* tracer_ = nullptr;
+  const obs::SamplingProfiler* sampler_ = nullptr;  ///< 1-in-N job gate
+  obs::FlightRecorder* flight_ = nullptr;  ///< fault-trigger target
   obs::TrackId sched_track_ = 0;  ///< "svc.sched": instants + counters
   obs::TrackId jobs_track_ = 0;   ///< "svc.jobs": per-job lifetime spans
 };

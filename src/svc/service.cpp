@@ -250,18 +250,38 @@ void OffloadService::attach_tracer(obs::EventTracer& tracer) {
 }
 
 void OffloadService::attach_metrics(obs::MetricsSampler& sampler) {
-  sampler.add_gauge("queue_depth", [this] {
-    return static_cast<u64>(dispatcher_.queue().size());
-  });
-  sampler.add_gauge("in_flight",
-                    [this] { return static_cast<u64>(dispatcher_.in_flight()); });
-  sampler.add_gauge("bus_granted",
-                    [this] { return static_cast<u64>(soc_.bus().granted_now()); });
+  sampler.add_gauge(
+      "queue_depth",
+      [this] { return static_cast<u64>(dispatcher_.queue().size()); },
+      "jobs", "jobs waiting in the bounded dispatch queue");
+  sampler.add_gauge(
+      "in_flight",
+      [this] { return static_cast<u64>(dispatcher_.in_flight()); }, "jobs",
+      "jobs launched on some worker, not yet retired");
+  sampler.add_gauge(
+      "bus_granted",
+      [this] { return static_cast<u64>(soc_.bus().granted_now()); }, "bool",
+      "interconnect grant active this cycle");
   for (std::size_t i = 0; i < dispatcher_.worker_count(); ++i) {
-    sampler.add_gauge("ocp" + std::to_string(i) + "_busy", [this, i] {
-      return static_cast<u64>(dispatcher_.worker_busy(i));
-    });
+    sampler.add_gauge(
+        "ocp" + std::to_string(i) + "_busy",
+        [this, i] { return static_cast<u64>(dispatcher_.worker_busy(i)); },
+        "bool", "worker " + std::to_string(i) + " serving a batch");
   }
+}
+
+void OffloadService::attach_profiler(obs::SamplingProfiler& prof) {
+  dispatcher_.set_job_sampler(&prof);
+}
+
+void OffloadService::attach_flight_recorder(obs::FlightRecorder& flight) {
+  for (std::size_t i = 0; i < soc_.ocp_count(); ++i) {
+    soc_.ocp(i).controller().set_tracer(&flight);
+    soc_.ocp(i).rac().set_tracer(&flight);
+  }
+  if (icap_ != nullptr) icap_->set_tracer(&flight);
+  dispatcher_.set_flight_recorder(&flight);
+  flight_ = &flight;
 }
 
 void OffloadService::validate(const WorkloadConfig& workload) const {
@@ -293,9 +313,11 @@ void OffloadService::validate(const WorkloadConfig& workload) const {
 
 void OffloadService::install_completion_hook() {
   dispatcher_.set_completion_hook([this](const Job& job) {
-    rep_.wait.add(job.queue_wait());
-    rep_.service.add(job.service());
-    rep_.e2e.add(job.end_to_end());
+    if (record_latency_) {
+      rep_.wait.add(job.queue_wait());
+      rep_.service.add(job.service());
+      rep_.e2e.add(job.end_to_end());
+    }
     if (job_observer_) job_observer_(job);
     // Closed loop: the client whose job just finished submits its next
     // one immediately (zero think time — a pure throughput probe).
@@ -460,7 +482,9 @@ snap::Snapshot OffloadService::snapshot() const {
   rep_.e2e.save_state(w, "e2e");
   w.write_bool("has_injector", injector_ != nullptr);
   if (injector_) injector_->save_state(w);
-  s.add("svc", 1, w.take());
+  w.write_bool("has_flight", flight_ != nullptr);
+  if (flight_ != nullptr) flight_->save_state(w);
+  s.add("svc", 2, w.take());
   return s;
 }
 
@@ -469,7 +493,7 @@ void OffloadService::restore(const snap::Snapshot& snap) {
     throw ConfigError("OffloadService: restore() needs a fresh instance");
   }
   const snap::Section& sec = snap.section("svc");
-  if (sec.version != 1) {
+  if (sec.version != 2) {
     throw snap::SnapshotError("svc: unsupported section version " +
                               std::to_string(sec.version));
   }
@@ -510,6 +534,12 @@ void OffloadService::restore(const snap::Snapshot& snap) {
         "svc: injector presence differs between image and target");
   }
   if (injector_) injector_->restore_state(r);
+  const bool has_flight = r.read_bool("has_flight");
+  if (has_flight != (flight_ != nullptr)) {
+    throw snap::SnapshotError(
+        "svc: flight-recorder presence differs between image and target");
+  }
+  if (flight_ != nullptr) flight_->restore_state(r);
   r.expect_end();
 
   if (began_) install_completion_hook();

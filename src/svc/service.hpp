@@ -15,6 +15,8 @@
 #include "cpu/irq_controller.hpp"
 #include "exp/result.hpp"
 #include "fault/injector.hpp"
+#include "obs/flight.hpp"
+#include "obs/profile.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
 #include "platform/soc.hpp"
@@ -124,6 +126,29 @@ class OffloadService {
   /// per-worker busy, bus occupancy) on @p sampler. Call before run().
   void attach_metrics(obs::MetricsSampler& sampler);
 
+  /// Arm the sampling profiler: job-level trace hooks (enqueue,
+  /// flow arrows, dispatch/retire spans) fire for the profiler's 1-in-N
+  /// job subset only, into the profiler's tracer. The fleet-affordable
+  /// alternative to attach_tracer: hardware layers stay untraced, and
+  /// arming is passive — sim clocks are bit-identical either way.
+  void attach_profiler(obs::SamplingProfiler& prof);
+
+  /// Arm the flight recorder: the hardware layers (controllers, RACs,
+  /// ICAP) stream full-fidelity events into @p flight's bounded ring,
+  /// and the dispatcher latches a trigger on quarantine / watchdog
+  /// faults so the owning layer knows to dump the ring post-mortem.
+  /// The bus is deliberately NOT wired (a bus tracer turns off the
+  /// batched-window fast path; the ring must stay affordable on every
+  /// shard). Snapshot-carried: the "svc" section records the ring so a
+  /// warm-booted clone resumes with its template's recent history.
+  void attach_flight_recorder(obs::FlightRecorder& flight);
+
+  /// Toggle raw latency-sample retention in the ServiceReport (default
+  /// on). Fleet shards turn it off: per-job latencies stream into the
+  /// fleet's mergeable sketches via the job observer instead, so peak
+  /// retained samples stays O(sketch), not O(jobs).
+  void set_latency_recording(bool on) { record_latency_ = on; }
+
   /// Serve @p workload to completion and report. Single-shot: a service
   /// instance runs exactly one workload (scenarios build a fresh SoC per
   /// grid point, as the parallel sweep requires). Equivalent to
@@ -204,6 +229,8 @@ class OffloadService {
   std::vector<std::unique_ptr<core::ReconfigSlot>> regions_;
   std::unique_ptr<SlotManager> slot_mgr_;
   std::function<void(const Job&)> job_observer_;
+  obs::FlightRecorder* flight_ = nullptr;  ///< attached ring (not owned)
+  bool record_latency_ = true;
   bool ran_ = false;
 
   // In-progress run state (begin .. finish), snapshot-carried.

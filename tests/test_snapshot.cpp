@@ -516,13 +516,14 @@ TEST(Fleet, WarmBootedShardsServeAndReproduce) {
   EXPECT_EQ(rep.total_completed + rep.total_rejected + rep.total_failed,
             rep.total_jobs);
   EXPECT_GT(rep.total_completed, 0u);
-  EXPECT_EQ(rep.merged_e2e.count(), rep.total_completed);
+  EXPECT_EQ(rep.e2e_sketch.count(), rep.total_completed);
+  // Raw samples never accumulate: everything streams into the sketch.
+  EXPECT_EQ(rep.peak_retained_samples, 0u);
   EXPECT_GT(rep.snapshot_bytes, 0u);
   EXPECT_TRUE(rep.reproducible);  // fixed-seed shard replay is bit-exact
   ASSERT_EQ(rep.shard_results.size(), 3u);
   // Distinct seeds: shard runs are not clones of each other.
-  EXPECT_NE(rep.shard_results[0].report.e2e.samples(),
-            rep.shard_results[1].report.e2e.samples());
+  EXPECT_NE(rep.shard_results[0].digest, rep.shard_results[1].digest);
 }
 
 TEST(Fleet, RejectsEmptyFleet) {
