@@ -31,6 +31,10 @@
 //                                       from FILE instead of cold-booting;
 //                                       use --filter to select the
 //                                       configuration FILE was saved from
+//   ouessant_bench --chain MODE         force every chain-aware (chain_*,
+//                                       serve_jpeg) run to MODE ("linked"
+//                                       or "store_forward") instead of its
+//                                       built-in grid (docs/chaining.md)
 //   ouessant_bench --help               print this usage on stdout
 //
 // Exit status is non-zero when any scenario run fails an invariant or the
@@ -65,6 +69,7 @@ struct Options {
   std::string faults;
   std::string snapshot_stem;
   std::string restore_path;
+  std::string chain;
 };
 
 /// The one flag list, printed to stdout for --help (exit 0) and stderr
@@ -76,7 +81,8 @@ void usage(const char* argv0, std::FILE* to) {
                "usage: %s [--help] [--list] [--filter SUBSTR[,SUBSTR...]]\n"
                "          [--jobs N] [--json PATH] [--compare-jobs N]\n"
                "          [--seed U64] [--trace STEM] [--trace-events STEM]\n"
-               "          [--faults SPEC] [--snapshot STEM] [--restore FILE]\n",
+               "          [--faults SPEC] [--snapshot STEM] [--restore FILE]\n"
+               "          [--chain linked|store_forward]\n",
                argv0);
 }
 
@@ -146,6 +152,13 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt->restore_path = v;
+    } else if (arg == "--chain") {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::string(v) != "linked" && std::string(v) != "store_forward")) {
+        return false;
+      }
+      opt->chain = v;
     } else {
       usage(argv[0], stderr);
       return false;
@@ -273,7 +286,8 @@ int main(int argc, char** argv) {
                      .trace_events_stem = opt.trace_events_stem,
                      .faults = opt.faults,
                      .snapshot_stem = opt.snapshot_stem,
-                     .restore_path = opt.restore_path});
+                     .restore_path = opt.restore_path,
+                     .chain = opt.chain});
       const auto parallel = exp::run_sweep(
           registry, {.jobs = opt.compare_jobs,
                      .filter = opt.filter,
@@ -282,7 +296,8 @@ int main(int argc, char** argv) {
                      .trace_events_stem = opt.trace_events_stem,
                      .faults = opt.faults,
                      .snapshot_stem = opt.snapshot_stem,
-                     .restore_path = opt.restore_path});
+                     .restore_path = opt.restore_path,
+                     .chain = opt.chain});
       const bool identical =
           payloads_identical(jobs, serial.results, parallel.results);
       const double speedup = serial.wall_seconds / parallel.wall_seconds;
@@ -317,7 +332,8 @@ int main(int argc, char** argv) {
                    .trace_events_stem = opt.trace_events_stem,
                    .faults = opt.faults,
                    .snapshot_stem = opt.snapshot_stem,
-                   .restore_path = opt.restore_path});
+                   .restore_path = opt.restore_path,
+                   .chain = opt.chain});
     print_tables(registry, outcome.results);
     std::printf("sweep: %zu runs | jobs=%d | %.3fs | %zu failed\n",
                 outcome.results.size(), outcome.jobs, outcome.wall_seconds,

@@ -21,6 +21,7 @@ void register_all_scenarios(exp::Registry& r) {
   register_serve_faulty(r);
   register_fleet_warmboot(r);
   register_dpr_farm(r);
+  register_chain(r);
 }
 
 }  // namespace ouessant::scenarios

@@ -27,6 +27,7 @@ void register_serve(exp::Registry& r);              // bench_serve.cpp
 void register_serve_faulty(exp::Registry& r);       // bench_serve_faulty.cpp
 void register_fleet_warmboot(exp::Registry& r);     // bench_fleet.cpp
 void register_dpr_farm(exp::Registry& r);           // bench_dpr_farm.cpp
+void register_chain(exp::Registry& r);              // bench_chain.cpp
 
 /// Everything above, in E-order. Call once at startup.
 void register_all_scenarios(exp::Registry& r);

@@ -7,7 +7,10 @@
 #      honest — adding a flag without documenting it fails tier-1);
 #   3. every repo path a doc references must exist — as-is, or as the
 #      <path>.cpp / <path>.hpp source of a same-named binary target
-#      (docs say `bench/trace_guard`, the file is bench/trace_guard.cpp).
+#      (docs say `bench/trace_guard`, the file is bench/trace_guard.cpp);
+#   4. every committed BENCH_*.json artifact must be named in
+#      EXPERIMENTS.md — a benchmark record nobody documents is a
+#      benchmark nobody can interpret or regenerate.
 #
 # Usage: scripts/check_docs.sh [path/to/ouessant_bench]
 #   The bench binary defaults to build/bench/ouessant_bench; check 2 is
@@ -55,6 +58,15 @@ for p in $refs; do
   [[ "$p" == *'<'* ]] && continue
   if [[ ! -e "$p" && ! -e "$p.cpp" && ! -e "$p.hpp" ]]; then
     echo "FAIL: docs reference $p, which does not exist"
+    fail=1
+  fi
+done
+
+echo "-- check 4: committed BENCH_*.json artifacts vs EXPERIMENTS.md"
+for b in BENCH_*.json; do
+  [[ -e "$b" ]] || continue
+  if ! grep -q -- "$b" EXPERIMENTS.md; then
+    echo "FAIL: $b is committed but never mentioned in EXPERIMENTS.md"
     fail=1
   fi
 done

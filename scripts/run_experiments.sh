@@ -63,9 +63,34 @@ if av["hysteresis"] <= av["static"]:
              f"assignment ({av['hysteresis']:.3f} <= {av['static']:.3f})")
 print("dpr guard OK: scheduler beats static on the shifted mix")
 EOF
+# The accelerator-chaining record (docs/chaining.md): p2p link vs SRAM
+# bounce at equal payload, the conduit cost sweep, a chained worker
+# under load, and the end-to-end JPEG decode. The guard is the
+# subsystem's headline claim: the linked mode must beat the
+# store-and-forward ablation on both cycles and bus beats.
+./build/bench/ouessant_bench --filter CHAIN \
+  --json BENCH_chain.json | tee build/experiment-logs/chain.txt
+python3 - BENCH_chain.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = [r for r in doc["results"] if r["scenario"] == "chain_traffic"]
+if not rows:
+    sys.exit("chain guard: no chain_traffic rows in BENCH_chain.json")
+for r in rows:
+    m, batch = r["metrics"], r["params"]["batch"]
+    if m["linked_cycles"] >= m["sf_cycles"]:
+        sys.exit(f"chain guard: linked lost on cycles at batch {batch} "
+                 f"({m['linked_cycles']} >= {m['sf_cycles']})")
+    if m["linked_beats"] >= m["sf_beats"]:
+        sys.exit(f"chain guard: linked lost on bus beats at batch {batch} "
+                 f"({m['linked_beats']} >= {m['sf_beats']})")
+print("chain guard OK: linked beats store-and-forward on cycles and beats")
+EOF
 
 echo
 echo "transcript in build/experiment-logs/sweep.txt, results in BENCH_sweep.json"
 echo "service scenarios in build/experiment-logs/serve.txt, results in BENCH_serve.json"
 echo "speed baseline in build/experiment-logs/speed.txt, results in BENCH_speed.json"
 echo "fleet warm-boot record in build/experiment-logs/fleet.txt, results in BENCH_fleet.json"
+echo "slot-farm record in build/experiment-logs/dpr.txt, results in BENCH_dpr.json"
+echo "chaining record in build/experiment-logs/chain.txt, results in BENCH_chain.json"

@@ -29,7 +29,12 @@
 #      cycle accounting, preemptive swaps, cache LRU), then the DPRF
 #      scenarios with a guard that the demand-driven swap scheduler
 #      beats static slot assignment on the shifted demand mix
-#  10. the fleet-observability stage: a 16-shard fault-armed fleet run
+#  10. the chain stage: test_chain on the sanitizer build (CHAIN CSR
+#      semantics, ChainLink timing, linked vs store-and-forward
+#      bit-identity, the mid-batch snapshot round trip), then the CHAIN
+#      scenarios with a guard that the p2p linked mode beats the
+#      store-and-forward ablation on cycles and bus beats
+#  11. the fleet-observability stage: a 16-shard fault-armed fleet run
 #      twice, unarmed vs fully armed (sampling profiler + quantile
 #      sketches + SLO monitors + flight recorders) — every shard must be
 #      bit-identical and the armed run within 1.5x unarmed host time;
@@ -90,6 +95,34 @@ if av["hysteresis"] <= av["static"]:
     sys.exit("dpr guard: the swap scheduler lost to static slot "
              f"assignment ({av['hysteresis']:.3f} <= {av['static']:.3f})")
 print("dpr guard OK")
+EOF
+
+echo "==== tier-1: accelerator chaining (CHAIN) ===="
+# The conduit-timing and session-protocol proofs on the sanitizer build
+# (a dangling FIFO binding or a mis-restored staging register would be
+# fatal here), then the subsystem's headline claim on the plain build:
+# the p2p linked mode must beat the store-and-forward ablation on both
+# cycles and bus beats at equal payload. The committed BENCH_chain.json
+# is refreshed by scripts/run_experiments.sh.
+./build-san/tests/test_chain
+./build/bench/ouessant_bench --filter CHAIN \
+  --json build/bench/BENCH_chain.json > /dev/null
+python3 - build/bench/BENCH_chain.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = [r for r in doc["results"] if r["scenario"] == "chain_traffic"]
+if not rows:
+    sys.exit("chain guard: no chain_traffic rows")
+for r in rows:
+    m, batch = r["metrics"], r["params"]["batch"]
+    print(f"  batch {batch}: linked {m['linked_cycles']} cycles / "
+          f"{m['linked_beats']} beats | store_forward {m['sf_cycles']} "
+          f"cycles / {m['sf_beats']} beats")
+    if m["linked_cycles"] >= m["sf_cycles"] or \
+       m["linked_beats"] >= m["sf_beats"]:
+        sys.exit(f"chain guard: linked lost to store-and-forward at "
+                 f"batch {batch}")
+print("chain guard OK")
 EOF
 
 echo "==== tier-1: TSan parallel sweep ===="

@@ -1,5 +1,7 @@
 #include "codec/huffman.hpp"
 
+#include <string>
+
 namespace ouessant::codec {
 
 // ------------------------------------------------------------ bitstream --
@@ -25,7 +27,11 @@ std::vector<u8> BitWriter::finish() {
 
 u32 BitReader::get_bit() {
   const std::size_t byte = pos_ / 8;
-  if (byte >= bytes_.size()) throw SimError("BitReader: past end of stream");
+  if (byte >= bytes_.size()) {
+    throw SimError("BitReader: past end of stream at bit " +
+                   std::to_string(pos_) + " (" +
+                   std::to_string(bytes_.size()) + " bytes)");
+  }
   const u32 bit = (bytes_[byte] >> (7 - pos_ % 8)) & 1u;
   ++pos_;
   return bit;
@@ -82,7 +88,8 @@ u8 HuffTable::decode(BitReader& in) const {
       return values_[val_index_[len] + static_cast<u16>(code - min_code_[len])];
     }
   }
-  throw SimError("HuffTable: invalid code in stream");
+  throw SimError("HuffTable: invalid code in stream at bit " +
+                 std::to_string(in.bits_consumed()));
 }
 
 // T.81 Table K.3 — luminance DC.
@@ -206,12 +213,24 @@ void huff_decode_block(BitReader& in, i32 scan[64], i32& dc_pred) {
     if (symbol == kEob) return;
     if (symbol == kZrl) {
       i += 16;
+      // A compliant encoder always follows ZRL with a coefficient, so a
+      // ZRL that lands at or past the block end is stream corruption —
+      // silently ending the block here would decode garbage as valid.
+      if (i >= 64) {
+        throw SimError("huff_decode_block: ZRL past block end (scan index " +
+                       std::to_string(i) + ", bit " +
+                       std::to_string(in.bits_consumed()) + ")");
+      }
       continue;
     }
     const u32 run = symbol >> 4;
     const unsigned cat = symbol & 0xF;
     i += run;
-    if (i >= 64) throw SimError("huff_decode_block: run past block end");
+    if (i >= 64) {
+      throw SimError("huff_decode_block: run past block end (scan index " +
+                     std::to_string(i) + ", bit " +
+                     std::to_string(in.bits_consumed()) + ")");
+    }
     scan[i] = extend(in.get(cat), cat);
     ++i;
   }

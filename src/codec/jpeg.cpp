@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/reference.hpp"
 #include "util/rng.hpp"
@@ -58,12 +59,16 @@ i32 get_varint(const std::vector<u8>& in, std::size_t& pos) {
   u32 v = 0;
   unsigned shift = 0;
   for (;;) {
-    if (pos >= in.size()) throw SimError("jpeg: truncated varint");
+    if (pos >= in.size()) {
+      throw SimError("jpeg: truncated varint at byte " + std::to_string(pos));
+    }
     const u8 byte = in[pos++];
     v |= static_cast<u32>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
-    if (shift > 28) throw SimError("jpeg: varint overflow");
+    if (shift > 28) {
+      throw SimError("jpeg: varint overflow at byte " + std::to_string(pos));
+    }
   }
   return static_cast<i32>((v >> 1) ^ (~(v & 1) + 1));
 }
@@ -211,11 +216,17 @@ std::vector<std::array<i32, kBlockSize>> decode_coefficients(
     std::array<i32, kBlockSize> coef{};
     u32 scan = 0;
     for (;;) {
-      if (pos >= img.payload.size()) throw SimError("jpeg: truncated stream");
+      if (pos >= img.payload.size()) {
+        throw SimError("jpeg: truncated stream in block " + std::to_string(b) +
+                       " of " + std::to_string(img.blocks()));
+      }
       const u8 run = img.payload[pos++];
       if (run == kEob) break;
       scan += run;
-      if (scan >= kBlockSize) throw SimError("jpeg: run past block end");
+      if (scan >= kBlockSize) {
+        throw SimError("jpeg: run past block end (block " + std::to_string(b) +
+                       ", scan index " + std::to_string(scan) + ")");
+      }
       const i32 value = get_varint(img.payload, pos);
       coef[zz[scan]] = value * quant[zz[scan]];  // dequantize
       ++scan;
@@ -233,6 +244,75 @@ std::vector<std::array<i32, kBlockSize>> decode_coefficients(
     m.branch(img.payload.size() / 2);
     m.alu(tokens * 8);
     m.mul(tokens);  // dequantize multiply
+    m.store(tokens);
+    m.alu(img.blocks() * 20);
+    gpp->spend(m);
+  }
+  return blocks;
+}
+
+std::vector<std::array<i32, kBlockSize>> decode_quantized(
+    const JpegImage& img, cpu::Gpp* gpp) {
+  std::vector<std::array<i32, kBlockSize>> blocks;
+  blocks.reserve(img.blocks());
+  if (img.entropy == EntropyKind::kHuffman) {
+    BitReader in(img.payload);
+    i32 dc_pred = 0;
+    u64 nonzeros = 0;
+    for (u32 b = 0; b < img.blocks(); ++b) {
+      i32 scan[kBlockSize];
+      huff_decode_block(in, scan, dc_pred);
+      std::array<i32, kBlockSize> q{};
+      for (u32 i = 0; i < kBlockSize; ++i) {
+        if (scan[i] != 0) ++nonzeros;
+        q[i] = scan[i];
+      }
+      blocks.push_back(q);
+    }
+    if (gpp != nullptr) {
+      // The Huffman cost of decode_coefficients minus the dequantize
+      // multiply+extra ALU per coefficient — that work moves into the
+      // chained DequantRac.
+      cpu::CostMeter m = gpp->meter();
+      m.alu(in.bits_consumed() * 2);
+      m.load(in.bits_consumed() / 8);
+      m.branch(in.bits_consumed() / 2);
+      m.alu(nonzeros * 4);
+      m.store(nonzeros);
+      m.alu(img.blocks() * 24);
+      gpp->spend(m);
+    }
+    return blocks;
+  }
+  std::size_t pos = 0;
+  u64 tokens = 0;
+  for (u32 b = 0; b < img.blocks(); ++b) {
+    std::array<i32, kBlockSize> q{};
+    u32 scan = 0;
+    for (;;) {
+      if (pos >= img.payload.size()) {
+        throw SimError("jpeg: truncated stream in block " + std::to_string(b) +
+                       " of " + std::to_string(img.blocks()));
+      }
+      const u8 run = img.payload[pos++];
+      if (run == kEob) break;
+      scan += run;
+      if (scan >= kBlockSize) {
+        throw SimError("jpeg: run past block end (block " + std::to_string(b) +
+                       ", scan index " + std::to_string(scan) + ")");
+      }
+      q[scan] = get_varint(img.payload, pos);
+      ++scan;
+      ++tokens;
+    }
+    blocks.push_back(q);
+  }
+  if (gpp != nullptr) {
+    cpu::CostMeter m = gpp->meter();
+    m.load(img.payload.size());
+    m.alu(img.payload.size());
+    m.branch(img.payload.size() / 2);
+    m.alu(tokens * 6);
     m.store(tokens);
     m.alu(img.blocks() * 20);
     gpp->spend(m);

@@ -74,6 +74,15 @@ JpegImage encode(const Raster& img, u32 quality,
 std::vector<std::array<i32, kBlockSize>> decode_coefficients(
     const JpegImage& img, cpu::Gpp* gpp = nullptr);
 
+/// Entropy-decoded but NOT dequantized coefficient blocks, in scan
+/// (zigzag) order — the exact 64-word payloads the chained
+/// dequantize->IDCT OCP pair consumes (docs/chaining.md). When @p gpp
+/// is non-null only the entropy stage is charged to the CPU; the
+/// dequantize multiplies belong to whoever runs them (the DequantRac
+/// in the hardware chain, decode_coefficients in software).
+std::vector<std::array<i32, kBlockSize>> decode_quantized(
+    const JpegImage& img, cpu::Gpp* gpp = nullptr);
+
 /// Assemble IDCT output blocks (raster-block order) back into a Raster,
 /// re-centering to [0, 255] with clamping.
 Raster assemble(const std::vector<std::array<i32, kBlockSize>>& blocks,

@@ -3,6 +3,7 @@
 namespace ouessant::drv {
 
 using core::kCtrlBusy;
+using core::kCtrlChain;
 using core::kCtrlDone;
 using core::kCtrlErr;
 using core::kCtrlIe;
@@ -44,13 +45,22 @@ void OcpDriver::install_program_backdoor(mem::Sram& mem, Addr prog_base,
   gpp_.write32(base_ + core::kRegProgSize, static_cast<u32>(prog.size()));
 }
 
+u32 OcpDriver::shadow() const {
+  return (ie_ ? kCtrlIe : 0u) | (chain_ ? kCtrlChain : 0u);
+}
+
 void OcpDriver::enable_irq(bool on) {
   ie_ = on;
-  gpp_.write32(base_ + core::kRegCtrl, on ? kCtrlIe : 0);
+  gpp_.write32(base_ + core::kRegCtrl, shadow());
+}
+
+void OcpDriver::enable_chain(bool on) {
+  chain_ = on;
+  gpp_.write32(base_ + core::kRegCtrl, shadow());
 }
 
 void OcpDriver::start() {
-  gpp_.write32(base_ + core::kRegCtrl, kCtrlStart | (ie_ ? kCtrlIe : 0));
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlStart | shadow());
 }
 
 u32 OcpDriver::read_ctrl() { return gpp_.read32(base_ + core::kRegCtrl); }
@@ -58,11 +68,11 @@ u32 OcpDriver::read_ctrl() { return gpp_.read32(base_ + core::kRegCtrl); }
 bool OcpDriver::done_bit_set() { return (read_ctrl() & kCtrlDone) != 0; }
 
 void OcpDriver::clear_done() {
-  gpp_.write32(base_ + core::kRegCtrl, kCtrlDone | (ie_ ? kCtrlIe : 0));
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlDone | shadow());
 }
 
 void OcpDriver::clear_error() {
-  gpp_.write32(base_ + core::kRegCtrl, kCtrlErr | (ie_ ? kCtrlIe : 0));
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlErr | shadow());
 }
 
 WaitResult OcpDriver::wait_done_poll_status(u64 poll_gap, u64 timeout,
@@ -139,7 +149,7 @@ void OcpDriver::wait_done_irq(u64 timeout) {
 }
 
 void OcpDriver::soft_reset(u64 settle) {
-  gpp_.write32(base_ + core::kRegCtrl, kCtrlRst | (ie_ ? kCtrlIe : 0));
+  gpp_.write32(base_ + core::kRegCtrl, kCtrlRst | shadow());
   const Cycle t0 = gpp_.now();
   constexpr u32 kStatusBits = kCtrlBusy | kCtrlDone | kCtrlErr | kCtrlProg;
   while ((read_ctrl() & kStatusBits) != 0) {
@@ -154,10 +164,12 @@ void OcpDriver::soft_reset(u64 settle) {
 
 void OcpDriver::save_state(snap::StateWriter& w) const {
   w.write_bool("ie", ie_);
+  w.write_bool("chain", chain_);
 }
 
 void OcpDriver::restore_state(snap::StateReader& r) {
   ie_ = r.read_bool("ie");
+  chain_ = r.read_bool("chain");
 }
 
 }  // namespace ouessant::drv

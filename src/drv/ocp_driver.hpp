@@ -54,6 +54,12 @@ class OcpDriver {
 
   void enable_irq(bool on);
 
+  /// Set or clear the CHAIN control bit (docs/chaining.md). Like IE it
+  /// is level-sensitive and re-derived on every control write, so the
+  /// driver shadows it and ORs it into each subsequent CTRL access.
+  void enable_chain(bool on);
+  [[nodiscard]] bool chain_shadow() const { return chain_; }
+
   // -- execution -----------------------------------------------------------
   /// Set the S bit (preserving IE).
   void start();
@@ -100,7 +106,7 @@ class OcpDriver {
 
   // -- snapshot hooks ------------------------------------------------------
   // Host-stack object (not a sim::Component): the session/service layer
-  // embeds these. The driver's only mutable state is its shadow of IE.
+  // embeds these. The driver's only mutable state is its IE/CHAIN shadow.
   void save_state(snap::StateWriter& w) const;
   void restore_state(snap::StateReader& r);
 
@@ -109,7 +115,11 @@ class OcpDriver {
   Addr base_;
   cpu::IrqLine& irq_;
   std::string name_;
+  /// Every CTRL write is composed as `bits | shadow()` so the
+  /// level-sensitive IE and CHAIN bits survive W1C acknowledgements.
+  [[nodiscard]] u32 shadow() const;
   bool ie_ = false;
+  bool chain_ = false;
 };
 
 }  // namespace ouessant::drv

@@ -59,6 +59,7 @@ std::vector<SweepJob> expand_jobs(const Registry& registry,
     job.seed = options.seed;
     job.faults = options.faults;
     job.restore_path = options.restore_path;
+    job.chain = options.chain;
     if (options.trace_stem.empty() && options.trace_events_stem.empty() &&
         options.snapshot_stem.empty()) {
       continue;
@@ -99,6 +100,7 @@ Result run_job(const SweepJob& job) {
       ctx.faults = job.faults;
       ctx.snapshot_path = job.snapshot_path;
       ctx.restore_path = job.restore_path;
+      ctx.chain = job.chain;
       job.spec->run_ctx(job.params, ctx, r);
     } else {
       job.spec->run(job.params, r);

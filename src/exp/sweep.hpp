@@ -46,6 +46,9 @@ struct SweepOptions {
   /// --restore). "" = cold boot. Only meaningful with a --filter that
   /// selects the configuration the snapshot was taken from.
   std::string restore_path;
+  /// Chain-mode override forwarded to every run_ctx job (ouessant_bench
+  /// --chain). "" = scenarios keep their built-in chain grids.
+  std::string chain;
 };
 
 /// One expanded (scenario, grid point) work item.
@@ -64,6 +67,8 @@ struct SweepJob {
   std::string snapshot_path;
   /// Snapshot file to warm-boot from ("" = cold boot).
   std::string restore_path;
+  /// Chain-mode override ("" = scenario default).
+  std::string chain;
 };
 
 struct SweepOutcome {

@@ -22,9 +22,12 @@
 //   rac    compute=busy window total; everything else pads into kIdle.
 #pragma once
 
+#include <span>
+
 #include "bus/interconnect.hpp"
 #include "cpu/gpp.hpp"
 #include "dpr/icap.hpp"
+#include "fifo/chain_link.hpp"
 #include "obs/ledger.hpp"
 #include "ouessant/controller.hpp"
 #include "ouessant/rac_if.hpp"
@@ -94,6 +97,21 @@ inline CycleLedger::TrackId collect_icap(CycleLedger& ledger,
   return id;
 }
 
+/// The p2p chaining conduit: every cycle the link is occupied moving a
+/// word is kTransfer (busy_cycles == words_moved * cycles_per_word by
+/// construction, so there is nothing to pad but idle). Delivery stalls
+/// against a full sink are deliberately NOT the link's: they surface as
+/// the consumer controller's exec_wait, keeping the decomposition free
+/// of double counting.
+inline CycleLedger::TrackId collect_chain(CycleLedger& ledger,
+                                          const fifo::ChainLink& l,
+                                          Cycle wall) {
+  const auto id = ledger.add_track("chain." + l.name());
+  ledger.credit(id, Category::kTransfer, l.busy_cycles());
+  ledger.close_track(id, wall, Category::kIdle);
+  return id;
+}
+
 /// Collect every standard track of @p soc (bus, cpu, each OCP's
 /// controller and RAC) against the current kernel cycle.
 inline void collect_soc(CycleLedger& ledger, platform::Soc& soc) {
@@ -124,6 +142,20 @@ inline CycleLedger validate_soc_ledger(platform::Soc& soc,
   collect_soc(ledger, soc);
   collect_icap(ledger, icap, soc.kernel().now());
   ledger.validate(soc.kernel().now());
+  return ledger;
+}
+
+/// Same, plus one track per chaining conduit — the chain scenarios
+/// prove their decomposition including the p2p transfer cycles.
+inline CycleLedger validate_soc_ledger(
+    platform::Soc& soc, std::span<const fifo::ChainLink* const> links) {
+  CycleLedger ledger;
+  collect_soc(ledger, soc);
+  const Cycle wall = soc.kernel().now();
+  for (const fifo::ChainLink* l : links) {
+    if (l != nullptr) collect_chain(ledger, *l, wall);
+  }
+  ledger.validate(wall);
   return ledger;
 }
 

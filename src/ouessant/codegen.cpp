@@ -95,6 +95,40 @@ Program build_batch_program(const StreamJob& per_block, u32 batch) {
   return p;
 }
 
+Program build_chain_head_program(const StreamJob& per_block, u32 batch) {
+  if (batch == 0 || batch > isa::kMaxLoopCount + 1) {
+    throw ConfigError("build_chain_head_program: batch must be 1..256");
+  }
+  if (per_block.in_words == 0 || per_block.in_words > isa::kMaxBurst) {
+    throw ConfigError(
+        "build_chain_head_program: per-block word count must fit one burst");
+  }
+  Program p;
+  p.mvtc(per_block.in_bank, per_block.in_offset, per_block.in_words,
+         per_block.in_fifo);
+  p.exec();
+  if (batch > 1) p.loop(0, batch - 1);
+  p.eop();
+  return p;
+}
+
+Program build_chain_tail_program(const StreamJob& per_block, u32 batch) {
+  if (batch == 0 || batch > isa::kMaxLoopCount + 1) {
+    throw ConfigError("build_chain_tail_program: batch must be 1..256");
+  }
+  if (per_block.out_words == 0 || per_block.out_words > isa::kMaxBurst) {
+    throw ConfigError(
+        "build_chain_tail_program: per-block word count must fit one burst");
+  }
+  Program p;
+  p.exec();
+  p.mvfc(per_block.out_bank, per_block.out_offset, per_block.out_words,
+         per_block.out_fifo);
+  if (batch > 1) p.loop(0, batch - 1);
+  p.eop();
+  return p;
+}
+
 Program figure4_program() {
   return build_stream_program(StreamJob{.in_bank = 1,
                                         .in_offset = 0,

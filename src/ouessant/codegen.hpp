@@ -40,6 +40,22 @@ struct StreamJob {
 [[nodiscard]] Program build_batch_program(const StreamJob& per_block,
                                           u32 batch);
 
+/// Chained-launch microcode for the HEAD of a p2p chain
+/// (docs/chaining.md): the producer feeds its RAC from SRAM but never
+/// drains it — the ChainLink is the output FIFO's reader. Per
+/// iteration: mvtc one block, exec; the v2 loop slides the input window
+/// batch blocks. The out_* fields of @p per_block are ignored.
+[[nodiscard]] Program build_chain_head_program(const StreamJob& per_block,
+                                               u32 batch);
+
+/// Chained-launch microcode for the TAIL of a p2p chain: the consumer's
+/// input arrives over the ChainLink, so there is no mvtc — per
+/// iteration: exec (blocks until the link has delivered a block into
+/// the input FIFO), mvfc the result to SRAM. The in_* fields of
+/// @p per_block are ignored.
+[[nodiscard]] Program build_chain_tail_program(const StreamJob& per_block,
+                                               u32 batch);
+
 /// The verbatim program of the paper's Fig. 4: a 256-point DFT with
 /// 512 input words in bank 1 and 512 output words to bank 2, moved as
 /// eight DMA64 bursts each way around an execs. (Equivalent to

@@ -30,11 +30,20 @@ u32 BusInterface::read_ctrl() const {
   if (running_) v |= kCtrlBusy;
   if (error_) v |= kCtrlErr;
   if (progress_) v |= kCtrlProg;
+  if (chain_) v |= kCtrlChain;
   return v;
 }
 
 void BusInterface::write_ctrl(u32 value) {
   ie_ = (value & kCtrlIe) != 0;
+  // CHAIN is level-sensitive configuration, re-derived (like IE) on
+  // every control write: drivers must OR it into read-modify-write
+  // sequences. Edges notify the bound link so a gated ChainLink wakes.
+  const bool chain = (value & kCtrlChain) != 0;
+  if (chain != chain_) {
+    chain_ = chain;
+    if (chain_listener_) chain_listener_(chain_);
+  }
   if ((value & kCtrlRst) != 0) {
     // Soft reset: clear every status bit and latch the pulse for the
     // controller, which performs the actual abort (bus transaction,
@@ -170,6 +179,7 @@ void BusInterface::save_state(snap::StateWriter& w) const {
   w.write_bool("autostart_armed", autostart_armed_);
   w.write_bool("auto_restart", auto_restart_);
   w.write_bool("running", running_);
+  w.write_bool("chain", chain_);
   w.write_bool("done", done_);
   w.write_bool("error", error_);
   w.write_bool("progress", progress_);
@@ -190,6 +200,7 @@ void BusInterface::restore_state(snap::StateReader& r) {
   autostart_armed_ = r.read_bool("autostart_armed");
   auto_restart_ = r.read_bool("auto_restart");
   running_ = r.read_bool("running");
+  chain_ = r.read_bool("chain");
   done_ = r.read_bool("done");
   error_ = r.read_bool("error");
   progress_ = r.read_bool("progress");

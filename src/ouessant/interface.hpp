@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <string>
 
 #include "bus/types.hpp"
@@ -73,6 +74,16 @@ class BusInterface : public bus::BusSlave, public res::ResourceAware {
   [[nodiscard]] u32 prog_size() const { return prog_size_; }
   [[nodiscard]] bus::BusMasterPort& master() { return master_; }
 
+  // -- chaining (docs/chaining.md) ----------------------------------------
+  /// CHAIN control bit: while set, the bound ChainLink drains this OCP's
+  /// output FIFO into the chained peer's input FIFO.
+  [[nodiscard]] bool chain_enabled() const { return chain_; }
+  /// Observe CHAIN-bit edges (the ChainLink registers here so a CSR
+  /// write wakes a gated link the same cycle).
+  void set_chain_listener(std::function<void(bool)> fn) {
+    chain_listener_ = std::move(fn);
+  }
+
   // -- host-visible status ------------------------------------------------
   [[nodiscard]] bool done() const { return done_; }
   [[nodiscard]] bool error() const { return error_; }
@@ -108,11 +119,13 @@ class BusInterface : public bus::BusSlave, public res::ResourceAware {
   bool autostart_armed_ = false;
   bool auto_restart_ = false;
   bool running_ = false;
+  bool chain_ = false;
   bool done_ = false;
   bool error_ = false;
   bool progress_ = false;
   cpu::IrqLine irq_;
   sim::Component* start_waiter_ = nullptr;
+  std::function<void(bool)> chain_listener_;
 };
 
 }  // namespace ouessant::core

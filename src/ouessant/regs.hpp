@@ -33,6 +33,12 @@ inline constexpr u32 kCtrlProg = 1u << 5;   ///< progress signal (irq, W1C)
 /// size), so a retry can relaunch the resident program immediately. The
 /// recovery half of the fault model (docs/robustness.md).
 inline constexpr u32 kCtrlRst = 1u << 6;
+/// CHAIN: route this OCP's output FIFO into a peer's input FIFO through
+/// the point-to-point ChainLink instead of mvfc'ing results to SRAM.
+/// Configuration-like (level-sensitive, survives RST alongside the bank
+/// registers); the bound link only moves words while the bit is set.
+/// See docs/chaining.md.
+inline constexpr u32 kCtrlChain = 1u << 7;
 
 /// By convention the microcode program lives in bank 0 (Fig. 4 uses
 /// BANK1/BANK2 for data); the controller fetches instruction @c pc from

@@ -1,0 +1,63 @@
+#include "rac/dequant.hpp"
+
+#include "util/fixed.hpp"
+
+namespace ouessant::rac {
+
+DequantRac::DequantRac(sim::Kernel& kernel, std::string name,
+                       DequantConfig cfg)
+    : BlockRac(kernel, std::move(name),
+               Shape{.in_chunks = kBlockWords,
+                     .out_chunks = kBlockWords,
+                     .in_width = 32,
+                     .out_width = 32,
+                     .compute_cycles = cfg.compute_cycles,
+                     .in_capacity_bits = 2 * kBlockWords * 32,
+                     .out_capacity_bits = 2 * kBlockWords * 32}),
+      cfg_(cfg) {
+  if (cfg_.compute_cycles == 0) {
+    throw ConfigError("DequantRac " + this->name() +
+                      ": compute_cycles must be >= 1");
+  }
+  // The zigzag map must be a permutation of 0..63 — a duplicate entry
+  // would silently drop a coefficient.
+  std::array<bool, kBlockWords> seen{};
+  for (u8 z : cfg_.zigzag) {
+    if (z >= kBlockWords || seen[z]) {
+      throw ConfigError("DequantRac " + this->name() +
+                        ": zigzag map is not a permutation of 0..63");
+    }
+    seen[z] = true;
+  }
+}
+
+std::vector<u64> DequantRac::compute(const std::vector<u64>& in) {
+  std::vector<u64> out(kBlockWords);
+  for (u32 i = 0; i < kBlockWords; ++i) {
+    const i32 q = util::from_word(static_cast<u32>(in[i]));
+    const u8 raster = cfg_.zigzag[i];
+    const i32 coef = q * cfg_.quant[raster];
+    out[raster] = static_cast<u32>(util::to_word(coef));
+  }
+  return out;
+}
+
+res::ResourceNode DequantRac::resource_tree() const {
+  // An 8-wide multiplier row reused over 8 passes, the quant-table ROM,
+  // and a reorder buffer absorbing the scan->raster permutation.
+  res::ResourceNode n{.name = name(), .self = {}, .children = {}};
+  res::ResourceEstimate datapath;
+  for (int i = 0; i < 8; ++i) datapath += res::est_multiplier(16);
+  datapath += res::est_register(32 * 8);
+  res::ResourceEstimate tables = res::est_fifo_storage(64, 8);  // quant ROM
+  res::ResourceEstimate reorder = res::est_fifo_storage(64, 32);
+  reorder += res::est_register(2 * 6);
+  res::ResourceEstimate control = res::est_fsm(4, 8);
+  n.children.push_back({"mul_row", datapath, {}});
+  n.children.push_back({"quant_rom", tables, {}});
+  n.children.push_back({"reorder_buffer", reorder, {}});
+  n.children.push_back({"control", control, {}});
+  return n;
+}
+
+}  // namespace ouessant::rac

@@ -71,16 +71,76 @@ u32 Dispatcher::add_worker(core::Ocp& ocp, JobKind kind,
   return static_cast<u32>(workers_.size() - 1);
 }
 
+u32 Dispatcher::add_chain_worker(core::Ocp& head, core::Ocp& tail,
+                                 fifo::ChainLink& link, JobKind kind,
+                                 drv::ChainLayout layout, u32 max_batch,
+                                 drv::ChainMode mode) {
+  if (max_batch == 0) {
+    throw ConfigError("Dispatcher: max_batch must be >= 1");
+  }
+  if (layout.block_words != block_words(kind) ||
+      layout.max_batch < max_batch) {
+    throw ConfigError("Dispatcher: chain layout too small for max_batch");
+  }
+  Worker w;
+  w.chain = std::make_unique<drv::ChainSession>(gpp_, mem_, head, tail, link,
+                                                layout, mode);
+  w.kind = kind;
+  w.max_batch = max_batch;
+  w.irq_source = irq_ctl_.attach(tail.irq());
+  w.head_irq_source = irq_ctl_.attach(head.irq());
+  workers_.push_back(std::move(w));
+  return static_cast<u32>(workers_.size() - 1);
+}
+
+drv::OcpDriver& Dispatcher::retire_driver(Worker& w) {
+  return w.chain ? w.chain->tail().driver() : w.session->driver();
+}
+
+drv::OcpDriver& Dispatcher::active_driver(Worker& w) {
+  if (w.chain) {
+    return w.chain->awaiting_tail() ? w.chain->head().driver()
+                                    : w.chain->tail().driver();
+  }
+  return w.session->driver();
+}
+
+core::Ocp& Dispatcher::worker_ocp(const Worker& w) {
+  return w.chain ? w.chain->tail().ocp() : w.session->ocp();
+}
+
+Addr Dispatcher::worker_in_base(const Worker& w) {
+  return w.chain ? w.chain->layout().in_base : w.session->layout().in_base;
+}
+
+Addr Dispatcher::worker_out_base(const Worker& w) {
+  return w.chain ? w.chain->layout().out_base : w.session->layout().out_base;
+}
+
+void Dispatcher::recover_worker(Worker& w) {
+  if (w.chain) {
+    w.chain->recover();
+  } else {
+    w.session->recover();
+  }
+}
+
 void Dispatcher::set_tracer(obs::EventTracer* tracer) {
   tracer_ = tracer;
   if (tracer_ != nullptr) {
     sched_track_ = tracer_->track("svc.sched");
     jobs_track_ = tracer_->track("svc.jobs");
     for (auto& w : workers_) {
-      w.track = tracer_->track("svc.worker." + w.session->ocp().name());
+      w.track = tracer_->track("svc.worker." + worker_ocp(w).name());
     }
   }
-  for (auto& w : workers_) w.session->set_tracer(tracer);
+  for (auto& w : workers_) {
+    if (w.chain) {
+      w.chain->set_tracer(tracer);
+    } else {
+      w.session->set_tracer(tracer);
+    }
+  }
 }
 
 void Dispatcher::set_job_sampler(const obs::SamplingProfiler* prof) {
@@ -95,7 +155,7 @@ void Dispatcher::set_job_sampler(const obs::SamplingProfiler* prof) {
   sched_track_ = tracer_->track("svc.sched");
   jobs_track_ = tracer_->track("svc.jobs");
   for (auto& w : workers_) {
-    w.track = tracer_->track("svc.worker." + w.session->ocp().name());
+    w.track = tracer_->track("svc.worker." + worker_ocp(w).name());
   }
 }
 
@@ -163,7 +223,19 @@ void Dispatcher::configure_irqs() {
   u32 mask = 0;
   for (auto& w : workers_) {
     mask |= 1u << w.irq_source;
-    w.session->driver().enable_irq(true);
+    if (w.chain) {
+      // The tail's completion retires the chain in both modes. The head
+      // interrupts only in store-and-forward mode, where the CPU must
+      // relay the bounce buffer to the tail stage; a linked head runs
+      // IE-off and its latched D is acknowledged at retire time.
+      w.chain->tail().driver().enable_irq(true);
+      if (w.chain->mode() == drv::ChainMode::kStoreForward) {
+        mask |= 1u << w.head_irq_source;
+        w.chain->head().driver().enable_irq(true);
+      }
+    } else {
+      w.session->driver().enable_irq(true);
+    }
   }
   gpp_.write32(irq_ctl_base_ + cpu::kIrqCtlMask, mask);
 }
@@ -238,6 +310,14 @@ void Dispatcher::retire_completions() {
     bool served = false;
     for (auto& w : workers_) {
       if (!w.busy) continue;
+      if (w.chain && w.chain->awaiting_tail() &&
+          ((pending >> w.head_irq_source) & 1u)) {
+        // Store-and-forward half-way point: the head filled the bounce
+        // buffer; relay to the tail stage.
+        advance_chain(w);
+        served = true;
+        continue;
+      }
       if ((pending >> w.irq_source) & 1u) {
         retire_worker(w);
         served = true;
@@ -247,8 +327,31 @@ void Dispatcher::retire_completions() {
   }
 }
 
+void Dispatcher::advance_chain(Worker& w) {
+  auto& drv = w.chain->head().driver();
+  if (policy_.armed()) {
+    const u32 ctrl = drv.read_ctrl();
+    if ((ctrl & core::kCtrlErr) != 0) {
+      handle_worker_fault(w, fault::FaultClass::kErrBit);
+      return;
+    }
+    if ((ctrl & core::kCtrlDone) == 0) return;  // spurious
+  } else {
+    if (!drv.done_bit_set()) return;  // spurious
+  }
+  // advance_to_tail acknowledges the head's D and issues the tail start
+  // — both timed accesses, so the store-and-forward baseline pays its
+  // second ISR in full.
+  w.chain->advance_to_tail();
+  if (tracer_ != nullptr) {
+    tracer_->instant(w.track, "chain_advance",
+                     {obs::arg("kind", kind_name(w.kind)),
+                      obs::arg("jobs", u64{w.batch.size()})});
+  }
+}
+
 void Dispatcher::retire_worker(Worker& w) {
-  auto& drv = w.session->driver();
+  auto& drv = retire_driver(w);
   if (policy_.armed()) {
     // Same single CTRL read as the unarmed path, but ERR diverts into
     // the recovery machinery instead of staying invisible.
@@ -263,10 +366,14 @@ void Dispatcher::retire_worker(Worker& w) {
     if (!drv.done_bit_set()) return;  // spurious (level raced with ack)
     drv.clear_done();
   }
+  // Chain workers: also acknowledge the head's latched D (linked mode
+  // ran it IE-off) — part of the same ISR, so it lands inside the
+  // batch's service time.
+  if (w.chain) w.chain->retire_ack();
   const Cycle done_at = gpp_.now();
 
   const u32 block = block_words(w.kind);
-  const Addr out_base = w.session->layout().out_base;
+  const Addr out_base = worker_out_base(w);
   std::vector<Job> batch = std::move(w.batch);
   w.batch.clear();
   w.busy = false;
@@ -290,7 +397,7 @@ void Dispatcher::retire_worker(Worker& w) {
       if (!policy_.armed()) {
         throw SimError("svc: output mismatch for job " +
                        std::to_string(job.id) + " (" + kind_name(job.kind) +
-                       ") on " + w.session->ocp().name() + " at cycle " +
+                       ") on " + worker_ocp(w).name() + " at cycle " +
                        std::to_string(done_at));
       }
       // Corrupted output (fifo_corrupt): only the mismatching job
@@ -313,7 +420,7 @@ void Dispatcher::retire_worker(Worker& w) {
           jobs_track_, kind_name(job.kind), job.arrival, job.complete,
           {obs::arg("id", job.id), obs::arg("wait", job.queue_wait()),
            obs::arg("service", job.service()),
-           obs::arg("worker", w.session->ocp().name())});
+           obs::arg("worker", worker_ocp(w).name())});
       tracer_->flow_end(jobs_track_, "job", job.id);
     }
     if (completion_hook_) completion_hook_(job);
@@ -344,7 +451,7 @@ void Dispatcher::dispatch_ready() {
 void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
   Worker& w = workers_[wi];
   const u32 block = block_words(w.kind);
-  const Addr in_base = w.session->layout().in_base;
+  const Addr in_base = worker_in_base(w);
 
   // Stage the inputs contiguously, one block per batch slot, so the
   // batch program's post-increment addressing walks them in order.
@@ -357,16 +464,22 @@ void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
   // it when the size repeats (the common steady state), pay the timed
   // word-by-word reinstall when it changes.
   if (w.installed_batch != batch.size()) {
-    core::StreamJob per_block;
-    per_block.in_words = block;
-    per_block.out_words = block;
-    per_block.burst = block;
-    per_block.use_loop = true;
-    const auto prog =
-        core::build_batch_program(per_block, static_cast<u32>(batch.size()));
-    w.session->install(prog, /*timed_program=*/true);
+    if (w.chain) {
+      w.chain->install(static_cast<u32>(batch.size()),
+                       /*timed_program=*/true);
+      w.stats.installs += 2;  // one program image per stage
+    } else {
+      core::StreamJob per_block;
+      per_block.in_words = block;
+      per_block.out_words = block;
+      per_block.burst = block;
+      per_block.use_loop = true;
+      const auto prog =
+          core::build_batch_program(per_block, static_cast<u32>(batch.size()));
+      w.session->install(prog, /*timed_program=*/true);
+      ++w.stats.installs;
+    }
     w.installed_batch = static_cast<u32>(batch.size());
-    ++w.stats.installs;
   }
 
   charge_launch(gpp_);
@@ -376,7 +489,11 @@ void Dispatcher::launch(std::size_t wi, std::vector<Job> batch) {
     job.worker = static_cast<int>(wi);
     if (job_traced(job.id)) tracer_->flow_step(w.track, "job", job.id);
   }
-  w.session->start_async();
+  if (w.chain) {
+    w.chain->start_async();
+  } else {
+    w.session->start_async();
+  }
   w.busy = true;
   w.busy_since = dispatched;
   ++w.stats.launches;
@@ -400,7 +517,7 @@ u32 Dispatcher::preempt_worker(std::size_t i) {
   }
   // Timed quiesce: the same RST pulse + settle polling the fault path
   // uses — the region must be provably idle before the bitstream moves.
-  w.session->recover();
+  recover_worker(w);
   const Cycle now = gpp_.now();
   w.stats.busy_cycles += now - w.busy_since;
   if (tracer_ != nullptr) {
@@ -427,10 +544,10 @@ void Dispatcher::retarget_worker(std::size_t i, JobKind kind) {
   Worker& w = workers_.at(i);
   if (w.busy) {
     throw SimError("Dispatcher: retarget of busy worker " +
-                   w.session->ocp().name() + " (preempt first)");
+                   worker_ocp(w).name() + " (preempt first)");
   }
   if (!w.retargetable) {
-    throw SimError("Dispatcher: worker " + w.session->ocp().name() +
+    throw SimError("Dispatcher: worker " + worker_ocp(w).name() +
                    " is not slot-backed");
   }
   // block_words is kind-invariant, so the resident v2-loop program still
@@ -457,15 +574,21 @@ void Dispatcher::check_watchdogs() {
     if (!w.busy) continue;
     if (gpp_.now() < w.busy_since + policy_.watchdog_cycles) continue;
     // One timed CTRL read decides: completion whose interrupt edge was
-    // lost, a latched fault, or a genuine hang.
-    const u32 ctrl = w.session->driver().read_ctrl();
+    // lost, a latched fault, or a genuine hang. Chain workers poll the
+    // stage currently executing (the head during a store-and-forward
+    // head stage, the tail otherwise).
+    const u32 ctrl = active_driver(w).read_ctrl();
     if ((ctrl & core::kCtrlDone) != 0) {
       ++irq_recoveries_;
       if (tracer_ != nullptr) {
         tracer_->instant(w.track, "irq_recovered",
                          {obs::arg("kind", kind_name(w.kind))});
       }
-      retire_worker(w);  // re-reads CTRL; D is still set
+      if (w.chain && w.chain->awaiting_tail()) {
+        advance_chain(w);  // re-reads CTRL; D is still set
+      } else {
+        retire_worker(w);  // re-reads CTRL; D is still set
+      }
     } else if ((ctrl & core::kCtrlErr) != 0) {
       handle_worker_fault(w, fault::FaultClass::kErrBit);
     } else {
@@ -477,12 +600,19 @@ void Dispatcher::check_watchdogs() {
 void Dispatcher::handle_worker_fault(Worker& w, fault::FaultClass cls) {
   ++faults_;
   ++w.stats.faults;
+  // For chain workers the stage currently executing is the one whose
+  // fault state is diagnostic (a linked chain's head fault surfaces as
+  // the tail's watchdog expiry — recover_worker resets both stages).
+  core::Ocp& ocp = w.chain ? (w.chain->awaiting_tail()
+                                  ? w.chain->head().ocp()
+                                  : w.chain->tail().ocp())
+                           : w.session->ocp();
   FaultInfo info;
   if (cls == fault::FaultClass::kErrBit) {
-    info = w.session->ocp().controller().last_fault();
+    info = ocp.controller().last_fault();
     if (info.empty()) info = FaultInfo{gpp_.now(), 0, "ERR set"};
   } else {
-    info = FaultInfo{gpp_.now(), w.session->ocp().controller().pc(),
+    info = FaultInfo{gpp_.now(), ocp.controller().pc(),
                      "watchdog deadline (" +
                          std::to_string(policy_.watchdog_cycles) +
                          " cycles busy)"};
@@ -490,7 +620,7 @@ void Dispatcher::handle_worker_fault(Worker& w, fault::FaultClass cls) {
   if (flight_ != nullptr && cls == fault::FaultClass::kTimeout) {
     // A hang is exactly the moment the ring was kept for: latch it so
     // the owning layer dumps the post-mortem window.
-    flight_->trigger("watchdog:" + w.session->ocp().name());
+    flight_->trigger("watchdog:" + worker_ocp(w).name());
   }
   if (tracer_ != nullptr) {
     tracer_->instant(w.track, "fault",
@@ -501,7 +631,7 @@ void Dispatcher::handle_worker_fault(Worker& w, fault::FaultClass cls) {
 
   // Timed recovery sequence (ERR W1C + RST pulse + settle polls). The
   // resident program survives the soft reset, so installed_batch stays.
-  w.session->recover();
+  recover_worker(w);
   const Cycle now = gpp_.now();
   w.stats.busy_cycles += now - w.busy_since;  // recovery bills the worker
   if (tracer_ != nullptr) {
@@ -531,7 +661,7 @@ void Dispatcher::penalize_worker(Worker& w) {
                        {obs::arg("consecutive", u64{w.consecutive_faults})});
     }
     if (flight_ != nullptr) {
-      flight_->trigger("quarantine:" + w.session->ocp().name());
+      flight_->trigger("quarantine:" + worker_ocp(w).name());
     }
   }
 }
@@ -638,7 +768,14 @@ void Dispatcher::save_state(snap::StateWriter& w) const {
   w.write_u32("workers", static_cast<u32>(workers_.size()));
   for (const Worker& wk : workers_) {
     w.write_u8("kind", static_cast<u8>(wk.kind));
-    wk.session->driver().save_state(w);
+    // Chain presence is structural (fixed by ServiceConfig), so the
+    // branch is deterministic per image — like the retargetable
+    // conditional below, chain-less images stay byte-identical.
+    if (wk.chain) {
+      wk.chain->save_state(w);
+    } else {
+      wk.session->driver().save_state(w);
+    }
     w.write_u32("installed_batch", wk.installed_batch);
     w.write_bool("busy", wk.busy);
     w.write_u64("busy_since", wk.busy_since);
@@ -701,7 +838,11 @@ void Dispatcher::restore_state(snap::StateReader& r) {
       }
       wk.kind = static_cast<JobKind>(kind);
     }
-    wk.session->driver().restore_state(r);
+    if (wk.chain) {
+      wk.chain->restore_state(r);
+    } else {
+      wk.session->driver().restore_state(r);
+    }
     wk.installed_batch = r.read_u32("installed_batch");
     wk.busy = r.read_bool("busy");
     wk.busy_since = r.read_u64("busy_since");

@@ -25,6 +25,7 @@
 
 #include "cpu/gpp.hpp"
 #include "cpu/irq_controller.hpp"
+#include "drv/chain.hpp"
 #include "drv/session.hpp"
 #include "fault/report.hpp"
 #include "obs/flight.hpp"
@@ -106,6 +107,18 @@ class Dispatcher : public sim::Component {
   /// controller here; configure_irqs() later unmasks it.
   u32 add_worker(core::Ocp& ocp, JobKind kind, drv::SessionLayout layout,
                  u32 max_batch);
+
+  /// Register a two-OCP chain (head -> ChainLink -> tail, or the
+  /// store-and-forward ablation) as ONE worker for @p kind jobs: the
+  /// dispatcher stages payloads at the chain's input window, launches
+  /// through drv::ChainSession, and retires on the tail's completion.
+  /// Both OCPs' IRQ lines are attached here (the head's only ever fires
+  /// in store-and-forward mode, where the bounce-buffer hand-off is a
+  /// second CPU-visible completion).
+  u32 add_chain_worker(core::Ocp& head, core::Ocp& tail,
+                       fifo::ChainLink& link, JobKind kind,
+                       drv::ChainLayout layout, u32 max_batch,
+                       drv::ChainMode mode);
 
   /// Hand the open-loop arrival schedule over (must be sorted by
   /// arrival; ConfigError otherwise). The doorbell arms itself.
@@ -275,9 +288,14 @@ class Dispatcher : public sim::Component {
  private:
   struct Worker {
     std::unique_ptr<drv::OcpSession> session;
+    /// Chain-backed worker: set instead of `session` (exactly one of the
+    /// two is non-null). The chain's tail session owns the completion
+    /// the dispatcher retires on.
+    std::unique_ptr<drv::ChainSession> chain;
     JobKind kind = JobKind::kIdct;
     u32 max_batch = 1;
     u32 irq_source = 0;        ///< bit index at the IrqController
+    u32 head_irq_source = 0;   ///< chain workers: the head OCP's source
     std::vector<Job> batch;    ///< jobs of the in-flight launch
     u32 installed_batch = 0;   ///< batch size the resident program serves
     bool busy = false;
@@ -311,8 +329,22 @@ class Dispatcher : public sim::Component {
   void dispatch_ready();
   void launch(std::size_t wi, std::vector<Job> batch);
   void retire_worker(Worker& w);
+  /// Store-and-forward chain ISR half: acknowledge the head stage and
+  /// launch the tail over the bounce buffer.
+  void advance_chain(Worker& w);
   void trace_enqueue(u64 id, JobKind kind);
   void trace_queue_counters();
+
+  // -- worker-kind-agnostic accessors (plain OCP vs chain) --------------
+  /// The driver whose D bit retires the worker's batch (chain: the tail).
+  [[nodiscard]] static drv::OcpDriver& retire_driver(Worker& w);
+  /// The driver of the stage currently executing (chain in the
+  /// store-and-forward head stage: the head) — what watchdogs poll.
+  [[nodiscard]] static drv::OcpDriver& active_driver(Worker& w);
+  [[nodiscard]] static core::Ocp& worker_ocp(const Worker& w);
+  [[nodiscard]] static Addr worker_in_base(const Worker& w);
+  [[nodiscard]] static Addr worker_out_base(const Worker& w);
+  static void recover_worker(Worker& w);
 
   // -- fault handling (all early-return when policy_ is unarmed) --------
   [[nodiscard]] bool retry_due() const {

@@ -12,15 +12,18 @@ const char* kind_name(JobKind kind) {
       return "fir";
     case JobKind::kJpegBlock:
       return "jpeg";
+    case JobKind::kJpegChain:
+      return "jpeg_chain";
   }
   return "?";
 }
 
 u32 block_words(JobKind kind) {
-  // 64 words for every kind: the IDCT/JPEG block is 8x8, the DFT runs 32
-  // complex points (2 words each), the FIR processes 64 samples. One
-  // block therefore always fits a single burst (isa::kMaxBurst = 256),
-  // which is what makes the v2-loop batch program applicable.
+  // 64 words for every kind: the IDCT/JPEG/chained-JPEG block is 8x8,
+  // the DFT runs 32 complex points (2 words each), the FIR processes 64
+  // samples. One block therefore always fits a single burst
+  // (isa::kMaxBurst = 256), which is what makes the v2-loop batch
+  // program applicable.
   (void)kind;
   return 64;
 }

@@ -27,9 +27,11 @@ enum class JobKind : u8 {
   kDft,        ///< 32-point DFT (small-batchable sibling of the DFT RAC)
   kFir,        ///< 64-sample FIR block
   kJpegBlock,  ///< dequantized JPEG coefficient block -> spatial samples
+  kJpegChain,  ///< quantized scan-order block -> dequant RAC -> IDCT RAC
+               ///< (the two-stage chained pipeline, docs/chaining.md)
 };
 
-inline constexpr std::size_t kNumJobKinds = 4;
+inline constexpr std::size_t kNumJobKinds = 5;
 
 [[nodiscard]] const char* kind_name(JobKind kind);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "codec/jpeg.hpp"
+#include "rac/dequant.hpp"
 #include "rac/dft.hpp"
 #include "rac/fir.hpp"
 #include "rac/idct.hpp"
@@ -18,6 +20,12 @@ constexpr Addr kWorkerBase = 0x4010'0000;
 constexpr Addr kWorkerStride = 0x0010'0000;
 constexpr Addr kWorkerInOff = 0x0004'0000;
 constexpr Addr kWorkerOutOff = 0x0008'0000;
+
+/// Chain workers pack two program images and a store-and-forward bounce
+/// buffer into the same 1 MiB window: tail microcode 8 KiB above the
+/// head's, bounce blocks in the window's top quarter.
+constexpr Addr kChainTailProgOff = 0x0000'2000;
+constexpr Addr kChainBounceOff = 0x000C'0000;
 
 /// The bitstream repository sits above the worker windows, in the top
 /// 4 MiB of the 16 MiB SRAM — the ICAP fetches partial bitstreams from
@@ -37,6 +45,10 @@ std::unique_ptr<core::Rac> make_rac(sim::Kernel& kernel, JobKind kind,
     case JobKind::kFir:
       return std::make_unique<rac::FirRac>(kernel, name, fir_service_taps(),
                                            block_words(JobKind::kFir));
+    case JobKind::kJpegChain:
+      throw ConfigError(
+          "OffloadService: kJpegChain workers are two-OCP pairs — configure "
+          "them via ServiceConfig::chains, not ocps");
   }
   throw ConfigError("OffloadService: unknown job kind");
 }
@@ -72,6 +84,10 @@ void ServiceReport::add_to(exp::Result& result) const {
     result.add_metric("bs_cache_hits", cache_hits);
     result.add_metric("bs_cache_misses", cache_misses);
   }
+  if (chained) {
+    result.add_metric("link_words", link_words);
+    result.add_metric("link_busy_cycles", link_busy_cycles);
+  }
   if (fault_aware) {
     result.add_metric("availability", availability());
     result.add_metric("injected", injected);
@@ -96,7 +112,7 @@ OffloadService::OffloadService(ServiceConfig cfg)
       irq_ctl_(soc_.kernel(), "svc_irqctl", kSvcIrqCtlBase),
       dispatcher_(soc_.kernel(), "svc_dispatcher", soc_.cpu(), soc_.sram(),
                   irq_ctl_, kSvcIrqCtlBase, cfg_.queue_depth) {
-  if (cfg_.ocps.empty() && !cfg_.slots.enabled()) {
+  if (cfg_.ocps.empty() && !cfg_.slots.enabled() && cfg_.chains.empty()) {
     throw ConfigError("OffloadService: at least one OCP worker required");
   }
   soc_.bus().connect_slave(irq_ctl_, kSvcIrqCtlBase, cpu::kIrqCtlSpanBytes);
@@ -118,6 +134,7 @@ OffloadService::OffloadService(ServiceConfig cfg)
   }
 
   if (cfg_.slots.enabled()) build_slot_farm();
+  if (!cfg_.chains.empty()) build_chains();
 
   if (cfg_.faults.armed()) {
     injector_ = std::make_unique<fault::Injector>(cfg_.faults);
@@ -221,6 +238,54 @@ void OffloadService::build_slot_farm() {
     }
     slot_mgr_->add_slot(*regions_.back(), worker, std::move(kinds),
                         std::move(images));
+  }
+}
+
+void OffloadService::build_chains() {
+  const std::size_t first =
+      cfg_.ocps.size() + (cfg_.slots.enabled() ? cfg_.slots.count : 0);
+  const std::size_t total = first + cfg_.chains.size();
+  if (kWorkerBase + static_cast<Addr>(total) * kWorkerStride >
+      kBitstreamBase) {
+    throw ConfigError(
+        "OffloadService: chain windows would overlap the bitstream store");
+  }
+
+  // Both halves of the chain are fixed by the service contract: the
+  // dequantize table is jpeg_chain_quality()'s, the reorder map the
+  // standard zigzag — exactly what reference_output(kJpegChain) models.
+  rac::DequantConfig dq;
+  dq.quant = codec::quant_table(jpeg_chain_quality());
+  dq.zigzag = codec::zigzag_order();
+
+  for (std::size_t ci = 0; ci < cfg_.chains.size(); ++ci) {
+    const ChainSpec& spec = cfg_.chains[ci];
+    if (spec.link_cycles_per_word == 0) {
+      throw ConfigError("OffloadService: link_cycles_per_word must be >= 1");
+    }
+    const std::string name = "svc_chain" + std::to_string(ci);
+    racs_.push_back(std::make_unique<rac::DequantRac>(
+        soc_.kernel(), name + "_dq_rac", dq));
+    core::Ocp& head = soc_.add_ocp(*racs_.back());
+    racs_.push_back(
+        std::make_unique<rac::IdctRac>(soc_.kernel(), name + "_idct_rac"));
+    core::Ocp& tail = soc_.add_ocp(*racs_.back());
+    links_.push_back(std::make_unique<fifo::ChainLink>(
+        soc_.kernel(), name + "_link",
+        fifo::ChainLinkConfig{.cycles_per_word = spec.link_cycles_per_word}));
+
+    const Addr base =
+        kWorkerBase + static_cast<Addr>(first + ci) * kWorkerStride;
+    dispatcher_.add_chain_worker(
+        head, tail, *links_.back(), JobKind::kJpegChain,
+        drv::ChainLayout{.head_prog_base = base,
+                         .tail_prog_base = base + kChainTailProgOff,
+                         .in_base = base + kWorkerInOff,
+                         .bounce_base = base + kChainBounceOff,
+                         .out_base = base + kWorkerOutOff,
+                         .block_words = block_words(JobKind::kJpegChain),
+                         .max_batch = spec.max_batch},
+        spec.max_batch, spec.mode);
   }
 }
 
@@ -395,6 +460,11 @@ ServiceReport OffloadService::finish() {
       rep_.cache_hits = bitstream_cache_->hits();
       rep_.cache_misses = bitstream_cache_->misses();
     }
+  }
+  rep_.chained = !links_.empty();
+  for (const auto& link : links_) {
+    rep_.link_words += link->words_moved();
+    rep_.link_busy_cycles += link->busy_cycles();
   }
   rep_.fault_aware = cfg_.faults.armed() || cfg_.retry.armed();
   if (rep_.fault_aware) {

@@ -15,6 +15,7 @@
 #include "cpu/irq_controller.hpp"
 #include "exp/result.hpp"
 #include "fault/injector.hpp"
+#include "fifo/chain_link.hpp"
 #include "obs/flight.hpp"
 #include "obs/profile.hpp"
 #include "obs/sampler.hpp"
@@ -39,6 +40,17 @@ struct OcpSpec {
   u32 max_batch = 1;
 };
 
+/// One chained worker (docs/chaining.md): a dequantize RAC feeding an
+/// IDCT RAC, serving JobKind::kJpegChain. `mode` is the one-flag
+/// ablation — kLinked moves intermediate blocks over the p2p ChainLink,
+/// kStoreForward bounces them through SRAM with a second interrupt.
+struct ChainSpec {
+  u32 max_batch = 1;
+  drv::ChainMode mode = drv::ChainMode::kLinked;
+  /// ChainLink occupancy per intermediate word (>= 1; 1 = wire speed).
+  u32 link_cycles_per_word = 1;
+};
+
 struct ServiceConfig {
   platform::SocConfig soc{};
   std::vector<OcpSpec> ocps = {OcpSpec{}};
@@ -57,6 +69,10 @@ struct ServiceConfig {
   /// static `ocps`, each hosting a ReconfigSlot the SlotManager may
   /// retarget as the demand mix shifts.
   SlotFarmConfig slots{};
+  /// Chained dequantize->IDCT worker pairs, added after the static ocps
+  /// and the slot farm. Each spec contributes two OCPs, one ChainLink
+  /// and ONE dispatcher worker serving JobKind::kJpegChain.
+  std::vector<ChainSpec> chains{};
 };
 
 struct ServiceReport {
@@ -83,6 +99,14 @@ struct ServiceReport {
   u64 icap_busy_cycles = 0;  ///< wall cycles the configuration port ran
   u64 cache_hits = 0;        ///< bitstream staging cache (0/0 = no cache)
   u64 cache_misses = 0;
+
+  // Chain accounting (populated — and emitted by add_to — only when the
+  // service carries chained workers, so chain-less runs keep their
+  // schema). busy cycles == words * cycles_per_word by the ChainLink's
+  // construction.
+  bool chained = false;
+  u64 link_words = 0;        ///< words moved over all ChainLinks
+  u64 link_busy_cycles = 0;  ///< link-occupied cycles across all links
 
   // Fault accounting (populated — and emitted by add_to — only when the
   // run was fault-aware, so unarmed runs keep their metric schema).
@@ -209,11 +233,19 @@ class OffloadService {
   [[nodiscard]] dpr::BitstreamCache* bitstream_cache() {
     return bitstream_cache_.get();
   }
+  /// The chain conduits, one per cfg.chains entry (empty when none) —
+  /// bench scenarios read words_moved/busy_cycles and hand them to the
+  /// ledger's collect_chain.
+  [[nodiscard]] const std::vector<std::unique_ptr<fifo::ChainLink>>&
+  chain_links() const {
+    return links_;
+  }
 
  private:
   void validate(const WorkloadConfig& workload) const;
   void install_completion_hook();
   void build_slot_farm();
+  void build_chains();
 
   ServiceConfig cfg_;
   platform::Soc soc_;
@@ -228,6 +260,7 @@ class OffloadService {
   std::unique_ptr<dpr::BitstreamCache> bitstream_cache_;
   std::vector<std::unique_ptr<core::ReconfigSlot>> regions_;
   std::unique_ptr<SlotManager> slot_mgr_;
+  std::vector<std::unique_ptr<fifo::ChainLink>> links_;  ///< one per chain
   std::function<void(const Job&)> job_observer_;
   obs::FlightRecorder* flight_ = nullptr;  ///< attached ring (not owned)
   bool record_latency_ = true;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "codec/jpeg.hpp"
 #include "rac/fir.hpp"
 #include "util/fixed.hpp"
 #include "util/transforms.hpp"
@@ -20,6 +21,20 @@ Job make_job(u64 id, Cycle arrival, const WorkloadConfig& cfg,
   job.prio = rng.chance(cfg.high_fraction) ? Priority::kHigh
                                            : Priority::kNormal;
   job.payload.resize(block_words(job.kind));
+  if (job.kind == JobKind::kJpegChain) {
+    // Quantized scan-order coefficients, shaped like a real entropy
+    // decoder's output: a moderate DC, mostly-zero AC with small
+    // survivors. After the dequantize stage multiplies by the service
+    // quality's table (entries <= 255) the values stay well inside the
+    // IDCT datapath's range.
+    job.payload[0] = util::to_word(rng.range(-100, 100));
+    for (std::size_t i = 1; i < job.payload.size(); ++i) {
+      const bool zero = rng.chance(0.75);
+      job.payload[i] =
+          util::to_word(zero ? 0 : rng.range(-30, 30));
+    }
+    return job;
+  }
   // Coefficient-magnitude samples: the same range every RAC-facing bench
   // uses, safely inside the Q16.16 headroom of all four datapaths.
   for (auto& w : job.payload) w = util::to_word(rng.range(-20000, 20000));
@@ -109,6 +124,21 @@ std::vector<u32> reference_output(JobKind kind,
       for (u32 i = 0; i < 64; ++i) out[i] = util::to_word(pix[i]);
       break;
     }
+    case JobKind::kJpegChain: {
+      // The software model of the whole two-stage chain: dequantize the
+      // scan-order payload with the service quality's table (exactly
+      // what DequantRac computes), then the same fixed-point IDCT.
+      const auto quant = codec::quant_table(jpeg_chain_quality());
+      const auto& zz = codec::zigzag_order();
+      i32 coef[64];
+      i32 pix[64];
+      for (u32 i = 0; i < 64; ++i) {
+        coef[zz[i]] = util::from_word(payload[i]) * quant[zz[i]];
+      }
+      util::fixed_idct8x8(coef, pix);
+      for (u32 i = 0; i < 64; ++i) out[i] = util::to_word(pix[i]);
+      break;
+    }
     case JobKind::kDft: {
       std::vector<i32> re(32);
       std::vector<i32> im(32);
@@ -142,6 +172,12 @@ const std::vector<i32>& fir_service_taps() {
   static const std::vector<i32> taps = {1 << 12, 1 << 13, 1 << 14, 1 << 14,
                                         1 << 14, 1 << 14, 1 << 13, 1 << 12};
   return taps;
+}
+
+u32 jpeg_chain_quality() {
+  // The published luminance table unscaled — the canonical midpoint, and
+  // the quality the serve_jpeg end-to-end scenario encodes at.
+  return 50;
 }
 
 }  // namespace ouessant::svc

@@ -75,4 +75,9 @@ struct WorkloadPhase {
 /// The FIR tap set every JobKind::kFir worker is built with.
 [[nodiscard]] const std::vector<i32>& fir_service_taps();
 
+/// The JPEG quality every JobKind::kJpegChain worker's dequantize stage
+/// is built with (same fixed-service-parameter convention as
+/// fir_service_taps: the reference model and the RAC must agree).
+[[nodiscard]] u32 jpeg_chain_quality();
+
 }  // namespace ouessant::svc

@@ -1,0 +1,410 @@
+// Accelerator-to-accelerator chaining (docs/chaining.md): the CHAIN CSR
+// bit's level-sensitive semantics and driver shadow, the ChainLink
+// conduit's timing contract, the ChainSession's linked and staged
+// store-and-forward protocols (payload bit-identity between them and
+// against the software model), ledger closure including the chain
+// track, and a snapshot round-trip of a chain caught mid-batch.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "codec/jpeg.hpp"
+#include "drv/chain.hpp"
+#include "fifo/chain_link.hpp"
+#include "obs/collect.hpp"
+#include "platform/soc.hpp"
+#include "rac/dequant.hpp"
+#include "rac/idct.hpp"
+#include "snap/snapshot.hpp"
+#include "util/fixed.hpp"
+#include "util/rng.hpp"
+#include "util/transforms.hpp"
+
+namespace ouessant {
+namespace {
+
+// -------------------------------------------------------- CHAIN CSR bit --
+
+TEST(ChainCsr, LevelSensitiveWithListenerEdges) {
+  platform::Soc soc;
+  rac::IdctRac idct(soc.kernel(), "idct");
+  core::BusInterface& iface = soc.add_ocp(idct).iface();
+  const Addr ctrl = iface.base();
+
+  int edges = 0;
+  bool last = false;
+  iface.set_chain_listener([&](bool on) {
+    ++edges;
+    last = on;
+  });
+
+  iface.write_word(ctrl, core::kCtrlChain);
+  EXPECT_TRUE(iface.chain_enabled());
+  EXPECT_EQ(edges, 1);
+  EXPECT_TRUE(last);
+  EXPECT_NE(iface.read_word(ctrl).data & core::kCtrlChain, 0u);
+
+  // Re-writing the same level is not an edge.
+  iface.write_word(ctrl, core::kCtrlChain);
+  EXPECT_EQ(edges, 1);
+
+  // RST with the bit held keeps the chain armed (level-sensitive
+  // configuration, like IE — not a status bit the reset clears).
+  iface.write_word(ctrl, core::kCtrlChain | core::kCtrlRst);
+  EXPECT_TRUE(iface.chain_enabled());
+  EXPECT_EQ(edges, 1);
+
+  // A write without the bit disarms it (the re-derive-on-every-write
+  // rule drivers must shadow around).
+  iface.write_word(ctrl, core::kCtrlDone);
+  EXPECT_FALSE(iface.chain_enabled());
+  EXPECT_EQ(edges, 2);
+  EXPECT_FALSE(last);
+}
+
+TEST(ChainCsr, DriverShadowSurvivesW1cAndReset) {
+  platform::Soc soc;
+  rac::IdctRac idct(soc.kernel(), "idct");
+  core::Ocp& ocp = soc.add_ocp(idct);
+  drv::OcpDriver drv(soc.cpu(), ocp.iface().base(), ocp.irq(), "chain_drv");
+
+  drv.enable_chain(true);
+  EXPECT_TRUE(drv.chain_shadow());
+  EXPECT_TRUE(ocp.iface().chain_enabled());
+
+  // Every subsequent CTRL write ORs the shadow in: acknowledgements and
+  // even a full soft reset leave the chain armed.
+  drv.clear_done();
+  EXPECT_TRUE(ocp.iface().chain_enabled());
+  drv.soft_reset();
+  EXPECT_TRUE(ocp.iface().chain_enabled());
+
+  drv.enable_chain(false);
+  EXPECT_FALSE(drv.chain_shadow());
+  EXPECT_FALSE(ocp.iface().chain_enabled());
+}
+
+// ----------------------------------------------------------- ChainLink --
+
+struct LinkRig {
+  sim::Kernel k;
+  fifo::WidthFifo src;
+  fifo::WidthFifo dst;
+  fifo::ChainLink link;
+
+  explicit LinkRig(u32 cpw, u32 dst_words = 16)
+      : src(k, "src", {.wr_width = 32, .rd_width = 32,
+                       .capacity_bits = 16 * 32}),
+        dst(k, "dst", {.wr_width = 32, .rd_width = 32,
+                       .capacity_bits = dst_words * 32}),
+        link(k, "link", {.cycles_per_word = cpw}) {
+    link.bind(src, dst);
+  }
+};
+
+TEST(ChainLink, RejectsZeroCostAndDoubleBind) {
+  sim::Kernel k;
+  EXPECT_THROW(fifo::ChainLink(k, "bad", {.cycles_per_word = 0}),
+               ConfigError);
+  LinkRig rig(1);
+  EXPECT_THROW(rig.link.bind(rig.src, rig.dst), ConfigError);
+}
+
+TEST(ChainLink, RejectsWidthMismatch) {
+  sim::Kernel k;
+  fifo::WidthFifo a(k, "a", {.wr_width = 32, .rd_width = 32});
+  fifo::WidthFifo b(k, "b", {.wr_width = 16, .rd_width = 16});
+  fifo::ChainLink link(k, "link", {.cycles_per_word = 1});
+  EXPECT_THROW(link.bind(a, b), ConfigError);
+}
+
+TEST(ChainLink, DisabledMovesNothing) {
+  LinkRig rig(1);
+  rig.src.write(7);
+  for (int i = 0; i < 50; ++i) rig.k.tick();
+  EXPECT_TRUE(rig.dst.empty());
+  EXPECT_EQ(rig.link.words_moved(), 0u);
+
+  rig.link.set_enabled(true);
+  rig.k.run_until([&] { return !rig.dst.empty(); }, 100);
+  EXPECT_EQ(rig.dst.read(), 7u);
+  EXPECT_EQ(rig.link.words_moved(), 1u);
+}
+
+TEST(ChainLink, BusyIsWordsTimesCost) {
+  for (const u32 cpw : {1u, 3u, 8u}) {
+    LinkRig rig(cpw);
+    rig.link.set_enabled(true);
+    for (u32 w = 0; w < 8; ++w) {  // one FIFO write per cycle
+      rig.src.write(w * 11u);
+      rig.k.tick();
+    }
+    rig.k.run_until([&] { return rig.link.words_moved() == 8; }, 10'000);
+    EXPECT_EQ(rig.link.busy_cycles(), 8u * cpw) << "cpw " << cpw;
+    for (u32 w = 0; w < 8; ++w) {
+      ASSERT_FALSE(rig.dst.empty());
+      EXPECT_EQ(rig.dst.read(), w * 11u);
+      rig.k.tick();
+    }
+  }
+}
+
+TEST(ChainLink, PerWordCostSlowsDelivery) {
+  u64 fast = 0;
+  u64 slow = 0;
+  for (u64* out : {&fast, &slow}) {
+    const u32 cpw = out == &fast ? 1 : 6;
+    LinkRig rig(cpw);
+    rig.link.set_enabled(true);
+    const Cycle t0 = rig.k.now();
+    for (u32 w = 0; w < 8; ++w) {  // one FIFO write per cycle
+      rig.src.write(w);
+      rig.k.tick();
+    }
+    rig.k.run_until([&] { return rig.link.words_moved() == 8; }, 10'000);
+    *out = rig.k.now() - t0;
+  }
+  EXPECT_GT(slow, fast);
+}
+
+TEST(ChainLink, BackpressureStallsWithoutLoss) {
+  LinkRig rig(1, /*dst_words=*/2);  // tiny sink: the link must stall
+  rig.link.set_enabled(true);
+  for (u32 w = 0; w < 6; ++w) {  // one FIFO write per cycle
+    rig.src.write(100 + w);
+    rig.k.tick();
+  }
+  // Drain one word at a time; every word must arrive in order.
+  for (u32 w = 0; w < 6; ++w) {
+    rig.k.run_until([&] { return !rig.dst.empty(); }, 10'000);
+    EXPECT_EQ(rig.dst.read(), 100 + w);
+    rig.k.tick();
+  }
+  EXPECT_EQ(rig.link.words_moved(), 6u);
+}
+
+TEST(ChainLink, FlushDropsTheInFlightWord) {
+  // Plug the sink first so the picked-up word is guaranteed to be
+  // sitting in the staging register when we flush (with an empty sink
+  // the gated kernel can jump straight to the delivery wake).
+  LinkRig rig(8, /*dst_words=*/1);
+  rig.dst.write(99);  // sink now full
+  rig.k.tick();
+  rig.link.set_enabled(true);
+  rig.src.write(42);
+  // The link picks the word up (source drains) but delivery stalls on
+  // the full sink — the word is in flight.
+  rig.k.run_until([&] { return rig.src.empty(); }, 100);
+  for (int i = 0; i < 20; ++i) rig.k.tick();  // well past ready_at
+  EXPECT_EQ(rig.link.words_moved(), 0u);
+  rig.link.flush();
+  EXPECT_EQ(rig.dst.read(), 99u);  // drain the plug
+  rig.k.tick();
+  for (int i = 0; i < 50; ++i) rig.k.tick();
+  EXPECT_TRUE(rig.dst.empty());  // the flushed word never arrives
+  EXPECT_EQ(rig.link.words_moved(), 0u);
+  // The link still works afterwards.
+  rig.src.write(43);
+  rig.k.run_until([&] { return rig.link.words_moved() == 1; }, 1'000);
+  EXPECT_EQ(rig.dst.read(), 43u);
+}
+
+// -------------------------------------------------------- ChainSession --
+
+constexpr Addr kHeadProg = 0x4000'0000;
+constexpr Addr kTailProg = 0x4000'2000;
+constexpr Addr kIn = 0x4001'0000;
+constexpr Addr kBounce = 0x4002'0000;
+constexpr Addr kOut = 0x4003'0000;
+constexpr u32 kQuality = 50;
+
+/// SoC + dequant->IDCT chain, the stack every session test runs on.
+struct ChainStack {
+  platform::Soc soc;
+  rac::DequantRac dq;
+  rac::IdctRac idct;
+  core::Ocp& head;
+  core::Ocp& tail;
+  fifo::ChainLink link;
+  drv::ChainSession session;
+
+  explicit ChainStack(drv::ChainMode mode, u32 max_batch = 4, u32 cpw = 1)
+      : dq(soc.kernel(), "dq",
+           {.quant = codec::quant_table(kQuality),
+            .zigzag = codec::zigzag_order()}),
+        idct(soc.kernel(), "idct"),
+        head(soc.add_ocp(dq)),
+        tail(soc.add_ocp(idct)),
+        link(soc.kernel(), "link", {.cycles_per_word = cpw}),
+        session(soc.cpu(), soc.sram(), head, tail, link,
+                {.head_prog_base = kHeadProg,
+                 .tail_prog_base = kTailProg,
+                 .in_base = kIn,
+                 .bounce_base = kBounce,
+                 .out_base = kOut,
+                 .block_words = 64,
+                 .max_batch = max_batch},
+                mode) {}
+};
+
+std::vector<u32> make_batch(u32 blocks, u64 seed) {
+  util::Rng rng(seed);
+  std::vector<u32> words;
+  words.reserve(static_cast<std::size_t>(blocks) * 64);
+  for (u32 b = 0; b < blocks; ++b) {
+    words.push_back(util::to_word(static_cast<i32>(rng.range(-100, 100))));
+    for (u32 i = 1; i < 64; ++i) {
+      words.push_back(util::to_word(
+          rng.chance(0.75) ? 0 : static_cast<i32>(rng.range(-30, 30))));
+    }
+  }
+  return words;
+}
+
+/// The software model of the pair: dequantize (scan -> raster) + IDCT.
+std::vector<u32> sw_reference(const std::vector<u32>& in) {
+  const auto quant = codec::quant_table(kQuality);
+  const auto& zz = codec::zigzag_order();
+  std::vector<u32> out(in.size());
+  for (std::size_t b = 0; b < in.size(); b += 64) {
+    i32 coef[64];
+    i32 pix[64];
+    for (u32 i = 0; i < 64; ++i) {
+      coef[zz[i]] = util::from_word(in[b + i]) * quant[zz[i]];
+    }
+    util::fixed_idct8x8(coef, pix);
+    for (u32 i = 0; i < 64; ++i) out[b + i] = util::to_word(pix[i]);
+  }
+  return out;
+}
+
+TEST(ChainSession, LinkedMatchesSoftwareModel) {
+  ChainStack s(drv::ChainMode::kLinked);
+  const auto in = make_batch(4, 11);
+  s.session.install(4);
+  EXPECT_TRUE(s.head.iface().chain_enabled());  // armed by install
+  s.session.put_input(in);
+  s.session.run_irq();
+  EXPECT_EQ(s.session.get_output(4 * 64), sw_reference(in));
+  EXPECT_EQ(s.link.words_moved(), 4u * 64u);
+  const fifo::ChainLink* links[] = {&s.link};
+  obs::validate_soc_ledger(s.soc, links);
+}
+
+TEST(ChainSession, StoreForwardBitIdenticalToLinked) {
+  const auto in = make_batch(4, 23);
+  std::vector<u32> linked_out;
+  std::vector<u32> sf_out;
+  u64 linked_cycles = 0;
+  u64 sf_cycles = 0;
+  for (const auto mode :
+       {drv::ChainMode::kLinked, drv::ChainMode::kStoreForward}) {
+    ChainStack s(mode);
+    s.session.install(4);
+    s.session.put_input(in);
+    const u64 cycles = s.session.run_irq();
+    auto& out = mode == drv::ChainMode::kLinked ? linked_out : sf_out;
+    out = s.session.get_output(4 * 64);
+    (mode == drv::ChainMode::kLinked ? linked_cycles : sf_cycles) = cycles;
+    if (mode == drv::ChainMode::kStoreForward) {
+      EXPECT_EQ(s.link.words_moved(), 0u);  // ablation: conduit unused
+    }
+    const fifo::ChainLink* links[] = {&s.link};
+    obs::validate_soc_ledger(s.soc, links);
+  }
+  EXPECT_EQ(linked_out, sf_out);
+  EXPECT_EQ(linked_out, sw_reference(in));
+  EXPECT_LT(linked_cycles, sf_cycles);
+}
+
+TEST(ChainSession, StoreForwardStagedProtocol) {
+  ChainStack s(drv::ChainMode::kStoreForward);
+  const auto in = make_batch(2, 5);
+  s.session.install(2);
+  s.session.put_input(in);
+
+  s.session.head().driver().enable_irq(true);
+  s.session.tail().driver().enable_irq(true);
+  s.session.start_async();
+  EXPECT_TRUE(s.session.awaiting_tail());
+  EXPECT_THROW(s.session.start_async(), SimError);  // already in flight
+
+  s.session.head().driver().wait_done_irq();
+  s.session.advance_to_tail();
+  EXPECT_FALSE(s.session.awaiting_tail());
+  EXPECT_THROW(s.session.advance_to_tail(), SimError);  // head stage closed
+
+  s.session.tail().driver().wait_done_irq();
+  s.session.retire_ack();
+  EXPECT_EQ(s.session.get_output(2 * 64), sw_reference(in));
+}
+
+TEST(ChainSession, RejectsBadBatchAndLayout) {
+  ChainStack s(drv::ChainMode::kLinked, /*max_batch=*/2);
+  EXPECT_THROW(s.session.install(0), ConfigError);
+  EXPECT_THROW(s.session.install(3), ConfigError);
+  EXPECT_THROW(s.session.put_input(std::vector<u32>(3 * 64)), ConfigError);
+}
+
+TEST(ChainSession, RecoverFlushesAndRearms) {
+  ChainStack s(drv::ChainMode::kLinked);
+  const auto in = make_batch(2, 31);
+  s.session.install(2);
+  s.session.put_input(in);
+  s.session.run_irq();
+  s.session.recover();  // recover on a healthy session is a clean reset
+  EXPECT_TRUE(s.head.iface().chain_enabled());  // shadow survives RST
+  s.session.put_input(in);
+  s.session.run_irq();
+  EXPECT_EQ(s.session.get_output(2 * 64), sw_reference(in));
+}
+
+// ------------------------------------------- snapshot of in-flight chain --
+
+TEST(ChainSnapshot, MidBatchRestoreIsBitIdentical) {
+  const auto in = make_batch(4, 77);
+
+  // Straight run: launch, freeze mid-batch (the link has moved some but
+  // not all intermediate words), snapshot, then finish.
+  ChainStack a(drv::ChainMode::kLinked);
+  a.session.install(4);
+  a.session.put_input(in);
+  a.session.tail().driver().enable_irq(true);
+  a.session.start_async();
+  a.soc.kernel().run_until(
+      [&] { return a.link.words_moved() >= 70; }, 1'000'000);
+  ASSERT_LT(a.link.words_moved(), 4u * 64u);  // genuinely mid-batch
+
+  snap::Snapshot image = a.soc.snapshot();
+  {
+    snap::StateWriter w;
+    a.session.save_state(w);
+    image.add("test_chain", 1, w.take());
+  }
+  const snap::Snapshot reloaded =
+      snap::Snapshot::deserialize(image.serialize());
+
+  a.session.tail().driver().wait_done_irq();
+  a.session.retire_ack();
+  const auto out_a = a.session.get_output(4 * 64);
+  const Cycle end_a = a.soc.kernel().now();
+
+  // Restored run: fresh identical stack, restore, finish the batch.
+  ChainStack b(drv::ChainMode::kLinked);
+  b.soc.restore(reloaded);
+  {
+    snap::StateReader r(reloaded.section("test_chain").bytes, "test_chain");
+    b.session.restore_state(r);
+    r.expect_end();
+  }
+  b.session.tail().driver().wait_done_irq();
+  b.session.retire_ack();
+  EXPECT_EQ(b.session.get_output(4 * 64), out_a);
+  EXPECT_EQ(b.soc.kernel().now(), end_a);
+  EXPECT_EQ(b.link.words_moved(), a.link.words_moved());
+  EXPECT_EQ(out_a, sw_reference(in));
+}
+
+}  // namespace
+}  // namespace ouessant

@@ -129,6 +129,51 @@ TEST(Codec, TruncatedStreamDetected) {
   EXPECT_THROW(codec::decode_coefficients(jpg), SimError);
 }
 
+TEST(Codec, DecodeQuantizedMatchesDecodeCoefficients) {
+  // decode_quantized is the chained pipeline's entry point: scan-order
+  // quantized coefficients, dequantization left to the RAC. Applying the
+  // quant table in software must land exactly on decode_coefficients'
+  // raster-order dequantized output, for both entropy codings.
+  const auto img = codec::test_image(48, 48);
+  const auto& zz = codec::zigzag_order();
+  for (const auto kind :
+       {codec::EntropyKind::kRle, codec::EntropyKind::kHuffman}) {
+    const auto jpg = codec::encode(img, 50, kind);
+    const auto quant = codec::quant_table(jpg.quality);
+    const auto qblocks = codec::decode_quantized(jpg);
+    const auto cblocks = codec::decode_coefficients(jpg);
+    ASSERT_EQ(qblocks.size(), cblocks.size());
+    for (std::size_t b = 0; b < qblocks.size(); ++b) {
+      for (u32 i = 0; i < 64; ++i) {
+        ASSERT_EQ(qblocks[b][i] * static_cast<i32>(quant[zz[i]]),
+                  cblocks[b][zz[i]])
+            << "block " << b << " scan " << i;
+      }
+    }
+  }
+}
+
+TEST(Codec, DecodeQuantizedChargesOnlyEntropyStage) {
+  // The chained path offloads dequantization, so decode_quantized must
+  // bill the CPU strictly less than the full software decode of the
+  // same stream.
+  const auto img = codec::test_image(64, 64);
+  const auto jpg = codec::encode(img, 50, codec::EntropyKind::kHuffman);
+
+  platform::Soc soc1;
+  const Cycle t0 = soc1.kernel().now();
+  (void)codec::decode_quantized(jpg, &soc1.cpu());
+  const u64 entropy_only = soc1.kernel().now() - t0;
+
+  platform::Soc soc2;
+  const Cycle t1 = soc2.kernel().now();
+  (void)codec::decode_coefficients(jpg, &soc2.cpu());
+  const u64 full_decode = soc2.kernel().now() - t1;
+
+  EXPECT_GT(entropy_only, 0u);
+  EXPECT_LT(entropy_only, full_decode);
+}
+
 TEST(Codec, PsnrIdentityIsHuge) {
   const auto img = codec::test_image(32, 32);
   EXPECT_DOUBLE_EQ(codec::psnr(img, img), 99.0);

@@ -2,6 +2,8 @@
 // canonical table construction, block coding, and the codec integration.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "codec/huffman.hpp"
 #include "codec/jpeg.hpp"
 #include "platform/soc.hpp"
@@ -188,6 +190,84 @@ TEST(HuffBlock, DcPredictionCarriesAcrossBlocks) {
   EXPECT_EQ(scan[0], 100);
   codec::huff_decode_block(r, scan, dpred);
   EXPECT_EQ(scan[0], 103);
+}
+
+// ------------------------------------------------------- golden vectors --
+//
+// Hand-assembled T.81 Annex K bitstreams: the exact bytes the canonical
+// luminance tables must produce, computed from Tables K.3/K.5 on paper.
+// These pin the wire format itself, not just encode/decode symmetry.
+
+TEST(HuffGolden, DcOnlyBlockBitstream) {
+  // blk = {5, 0, ...}, pred 0: DC diff 5 is category 3 (K.3 code "100"),
+  // magnitude bits "101", then EOB "1010" (K.5). 3+3+4 = 10 bits, padded
+  // with six 1s: 1001 0110  1011 1111 = 0x96 0xBF.
+  codec::BitWriter w;
+  i32 blk[64] = {};
+  blk[0] = 5;
+  i32 pred = 0;
+  codec::huff_encode_block(w, blk, pred);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x96u);
+  EXPECT_EQ(bytes[1], 0xBFu);
+
+  codec::BitReader r(bytes);
+  i32 scan[64];
+  i32 dpred = 0;
+  codec::huff_decode_block(r, scan, dpred);
+  EXPECT_EQ(scan[0], 5);
+  for (u32 i = 1; i < 64; ++i) EXPECT_EQ(scan[i], 0) << i;
+}
+
+TEST(HuffGolden, NegativeAcBitstream) {
+  // blk = {0, -2, 0, ...}: DC diff 0 is category 0 ("00", no magnitude
+  // bits); AC -2 is (run 0, size 2) = symbol 0x02, K.5 code "01", with
+  // negative magnitude bits (v-1)&mask = "01"; then EOB "1010".
+  // 2+2+2+4 = 10 bits: 0001 0110  1011 1111 = 0x16 0xBF.
+  codec::BitWriter w;
+  i32 blk[64] = {};
+  blk[1] = -2;
+  i32 pred = 0;
+  codec::huff_encode_block(w, blk, pred);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x16u);
+  EXPECT_EQ(bytes[1], 0xBFu);
+
+  codec::BitReader r(bytes);
+  i32 scan[64];
+  i32 dpred = 0;
+  codec::huff_decode_block(r, scan, dpred);
+  EXPECT_EQ(scan[0], 0);
+  EXPECT_EQ(scan[1], -2);
+  for (u32 i = 2; i < 64; ++i) EXPECT_EQ(scan[i], 0) << i;
+}
+
+TEST(HuffGolden, ZrlOverrunThrowsWithPosition) {
+  // A stream that is locally well-formed (every symbol decodes) but
+  // walks the scan index past 63: DC category 0, then four ZRLs claim
+  // 64 zero coefficients where only 63 AC slots exist.
+  const auto& dc = codec::dc_luminance_table();
+  const auto& ac = codec::ac_luminance_table();
+  codec::BitWriter w;
+  const auto dc0 = dc.encode(0);
+  w.put(dc0.code, dc0.length);
+  const auto zrl = ac.encode(0xF0);
+  for (int i = 0; i < 4; ++i) w.put(zrl.code, zrl.length);
+  const auto bytes = w.finish();
+
+  codec::BitReader r(bytes);
+  i32 scan[64];
+  i32 pred = 0;
+  try {
+    codec::huff_decode_block(r, scan, pred);
+    FAIL() << "ZRL overrun not detected";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("ZRL past block end"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 // ----------------------------------------------------- codec integration --

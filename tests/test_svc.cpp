@@ -234,5 +234,54 @@ TEST(OffloadService, ClosedLoopBatchingCoalesces) {
   EXPECT_LT(rep.batches, rep.completed);
 }
 
+TEST(OffloadService, ChainedWorkerServesJpegChain) {
+  for (const auto mode :
+       {drv::ChainMode::kLinked, drv::ChainMode::kStoreForward}) {
+    ServiceConfig cfg;
+    cfg.ocps.clear();  // chains-only service
+    cfg.chains = {ChainSpec{.max_batch = 2, .mode = mode}};
+    OffloadService service(std::move(cfg));
+    WorkloadConfig wl;
+    wl.jobs = 16;
+    wl.mean_gap = 1'000.0;
+    wl.kinds = {JobKind::kJpegChain};
+    const ServiceReport rep = service.run(wl);
+    EXPECT_EQ(rep.completed, 16u) << drv::chain_mode_name(mode);
+    EXPECT_EQ(rep.rejected, 0u);
+    EXPECT_TRUE(rep.chained);
+    if (mode == drv::ChainMode::kLinked) {
+      // Every completed block's 64 intermediate words went over the link.
+      EXPECT_EQ(rep.link_words, 16u * 64u);
+      EXPECT_EQ(rep.link_busy_cycles, rep.link_words);  // wire speed
+    } else {
+      EXPECT_EQ(rep.link_words, 0u);  // ablation: SRAM bounce instead
+    }
+  }
+}
+
+TEST(OffloadService, JpegChainViaOcpSpecIsRejected) {
+  ServiceConfig cfg;
+  cfg.ocps = {OcpSpec{.kind = JobKind::kJpegChain}};
+  EXPECT_THROW(OffloadService service(std::move(cfg)), ConfigError);
+}
+
+TEST(OffloadService, ChainedRunsAreSeedDeterministic) {
+  auto run_once = [] {
+    ServiceConfig cfg;
+    cfg.ocps.clear();
+    cfg.chains = {ChainSpec{.max_batch = 4}};
+    OffloadService service(std::move(cfg));
+    WorkloadConfig wl;
+    wl.jobs = 24;
+    wl.mean_gap = 600.0;
+    wl.kinds = {JobKind::kJpegChain};
+    return service.run(wl);
+  };
+  const ServiceReport a = run_once();
+  const ServiceReport b = run_once();
+  expect_same_report(a, b);
+  EXPECT_EQ(a.link_words, b.link_words);
+}
+
 }  // namespace
 }  // namespace ouessant::svc
